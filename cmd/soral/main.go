@@ -1,0 +1,200 @@
+// Command soral simulates one resource-allocation scenario end to end: it
+// builds a multi-tier cloud network instance from a JSON config, runs the
+// selected algorithm, and emits the per-slot decisions and running cost as
+// CSV on stdout with a cost summary on stderr.
+//
+// Usage:
+//
+//	soral -config scenario.json
+//	soral -config scenario.json -alg rrhc -window 4 -err 0.15
+//
+// A config file looks like:
+//
+//	{
+//	  "numTier2": 3, "numTier1": 6, "k": 2, "t": 48,
+//	  "trace": "wiki", "reconfWeight": 1000, "seed": 1
+//	}
+//
+// Flags override config values. Without -config a small default scenario is
+// used.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"soral/internal/eval"
+	"soral/internal/model"
+	"soral/internal/workload"
+)
+
+type config struct {
+	NumTier2     int     `json:"numTier2"`
+	NumTier1     int     `json:"numTier1"`
+	K            int     `json:"k"`
+	T            int     `json:"t"`
+	Trace        string  `json:"trace"`
+	ReconfWeight float64 `json:"reconfWeight"`
+	Seed         int64   `json:"seed"`
+	Algorithm    string  `json:"algorithm"`
+	Eps          float64 `json:"eps"`
+	Window       int     `json:"window"`
+	PredictError float64 `json:"predictionError"`
+}
+
+func defaultConfig() config {
+	return config{
+		NumTier2: 3, NumTier1: 6, K: 2, T: 48,
+		Trace: "wiki", ReconfWeight: 1000, Seed: 1,
+		Algorithm: "online", Eps: 1e-2, Window: 4,
+	}
+}
+
+func main() {
+	var (
+		cfgPath   = flag.String("config", "", "path to a JSON scenario config")
+		alg       = flag.String("alg", "", "algorithm: online|greedy|offline|lcpm|fhc|rhc|afhc|rfhc|rrhc")
+		window    = flag.Int("window", 0, "prediction window for the predictive controllers")
+		errRate   = flag.Float64("err", -1, "prediction error rate (e.g. 0.15)")
+		eps       = flag.Float64("eps", 0, "regularization parameter ε = ε′")
+		traceFile = flag.String("trace-file", "", "hourly demand trace CSV replacing the synthetic workload")
+		instance  = flag.String("instance", "", "full model instance JSON (network + inputs); overrides the scenario")
+		decOut    = flag.String("decisions", "", "write the decision sequence as JSON to this file")
+	)
+	flag.Parse()
+
+	cfg := defaultConfig()
+	if *cfgPath != "" {
+		raw, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(raw, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *cfgPath, err))
+		}
+	}
+	if *alg != "" {
+		cfg.Algorithm = *alg
+	}
+	if *window > 0 {
+		cfg.Window = *window
+	}
+	if *errRate >= 0 {
+		cfg.PredictError = *errRate
+	}
+	if *eps > 0 {
+		cfg.Eps = *eps
+	}
+
+	var scen *eval.Scenario
+	if *instance != "" {
+		f, err := os.Open(*instance)
+		if err != nil {
+			fatal(err)
+		}
+		net, in, err := model.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		scen = &eval.Scenario{Net: net, In: in}
+	} else {
+		spec := eval.ScenarioSpec{
+			NumTier2: cfg.NumTier2, NumTier1: cfg.NumTier1, K: cfg.K, T: cfg.T,
+			Trace: eval.Trace(cfg.Trace), Seed: cfg.Seed, ReconfWeight: cfg.ReconfWeight,
+		}
+		if *traceFile != "" {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			trace, err := workload.LoadCSV(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			spec.CustomTrace = trace
+			if cfg.T > len(trace) {
+				spec.T = len(trace)
+			}
+		}
+		var err error
+		scen, err = eval.Build(spec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	suite := eval.NewSuite(scen, cfg.Eps)
+
+	var run *eval.Run
+	var err error
+	switch cfg.Algorithm {
+	case "online":
+		run, err = suite.Online()
+	case "greedy", "one-shot":
+		run, err = suite.Greedy()
+	case "offline":
+		run, err = suite.Offline()
+	case "lcpm", "lcp-m":
+		run, err = suite.LCPM()
+	case "fhc", "rhc", "afhc", "rfhc", "rrhc":
+		run, err = suite.Predictive(cfg.Algorithm, cfg.Window, cfg.PredictError, cfg.Seed+101)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", cfg.Algorithm))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	writeDecisions(scen, run)
+	if *decOut != "" {
+		f, err := os.Create(*decOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := model.WriteDecisions(f, scen.Net, run.Decisions); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "decisions:        %s\n", *decOut)
+	}
+	c := run.Cost
+	fmt.Fprintf(os.Stderr, "algorithm:        %s\n", run.Algorithm)
+	fmt.Fprintf(os.Stderr, "slots:            %d\n", len(run.Decisions))
+	fmt.Fprintf(os.Stderr, "allocation cost:  %.2f (tier-2 %.2f, network %.2f)\n",
+		c.Allocation(), c.AllocT2, c.AllocNet)
+	fmt.Fprintf(os.Stderr, "reconfiguration:  %.2f (tier-2 %.2f, network %.2f)\n",
+		c.Reconfiguration(), c.ReconfT2, c.ReconfNet)
+	fmt.Fprintf(os.Stderr, "total cost:       %.2f\n", c.Total())
+	fmt.Fprintf(os.Stderr, "elapsed:          %v\n", run.Elapsed)
+}
+
+func writeDecisions(scen *eval.Scenario, run *eval.Run) {
+	n := scen.Net
+	fmt.Print("t,workload")
+	for i := 0; i < n.NumTier2; i++ {
+		fmt.Printf(",x_cloud%d", i)
+	}
+	fmt.Println(",y_total,cum_cost")
+	for t, d := range run.Decisions {
+		fmt.Printf("%d,%.4f", t, scen.In.Workload[t][0])
+		for i := 0; i < n.NumTier2; i++ {
+			fmt.Printf(",%.4f", d.GroupSumT2(n, i))
+		}
+		var ySum float64
+		for p := range d.Y {
+			ySum += d.Y[p]
+		}
+		fmt.Printf(",%.4f,%.4f\n", ySum, run.CumCost[t])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soral:", err)
+	os.Exit(1)
+}

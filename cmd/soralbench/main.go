@@ -1,0 +1,145 @@
+// Command soralbench regenerates the data behind every table and figure of
+// the paper's evaluation (Section V).
+//
+// Usage:
+//
+//	soralbench -exp fig5 -scale small
+//	soralbench -exp all -scale medium -csv out/
+//	soralbench -exp fig4 -series trace.csv   # dump raw demand traces
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all.
+// Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
+// setting; the offline baselines then take tens of minutes each).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"soral/internal/eval"
+	"soral/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|all")
+		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
+		fig5Curve = flag.String("fig5series", "", "write one Fig. 5 panel's cumulative cost curves as CSV to this file")
+		fig5Trace = flag.String("fig5trace", "wiki", "trace for -fig5series: wiki|worldcup")
+		fig5B     = flag.Float64("fig5b", 1000, "reconfiguration weight for -fig5series")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	scale, err := eval.ScaleByName(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var log eval.Logger
+	if !*quiet {
+		log = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	type runner func() (*eval.Table, error)
+	exps := map[string]runner{
+		"fig4":   func() (*eval.Table, error) { return eval.Fig4(scale, log) },
+		"fig5":   func() (*eval.Table, error) { return eval.Fig5(scale, log) },
+		"fig6":   func() (*eval.Table, error) { return eval.Fig6(scale, log) },
+		"fig7":   func() (*eval.Table, error) { return eval.Fig7(scale, log) },
+		"fig8":   func() (*eval.Table, error) { return eval.Fig8(scale, log) },
+		"fig9":   func() (*eval.Table, error) { return eval.Fig9(scale, log) },
+		"fig10":  func() (*eval.Table, error) { return eval.Fig10(scale, log) },
+		"table1": func() (*eval.Table, error) { return eval.Table1(), nil },
+		"table2": func() (*eval.Table, error) { return eval.Table2(), nil },
+		"vshape": eval.AdversarialVShape,
+	}
+	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := exps[name]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q", name))
+			}
+			selected = append(selected, name)
+		}
+	}
+
+	if *seriesOut != "" {
+		if err := writeTraces(scale, *seriesOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote traces to %s\n", *seriesOut)
+	}
+	if *fig5Curve != "" {
+		names, series, err := eval.Fig5Series(scale, eval.Trace(*fig5Trace), *fig5B, log)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*fig5Curve)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eval.WriteSeriesCSV(f, names, series); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote Fig. 5 curves to %s\n", *fig5Curve)
+	}
+
+	for _, name := range selected {
+		tbl, err := exps[name]()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := eval.Render(os.Stdout, tbl); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := eval.WriteCSV(f, tbl); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func writeTraces(scale eval.Scale, path string) error {
+	wiki := workload.Wikipedia(scale.TWiki, scale.BaseSeed)
+	wc := workload.WorldCup(scale.TWorldCup, scale.BaseSeed)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return eval.WriteSeriesCSV(f, []string{"wikipedia", "worldcup"}, [][]float64{wiki, wc})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soralbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package soral_test
+
+import (
+	"fmt"
+
+	"soral"
+	"soral/internal/core"
+)
+
+// ExampleRunOnline shows the minimal end-to-end use of the library: build a
+// network, describe the time-varying inputs, run the online algorithm, and
+// account the cost.
+func ExampleRunOnline() {
+	net, err := soral.NewNetwork(1, 1,
+		[]soral.Pair{{I: 0, J: 0}},
+		[]float64{100}, // C_i
+		[]float64{50},  // b_i
+		[]float64{100}, // B_ij
+		[]float64{0},   // c_ij
+		[]float64{0})   // d_ij
+	if err != nil {
+		panic(err)
+	}
+	in := &soral.Inputs{
+		T:        3,
+		PriceT2:  [][]float64{{1}, {1}, {1}},
+		Workload: [][]float64{{80}, {10}, {60}},
+	}
+	seq, err := soral.RunOnline(net, in, soral.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	acct := &soral.Accountant{Net: net, In: in}
+	cost := acct.SequenceCost(seq, nil)
+	// The flash crowd at t=0 is covered exactly; at t=1 the allocation
+	// decays instead of dropping to 10, hedging against the next spike.
+	fmt.Printf("covered t0: %v\n", seq[0].X[0] >= 80-1e-3)
+	fmt.Printf("smoothed t1: %v\n", seq[1].X[0] > 10)
+	fmt.Printf("cost > 0: %v\n", cost.Total() > 0)
+	// Output:
+	// covered t0: true
+	// smoothed t1: true
+	// cost > 0: true
+}
+
+// ExampleScalarInstance demonstrates the closed-form scalar special case of
+// Section III-C: the exponential-decay recursion of equation (6).
+func ExampleScalarInstance() {
+	s := &core.ScalarInstance{
+		C:   10,
+		B:   40,
+		A:   []float64{2, 2, 2},
+		Lam: []float64{6, 0, 0},
+	}
+	x, err := s.RunOnline(1e-2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("follows the spike: x0 = %.0f\n", x[0])
+	fmt.Printf("monotone decay afterwards: %v\n", x[1] > x[2] && x[0] > x[1])
+	// Output:
+	// follows the spike: x0 = 6
+	// monotone decay afterwards: true
+}
+
+// ExampleCompetitiveRatio evaluates Theorem 1's worst-case guarantee for a
+// given network and regularization parameter.
+func ExampleCompetitiveRatio() {
+	net, _ := soral.NewNetwork(1, 1,
+		[]soral.Pair{{I: 0, J: 0}},
+		[]float64{1}, []float64{1}, []float64{1}, []float64{1}, []float64{1})
+	r1 := soral.CompetitiveRatio(net, soral.Params{EpsT2: 0.01, EpsNet: 0.01})
+	r2 := soral.CompetitiveRatio(net, soral.Params{EpsT2: 1, EpsNet: 1})
+	fmt.Printf("larger ε, smaller guarantee: %v\n", r2 < r1)
+	// Output:
+	// larger ε, smaller guarantee: true
+}

@@ -1,0 +1,78 @@
+// Quickstart: build a tiny two-tier cloud network by hand, feed it a bursty
+// workload, and compare the paper's regularized online algorithm against the
+// greedy one-shot baseline and the offline optimum.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"soral/internal/control"
+	"soral/internal/core"
+	"soral/internal/model"
+)
+
+func main() {
+	// Two tier-2 clouds, three edge (tier-1) clouds. Edge clouds 0 and 1 may
+	// use either tier-2 cloud (k = 2); edge cloud 2 is locked to cloud 1.
+	pairs := []model.Pair{
+		{I: 0, J: 0}, {I: 1, J: 0},
+		{I: 0, J: 1}, {I: 1, J: 1},
+		{I: 1, J: 2},
+	}
+	net, err := model.NewNetwork(
+		2, 3, pairs,
+		[]float64{30, 30},                  // tier-2 capacities C_i
+		[]float64{50, 50},                  // tier-2 reconfiguration prices b_i
+		[]float64{20, 20, 20, 20, 20},      // network capacities B_ij
+		[]float64{0.5, 1.0, 1.0, 0.5, 0.7}, // network prices c_ij
+		[]float64{25, 25, 25, 25, 25},      // network reconfiguration prices d_ij
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A flash crowd: calm, spike, decay — the regime where smoothing pays.
+	lams := []float64{2, 2, 9, 9, 3, 2, 2, 8, 2, 2}
+	in := &model.Inputs{
+		T:        len(lams),
+		PriceT2:  make([][]float64, len(lams)),
+		Workload: make([][]float64, len(lams)),
+	}
+	for t, lam := range lams {
+		in.PriceT2[t] = []float64{1.0, 1.2}
+		in.Workload[t] = []float64{lam, lam * 0.8, lam * 0.5}
+	}
+
+	cfg := &control.Config{Net: net, In: in, CoreOpts: core.DefaultOptions()}
+	acct := &model.Accountant{Net: net, In: in}
+
+	greedy, err := control.Greedy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	online, err := control.Online(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, offObj, err := control.Offline(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("slot  workload  greedy(Σx)  online(Σx)  offline(Σx)")
+	for t := range lams {
+		sum := func(d *model.Decision) float64 {
+			return d.GroupSumT2(net, 0) + d.GroupSumT2(net, 1)
+		}
+		fmt.Printf("%4d  %8.1f  %10.2f  %10.2f  %11.2f\n",
+			t, lams[t], sum(greedy[t]), sum(online[t]), sum(offline[t]))
+	}
+	gc := acct.SequenceCost(greedy, nil).Total()
+	oc := acct.SequenceCost(online, nil).Total()
+	fmt.Printf("\ntotal cost: greedy %.1f | online %.1f | offline optimum %.1f\n", gc, oc, offObj)
+	fmt.Printf("online is within %.2fx of the offline optimum (worst-case bound: %.0fx)\n",
+		oc/offObj, core.CompetitiveRatio(net, core.DefaultParams()))
+}

@@ -1,0 +1,3 @@
+module soral
+
+go 1.22

@@ -1,0 +1,472 @@
+// Package admm solves the offline problem P1 with a time-split consensus
+// ADMM, providing an independent cross-check of the staircase interior-point
+// solver and a memory-light alternative for very long horizons.
+//
+// The horizon is split per slot. Slot t owns a local copy w_t = (p_t, q_t)
+// of the decisions at t−1 and t (plus the local auxiliaries s and the
+// reconfiguration epigraph variables), subject to slot-t feasibility and
+// charged slot-t allocation and reconfiguration cost. Consensus constraints
+// p_t = z_{t−1}, q_t = z_t tie the copies to the global trajectory z. The
+// ADMM iteration alternates:
+//
+//  1. per-slot convex solves (independent across slots — the analogue of the
+//     paper's per-slot decoupling, but for the *offline* problem),
+//  2. averaging the copies into z,
+//  3. dual (scaled multiplier) updates.
+//
+// Each local problem is a small linearly-constrained program with a
+// diagonal-quadratic objective and is solved by the convex barrier engine.
+package admm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"soral/internal/convex"
+	"soral/internal/lp"
+	"soral/internal/model"
+)
+
+// Options tunes the ADMM iteration.
+type Options struct {
+	Rho     float64 // augmented-Lagrangian weight (default: auto from prices)
+	MaxIter int     // default 300
+	Tol     float64 // relative consensus tolerance (default 1e-4)
+
+	// Workers bounds the number of per-slot subproblems solved
+	// concurrently; the slot solves of one iteration are independent.
+	// 0 selects GOMAXPROCS.
+	Workers int
+
+	Solver convex.Options // per-slot subproblem tuning
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 300
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	if o.Solver.Tol == 0 {
+		o.Solver.Tol = 1e-7
+	}
+	return o
+}
+
+// Result carries the solution and iteration diagnostics.
+type Result struct {
+	Decisions []*model.Decision
+	Obj       float64
+	Iters     int
+	Residual  float64 // final relative consensus residual
+	Converged bool
+}
+
+// slotProblem holds the per-slot constraint structure, rebuilt once and
+// reused across iterations (only the quadratic targets change).
+type slotProblem struct {
+	g       *lp.SparseMatrix
+	h       []float64
+	numVars int
+
+	qOff, pOff, sOff, vOff int
+	nDec                   int // decision copy width (2·np or 3·np)
+	nAux                   int // reconfiguration auxiliaries
+	linear                 []float64
+
+	warm []float64
+}
+
+// decWidth returns the consensus decision width per slot.
+func decWidth(n *model.Network) int {
+	w := 2 * n.NumPairs()
+	if n.Tier1 {
+		w += n.NumPairs()
+	}
+	return w
+}
+
+// decToVec flattens a model decision into the consensus layout [x, y, (z)].
+func decToVec(n *model.Network, d *model.Decision, dst []float64) {
+	np := n.NumPairs()
+	copy(dst[:np], d.X)
+	copy(dst[np:2*np], d.Y)
+	if n.Tier1 {
+		copy(dst[2*np:3*np], d.Z)
+	}
+}
+
+// vecToDec unflattens, clamping solver noise.
+func vecToDec(n *model.Network, v []float64) *model.Decision {
+	np := n.NumPairs()
+	d := model.NewZeroDecision(n)
+	for p := 0; p < np; p++ {
+		d.X[p] = math.Max(0, v[p])
+		d.Y[p] = math.Max(0, v[np+p])
+		if n.Tier1 {
+			d.Z[p] = math.Max(0, v[2*np+p])
+		}
+	}
+	return d
+}
+
+func buildSlot(n *model.Network, in *model.Inputs, t int) *slotProblem {
+	np := n.NumPairs()
+	ni := n.NumTier2
+	nj := n.NumTier1
+	sp := &slotProblem{nDec: decWidth(n)}
+	sp.qOff = 0
+	sp.pOff = sp.nDec
+	sp.sOff = 2 * sp.nDec
+	sp.vOff = 2*sp.nDec + np
+	sp.nAux = ni + np
+	if n.Tier1 {
+		sp.nAux += nj
+	}
+	sp.numVars = sp.vOff + sp.nAux
+
+	qx := func(p int) int { return sp.qOff + p }
+	qy := func(p int) int { return sp.qOff + np + p }
+	qz := func(p int) int { return sp.qOff + 2*np + p }
+	px := func(p int) int { return sp.pOff + p }
+	py := func(p int) int { return sp.pOff + np + p }
+	pz := func(p int) int { return sp.pOff + 2*np + p }
+	sv := func(p int) int { return sp.sOff + p }
+	vT2 := func(i int) int { return sp.vOff + i }
+	vNet := func(p int) int { return sp.vOff + ni + p }
+	vT1 := func(j int) int { return sp.vOff + ni + np + j }
+
+	sp.linear = make([]float64, sp.numVars)
+	for p, pr := range n.Pairs {
+		sp.linear[qx(p)] = in.PriceT2[t][pr.I]
+		sp.linear[qy(p)] = n.PriceNet[p]
+		if n.Tier1 {
+			sp.linear[qz(p)] = in.PriceT1[t][pr.J]
+		}
+	}
+	for i := 0; i < ni; i++ {
+		sp.linear[vT2(i)] = n.ReconfT2[i]
+	}
+	for p := 0; p < np; p++ {
+		sp.linear[vNet(p)] = n.ReconfNet[p]
+	}
+	if n.Tier1 {
+		for j := 0; j < nj; j++ {
+			sp.linear[vT1(j)] = n.ReconfT1[j]
+		}
+	}
+
+	type row struct {
+		es  []lp.Entry
+		rhs float64
+	}
+	var rows []row
+	add := func(es []lp.Entry, rhs float64) { rows = append(rows, row{es, rhs}) }
+
+	lam := in.Workload[t]
+	for p := 0; p < np; p++ {
+		add([]lp.Entry{{Index: sv(p), Val: 1}, {Index: qx(p), Val: -1}}, 0)
+		add([]lp.Entry{{Index: sv(p), Val: 1}, {Index: qy(p), Val: -1}}, 0)
+		if n.Tier1 {
+			add([]lp.Entry{{Index: sv(p), Val: 1}, {Index: qz(p), Val: -1}}, 0)
+		}
+		add([]lp.Entry{{Index: sv(p), Val: -1}}, 0)
+	}
+	for j := 0; j < nj; j++ {
+		es := make([]lp.Entry, 0, len(n.PairsOfJ(j)))
+		for _, p := range n.PairsOfJ(j) {
+			es = append(es, lp.Entry{Index: sv(p), Val: -1})
+		}
+		add(es, -lam[j])
+	}
+	for i := 0; i < ni; i++ {
+		pairs := n.PairsOfI(i)
+		if len(pairs) == 0 {
+			continue
+		}
+		es := make([]lp.Entry, 0, len(pairs))
+		for _, p := range pairs {
+			es = append(es, lp.Entry{Index: qx(p), Val: 1})
+		}
+		add(es, n.CapT2[i])
+	}
+	for p := 0; p < np; p++ {
+		add([]lp.Entry{{Index: qy(p), Val: 1}}, n.CapNet[p])
+	}
+	if n.Tier1 {
+		for j := 0; j < nj; j++ {
+			es := make([]lp.Entry, 0, len(n.PairsOfJ(j)))
+			for _, p := range n.PairsOfJ(j) {
+				es = append(es, lp.Entry{Index: qz(p), Val: 1})
+			}
+			add(es, n.CapT1[j])
+		}
+	}
+	// Reconfiguration epigraphs against the local previous-state copy p.
+	for i := 0; i < ni; i++ {
+		es := make([]lp.Entry, 0, 2*len(n.PairsOfI(i))+1)
+		for _, p := range n.PairsOfI(i) {
+			es = append(es, lp.Entry{Index: qx(p), Val: 1}, lp.Entry{Index: px(p), Val: -1})
+		}
+		es = append(es, lp.Entry{Index: vT2(i), Val: -1})
+		add(es, 0)
+		add([]lp.Entry{{Index: vT2(i), Val: -1}}, 0)
+	}
+	for p := 0; p < np; p++ {
+		add([]lp.Entry{{Index: qy(p), Val: 1}, {Index: py(p), Val: -1}, {Index: vNet(p), Val: -1}}, 0)
+		add([]lp.Entry{{Index: vNet(p), Val: -1}}, 0)
+	}
+	if n.Tier1 {
+		for j := 0; j < nj; j++ {
+			es := make([]lp.Entry, 0, 2*len(n.PairsOfJ(j))+1)
+			for _, p := range n.PairsOfJ(j) {
+				es = append(es, lp.Entry{Index: qz(p), Val: 1}, lp.Entry{Index: pz(p), Val: -1})
+			}
+			es = append(es, lp.Entry{Index: vT1(j), Val: -1})
+			add(es, 0)
+			add([]lp.Entry{{Index: vT1(j), Val: -1}}, 0)
+		}
+	}
+	// The previous-state copies must stay non-negative (they mirror real
+	// decisions).
+	for k := 0; k < sp.nDec; k++ {
+		add([]lp.Entry{{Index: sp.pOff + k, Val: -1}}, 0)
+	}
+
+	sp.g = lp.NewSparseMatrix(len(rows), sp.numVars)
+	sp.h = make([]float64, len(rows))
+	for r, rw := range rows {
+		for _, e := range rw.es {
+			sp.g.Append(r, e.Index, e.Val)
+		}
+		sp.h[r] = rw.rhs
+	}
+	return sp
+}
+
+// SolveOffline runs the consensus ADMM on P1 over the full horizon.
+func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, error) {
+	if err := in.Validate(n); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	T := in.T
+	nd := decWidth(n)
+	if opts.Rho <= 0 {
+		// Scale with the typical price magnitude so the quadratic term is
+		// neither negligible nor dominating.
+		var mean float64
+		cnt := 0
+		for t := range in.PriceT2 {
+			for _, v := range in.PriceT2[t] {
+				mean += v
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			mean /= float64(cnt)
+		}
+		if mean <= 0 {
+			mean = 1
+		}
+		opts.Rho = mean
+	}
+
+	slots := make([]*slotProblem, T)
+	for t := 0; t < T; t++ {
+		slots[t] = buildSlot(n, in, t)
+	}
+
+	z := make([][]float64, T) // global trajectory
+	muP := make([][]float64, T)
+	muQ := make([][]float64, T)
+	q := make([][]float64, T)
+	p := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		z[t] = make([]float64, nd)
+		muP[t] = make([]float64, nd)
+		muQ[t] = make([]float64, nd)
+		q[t] = make([]float64, nd)
+		p[t] = make([]float64, nd)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > T {
+		workers = T
+	}
+
+	res := &Result{}
+	zScale := 1.0
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iters = iter + 1
+		// 1. Per-slot local solves — independent across slots, fanned out
+		// over a bounded worker pool.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		errs := make([]error, T)
+		for t := 0; t < T; t++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				sp := slots[t]
+				targetP := make([]float64, nd) // z_{t−1} − muP (zero state before slot 0)
+				if t > 0 {
+					for k := 0; k < nd; k++ {
+						targetP[k] = z[t-1][k] - muP[t][k]
+					}
+				} else {
+					for k := 0; k < nd; k++ {
+						targetP[k] = -muP[t][k]
+					}
+				}
+				targetQ := make([]float64, nd)
+				for k := 0; k < nd; k++ {
+					targetQ[k] = z[t][k] - muQ[t][k]
+				}
+				obj := &convex.QuadObjective{
+					DiagQ: make([]float64, sp.numVars),
+					C:     make([]float64, sp.numVars),
+				}
+				copy(obj.C, sp.linear)
+				for k := 0; k < nd; k++ {
+					obj.DiagQ[sp.qOff+k] = opts.Rho
+					obj.DiagQ[sp.pOff+k] = opts.Rho
+					obj.C[sp.qOff+k] += -opts.Rho * targetQ[k]
+					obj.C[sp.pOff+k] += -opts.Rho * targetP[k]
+				}
+				sol, err := convex.Solve(&convex.Problem{Obj: obj, G: sp.g, H: sp.h}, sp.warm, opts.Solver)
+				if err != nil {
+					errs[t] = err
+					return
+				}
+				sp.warm = sol.X
+				copy(q[t], sol.X[sp.qOff:sp.qOff+nd])
+				copy(p[t], sol.X[sp.pOff:sp.pOff+nd])
+			}(t)
+		}
+		wg.Wait()
+		for t, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("admm: slot %d iteration %d: %w", t, iter, err)
+			}
+		}
+		// 2. Consensus averaging: z_t reconciles q_t with p_{t+1}.
+		var dualShift float64
+		for t := 0; t < T; t++ {
+			for k := 0; k < nd; k++ {
+				var v float64
+				if t+1 < T {
+					v = 0.5 * (q[t][k] + muQ[t][k] + p[t+1][k] + muP[t+1][k])
+				} else {
+					v = q[t][k] + muQ[t][k]
+				}
+				if v < 0 {
+					v = 0
+				}
+				if d := v - z[t][k]; d*d > dualShift {
+					dualShift = d * d
+				}
+				z[t][k] = v
+			}
+		}
+		// 3. Dual updates and residuals.
+		var prim, scale float64
+		for t := 0; t < T; t++ {
+			for k := 0; k < nd; k++ {
+				eq := q[t][k] - z[t][k]
+				muQ[t][k] += eq
+				prim += eq * eq
+				var ep float64
+				if t > 0 {
+					ep = p[t][k] - z[t-1][k]
+				} else {
+					ep = p[t][k]
+				}
+				muP[t][k] += ep
+				prim += ep * ep
+				scale += z[t][k] * z[t][k]
+			}
+		}
+		zScale = math.Sqrt(scale) + 1
+		res.Residual = math.Sqrt(prim) / zScale
+		if res.Residual < opts.Tol && math.Sqrt(dualShift) < opts.Tol*zScale {
+			res.Converged = true
+			break
+		}
+	}
+
+	seq := make([]*model.Decision, T)
+	for t := 0; t < T; t++ {
+		seq[t] = vecToDec(n, z[t])
+	}
+	repairCoverage(n, in, seq)
+	acct := &model.Accountant{Net: n, In: in}
+	res.Decisions = seq
+	res.Obj = acct.SequenceCost(seq, nil).Total()
+	return res, nil
+}
+
+// repairCoverage lifts tiny consensus-averaging slack so every slot strictly
+// covers its workload: for each tier-1 cloud with a shortfall, the per-pair
+// bottleneck values are raised proportionally on its cheapest pair.
+func repairCoverage(n *model.Network, in *model.Inputs, seq []*model.Decision) {
+	for t, d := range seq {
+		for j := 0; j < n.NumTier1; j++ {
+			var cover float64
+			for _, p := range n.PairsOfJ(j) {
+				m := math.Min(d.X[p], d.Y[p])
+				if n.Tier1 {
+					m = math.Min(m, d.Z[p])
+				}
+				cover += m
+			}
+			deficit := in.Workload[t][j] - cover
+			if deficit <= 0 {
+				continue
+			}
+			// Raise on the pair with the most capacity headroom.
+			best, bestRoom := -1, 0.0
+			for _, p := range n.PairsOfJ(j) {
+				room := n.CapNet[p] - d.Y[p]
+				iRoom := n.CapT2[n.Pairs[p].I] - d.GroupSumT2(n, n.Pairs[p].I)
+				if iRoom < room {
+					room = iRoom
+				}
+				if room > bestRoom {
+					bestRoom = room
+					best = p
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			raise := math.Min(deficit, bestRoom)
+			base := math.Min(d.X[best], d.Y[best])
+			if n.Tier1 {
+				base = math.Min(base, d.Z[best])
+			}
+			target := base + raise
+			if d.X[best] < target {
+				d.X[best] = target
+			}
+			if d.Y[best] < target {
+				d.Y[best] = math.Min(target, n.CapNet[best])
+			}
+			if n.Tier1 && d.Z[best] < target {
+				d.Z[best] = target
+			}
+		}
+	}
+}
+
+// ErrNotConverged is reported by Check when the iteration stalls.
+var ErrNotConverged = errors.New("admm: did not converge")

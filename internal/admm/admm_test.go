@@ -1,0 +1,117 @@
+package admm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+	"soral/internal/model"
+)
+
+func TestADMMMatchesExactOfflineScalar(t *testing.T) {
+	// 1×1 network, hand-checkable instance (same as the model-package test):
+	// λ = [4,2], a = c = 1, b = d = 5 → optimum 52.
+	n, err := model.NewNetwork(1, 1, []model.Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{5}, []float64{10}, []float64{1}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Inputs{T: 2, PriceT2: [][]float64{{1}, {1}}, Workload: [][]float64{{4}, {2}}}
+	res, err := SolveOffline(n, in, Options{MaxIter: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged, residual %v", res.Residual)
+	}
+	_ = res.Iters
+	if math.Abs(res.Obj-52) > 0.02*52 {
+		t.Fatalf("ADMM obj = %v, want ≈ 52", res.Obj)
+	}
+}
+
+func TestADMMMatchesStaircaseOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	for trial := 0; trial < 2; trial++ {
+		n := model.RandomNetwork(rng, 2, 3, 1+rng.Intn(2), 10)
+		in := model.RandomInputs(rng, n, 6)
+		exact, exactObj, err := model.SolveP1Dense(n, in, nil, nil, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = exact
+		res, err := SolveOffline(n, in, Options{MaxIter: 120})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// First-order method run on a budget: accept a few percent of the
+		// exact optimum (the full-convergence cross-check lives in the
+		// scalar test above).
+		if res.Obj < exactObj-1e-6 {
+			t.Fatalf("trial %d: ADMM %v below the exact optimum %v", trial, res.Obj, exactObj)
+		}
+		if res.Obj > exactObj*1.05 {
+			t.Fatalf("trial %d: ADMM %v too far above exact %v (residual %v, iters %d)",
+				trial, res.Obj, exactObj, res.Residual, res.Iters)
+		}
+	}
+}
+
+func TestADMMDecisionsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	n := model.RandomNetwork(rng, 2, 3, 2, 50)
+	in := model.RandomInputs(rng, n, 5)
+	res, err := SolveOffline(n, in, Options{MaxIter: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts, d := range res.Decisions {
+		if ok, v := d.FeasibleAt(n, in.Workload[ts], 5e-3); !ok {
+			t.Fatalf("slot %d infeasible by %v", ts, v)
+		}
+	}
+}
+
+func TestADMMWithTier1(t *testing.T) {
+	n, err := model.NewNetwork(1, 1, []model.Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{5}, []float64{10}, []float64{1}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.EnableTier1([]float64{10}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Inputs{
+		T:        2,
+		PriceT2:  [][]float64{{1}, {1}},
+		Workload: [][]float64{{4}, {2}},
+		PriceT1:  [][]float64{{1}, {1}},
+	}
+	res, err := SolveOffline(n, in, Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact optimum is 78 (model-package hand example).
+	if math.Abs(res.Obj-78) > 0.03*78 {
+		t.Fatalf("ADMM obj = %v, want ≈ 78", res.Obj)
+	}
+}
+
+func TestADMMOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIter != 300 || o.Tol != 1e-4 || o.Solver.Tol != 1e-7 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestADMMRejectsBadInputs(t *testing.T) {
+	n, err := model.NewNetwork(1, 1, []model.Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{5}, []float64{10}, []float64{1}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveOffline(n, &model.Inputs{T: 0}, Options{}); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}

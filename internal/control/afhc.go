@@ -1,0 +1,84 @@
+package control
+
+import (
+	"fmt"
+
+	"soral/internal/model"
+	"soral/internal/predict"
+)
+
+// AFHC is Averaging Fixed Horizon Control (Lin et al. [11], discussed in the
+// paper's related work as the multi-cloud predictive baseline): run the w
+// phase-shifted copies of FHC — copy φ re-plans at slots φ, φ+w, φ+2w, … —
+// and apply, at every slot, the average of the w copies' decisions.
+//
+// The average is feasible because the per-slot feasible set is convex and
+// coverage Σ min(x, y) is concave in the decision, so averaging can only
+// help coverage; capacities are linear. The decisions are finally passed
+// through the shared repair step for solver-noise robustness, keeping the
+// comparison with the other controllers fair.
+func AFHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("control: AFHC window %d", w)
+	}
+	T := c.In.T
+	copies := make([][]*model.Decision, w)
+	for phi := 0; phi < w; phi++ {
+		seq, err := fhcPhase(c, oracle, w, phi)
+		if err != nil {
+			return nil, fmt.Errorf("control: AFHC phase %d: %w", phi, err)
+		}
+		copies[phi] = seq
+	}
+	out := make([]*model.Decision, 0, T)
+	prev := model.NewZeroDecision(c.Net)
+	for t := 0; t < T; t++ {
+		avg := model.NewZeroDecision(c.Net)
+		for phi := 0; phi < w; phi++ {
+			d := copies[phi][t]
+			for p := range avg.X {
+				avg.X[p] += d.X[p] / float64(w)
+				avg.Y[p] += d.Y[p] / float64(w)
+				if c.Net.Tier1 {
+					avg.Z[p] += d.Z[p] / float64(w)
+				}
+			}
+		}
+		applied, err := c.repair(t, avg, prev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, applied)
+		prev = applied
+	}
+	return out, nil
+}
+
+// fhcPhase runs one phase-shifted FHC copy: the first block covers slots
+// [0, phi) (empty for phi = 0), then full windows of w slots.
+func fhcPhase(c *Config, oracle *predict.Oracle, w, phi int) ([]*model.Decision, error) {
+	prev := model.NewZeroDecision(c.Net)
+	out := make([]*model.Decision, 0, c.In.T)
+	t := 0
+	for t < c.In.T {
+		blockW := w
+		if t == 0 && phi > 0 {
+			blockW = phi
+		}
+		win := oracle.Predict(t, blockW)
+		planned, _, err := c.solveWindow(win, prev, nil)
+		if err != nil {
+			return nil, err
+		}
+		for k, d := range planned {
+			applied, err := c.repair(t+k, d, prev)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, applied)
+			prev = applied
+		}
+		t += win.T
+	}
+	return out, nil
+}

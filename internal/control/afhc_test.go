@@ -1,0 +1,87 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+	"soral/internal/predict"
+)
+
+func TestAFHCFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(190))
+	n := model.RandomNetwork(rng, 2, 3, 2, 30)
+	in := model.RandomInputs(rng, n, 8)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+
+	seq, err := AFHC(c, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, n, in, seq, "afhc")
+	_, offObj, err := Offline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := totalCost(n, in, seq); cost < offObj-1e-4*(1+offObj) {
+		t.Fatalf("AFHC %v beats offline %v", cost, offObj)
+	}
+}
+
+func TestAFHCWindowOneIsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	n := model.RandomNetwork(rng, 2, 2, 1, 10)
+	in := model.RandomInputs(rng, n, 5)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	a, err := AFHC(c, oracle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Greedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, gc := totalCost(n, in, a), totalCost(n, in, g)
+	if math.Abs(ac-gc) > 1e-3*(1+gc) {
+		t.Fatalf("AFHC(1) %v differs from greedy %v", ac, gc)
+	}
+}
+
+func TestAFHCSmoothsBlockBoundaries(t *testing.T) {
+	// On the V-shape where plain FHC pays the full valley re-ramp, the
+	// averaging over phases softens block-boundary drops, so AFHC should
+	// never be (meaningfully) worse than FHC.
+	lam := []float64{8, 6, 4, 2, 1, 2, 4, 6, 8, 8}
+	a := make([]float64, len(lam))
+	for i := range a {
+		a[i] = 1
+	}
+	n := oneByOneNet(t, 500, 500, 1)
+	in := scalarInputs(lam, a)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	fhc, err := FHC(c, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afhc, err := AFHC(c, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalCost(n, in, afhc) > totalCost(n, in, fhc)*1.05 {
+		t.Fatalf("AFHC %v much worse than FHC %v", totalCost(n, in, afhc), totalCost(n, in, fhc))
+	}
+}
+
+func TestAFHCValidation(t *testing.T) {
+	n := oneByOneNet(t, 1, 1, 1)
+	in := scalarInputs([]float64{1}, []float64{1})
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	if _, err := AFHC(c, oracle, 0); err == nil {
+		t.Fatal("AFHC w=0 accepted")
+	}
+}

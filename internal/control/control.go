@@ -1,0 +1,87 @@
+package control
+
+import (
+	"fmt"
+
+	"soral/internal/core"
+	"soral/internal/lp"
+	"soral/internal/model"
+	"soral/internal/staircase"
+)
+
+// Config carries the problem instance and solver settings shared by all
+// controllers.
+type Config struct {
+	Net *model.Network
+	In  *model.Inputs // true inputs (costs are always charged on these)
+
+	LPOpts   lp.Options   // LP solver tuning
+	CoreOpts core.Options // regularized-subproblem tuning (RFHC/RRHC)
+
+	// DenseWindowLimit is the largest window solved with the dense LP
+	// backend; longer windows use the staircase backend. Default 3.
+	DenseWindowLimit int
+}
+
+func (c *Config) denseLimit() int {
+	if c.DenseWindowLimit <= 0 {
+		return 3
+	}
+	return c.DenseWindowLimit
+}
+
+// solveLayout solves a built P1 layout with the appropriate backend.
+func (c *Config) solveLayout(l *model.Layout) ([]*model.Decision, float64, error) {
+	var sol *lp.GeneralSolution
+	var err error
+	if l.W <= c.denseLimit() {
+		sol, err = lp.Solve(l.Prob, c.LPOpts)
+	} else {
+		sol, err = staircase.Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, c.LPOpts)
+	}
+	if (err != nil || sol.Status != lp.Optimal) && l.Prob.NumVars() <= 4000 {
+		// Degenerate windows can defeat the interior-point method; the
+		// two-phase simplex is slower but unconditionally robust at small
+		// sizes.
+		sol, err = lp.SolveSimplex(l.Prob, 0)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("control: window solve status %v", sol.Status)
+	}
+	return l.ExtractDecisions(sol.X), sol.Obj, nil
+}
+
+// solveWindow solves P1 over the given (possibly predicted) inputs.
+func (c *Config) solveWindow(in *model.Inputs, prev, endPin *model.Decision) ([]*model.Decision, float64, error) {
+	l, err := model.BuildP1(c.Net, in, prev, endPin)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.solveLayout(l)
+}
+
+// Offline solves P1 over the full horizon with perfect hindsight and
+// returns the decisions and the optimal objective value.
+func Offline(c *Config) ([]*model.Decision, float64, error) {
+	return c.solveWindow(c.In, nil, nil)
+}
+
+// Greedy runs the sequence of one-shot optimizations: at every slot it
+// minimizes that slot's cost (allocation plus reconfiguration from the
+// applied previous decision) with no view of the future.
+func Greedy(c *Config) ([]*model.Decision, error) {
+	prev := model.NewZeroDecision(c.Net)
+	out := make([]*model.Decision, 0, c.In.T)
+	for t := 0; t < c.In.T; t++ {
+		seq, _, err := c.solveWindow(c.In.Window(t, 1), prev, nil)
+		if err != nil {
+			return nil, fmt.Errorf("control: greedy slot %d: %w", t, err)
+		}
+		out = append(out, seq[0])
+		prev = seq[0]
+	}
+	return out, nil
+}

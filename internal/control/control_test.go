@@ -1,0 +1,319 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/core"
+	"soral/internal/model"
+	"soral/internal/predict"
+)
+
+func cfgFor(n *model.Network, in *model.Inputs) *Config {
+	return &Config{Net: n, In: in, CoreOpts: core.DefaultOptions()}
+}
+
+func oneByOneNet(t *testing.T, b, d, c float64) *model.Network {
+	t.Helper()
+	n, err := model.NewNetwork(1, 1,
+		[]model.Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{b},
+		[]float64{10}, []float64{c}, []float64{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func scalarInputs(lam, a []float64) *model.Inputs {
+	in := &model.Inputs{T: len(lam), PriceT2: make([][]float64, len(lam)), Workload: make([][]float64, len(lam))}
+	for t := range lam {
+		in.PriceT2[t] = []float64{a[t]}
+		in.Workload[t] = []float64{lam[t]}
+	}
+	return in
+}
+
+func totalCost(n *model.Network, in *model.Inputs, seq []*model.Decision) float64 {
+	acct := &model.Accountant{Net: n, In: in}
+	return acct.SequenceCost(seq, nil).Total()
+}
+
+func checkFeasible(t *testing.T, n *model.Network, in *model.Inputs, seq []*model.Decision, name string) {
+	t.Helper()
+	if len(seq) != in.T {
+		t.Fatalf("%s: produced %d decisions for %d slots", name, len(seq), in.T)
+	}
+	for ts, d := range seq {
+		if ok, v := d.FeasibleAt(n, in.Workload[ts], 1e-4); !ok {
+			t.Fatalf("%s: slot %d infeasible by %v", name, ts, v)
+		}
+	}
+}
+
+func TestGreedyFollowsWorkload(t *testing.T) {
+	n := oneByOneNet(t, 100, 100, 1)
+	lam := []float64{5, 2, 7, 1}
+	in := scalarInputs(lam, []float64{1, 1, 1, 1})
+	seq, err := Greedy(cfgFor(n, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := range lam {
+		if math.Abs(seq[ts].X[0]-lam[ts]) > 1e-4 {
+			t.Fatalf("slot %d: greedy x = %v, want %v", ts, seq[ts].X[0], lam[ts])
+		}
+	}
+}
+
+func TestOfflineIsLowerBoundForAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	n := model.RandomNetwork(rng, 2, 2, 2, 20)
+	in := model.RandomInputs(rng, n, 6)
+	c := cfgFor(n, in)
+
+	_, offObj, err := Offline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := predict.NewOracle(n, in, 0, 1)
+	runs := map[string]func() ([]*model.Decision, error){
+		"greedy": func() ([]*model.Decision, error) { return Greedy(c) },
+		"online": func() ([]*model.Decision, error) { return Online(c) },
+		"fhc3":   func() ([]*model.Decision, error) { return FHC(c, oracle, 3) },
+		"rhc3":   func() ([]*model.Decision, error) { return RHC(c, oracle, 3) },
+		"rfhc3":  func() ([]*model.Decision, error) { return RFHC(c, oracle, 3) },
+		"rrhc3":  func() ([]*model.Decision, error) { return RRHC(c, oracle, 3) },
+		"lcpm":   func() ([]*model.Decision, error) { return LCPM(c) },
+	}
+	for name, run := range runs {
+		seq, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkFeasible(t, n, in, seq, name)
+		cost := totalCost(n, in, seq)
+		if cost < offObj-1e-3*(1+offObj) {
+			t.Fatalf("%s cost %v below offline optimum %v", name, cost, offObj)
+		}
+	}
+}
+
+func TestFHCRHCWindowOneIsGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	n := model.RandomNetwork(rng, 2, 2, 1, 10)
+	in := model.RandomInputs(rng, n, 5)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	g, err := Greedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := totalCost(n, in, g)
+	for name, run := range map[string]func() ([]*model.Decision, error){
+		"fhc1": func() ([]*model.Decision, error) { return FHC(c, oracle, 1) },
+		"rhc1": func() ([]*model.Decision, error) { return RHC(c, oracle, 1) },
+	} {
+		seq, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cost := totalCost(n, in, seq); math.Abs(cost-gc) > 1e-3*(1+gc) {
+			t.Fatalf("%s cost %v differs from greedy %v", name, cost, gc)
+		}
+	}
+}
+
+func TestFullLookaheadMatchesOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	n := model.RandomNetwork(rng, 2, 2, 2, 30)
+	in := model.RandomInputs(rng, n, 6)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	_, offObj, err := Offline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhc, err := FHC(c, oracle, in.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := totalCost(n, in, fhc); math.Abs(cost-offObj) > 1e-3*(1+offObj) {
+		t.Fatalf("FHC(w=T) cost %v vs offline %v", cost, offObj)
+	}
+	rhc, err := RHC(c, oracle, in.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := totalCost(n, in, rhc); cost > offObj*(1+1e-3)+1e-6 {
+		t.Fatalf("RHC(w=T) cost %v vs offline %v", cost, offObj)
+	}
+}
+
+func TestTheorem4RegularizedBoundedByOnline(t *testing.T) {
+	// RFHC and RRHC with accurate predictions never cost more than the
+	// prediction-free online algorithm (Theorem 4).
+	rng := rand.New(rand.NewSource(133))
+	for trial := 0; trial < 3; trial++ {
+		n := model.RandomNetwork(rng, 2, 2, 1+rng.Intn(2), 50)
+		in := model.RandomInputs(rng, n, 8)
+		c := cfgFor(n, in)
+		oracle := predict.NewOracle(n, in, 0, 1)
+		on, err := Online(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onCost := totalCost(n, in, on)
+		for _, w := range []int{2, 4} {
+			rf, err := RFHC(c, oracle, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost := totalCost(n, in, rf); cost > onCost*(1+1e-3)+1e-6 {
+				t.Fatalf("trial %d: RFHC(w=%d) cost %v exceeds online %v", trial, w, cost, onCost)
+			}
+			rr, err := RRHC(c, oracle, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cost := totalCost(n, in, rr); cost > onCost*(1+1e-3)+1e-6 {
+				t.Fatalf("trial %d: RRHC(w=%d) cost %v exceeds online %v", trial, w, cost, onCost)
+			}
+		}
+	}
+}
+
+func TestRegularizedWindowOneEqualsOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(134))
+	n := model.RandomNetwork(rng, 2, 2, 1, 25)
+	in := model.RandomInputs(rng, n, 5)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	on, err := Online(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCost := totalCost(n, in, on)
+	for name, run := range map[string]func() ([]*model.Decision, error){
+		"rfhc1": func() ([]*model.Decision, error) { return RFHC(c, oracle, 1) },
+		"rrhc1": func() ([]*model.Decision, error) { return RRHC(c, oracle, 1) },
+	} {
+		seq, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cost := totalCost(n, in, seq); math.Abs(cost-onCost) > 1e-3*(1+onCost) {
+			t.Fatalf("%s cost %v differs from online %v", name, cost, onCost)
+		}
+	}
+}
+
+func TestVShapeStandardControllersFollowWorkload(t *testing.T) {
+	// Theorem 3's mechanism: with a prediction window shorter than the ramp,
+	// FHC/RHC follow the V down and pay the full re-ramp, while the
+	// regularized variants hold capacity. Verify the cost ordering.
+	lam := core.VShape(8, 0.5, 6)
+	a := make([]float64, len(lam))
+	for i := range a {
+		a[i] = 1
+	}
+	n := oneByOneNet(t, 1000, 1000, 1)
+	in := scalarInputs(lam, a)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	w := 2
+
+	fhc, err := FHC(c, oracle, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfhc, err := RFHC(c, oracle, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhc, err := RHC(c, oracle, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrhc, err := RRHC(c, oracle, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFHC, cRFHC := totalCost(n, in, fhc), totalCost(n, in, rfhc)
+	cRHC, cRRHC := totalCost(n, in, rhc), totalCost(n, in, rrhc)
+	if cRFHC >= cFHC {
+		t.Fatalf("RFHC %v not better than FHC %v on V-shape", cRFHC, cFHC)
+	}
+	if cRRHC >= cRHC {
+		t.Fatalf("RRHC %v not better than RHC %v on V-shape", cRRHC, cRHC)
+	}
+}
+
+func TestNoisyPredictionsAllControllersFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	n := model.RandomNetwork(rng, 2, 3, 2, 20)
+	in := model.RandomInputs(rng, n, 6)
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0.15, 99)
+	for name, run := range map[string]func() ([]*model.Decision, error){
+		"fhc":  func() ([]*model.Decision, error) { return FHC(c, oracle, 3) },
+		"rhc":  func() ([]*model.Decision, error) { return RHC(c, oracle, 3) },
+		"rfhc": func() ([]*model.Decision, error) { return RFHC(c, oracle, 3) },
+		"rrhc": func() ([]*model.Decision, error) { return RRHC(c, oracle, 3) },
+	} {
+		seq, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkFeasible(t, n, in, seq, name)
+	}
+}
+
+func TestLCPMFeasibleAndLazy(t *testing.T) {
+	n := oneByOneNet(t, 1000, 1000, 1)
+	lam := core.VShape(8, 1, 5)
+	a := make([]float64, len(lam))
+	for i := range a {
+		a[i] = 1
+	}
+	in := scalarInputs(lam, a)
+	c := cfgFor(n, in)
+	seq, err := LCPM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, n, in, seq, "lcpm")
+	// Laziness: with b ≫ a LCP-M must not follow the valley all the way down.
+	mid := len(lam) / 2
+	if seq[mid].X[0] <= lam[mid]+1e-6 {
+		t.Fatalf("LCP-M followed the valley (x=%v at λ=%v)", seq[mid].X[0], lam[mid])
+	}
+	// And it beats greedy there.
+	g, err := Greedy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalCost(n, in, seq) >= totalCost(n, in, g) {
+		t.Fatal("LCP-M not better than greedy on the V-shape")
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	n := oneByOneNet(t, 1, 1, 1)
+	in := scalarInputs([]float64{1}, []float64{1})
+	c := cfgFor(n, in)
+	oracle := predict.NewOracle(n, in, 0, 1)
+	if _, err := FHC(c, oracle, 0); err == nil {
+		t.Fatal("FHC w=0 accepted")
+	}
+	if _, err := RHC(c, oracle, -1); err == nil {
+		t.Fatal("RHC w<0 accepted")
+	}
+	if _, err := RFHC(c, oracle, 0); err == nil {
+		t.Fatal("RFHC w=0 accepted")
+	}
+	if _, err := RRHC(c, oracle, 0); err == nil {
+		t.Fatal("RRHC w=0 accepted")
+	}
+}

@@ -1,0 +1,26 @@
+// Package control implements every decision-making algorithm the paper
+// evaluates around the core online algorithm:
+//
+//   - Offline: the clairvoyant optimum, solving P1 over the whole horizon
+//     with the staircase interior-point solver (the denominator of every
+//     competitive ratio reported in Section V);
+//   - Greedy: the sequence of one-shot optimizations (FHC/RHC with w = 1);
+//   - LCPM: the paper's LCP-M baseline — forward and time-reversed prefix
+//     optimizations define per-variable lazy envelopes, the previous decision
+//     is clipped into them, and the result is projected back onto the
+//     feasible set (Lin et al.'s lazy capacity provisioning, applied
+//     per-variable as described in Section V-A);
+//   - FHC / RHC: the standard fixed-horizon and receding-horizon predictive
+//     controllers (Section IV-A), which Theorems 2–3 show can be arbitrarily
+//     bad on our problem;
+//   - RFHC / RRHC: the paper's regularized predictive controllers
+//     (Section IV-C), which keep the regularized chain's window-end decision
+//     pinned and re-optimize inside the window, inheriting the online
+//     algorithm's competitive ratio (Theorem 4).
+//
+// All algorithms consume predictions through predict.Oracle and are scored
+// on the true inputs by model.Accountant. When predictions are noisy, a
+// planned decision may under-cover the realized workload; every controller
+// then applies the same minimal repair (a one-shot LP that only raises
+// allocations), so comparisons between controllers stay fair.
+package control

@@ -1,0 +1,110 @@
+package control
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"soral/internal/model"
+)
+
+// LCPM is the paper's LCP-M baseline (Section V-A, algorithm (3)): a
+// multi-resource adaptation of Lin et al.'s Lazy Capacity Provisioning.
+// At every slot t it solves two prefix problems over the observed history
+// {0, …, t}:
+//
+//   - the forward problem P1 (reconfiguration charged on increases), whose
+//     slot-t value gives the lower envelope XL;
+//   - the time-reversed problem (reconfiguration charged on decreases),
+//     whose slot-t value gives the upper envelope XU;
+//
+// and then lazily clips every variable of the previously applied decision
+// into [min(XL,XU), max(XL,XU)]. The clipped point may violate coverage in
+// the coupled network setting — the reason the paper shows LCP-M
+// underperforms — so it is projected back to feasibility with the shared
+// repair rule.
+func LCPM(c *Config) ([]*model.Decision, error) {
+	T := c.In.T
+	// Phase 1: the envelope problems depend only on the inputs, never on the
+	// applied decisions, so all 2T prefix solves are independent and run
+	// concurrently on a bounded worker pool.
+	los := make([]*model.Decision, T)
+	his := make([]*model.Decision, T)
+	errs := make([]error, 2*T)
+	workers := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for t := 0; t < T; t++ {
+		wg.Add(2)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fwd, _, err := c.solveWindow(c.In.Window(0, t+1), nil, nil)
+			if err != nil {
+				errs[2*t] = fmt.Errorf("control: LCP-M forward prefix at %d: %w", t, err)
+				return
+			}
+			los[t] = fwd[t]
+		}(t)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lRev, err := model.BuildP1Reversed(c.Net, c.In.Window(0, t+1), nil)
+			if err != nil {
+				errs[2*t+1] = err
+				return
+			}
+			rev, _, err := c.solveLayout(lRev)
+			if err != nil {
+				errs[2*t+1] = fmt.Errorf("control: LCP-M reversed prefix at %d: %w", t, err)
+				return
+			}
+			his[t] = rev[t]
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: sequential lazy clipping into the envelopes (this is the
+	// online part — at slot t only the prefixes up to t have been used).
+	prev := model.NewZeroDecision(c.Net)
+	out := make([]*model.Decision, 0, T)
+	for t := 0; t < T; t++ {
+		lo, hi := los[t], his[t]
+		clipped := model.NewZeroDecision(c.Net)
+		for p := range clipped.X {
+			clipped.X[p] = lazyClip(prev.X[p], lo.X[p], hi.X[p])
+			clipped.Y[p] = lazyClip(prev.Y[p], lo.Y[p], hi.Y[p])
+			if c.Net.Tier1 {
+				clipped.Z[p] = lazyClip(prev.Z[p], lo.Z[p], hi.Z[p])
+			}
+		}
+		applied, err := c.repair(t, clipped, prev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, applied)
+		prev = applied
+	}
+	return out, nil
+}
+
+// lazyClip moves prev the least distance needed to land in the envelope
+// [min(lo,hi), max(lo,hi)] — the lazy capacity principle.
+func lazyClip(prev, lo, hi float64) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if prev < lo {
+		return lo
+	}
+	if prev > hi {
+		return hi
+	}
+	return prev
+}

@@ -1,0 +1,56 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+)
+
+// TestLemma3ReoptimizedSegmentNeverCostsMore verifies Lemma 3 numerically:
+// for any feasible decision sequence, replacing a middle segment
+// {x_τ, …, x_{κ−1}} with the optimum of the pinned-end problem
+// P1(x_{τ−1}; …; x_κ) never increases the total cost. This is the machinery
+// behind Theorem 4 (RFHC/RRHC ≤ online).
+func TestLemma3ReoptimizedSegmentNeverCostsMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	for trial := 0; trial < 4; trial++ {
+		n := model.RandomNetwork(rng, 2, 2, 2, 30)
+		in := model.RandomInputs(rng, n, 8)
+		c := cfgFor(n, in)
+		acct := &model.Accountant{Net: n, In: in}
+
+		// A feasible (but suboptimal) base sequence: the online algorithm's.
+		base, err := Online(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseCost := acct.SequenceCost(base, nil).Total()
+
+		// Pick a middle segment [tau, kappa) with pinned endpoints.
+		tau := 1 + rng.Intn(3)
+		kappa := tau + 2 + rng.Intn(3) // segment of 2–4 slots, kappa < T
+		if kappa >= in.T {
+			kappa = in.T - 1
+		}
+		segIn := in.Window(tau, kappa-tau)
+		reopt, _, err := c.solveWindow(segIn, base[tau-1], base[kappa])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		patched := make([]*model.Decision, in.T)
+		copy(patched, base)
+		copy(patched[tau:kappa], reopt)
+		patchedCost := acct.SequenceCost(patched, nil).Total()
+		if patchedCost > baseCost*(1+1e-6)+1e-9 {
+			t.Fatalf("trial %d: re-optimized segment raised cost %v → %v",
+				trial, baseCost, patchedCost)
+		}
+		// The patched sequence must still be feasible everywhere.
+		for ts, d := range patched {
+			if ok, v := d.FeasibleAt(n, in.Workload[ts], 1e-4); !ok {
+				t.Fatalf("trial %d slot %d infeasible by %v", trial, ts, v)
+			}
+		}
+	}
+}

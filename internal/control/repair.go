@@ -1,0 +1,74 @@
+package control
+
+import (
+	"fmt"
+
+	"soral/internal/model"
+)
+
+// repair makes a planned decision feasible for the realized slot-t inputs.
+// When the plan already covers the true workload it is returned unchanged.
+// Otherwise a one-shot LP is solved with the planned allocations as lower
+// bounds, so resources are only ever raised, minimally and at the cheapest
+// feasible places — the same rule for every controller.
+func (c *Config) repair(t int, planned, prevApplied *model.Decision) (*model.Decision, error) {
+	if ok, _ := planned.FeasibleAt(c.Net, c.In.Workload[t], 1e-7); ok {
+		return planned, nil
+	}
+	l, err := model.BuildP1(c.Net, c.In.Window(t, 1), prevApplied, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Net
+	// Lower-bound the decision variables at the planned values, guarding
+	// against solver noise that would make a bound cross its capacity.
+	for p := 0; p < n.NumPairs(); p++ {
+		yv := l.YVar(0, p)
+		lo := planned.Y[p]
+		if lo > n.CapNet[p] {
+			lo = n.CapNet[p]
+		}
+		l.Prob.Lo[yv] = lo
+		l.Prob.Lo[l.XVar(0, p)] = planned.X[p]
+		if n.Tier1 {
+			l.Prob.Lo[l.ZVar(0, p)] = planned.Z[p]
+		}
+	}
+	// Scale group lower bounds back under capacity if the plan overshoots.
+	for i := 0; i < n.NumTier2; i++ {
+		var sum float64
+		for _, p := range n.PairsOfI(i) {
+			sum += l.Prob.Lo[l.XVar(0, p)]
+		}
+		if sum > n.CapT2[i] {
+			scale := n.CapT2[i] / sum
+			for _, p := range n.PairsOfI(i) {
+				l.Prob.Lo[l.XVar(0, p)] *= scale
+			}
+		}
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			var sum float64
+			for _, p := range n.PairsOfJ(j) {
+				sum += l.Prob.Lo[l.ZVar(0, p)]
+			}
+			if sum > n.CapT1[j] {
+				scale := n.CapT1[j] / sum
+				for _, p := range n.PairsOfJ(j) {
+					l.Prob.Lo[l.ZVar(0, p)] *= scale
+				}
+			}
+		}
+	}
+	seq, _, err := c.solveLayout(l)
+	if err != nil {
+		// Fall back to the unconstrained one-shot slice: always feasible
+		// under the Section II-B preconditions.
+		seq, _, err = c.solveWindow(c.In.Window(t, 1), prevApplied, nil)
+		if err != nil {
+			return nil, fmt.Errorf("control: repair at slot %d: %w", t, err)
+		}
+	}
+	return seq[0], nil
+}

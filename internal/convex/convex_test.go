@@ -1,0 +1,273 @@
+package convex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/linalg"
+	"soral/internal/lp"
+)
+
+// boxConstraints builds G,h for lo ≤ x ≤ hi.
+func boxConstraints(lo, hi []float64) (*lp.SparseMatrix, []float64) {
+	n := len(lo)
+	g := lp.NewSparseMatrix(2*n, n)
+	h := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		g.Append(i, i, 1) // x ≤ hi
+		h[i] = hi[i]
+		g.Append(n+i, i, -1) // −x ≤ −lo
+		h[n+i] = -lo[i]
+	}
+	return g, h
+}
+
+func TestFindStrictlyFeasible(t *testing.T) {
+	g := lp.NewSparseMatrix(2, 1)
+	g.Append(0, 0, 1)  // x ≤ 4
+	g.Append(1, 0, -1) // −x ≤ −1, i.e., x ≥ 1
+	h := []float64{4, -1}
+	x, err := FindStrictlyFeasible(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] <= 1 || x[0] >= 4 {
+		t.Fatalf("x = %v not strictly inside [1,4]", x[0])
+	}
+}
+
+func TestFindStrictlyFeasibleInfeasible(t *testing.T) {
+	g := lp.NewSparseMatrix(2, 1)
+	g.Append(0, 0, 1)  // x ≤ 0
+	g.Append(1, 0, -1) // x ≥ 1
+	h := []float64{0, -1}
+	if _, err := FindStrictlyFeasible(g, h); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestBarrierQuadraticBoxMin(t *testing.T) {
+	// min (x−3)² over [0,10] → x=3. f = ½·2x² −6x + const.
+	g, h := boxConstraints([]float64{0}, []float64{10})
+	obj := &QuadObjective{DiagQ: []float64{2}, C: []float64{-6}}
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 {
+		t.Fatalf("x = %v, want 3", res.X[0])
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+}
+
+func TestBarrierQuadraticActiveBound(t *testing.T) {
+	// min (x−12)² over [0,10] → x=10 (bound active).
+	g, h := boxConstraints([]float64{0}, []float64{10})
+	obj := &QuadObjective{DiagQ: []float64{2}, C: []float64{-24}}
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-10) > 1e-3 {
+		t.Fatalf("x = %v, want 10", res.X[0])
+	}
+}
+
+func TestBarrierLPMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(4)
+		// Random bounded LP in barrier form: box + a couple of covering rows.
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		c := make([]float64, n)
+		for i := range hi {
+			hi[i] = 2 + rng.Float64()*6
+			c[i] = rng.Float64()*3 + 0.1
+		}
+		g, h := boxConstraints(lo, hi)
+		// Add covering row: −Σ aᵢxᵢ ≤ −rhs.
+		gp := lp.NewProblem(n)
+		copy(gp.C, c)
+		for i := range hi {
+			gp.Hi[i] = hi[i]
+		}
+		rows := 1 + rng.Intn(2)
+		base := g.M
+		g2 := lp.NewSparseMatrix(base+rows, n)
+		for r, row := range g.Rows {
+			for _, e := range row {
+				g2.Append(r, e.Index, e.Val)
+			}
+		}
+		h2 := append([]float64(nil), h...)
+		for r := 0; r < rows; r++ {
+			var es []lp.Entry
+			var maxLHS float64
+			for i := 0; i < n; i++ {
+				v := rng.Float64() + 0.2
+				es = append(es, lp.Entry{Index: i, Val: v})
+				maxLHS += v * hi[i]
+			}
+			rhs := rng.Float64() * 0.7 * maxLHS
+			for _, e := range es {
+				g2.Append(base+r, e.Index, -e.Val)
+			}
+			h2 = append(h2, -rhs)
+			gp.AddConstraint(es, lp.GE, rhs, "")
+		}
+		res, err := Solve(&Problem{Obj: &LinearObjective{C: c}, G: g2, H: h2}, nil, Options{Tol: 1e-8})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		spx, err := lp.SolveSimplex(gp, 0)
+		if err != nil || spx.Status != lp.Optimal {
+			t.Fatalf("trial %d: simplex %v %v", trial, spx, err)
+		}
+		if math.Abs(res.Obj-spx.Obj) > 1e-3*(1+math.Abs(spx.Obj)) {
+			t.Fatalf("trial %d: barrier %v vs simplex %v", trial, res.Obj, spx.Obj)
+		}
+	}
+}
+
+// entropyObjective is f(x) = Σ (xᵢ+ε)ln((xᵢ+ε)/(pᵢ+ε)) − xᵢ, the paper's
+// regularizer, with known unconstrained minimizer x = p.
+type entropyObjective struct {
+	p   []float64
+	eps float64
+}
+
+func (o *entropyObjective) Value(x []float64) float64 {
+	var v float64
+	for i, xi := range x {
+		v += (xi+o.eps)*math.Log((xi+o.eps)/(o.p[i]+o.eps)) - xi
+	}
+	return v
+}
+
+func (o *entropyObjective) Gradient(grad, x []float64) {
+	for i, xi := range x {
+		grad[i] = math.Log((xi + o.eps) / (o.p[i] + o.eps))
+	}
+}
+
+func (o *entropyObjective) Hessian(hess *linalg.Dense, x []float64) {
+	hess.Zero()
+	for i, xi := range x {
+		hess.Set(i, i, 1/(xi+o.eps))
+	}
+}
+
+func TestBarrierEntropicObjective(t *testing.T) {
+	// The regularizer alone is minimized at x = p (interior of the box).
+	p := []float64{1, 2, 0.5}
+	g, h := boxConstraints([]float64{0, 0, 0}, []float64{10, 10, 10})
+	obj := &entropyObjective{p: p, eps: 0.01}
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, nil, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p {
+		if math.Abs(res.X[i]-p[i]) > 1e-3 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], p[i])
+		}
+	}
+}
+
+func TestBarrierEntropicWithCovering(t *testing.T) {
+	// min Σ a·x + entropy-to-prev subject to x ≥ λ: when λ > decay point the
+	// constraint binds. Single variable: a·x + (b/η)((x+ε)ln((x+ε)/(p+ε))−x), x≥λ.
+	a, b, eps, prev, lam, cap := 1.0, 5.0, 0.01, 0.0, 3.0, 10.0
+	eta := math.Log(1 + cap/eps)
+	obj := &scaledEntropyPlusLinear{a: a, bOverEta: b / eta, eps: eps, prev: prev}
+	g := lp.NewSparseMatrix(2, 1)
+	g.Append(0, 0, 1) // x ≤ cap
+	g.Append(1, 0, -1)
+	h := []float64{cap, -lam}
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, nil, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained minimizer from eq. (6): (1+C/ε)^{−a/b}(prev+ε) − ε < 0 here,
+	// so the covering constraint must bind: x* = λ.
+	if math.Abs(res.X[0]-lam) > 1e-3 {
+		t.Fatalf("x = %v, want %v", res.X[0], lam)
+	}
+}
+
+type scaledEntropyPlusLinear struct {
+	a, bOverEta, eps, prev float64
+}
+
+func (o *scaledEntropyPlusLinear) Value(x []float64) float64 {
+	xi := x[0]
+	return o.a*xi + o.bOverEta*((xi+o.eps)*math.Log((xi+o.eps)/(o.prev+o.eps))-xi)
+}
+
+func (o *scaledEntropyPlusLinear) Gradient(grad, x []float64) {
+	grad[0] = o.a + o.bOverEta*math.Log((x[0]+o.eps)/(o.prev+o.eps))
+}
+
+func (o *scaledEntropyPlusLinear) Hessian(hess *linalg.Dense, x []float64) {
+	hess.Zero()
+	hess.Set(0, 0, o.bOverEta/(x[0]+o.eps))
+}
+
+func TestBarrierDualsSignAndComplementarity(t *testing.T) {
+	// Active constraint gets a positive dual; inactive ones vanish.
+	g, h := boxConstraints([]float64{0}, []float64{10})
+	obj := &QuadObjective{DiagQ: []float64{2}, C: []float64{-24}} // min at 12, clipped at 10
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, nil, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duals[0] < 1e-3 {
+		t.Fatalf("active dual = %v, want > 0", res.Duals[0])
+	}
+	if res.Duals[1] > 1e-3 {
+		t.Fatalf("inactive dual = %v, want ≈ 0", res.Duals[1])
+	}
+}
+
+func TestSolveRejectsBadDims(t *testing.T) {
+	g := lp.NewSparseMatrix(2, 1)
+	if _, err := Solve(&Problem{Obj: &LinearObjective{C: []float64{1}}, G: g, H: []float64{1}}, nil, Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSolveUsesProvidedStrictPoint(t *testing.T) {
+	g, h := boxConstraints([]float64{0}, []float64{10})
+	obj := &QuadObjective{DiagQ: []float64{2}, C: []float64{-6}}
+	res, err := Solve(&Problem{Obj: obj, G: g, H: h}, []float64{5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 {
+		t.Fatalf("x = %v", res.X[0])
+	}
+}
+
+func TestQuadObjectiveFullMatrix(t *testing.T) {
+	// f = ½ xᵀQx + cᵀx with Q = [[2,1],[1,2]]; unconstrained min solves Qx=−c.
+	q := linalg.NewDenseFrom(2, 2, []float64{2, 1, 1, 2})
+	c := []float64{-3, -3}
+	g, h := boxConstraints([]float64{-10, -10}, []float64{10, 10})
+	res, err := Solve(&Problem{Obj: &QuadObjective{Q: q, C: c}, G: g, H: h}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Qx = [3,3] → x = [1,1].
+	for i := range res.X {
+		if math.Abs(res.X[i]-1) > 1e-4 {
+			t.Fatalf("x = %v, want [1,1]", res.X)
+		}
+	}
+	// Objective value check: ½[1,1]Q[1,1]ᵀ −6 = 3 − 6 = −3.
+	if math.Abs(res.Obj+3) > 1e-4 {
+		t.Fatalf("obj = %v, want −3", res.Obj)
+	}
+}

@@ -1,0 +1,150 @@
+package convex
+
+import (
+	"math"
+
+	"soral/internal/linalg"
+)
+
+// LinearObjective is f(x) = cᵀx. It turns the barrier solver into an LP
+// solver, used for cross-checks against package lp.
+type LinearObjective struct {
+	C []float64
+}
+
+// Value implements Objective.
+func (o *LinearObjective) Value(x []float64) float64 { return linalg.Dot(o.C, x) }
+
+// Gradient implements Objective.
+func (o *LinearObjective) Gradient(grad, x []float64) { copy(grad, o.C) }
+
+// Hessian implements Objective.
+func (o *LinearObjective) Hessian(hess *linalg.Dense, x []float64) { hess.Zero() }
+
+// QuadObjective is f(x) = ½·xᵀQx + cᵀx with Q symmetric positive
+// semidefinite; Q may be nil for a pure linear objective. A diagonal-only
+// quadratic can be given through DiagQ instead of Q.
+type QuadObjective struct {
+	Q     *linalg.Dense
+	DiagQ []float64
+	C     []float64
+}
+
+// Value implements Objective.
+func (o *QuadObjective) Value(x []float64) float64 {
+	v := linalg.Dot(o.C, x)
+	if o.Q != nil {
+		qx := make([]float64, len(x))
+		o.Q.MulVec(qx, x)
+		v += 0.5 * linalg.Dot(x, qx)
+	}
+	for i, d := range o.DiagQ {
+		v += 0.5 * d * x[i] * x[i]
+	}
+	return v
+}
+
+// Gradient implements Objective.
+func (o *QuadObjective) Gradient(grad, x []float64) {
+	if o.Q != nil {
+		o.Q.MulVec(grad, x)
+	} else {
+		linalg.Fill(grad, 0)
+	}
+	for i, d := range o.DiagQ {
+		grad[i] += d * x[i]
+	}
+	linalg.Axpy(1, o.C, grad)
+}
+
+// Hessian implements Objective.
+func (o *QuadObjective) Hessian(hess *linalg.Dense, x []float64) {
+	if o.Q != nil {
+		copy(hess.Data, o.Q.Data)
+	} else {
+		hess.Zero()
+	}
+	for i, d := range o.DiagQ {
+		hess.Add(i, i, d)
+	}
+}
+
+// EntGroup is one entropic movement penalty
+//
+//	Coef · ( (S+Eps)·ln((S+Eps)/(Prev+Eps)) − S ),   S = Σ_{k∈Members} x_k,
+//
+// over a group of decision variables. It is the regularizer at the heart of
+// the paper's online algorithm: Coef is the reconfiguration price divided by
+// η = ln(1+cap/ε), and Prev the previous slot's group total.
+type EntGroup struct {
+	Members []int
+	Coef    float64
+	Eps     float64
+	Prev    float64
+}
+
+func (g *EntGroup) sum(x []float64) float64 {
+	var s float64
+	for _, k := range g.Members {
+		s += x[k]
+	}
+	return s
+}
+
+// Entropic is a convex objective combining linear allocation costs with
+// entropic movement penalties over variable groups. It implements Objective
+// and is shared by the two-tier (package core) and N-tier (package ntier)
+// regularized subproblems.
+type Entropic struct {
+	Linear []float64
+	Groups []EntGroup
+}
+
+// Value implements Objective.
+func (o *Entropic) Value(x []float64) float64 {
+	v := linalg.Dot(o.Linear, x)
+	for i := range o.Groups {
+		g := &o.Groups[i]
+		if g.Coef == 0 {
+			continue
+		}
+		s := g.sum(x)
+		v += g.Coef * ((s+g.Eps)*math.Log((s+g.Eps)/(g.Prev+g.Eps)) - s)
+	}
+	return v
+}
+
+// Gradient implements Objective.
+func (o *Entropic) Gradient(grad, x []float64) {
+	copy(grad, o.Linear)
+	for i := range o.Groups {
+		g := &o.Groups[i]
+		if g.Coef == 0 {
+			continue
+		}
+		s := g.sum(x)
+		d := g.Coef * math.Log((s+g.Eps)/(g.Prev+g.Eps))
+		for _, k := range g.Members {
+			grad[k] += d
+		}
+	}
+}
+
+// Hessian implements Objective.
+func (o *Entropic) Hessian(hess *linalg.Dense, x []float64) {
+	hess.Zero()
+	for i := range o.Groups {
+		g := &o.Groups[i]
+		if g.Coef == 0 {
+			continue
+		}
+		s := g.sum(x)
+		w := g.Coef / (s + g.Eps)
+		for _, k1 := range g.Members {
+			row := hess.Row(k1)
+			for _, k2 := range g.Members {
+				row[k2] += w
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package core implements the paper's primary contribution: the
+// regularization-based online algorithm for smoothed multi-tier resource
+// allocation (Section III).
+//
+// The offline problem P1 couples consecutive time slots through the
+// reconfiguration cost b·[x_t − x_{t−1}]⁺. The online algorithm decouples it
+// by solving, at every slot t, the regularized subproblem P2(t) in which each
+// [·]⁺ term is replaced by the entropic movement penalty
+//
+//	(b/η) · ( (u+ε)·ln((u+ε)/(u_{t−1}+ε)) − u ),   η = ln(1 + cap/ε),
+//
+// applied to the tier-2 per-cloud aggregates Σ_j x_ijt and to every network
+// allocation y_ijt. The optimal solution of P2(t) depends only on the
+// previous slot's decision and the current workload and prices, is feasible
+// for P1 (Lemma 1), and the resulting sequence is r-competitive with
+// r = 1 + |I|·(C(ε) + B(ε′)) (Theorem 1).
+//
+// The geometry of the algorithm (Section III-C) is exposed directly by the
+// scalar special case in scalar.go: resources follow the workload upward and
+// follow a controlled exponential-decay curve downward.
+//
+// The N-tier generalization of Section III-E lives in package ntier.
+package core

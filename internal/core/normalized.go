@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"soral/internal/model"
+)
+
+// RunOnlineNormalized implements the normalization observation from
+// Theorem 1's remarks: because the worst-case ratio r = 1 + |I|·(C(ε)+B(ε′))
+// grows with the capacities, one scales the instance so the largest capacity
+// becomes 1 (σ = 1/max cap), runs the online algorithm on the normalized
+// instance — where the same ε yields a much smaller guarantee — and
+// translates the decisions back to actual resource amounts.
+//
+// It returns the decision sequence (in original units) and the worst-case
+// ratio of the normalized run.
+func RunOnlineNormalized(n *model.Network, in *model.Inputs, opts Options) ([]*model.Decision, float64, error) {
+	maxCap := 0.0
+	for _, c := range n.CapT2 {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	for _, c := range n.CapNet {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	if n.Tier1 {
+		for _, c := range n.CapT1 {
+			if c > maxCap {
+				maxCap = c
+			}
+		}
+	}
+	if maxCap <= 0 {
+		return nil, 0, fmt.Errorf("core: no positive capacity to normalize by")
+	}
+	sigma := 1 / maxCap
+	sn, si := model.ScaleInstance(n, in, sigma)
+	seq, err := RunOnline(sn, si, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	model.UnscaleDecisions(seq, sigma)
+	return seq, CompetitiveRatio(sn, opts.Params), nil
+}

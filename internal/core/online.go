@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"soral/internal/convex"
+	"soral/internal/model"
+)
+
+// Options bundles the algorithm parameters with solver tuning.
+type Options struct {
+	Params Params
+	Solver convex.Options
+}
+
+// DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
+// tolerances (the cost objective is well-scaled in all our scenarios).
+func DefaultOptions() Options {
+	return Options{Params: DefaultParams(), Solver: convex.Options{Tol: 1e-7}}
+}
+
+// Online runs the prediction-free regularized online algorithm. It keeps
+// only the previous slot's decision as state and can therefore be driven
+// slot-by-slot as inputs arrive (Step) or over a full recorded horizon (Run).
+type Online struct {
+	Net  *model.Network
+	In   *model.Inputs
+	Opts Options
+
+	prev *model.Decision
+	t    int
+}
+
+// NewOnline prepares a run over the given inputs starting from the all-zero
+// allocation.
+func NewOnline(n *model.Network, in *model.Inputs, opts Options) (*Online, error) {
+	if err := in.Validate(n); err != nil {
+		return nil, err
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Online{Net: n, In: in, Opts: opts, prev: model.NewZeroDecision(n)}, nil
+}
+
+// Prev returns the decision of the previous slot (the algorithm's state).
+func (o *Online) Prev() *model.Decision { return o.prev }
+
+// Slot returns the index of the next slot to be decided.
+func (o *Online) Slot() int { return o.t }
+
+// Step solves P2(t) for the next slot and advances the state.
+func (o *Online) Step() (*model.Decision, error) {
+	if o.t >= o.In.T {
+		return nil, fmt.Errorf("core: horizon exhausted at slot %d", o.t)
+	}
+	dec, err := SolveP2(o.Net, o.In, o.t, o.prev, o.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: slot %d: %w", o.t, err)
+	}
+	o.prev = dec
+	o.t++
+	return dec, nil
+}
+
+// Run executes the remaining slots and returns all decisions made.
+func (o *Online) Run() ([]*model.Decision, error) {
+	var out []*model.Decision
+	for o.t < o.In.T {
+		d, err := o.Step()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SolveP2 solves the regularized subproblem for one slot.
+func SolveP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, opts Options) (*model.Decision, error) {
+	p2, err := BuildP2(n, in, t, prev, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	x0 := p2.warmStart(in, t)
+	res, err := convex.Solve(p2.Prob, x0, opts.Solver)
+	if err != nil {
+		return nil, err
+	}
+	return p2.Extract(res.X), nil
+}
+
+// RunOnline is the one-call convenience wrapper used by the evaluation
+// harness: it runs the online algorithm over the whole horizon.
+func RunOnline(n *model.Network, in *model.Inputs, opts Options) ([]*model.Decision, error) {
+	o, err := NewOnline(n, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.Run()
+}

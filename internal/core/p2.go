@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"soral/internal/convex"
+	"soral/internal/lp"
+	"soral/internal/model"
+)
+
+// P2 is the regularized subproblem for one time slot, ready to be solved by
+// the convex barrier engine.
+type P2 struct {
+	Net *model.Network
+	// Variable layout: x (per pair), y (per pair), optional z (per pair),
+	// then the auxiliary s (per pair).
+	NumVars                int
+	XOff, YOff, ZOff, SOff int
+
+	Prob *convex.Problem
+}
+
+// BuildP2 constructs P2(t) (equations 3a–3f) for the given slot from the
+// previous slot's decision. Besides the paper's covering constraints (3d)
+// and (3e), the explicit capacity constraints of P1 are included as
+// numerical safeguards; Lemma 1 shows they are inactive at the optimum, so
+// the solution is unchanged.
+func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, params Params) (*P2, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if t < 0 || t >= in.T {
+		return nil, fmt.Errorf("core: slot %d outside horizon %d", t, in.T)
+	}
+	np := n.NumPairs()
+	p2 := &P2{Net: n}
+	p2.XOff = 0
+	p2.YOff = np
+	cursor := 2 * np
+	if n.Tier1 {
+		p2.ZOff = cursor
+		cursor += np
+	}
+	p2.SOff = cursor
+	cursor += np
+	p2.NumVars = cursor
+
+	lam := in.Workload[t]
+	var totalLam float64
+	for _, l := range lam {
+		totalLam += l
+	}
+
+	// ---- Objective ----
+	obj := &convex.Entropic{Linear: make([]float64, p2.NumVars)}
+	for p, pr := range n.Pairs {
+		obj.Linear[p2.XOff+p] = in.PriceT2[t][pr.I]
+		obj.Linear[p2.YOff+p] = n.PriceNet[p]
+		if n.Tier1 {
+			obj.Linear[p2.ZOff+p] = in.PriceT1[t][pr.J]
+		}
+	}
+	for i := 0; i < n.NumTier2; i++ {
+		pairs := n.PairsOfI(i)
+		if len(pairs) == 0 || n.ReconfT2[i] == 0 {
+			continue
+		}
+		members := make([]int, len(pairs))
+		prevSum := 0.0
+		for k, p := range pairs {
+			members[k] = p2.XOff + p
+			prevSum += prev.X[p]
+		}
+		obj.Groups = append(obj.Groups, convex.EntGroup{
+			Members: members,
+			Coef:    n.ReconfT2[i] / params.EtaT2(n, i),
+			Eps:     params.EpsT2,
+			Prev:    prevSum,
+		})
+	}
+	for p := 0; p < np; p++ {
+		if n.ReconfNet[p] == 0 {
+			continue
+		}
+		obj.Groups = append(obj.Groups, convex.EntGroup{
+			Members: []int{p2.YOff + p},
+			Coef:    n.ReconfNet[p] / params.EtaNet(n, p),
+			Eps:     params.EpsNet,
+			Prev:    prev.Y[p],
+		})
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			if n.ReconfT1[j] == 0 {
+				continue
+			}
+			pairs := n.PairsOfJ(j)
+			members := make([]int, len(pairs))
+			prevSum := 0.0
+			for k, p := range pairs {
+				members[k] = p2.ZOff + p
+				prevSum += prev.Z[p]
+			}
+			obj.Groups = append(obj.Groups, convex.EntGroup{
+				Members: members,
+				Coef:    n.ReconfT1[j] / params.EtaT1(n, j),
+				Eps:     params.EpsT1,
+				Prev:    prevSum,
+			})
+		}
+	}
+
+	// ---- Constraints (all rows G·v ≤ h) ----
+	type row struct {
+		es  []lp.Entry
+		rhs float64
+	}
+	var rows []row
+	add := func(es []lp.Entry, rhs float64) {
+		rows = append(rows, row{es, rhs})
+	}
+	// (3a)/(3b)(/z): s ≤ x, s ≤ y, s ≤ z.
+	for p := 0; p < np; p++ {
+		add([]lp.Entry{{Index: p2.SOff + p, Val: 1}, {Index: p2.XOff + p, Val: -1}}, 0)
+		add([]lp.Entry{{Index: p2.SOff + p, Val: 1}, {Index: p2.YOff + p, Val: -1}}, 0)
+		if n.Tier1 {
+			add([]lp.Entry{{Index: p2.SOff + p, Val: 1}, {Index: p2.ZOff + p, Val: -1}}, 0)
+		}
+		// (3f): s ≥ 0.
+		add([]lp.Entry{{Index: p2.SOff + p, Val: -1}}, 0)
+	}
+	// (3c): Σ_{p∈P(j)} s ≥ λ_j.
+	for j := 0; j < n.NumTier1; j++ {
+		es := make([]lp.Entry, 0, len(n.PairsOfJ(j)))
+		for _, p := range n.PairsOfJ(j) {
+			es = append(es, lp.Entry{Index: p2.SOff + p, Val: -1})
+		}
+		add(es, -lam[j])
+	}
+	// (3d): Σ_{k≠i} Σ_{p∈P(k)} x ≥ [Σ_j λ_j − C_i]⁺ for every tier-2 cloud i.
+	for i := 0; i < n.NumTier2; i++ {
+		need := totalLam - n.CapT2[i]
+		if need <= 0 {
+			continue // the [·]⁺ is zero and the row is implied by x ≥ 0
+		}
+		var es []lp.Entry
+		for k := 0; k < n.NumTier2; k++ {
+			if k == i {
+				continue
+			}
+			for _, p := range n.PairsOfI(k) {
+				es = append(es, lp.Entry{Index: p2.XOff + p, Val: -1})
+			}
+		}
+		if len(es) == 0 {
+			return nil, fmt.Errorf("core: slot %d infeasible — cloud %d cannot be covered by others", t, i)
+		}
+		add(es, -need)
+	}
+	// (3e): Σ_{k∈I_j, k≠i} y_kj ≥ [λ_j − B_ij]⁺ for every pair (i,j).
+	for p, pr := range n.Pairs {
+		need := lam[pr.J] - n.CapNet[p]
+		if need <= 0 {
+			continue
+		}
+		var es []lp.Entry
+		for _, q := range n.PairsOfJ(pr.J) {
+			if q == p {
+				continue
+			}
+			es = append(es, lp.Entry{Index: p2.YOff + q, Val: -1})
+		}
+		if len(es) == 0 {
+			return nil, fmt.Errorf("core: slot %d infeasible — pair %d cannot be covered by alternatives", t, p)
+		}
+		add(es, -need)
+	}
+	// Capacity safeguards (inactive at the optimum per Lemma 1).
+	for i := 0; i < n.NumTier2; i++ {
+		pairs := n.PairsOfI(i)
+		if len(pairs) == 0 {
+			continue
+		}
+		es := make([]lp.Entry, 0, len(pairs))
+		for _, p := range pairs {
+			es = append(es, lp.Entry{Index: p2.XOff + p, Val: 1})
+		}
+		add(es, n.CapT2[i])
+	}
+	for p := 0; p < np; p++ {
+		add([]lp.Entry{{Index: p2.YOff + p, Val: 1}}, n.CapNet[p])
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			es := make([]lp.Entry, 0, len(n.PairsOfJ(j)))
+			for _, p := range n.PairsOfJ(j) {
+				es = append(es, lp.Entry{Index: p2.ZOff + p, Val: 1})
+			}
+			add(es, n.CapT1[j])
+		}
+	}
+
+	g := lp.NewSparseMatrix(len(rows), p2.NumVars)
+	h := make([]float64, len(rows))
+	for r, rw := range rows {
+		for _, e := range rw.es {
+			g.Append(r, e.Index, e.Val)
+		}
+		h[r] = rw.rhs
+	}
+	p2.Prob = &convex.Problem{Obj: obj, G: g, H: h}
+	return p2, nil
+}
+
+// Extract maps the solver's variable vector to a model decision.
+func (p2 *P2) Extract(v []float64) *model.Decision {
+	d := model.NewZeroDecision(p2.Net)
+	for p := 0; p < p2.Net.NumPairs(); p++ {
+		d.X[p] = math.Max(0, v[p2.XOff+p])
+		d.Y[p] = math.Max(0, v[p2.YOff+p])
+		if p2.Net.Tier1 {
+			d.Z[p] = math.Max(0, v[p2.ZOff+p])
+		}
+	}
+	return d
+}
+
+// warmStart builds a strictly feasible interior point for P2 from the
+// current workload: route each tier-1 cloud's demand evenly over its SLA
+// pairs with safety margins. Returns nil when the margins don't hold (the
+// caller then falls back to phase I).
+func (p2 *P2) warmStart(in *model.Inputs, t int) []float64 {
+	n := p2.Net
+	v := make([]float64, p2.NumVars)
+	lam := in.Workload[t]
+	for j := 0; j < n.NumTier1; j++ {
+		pairs := n.PairsOfJ(j)
+		share := lam[j] / float64(len(pairs))
+		for _, p := range pairs {
+			s := share + 1e-3 + 1e-3*share
+			v[p2.SOff+p] = s
+			v[p2.XOff+p] = s * 1.01
+			v[p2.YOff+p] = s * 1.01
+			if n.Tier1 {
+				v[p2.ZOff+p] = s * 1.01
+			}
+		}
+	}
+	// Strictness check is delegated to the solver; here only capacity
+	// margins are verified.
+	for i := 0; i < n.NumTier2; i++ {
+		var sum float64
+		for _, p := range n.PairsOfI(i) {
+			sum += v[p2.XOff+p]
+		}
+		if sum >= n.CapT2[i] {
+			return nil
+		}
+	}
+	for p := 0; p < n.NumPairs(); p++ {
+		if v[p2.YOff+p] >= n.CapNet[p] {
+			return nil
+		}
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			var sum float64
+			for _, p := range n.PairsOfJ(j) {
+				sum += v[p2.ZOff+p]
+			}
+			if sum >= n.CapT1[j] {
+				return nil
+			}
+		}
+	}
+	return v
+}

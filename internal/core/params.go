@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"soral/internal/model"
+)
+
+// Params are the regularization parameters of the online algorithm.
+type Params struct {
+	EpsT2  float64 // ε   (tier-2 clouds)
+	EpsNet float64 // ε′  (inter-tier networks)
+	EpsT1  float64 // ε₁  (tier-1 clouds; used only when the network enables tier-1)
+}
+
+// DefaultParams returns the paper's default evaluation setting ε = ε′ = 10⁻².
+func DefaultParams() Params {
+	return Params{EpsT2: 1e-2, EpsNet: 1e-2, EpsT1: 1e-2}
+}
+
+// Validate checks positivity.
+func (p Params) Validate() error {
+	if p.EpsT2 <= 0 || p.EpsNet <= 0 {
+		return fmt.Errorf("core: epsilons must be positive, got ε=%g ε′=%g", p.EpsT2, p.EpsNet)
+	}
+	return nil
+}
+
+// EtaT2 returns η_i = ln(1 + C_i/ε) for tier-2 cloud i.
+func (p Params) EtaT2(n *model.Network, i int) float64 {
+	return math.Log(1 + n.CapT2[i]/p.EpsT2)
+}
+
+// EtaNet returns η′_ij = ln(1 + B_ij/ε′) for pair pr.
+func (p Params) EtaNet(n *model.Network, pr int) float64 {
+	return math.Log(1 + n.CapNet[pr]/p.EpsNet)
+}
+
+// EtaT1 returns the tier-1 analogue ln(1 + C_j/ε₁).
+func (p Params) EtaT1(n *model.Network, j int) float64 {
+	return math.Log(1 + n.CapT1[j]/p.EpsT1)
+}
+
+// CEps returns C(ε) = max_i (C_i+ε)·ln(1+C_i/ε) from Theorem 1.
+func CEps(n *model.Network, eps float64) float64 {
+	var m float64
+	for i := 0; i < n.NumTier2; i++ {
+		v := (n.CapT2[i] + eps) * math.Log(1+n.CapT2[i]/eps)
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// BEps returns B(ε′) = max_{ij} (B_ij+ε′)·ln(1+B_ij/ε′) from Theorem 1.
+func BEps(n *model.Network, eps float64) float64 {
+	var m float64
+	for p := 0; p < n.NumPairs(); p++ {
+		v := (n.CapNet[p] + eps) * math.Log(1+n.CapNet[p]/eps)
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CompetitiveRatio returns Theorem 1's worst-case guarantee
+// r = 1 + |I|·(C(ε) + B(ε′)).
+func CompetitiveRatio(n *model.Network, p Params) float64 {
+	return 1 + float64(n.NumTier2)*(CEps(n, p.EpsT2)+BEps(n, p.EpsNet))
+}

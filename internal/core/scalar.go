@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"soral/internal/lp"
+)
+
+// ScalarInstance is the paper's simplified single-data-center problem
+// (equations 4, 4a, 4b):
+//
+//	minimize  Σ_t a_t·x_t + b·[x_t − x_{t−1}]⁺   s.t.  λ_t ≤ x_t ≤ C.
+//
+// It admits a closed-form online algorithm (the exponential-decay recursion
+// of equation 6) and is used both as a faithful small-scale demonstrator and
+// as ground truth for testing the network-wide solvers.
+type ScalarInstance struct {
+	C   float64   // capacity
+	B   float64   // reconfiguration price b
+	A   []float64 // operating prices a_t
+	Lam []float64 // workloads λ_t
+	X0  float64   // allocation already in place before the first slot
+}
+
+// Validate checks the instance.
+func (s *ScalarInstance) Validate() error {
+	if s.C <= 0 {
+		return fmt.Errorf("core: scalar capacity %g", s.C)
+	}
+	if s.B < 0 {
+		return fmt.Errorf("core: scalar reconfiguration price %g", s.B)
+	}
+	if len(s.A) != len(s.Lam) {
+		return fmt.Errorf("core: %d prices vs %d workloads", len(s.A), len(s.Lam))
+	}
+	for t, l := range s.Lam {
+		if l < 0 || l > s.C {
+			return fmt.Errorf("core: λ_%d = %g outside [0, %g]", t, l, s.C)
+		}
+		if s.A[t] < 0 {
+			return fmt.Errorf("core: a_%d = %g", t, s.A[t])
+		}
+	}
+	return nil
+}
+
+// T returns the horizon length.
+func (s *ScalarInstance) T() int { return len(s.Lam) }
+
+// Cost evaluates the exact objective of a feasible trajectory.
+func (s *ScalarInstance) Cost(x []float64) float64 {
+	var total float64
+	prev := s.X0
+	for t, xt := range x {
+		total += s.A[t] * xt
+		if d := xt - prev; d > 0 {
+			total += s.B * d
+		}
+		prev = xt
+	}
+	return total
+}
+
+// DecayStep evaluates equation (6): the constraint-free minimizer of the
+// regularized slot problem,
+//
+//	x̄_t = (1 + C/ε)^(−a_t/b) · (x_{t−1} + ε) − ε.
+func (s *ScalarInstance) DecayStep(prev, at, eps float64) float64 {
+	if s.B == 0 {
+		return 0 // pure decay collapses instantly without switching cost
+	}
+	return math.Pow(1+s.C/eps, -at/s.B)*(prev+eps) - eps
+}
+
+// RunOnline executes the closed-form online algorithm: at every slot,
+// allocate max{λ_t, x̄_t}.
+func (s *ScalarInstance) RunOnline(eps float64) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if eps <= 0 {
+		return nil, errors.New("core: scalar ε must be positive")
+	}
+	x := make([]float64, s.T())
+	prev := s.X0
+	for t := range x {
+		xt := s.DecayStep(prev, s.A[t], eps)
+		if s.Lam[t] > xt {
+			xt = s.Lam[t]
+		}
+		if xt > s.C {
+			xt = s.C
+		}
+		if xt < 0 {
+			xt = 0
+		}
+		x[t] = xt
+		prev = xt
+	}
+	return x, nil
+}
+
+// RunGreedy is the one-shot baseline: follow the workload exactly.
+func (s *ScalarInstance) RunGreedy() []float64 {
+	return append([]float64(nil), s.Lam...)
+}
+
+// RunOffline solves the offline optimum as a small LP with the epigraph
+// linearization of the [·]⁺ terms.
+func (s *ScalarInstance) RunOffline() ([]float64, float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, 0, err
+	}
+	T := s.T()
+	// Variables: x_0..x_{T−1}, v_0..v_{T−1}.
+	p := lp.NewProblem(2 * T)
+	for t := 0; t < T; t++ {
+		p.C[t] = s.A[t]
+		p.C[T+t] = s.B
+		p.Lo[t] = s.Lam[t]
+		p.Hi[t] = s.C
+		es := []lp.Entry{{Index: t, Val: 1}, {Index: T + t, Val: -1}}
+		rhs := 0.0
+		if t > 0 {
+			es = append(es, lp.Entry{Index: t - 1, Val: -1})
+		} else {
+			rhs = s.X0
+		}
+		p.AddConstraint(es, lp.LE, rhs, "reconf")
+	}
+	sol, err := lp.Solve(p, lp.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("core: scalar offline status %v", sol.Status)
+	}
+	x := sol.X[:T]
+	for t := range x {
+		if x[t] < s.Lam[t] {
+			x[t] = s.Lam[t]
+		}
+		if x[t] > s.C {
+			x[t] = s.C
+		}
+	}
+	return x, s.Cost(x), nil
+}
+
+// VShape builds the adversarial workload of Lemma 2 / Theorems 2–3: strictly
+// decreasing from peak to valley, then strictly increasing back, with the
+// given number of slots per ramp.
+func VShape(peak, valley float64, rampLen int) []float64 {
+	if rampLen < 2 {
+		rampLen = 2
+	}
+	lam := make([]float64, 0, 2*rampLen-1)
+	for k := 0; k < rampLen; k++ {
+		f := float64(k) / float64(rampLen-1)
+		lam = append(lam, peak-(peak-valley)*f)
+	}
+	for k := 1; k < rampLen; k++ {
+		f := float64(k) / float64(rampLen-1)
+		lam = append(lam, valley+(peak-valley)*f)
+	}
+	return lam
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func scalarInst(b float64, a, lam []float64) *ScalarInstance {
+	return &ScalarInstance{C: 10, B: b, A: a, Lam: lam}
+}
+
+func constSlice(v float64, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func TestScalarValidate(t *testing.T) {
+	ok := scalarInst(1, []float64{1}, []float64{5})
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*ScalarInstance{
+		{C: 0, B: 1, A: []float64{1}, Lam: []float64{0}},
+		{C: 10, B: -1, A: []float64{1}, Lam: []float64{0}},
+		{C: 10, B: 1, A: []float64{1}, Lam: []float64{0, 1}},
+		{C: 10, B: 1, A: []float64{1}, Lam: []float64{11}},
+		{C: 10, B: 1, A: []float64{-1}, Lam: []float64{1}},
+	}
+	for k, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d accepted", k)
+		}
+	}
+}
+
+func TestScalarCostHandComputed(t *testing.T) {
+	s := scalarInst(5, []float64{1, 1, 1}, []float64{4, 2, 3})
+	// x = λ: alloc 9, reconfig 5·4 + 0 + 5·1 = 25.
+	if got := s.Cost([]float64{4, 2, 3}); got != 34 {
+		t.Fatalf("cost = %v, want 34", got)
+	}
+}
+
+func TestScalarOnlineFollowsWorkloadUp(t *testing.T) {
+	// Strictly increasing workload: the online allocation equals it exactly
+	// (Section III-C, first case).
+	s := scalarInst(50, constSlice(1, 5), []float64{1, 3, 5, 7, 9})
+	x, err := s.RunOnline(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range x {
+		if math.Abs(x[t2]-s.Lam[t2]) > 1e-12 {
+			t.Fatalf("slot %d: x = %v, want λ = %v", t2, x[t2], s.Lam[t2])
+		}
+	}
+}
+
+func TestScalarOnlineExponentialDecay(t *testing.T) {
+	// Workload drops to zero after a peak: allocation follows the closed-form
+	// decay curve of equation (7): x_t + ε = (1+C/ε)^(−Σa/b)·(x_peak+ε).
+	eps := 1e-2
+	b := 40.0
+	a := constSlice(2, 8)
+	lam := []float64{6, 0, 0, 0, 0, 0, 0, 0}
+	s := scalarInst(b, a, lam)
+	x, err := s.RunOnline(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 6 {
+		t.Fatalf("x0 = %v", x[0])
+	}
+	for t2 := 1; t2 < len(x); t2++ {
+		want := math.Pow(1+s.C/eps, -float64(t2)*a[0]/b)*(6+eps) - eps
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(x[t2]-want) > 1e-9 {
+			t.Fatalf("slot %d: x = %v, want decay %v", t2, x[t2], want)
+		}
+		if x[t2] > x[t2-1] {
+			t.Fatal("decay is not monotone")
+		}
+	}
+}
+
+func TestScalarOnlineZeroReconfigFollowsWorkload(t *testing.T) {
+	s := scalarInst(0, constSlice(1, 4), []float64{5, 1, 4, 0})
+	x, err := s.RunOnline(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range x {
+		if x[t2] != s.Lam[t2] {
+			t.Fatalf("b=0 should follow workload, got %v", x)
+		}
+	}
+}
+
+func TestScalarOfflineHoldsThroughValleyWhenExpensive(t *testing.T) {
+	lam := VShape(8, 1, 4)
+	s := scalarInst(1e4, constSlice(1, len(lam)), lam)
+	x, _, err := s.RunOffline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range x {
+		if x[t2] < 8-1e-3 {
+			t.Fatalf("offline dipped to %v with b≫a", x[t2])
+		}
+	}
+}
+
+func TestScalarOfflineFollowsWhenCheap(t *testing.T) {
+	lam := VShape(8, 1, 4)
+	s := scalarInst(0, constSlice(1, len(lam)), lam)
+	x, _, err := s.RunOffline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range x {
+		if math.Abs(x[t2]-lam[t2]) > 1e-4 {
+			t.Fatalf("slot %d: x = %v, λ = %v", t2, x[t2], lam[t2])
+		}
+	}
+}
+
+func TestScalarOfflineBeatsOnlineAndGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 20; trial++ {
+		T := 5 + rng.Intn(15)
+		a := make([]float64, T)
+		lam := make([]float64, T)
+		for i := range a {
+			a[i] = 0.5 + rng.Float64()*2
+			lam[i] = rng.Float64() * 10
+		}
+		s := scalarInst(math.Pow(10, 1+rng.Float64()*2), a, lam)
+		xOff, costOff, err := s.RunOffline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = xOff
+		xOn, err := s.RunOnline(1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costOn := s.Cost(xOn)
+		costGreedy := s.Cost(s.RunGreedy())
+		if costOff > costOn+1e-6*(1+costOn) {
+			t.Fatalf("trial %d: offline %v > online %v", trial, costOff, costOn)
+		}
+		if costOff > costGreedy+1e-6*(1+costGreedy) {
+			t.Fatalf("trial %d: offline %v > greedy %v", trial, costOff, costGreedy)
+		}
+	}
+}
+
+func TestScalarOnlineFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		T := 3 + rng.Intn(20)
+		a := make([]float64, T)
+		lam := make([]float64, T)
+		for i := range a {
+			a[i] = rng.Float64() * 3
+			lam[i] = rng.Float64() * 10
+		}
+		s := scalarInst(rng.Float64()*1000, a, lam)
+		x, err := s.RunOnline(math.Pow(10, -3+rng.Float64()*6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for t2 := range x {
+			if x[t2] < lam[t2]-1e-12 || x[t2] > s.C+1e-12 {
+				t.Fatalf("trial %d slot %d: x = %v infeasible (λ=%v)", trial, t2, x[t2], lam[t2])
+			}
+		}
+	}
+}
+
+func TestGreedyArbitrarilyWorseOnVShape(t *testing.T) {
+	// Theorem 2: on a V-shaped workload, greedy/offline grows without bound
+	// as b grows.
+	// Theorem 2 assumes the system is already provisioned at the peak when
+	// the V begins (λ_{t0−1} = λ_{t0}), so only the valley's re-ramp is
+	// charged; greedy then pays b·(λ_t4 − λ_t2) while the offline optimum
+	// holds flat and pays nothing b-dependent.
+	lam := VShape(8, 0.5, 6)
+	a := constSlice(1, len(lam))
+	var prevRatio float64
+	for _, b := range []float64{10, 100, 1000, 10000} {
+		s := scalarInst(b, a, lam)
+		s.X0 = lam[0]
+		_, costOff, err := s.RunOffline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := s.Cost(s.RunGreedy()) / costOff
+		if ratio < prevRatio {
+			t.Fatalf("greedy/offline ratio not growing with b: %v after %v", ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 10 {
+		t.Fatalf("greedy should be ≫ offline at b=1e4, got ratio %v", prevRatio)
+	}
+}
+
+func TestVShapeShape(t *testing.T) {
+	lam := VShape(8, 2, 4)
+	if len(lam) != 7 {
+		t.Fatalf("len = %d", len(lam))
+	}
+	if lam[0] != 8 || lam[3] != 2 || lam[6] != 8 {
+		t.Fatalf("VShape = %v", lam)
+	}
+	for i := 1; i <= 3; i++ {
+		if lam[i] >= lam[i-1] {
+			t.Fatal("not strictly decreasing")
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if lam[i] <= lam[i-1] {
+			t.Fatal("not strictly increasing")
+		}
+	}
+	// Degenerate ramp length is clamped.
+	if len(VShape(4, 1, 0)) != 3 {
+		t.Fatal("clamped ramp wrong")
+	}
+}
+
+func TestScalarOnlineNeverBelowOfflineEnvelopeCost(t *testing.T) {
+	// The online trajectory always covers λ and never exceeds C, and its
+	// cost is within the (loose) theoretical envelope r·OPT for the scalar
+	// ratio r = 1 + (C+ε)·ln(1+C/ε).
+	lam := VShape(9, 1, 5)
+	a := constSlice(1, len(lam))
+	s := scalarInst(100, a, lam)
+	eps := 1e-2
+	x, err := s.RunOnline(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, costOff, err := s.RunOffline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 1 + (s.C+eps)*math.Log(1+s.C/eps)
+	if got := s.Cost(x); got > r*costOff {
+		t.Fatalf("online %v exceeds r·OPT = %v·%v", got, r, costOff)
+	}
+}

@@ -1,0 +1,340 @@
+package eval
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestBuildScenarioValidation(t *testing.T) {
+	bad := []ScenarioSpec{
+		{NumTier2: 0, NumTier1: 6, K: 1, T: 4},
+		{NumTier2: 19, NumTier1: 6, K: 1, T: 4},
+		{NumTier2: 3, NumTier1: 0, K: 1, T: 4},
+		{NumTier2: 3, NumTier1: 49, K: 1, T: 4},
+		{NumTier2: 3, NumTier1: 6, K: 0, T: 4},
+		{NumTier2: 3, NumTier1: 6, K: 4, T: 4},
+		{NumTier2: 3, NumTier1: 6, K: 1, T: 0},
+		{NumTier2: 3, NumTier1: 6, K: 1, T: 4, Trace: "bogus"},
+	}
+	for i, spec := range bad {
+		if _, err := Build(spec); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestBuildScenarioShapes(t *testing.T) {
+	for _, tr := range []Trace{TraceWikipedia, TraceWorldCup} {
+		for _, k := range []int{1, 2, 3} {
+			scen, err := Build(ScenarioSpec{
+				NumTier2: 4, NumTier1: 8, K: k, T: 24,
+				Trace: tr, ReconfWeight: 100,
+			})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", tr, k, err)
+			}
+			if scen.Net.NumPairs() != 8*k {
+				t.Fatalf("pairs = %d, want %d", scen.Net.NumPairs(), 8*k)
+			}
+			if scen.In.T != 24 {
+				t.Fatalf("T = %d", scen.In.T)
+			}
+			// Workload replicated across tier-1 clouds.
+			for ts := 0; ts < scen.In.T; ts++ {
+				for j := 1; j < 8; j++ {
+					if scen.In.Workload[ts][j] != scen.In.Workload[ts][0] {
+						t.Fatal("workload not replicated")
+					}
+				}
+			}
+			// Reconfiguration prices scale with the weight.
+			for i, b := range scen.Net.ReconfT2 {
+				if b <= 0 {
+					t.Fatalf("reconfT2[%d] = %v", i, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildScenarioCapacityRule(t *testing.T) {
+	scen, err := Build(ScenarioSpec{NumTier2: 4, NumTier1: 8, K: 1, T: 8, ReconfWeight: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80% rule in aggregate: Σ C_i ≥ 1.25 × Σ peaks (floors can only add).
+	var capSum float64
+	for _, c := range scen.Net.CapT2 {
+		capSum += c
+	}
+	peakSum := 8 * scen.Spec.PeakLoad
+	if capSum < 1.25*peakSum-1e-9 {
+		t.Fatalf("Σcap = %v < 1.25·Σpeak = %v", capSum, 1.25*peakSum)
+	}
+	// Network capacity equals incident tier-2 capacity.
+	for p, pr := range scen.Net.Pairs {
+		if scen.Net.CapNet[p] != scen.Net.CapT2[pr.I] {
+			t.Fatal("network capacity rule broken")
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	spec := ScenarioSpec{NumTier2: 3, NumTier1: 6, K: 2, T: 12, ReconfWeight: 50, Seed: 9}
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := range a.In.PriceT2 {
+		for i := range a.In.PriceT2[ts] {
+			if a.In.PriceT2[ts][i] != b.In.PriceT2[ts][i] {
+				t.Fatal("same spec, different prices")
+			}
+		}
+	}
+}
+
+func TestSuiteSmokeAllAlgorithms(t *testing.T) {
+	scen, err := Build(ScenarioSpec{NumTier2: 2, NumTier1: 4, K: 1, T: 6, ReconfWeight: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := NewSuite(scen, 1e-2)
+	off, err := suite.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, runFn := range []func() (*Run, error){suite.Greedy, suite.Online, suite.LCPM} {
+		run, err := runFn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Cost.Total() < off.Cost.Total()-1e-6 {
+			t.Fatalf("%s beat offline", run.Algorithm)
+		}
+		if len(run.CumCost) != scen.In.T {
+			t.Fatal("cumulative series wrong length")
+		}
+	}
+	for _, alg := range []string{"fhc", "rhc", "rfhc", "rrhc", "afhc"} {
+		run, err := suite.Predictive(alg, 2, 0.1, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if run.Cost.Total() <= 0 {
+			t.Fatalf("%s: zero cost", alg)
+		}
+	}
+	if _, err := suite.Predictive("bogus", 2, 0, 1); err == nil {
+		t.Fatal("unknown controller accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 18 {
+		t.Fatalf("Table I rows = %d", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 5 {
+		t.Fatalf("Table II rows = %d", len(t2.Rows))
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Annapolis") {
+		t.Fatal("render lost content")
+	}
+	buf.Reset()
+	if err := WriteCSV(&buf, t2); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 6 {
+		t.Fatalf("CSV lines = %d", lines)
+	}
+}
+
+func TestFig4SmallScale(t *testing.T) {
+	tbl, err := Fig4(ScaleSmall, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestAdversarialVShapeTable(t *testing.T) {
+	tbl, err := AdversarialVShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The greedy/offline ratio must grow monotonically down the rows.
+	var prev float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("ratio not growing: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSeriesCSV(&buf, []string{"a", "b"}, [][]float64{{1, 2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t,a,b\n0,1,3\n1,2,\n"
+	if buf.String() != want {
+		t.Fatalf("got %q", buf.String())
+	}
+	if err := WriteSeriesCSV(&buf, []string{"a"}, nil); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "medium", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Fatalf("%s: %v %v", name, sc, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestTableSortRows(t *testing.T) {
+	tbl := &Table{Rows: [][]string{{"b", "1"}, {"a", "2"}, {"a", "1"}}}
+	tbl.SortRows()
+	if tbl.Rows[0][0] != "a" || tbl.Rows[0][1] != "1" || tbl.Rows[2][0] != "b" {
+		t.Fatalf("sorted = %v", tbl.Rows)
+	}
+}
+
+func TestFig5AtTinyScale(t *testing.T) {
+	tiny := Scale{
+		Name: "tiny", NumTier2: 2, NumTier1: 4,
+		TWiki: 16, TWorldCup: 16, TLCPM: 8, PredictT: 12,
+		BaseSeed: 1, ReconfSpan: []float64{10, 1000},
+	}
+	tbl, err := Fig5(tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 2 traces × 2 weights
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		greedy, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		online, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if greedy < 1-1e-9 || online < 1-1e-9 {
+			t.Fatalf("normalized cost below 1: %v", row)
+		}
+	}
+}
+
+func TestFig5SeriesShapes(t *testing.T) {
+	tiny := Scale{
+		Name: "tiny", NumTier2: 2, NumTier1: 4,
+		TWiki: 12, TWorldCup: 12, TLCPM: 8, PredictT: 12, BaseSeed: 1,
+	}
+	names, series, err := Fig5Series(tiny, TraceWikipedia, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 4 || len(series) != 4 {
+		t.Fatalf("%d names, %d series", len(names), len(series))
+	}
+	for k, s := range series {
+		if len(s) != 12 {
+			t.Fatalf("series %d has %d points", k, len(s))
+		}
+	}
+	// Cumulative curves are non-decreasing and offline ends lowest.
+	for k := 1; k < 4; k++ {
+		for i := 1; i < len(series[k]); i++ {
+			if series[k][i] < series[k][i-1]-1e-9 {
+				t.Fatalf("series %d decreases at %d", k, i)
+			}
+		}
+	}
+	last := len(series[1]) - 1
+	if series[3][last] > series[1][last]+1e-9 || series[3][last] > series[2][last]+1e-9 {
+		t.Fatal("offline does not end lowest")
+	}
+}
+
+func TestFig10AtTinyScale(t *testing.T) {
+	tiny := Scale{
+		Name: "tiny", NumTier2: 2, NumTier1: 4,
+		TWiki: 16, TWorldCup: 16, TLCPM: 8, PredictT: 16, BaseSeed: 1,
+	}
+	tbl, err := Fig10(tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 4 error rates at w=2
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig7AtTinyScale(t *testing.T) {
+	tiny := Scale{
+		Name: "tiny", NumTier2: 2, NumTier1: 4,
+		TWiki: 16, TWorldCup: 16, TLCPM: 6, PredictT: 12, BaseSeed: 1,
+	}
+	tbl, err := Fig7(tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 { // k = 1, 2 with only 2 tier-2 clouds
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestCustomTraceScenario(t *testing.T) {
+	scen, err := Build(ScenarioSpec{
+		NumTier2: 2, NumTier1: 4, K: 1, T: 3,
+		ReconfWeight: 10, CustomTrace: []float64{2, 8, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Custom trace normalized to peak: 8 → PeakLoad (40 by default).
+	if scen.TraceSeries[1] != scen.Spec.PeakLoad {
+		t.Fatalf("peak = %v, want %v", scen.TraceSeries[1], scen.Spec.PeakLoad)
+	}
+	if scen.TraceSeries[0] != scen.Spec.PeakLoad/4 {
+		t.Fatalf("normalization wrong: %v", scen.TraceSeries[0])
+	}
+	// Too-short trace rejected.
+	if _, err := Build(ScenarioSpec{
+		NumTier2: 2, NumTier1: 4, K: 1, T: 5,
+		ReconfWeight: 10, CustomTrace: []float64{1, 2},
+	}); err == nil {
+		t.Fatal("short custom trace accepted")
+	}
+}

@@ -1,0 +1,478 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"soral/internal/core"
+	"soral/internal/pricing"
+	"soral/internal/workload"
+)
+
+// Logger receives progress lines from long experiments; nil discards them.
+type Logger func(format string, args ...interface{})
+
+func (l Logger) printf(format string, args ...interface{}) {
+	if l != nil {
+		l(format, args...)
+	}
+}
+
+// Scale selects the evaluation size. The paper's full scale (18 tier-2
+// clouds, 48 tier-1 clouds, 500/600 hours) is available but slow; the
+// smaller scales preserve every qualitative result.
+type Scale struct {
+	Name       string
+	NumTier2   int
+	NumTier1   int
+	TWiki      int
+	TWorldCup  int
+	TLCPM      int // horizon for the prefix-solving LCP-M baseline (Fig. 7)
+	PredictT   int // horizon for the predictive experiments (Figs. 8–10)
+	BaseSeed   int64
+	ReconfSpan []float64 // the b sweep of Figs. 5–6
+}
+
+// Predefined scales.
+var (
+	ScaleSmall = Scale{
+		Name: "small", NumTier2: 3, NumTier1: 6,
+		TWiki: 48, TWorldCup: 60, TLCPM: 36, PredictT: 48,
+		BaseSeed: 1, ReconfSpan: []float64{10, 100, 1000, 10000},
+	}
+	ScaleMedium = Scale{
+		Name: "medium", NumTier2: 6, NumTier1: 12,
+		TWiki: 168, TWorldCup: 200, TLCPM: 48, PredictT: 168,
+		BaseSeed: 1, ReconfSpan: []float64{10, 100, 1000, 10000},
+	}
+	ScalePaper = Scale{
+		Name: "paper", NumTier2: 18, NumTier1: 48,
+		TWiki: 500, TWorldCup: 600, TLCPM: 72, PredictT: 500,
+		BaseSeed: 1, ReconfSpan: []float64{10, 100, 1000, 10000},
+	}
+)
+
+// ScaleByName resolves a scale name.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return Scale{}, fmt.Errorf("eval: unknown scale %q (small|medium|paper)", name)
+}
+
+func (sc Scale) spec(trace Trace, k int, b float64, T int) ScenarioSpec {
+	return ScenarioSpec{
+		NumTier2: sc.NumTier2, NumTier1: sc.NumTier1,
+		K: k, T: T, Trace: trace, Seed: sc.BaseSeed, ReconfWeight: b,
+	}
+}
+
+func (sc Scale) horizon(trace Trace) int {
+	if trace == TraceWorldCup {
+		return sc.TWorldCup
+	}
+	return sc.TWiki
+}
+
+// Fig4 reports the demand traces' summary statistics (the harness writes the
+// raw hourly series through cmd/soralbench -series).
+func Fig4(scale Scale, log Logger) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 4 — demand traces (synthesized equivalents)",
+		Header: []string{"trace", "hours", "peak/mean", "rampdown>=10 (frac)", "phases"},
+	}
+	for _, tr := range []Trace{TraceWikipedia, TraceWorldCup} {
+		var series []float64
+		switch tr {
+		case TraceWikipedia:
+			series = workload.Wikipedia(scale.horizon(tr), scale.BaseSeed)
+		default:
+			series = workload.WorldCup(scale.horizon(tr), scale.BaseSeed)
+		}
+		var sum, peak float64
+		for _, v := range series {
+			sum += v
+			if v > peak {
+				peak = v
+			}
+		}
+		mean := sum / float64(len(series))
+		phases := workload.RampDownPhases(series)
+		long := 0
+		for _, p := range phases {
+			if p >= 10 {
+				long++
+			}
+		}
+		frac := 0.0
+		if len(phases) > 0 {
+			frac = float64(long) / float64(len(phases))
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			string(tr),
+			fmt.Sprintf("%d", len(series)),
+			fmt.Sprintf("%.2f", peak/mean),
+			fmt.Sprintf("%.2f", frac),
+			fmt.Sprintf("%d", len(phases)),
+		})
+	}
+	return tbl, nil
+}
+
+// Fig5 compares one-shot, online, and offline total costs across
+// reconfiguration-price weights for both workloads (ε = 10⁻², k = 1).
+// Costs are normalized by the offline optimum of the same setting. The
+// (trace, b) blocks are independent and run concurrently.
+func Fig5(scale Scale, log Logger) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 5 — total cost vs reconfiguration price (normalized by offline optimum)",
+		Header: []string{"trace", "b", "one-shot/offline", "online/offline", "offline(abs)"},
+	}
+	type combo struct {
+		tr Trace
+		b  float64
+	}
+	var combos []combo
+	for _, tr := range []Trace{TraceWikipedia, TraceWorldCup} {
+		for _, b := range scale.ReconfSpan {
+			combos = append(combos, combo{tr, b})
+		}
+	}
+	rows, err := parallelRows(combos, func(c combo) ([]string, error) {
+		scen, err := Build(scale.spec(c.tr, 1, c.b, scale.horizon(c.tr)))
+		if err != nil {
+			return nil, err
+		}
+		suite := NewSuite(scen, 1e-2)
+		log.printf("fig5 %s b=%g: offline...", c.tr, c.b)
+		off, err := suite.Offline()
+		if err != nil {
+			return nil, err
+		}
+		gr, err := suite.Greedy()
+		if err != nil {
+			return nil, err
+		}
+		on, err := suite.Online()
+		if err != nil {
+			return nil, err
+		}
+		offC := off.Cost.Total()
+		log.printf("fig5 %s b=%g: one-shot %.3f online %.3f", c.tr, c.b,
+			gr.Cost.Total()/offC, on.Cost.Total()/offC)
+		return []string{
+			string(c.tr),
+			fmt.Sprintf("%g", c.b),
+			fmt.Sprintf("%.3f", gr.Cost.Total()/offC),
+			fmt.Sprintf("%.3f", on.Cost.Total()/offC),
+			fmt.Sprintf("%.1f", offC),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Rows = rows
+	return tbl, nil
+}
+
+// parallelRows maps each item to a table row concurrently (bounded by
+// GOMAXPROCS), preserving the input order.
+func parallelRows[T any](items []T, f func(T) ([]string, error)) ([][]string, error) {
+	rows := make([][]string, len(items))
+	errs := make([]error, len(items))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rows[i], errs[i] = f(items[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Fig5Series produces the cumulative cost-over-time curves behind one panel
+// of Fig. 5 (one trace, one reconfiguration weight): series for one-shot,
+// online, and offline, plus the workload itself, suitable for
+// WriteSeriesCSV.
+func Fig5Series(scale Scale, tr Trace, b float64, log Logger) (names []string, series [][]float64, err error) {
+	scen, err := Build(scale.spec(tr, 1, b, scale.horizon(tr)))
+	if err != nil {
+		return nil, nil, err
+	}
+	suite := NewSuite(scen, 1e-2)
+	log.printf("fig5series %s b=%g: offline...", tr, b)
+	off, err := suite.Offline()
+	if err != nil {
+		return nil, nil, err
+	}
+	log.printf("fig5series %s b=%g: greedy...", tr, b)
+	gr, err := suite.Greedy()
+	if err != nil {
+		return nil, nil, err
+	}
+	log.printf("fig5series %s b=%g: online...", tr, b)
+	on, err := suite.Online()
+	if err != nil {
+		return nil, nil, err
+	}
+	return []string{"workload", "one-shot", "online", "offline"},
+		[][]float64{scen.TraceSeries, gr.CumCost, on.CumCost, off.CumCost}, nil
+}
+
+// Fig6 sweeps the regularization parameter ε and reports the actual
+// competitive ratio online/offline per reconfiguration weight and workload.
+func Fig6(scale Scale, log Logger) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 6 — actual competitive ratio vs ε",
+		Header: []string{"trace", "b", "eps", "online/offline"},
+	}
+	epsSweep := []float64{1e-3, 1e-2, 1e-1, 1, 1e1, 1e2, 1e3}
+	type combo struct {
+		tr Trace
+		b  float64
+	}
+	var combos []combo
+	for _, tr := range []Trace{TraceWikipedia, TraceWorldCup} {
+		for _, b := range scale.ReconfSpan {
+			combos = append(combos, combo{tr, b})
+		}
+	}
+	blocks, err := parallelRows(combos, func(c combo) ([]string, error) {
+		scen, err := Build(scale.spec(c.tr, 1, c.b, scale.horizon(c.tr)))
+		if err != nil {
+			return nil, err
+		}
+		log.printf("fig6 %s b=%g: offline...", c.tr, c.b)
+		off, err := NewSuite(scen, 1e-2).Offline()
+		if err != nil {
+			return nil, err
+		}
+		offC := off.Cost.Total()
+		// Pack the per-ε ratios into one flat row; unpacked below.
+		row := []string{string(c.tr), fmt.Sprintf("%g", c.b)}
+		for _, eps := range epsSweep {
+			on, err := NewSuite(scen, eps).Online()
+			if err != nil {
+				return nil, err
+			}
+			log.printf("fig6 %s b=%g eps=%g: ratio %.3f", c.tr, c.b, eps, on.Cost.Total()/offC)
+			row = append(row, fmt.Sprintf("%.3f", on.Cost.Total()/offC))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, blk := range blocks {
+		for e, eps := range epsSweep {
+			tbl.Rows = append(tbl.Rows, []string{blk[0], blk[1], fmt.Sprintf("%g", eps), blk[2+e]})
+		}
+	}
+	return tbl, nil
+}
+
+// Fig7 varies the SLA breadth k (ε = 10⁻², b = 10³, Wikipedia) and compares
+// one-shot, LCP-M, online, and offline. The prefix-solving LCP-M baseline
+// runs on the scale's shortened TLCPM horizon.
+func Fig7(scale Scale, log Logger) (*Table, error) {
+	tbl := &Table{
+		Title:  "Fig. 7 — total cost vs SLA breadth k (normalized by offline optimum)",
+		Header: []string{"k", "one-shot/off", "lcp-m/off", "online/off", "offline(abs)"},
+	}
+	var ks []int
+	for k := 1; k <= 4 && k <= scale.NumTier2; k++ {
+		ks = append(ks, k)
+	}
+	rows, err := parallelRows(ks, func(k int) ([]string, error) {
+		scen, err := Build(scale.spec(TraceWikipedia, k, 1000, scale.TLCPM))
+		if err != nil {
+			return nil, err
+		}
+		suite := NewSuite(scen, 1e-2)
+		log.printf("fig7 k=%d: offline...", k)
+		off, err := suite.Offline()
+		if err != nil {
+			return nil, err
+		}
+		gr, err := suite.Greedy()
+		if err != nil {
+			return nil, err
+		}
+		log.printf("fig7 k=%d: lcp-m...", k)
+		lcpm, err := suite.LCPM()
+		if err != nil {
+			return nil, err
+		}
+		on, err := suite.Online()
+		if err != nil {
+			return nil, err
+		}
+		offC := off.Cost.Total()
+		log.printf("fig7 k=%d: one-shot %.3f lcp-m %.3f online %.3f", k,
+			gr.Cost.Total()/offC, lcpm.Cost.Total()/offC, on.Cost.Total()/offC)
+		return []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", gr.Cost.Total()/offC),
+			fmt.Sprintf("%.3f", lcpm.Cost.Total()/offC),
+			fmt.Sprintf("%.3f", on.Cost.Total()/offC),
+			fmt.Sprintf("%.1f", offC),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.Rows = rows
+	return tbl, nil
+}
+
+// predictiveSweep is shared by Figs. 8–10.
+func predictiveSweep(scale Scale, windows []int, errRates []float64, log Logger) (*Table, error) {
+	tbl := &Table{
+		Header: []string{"w", "err%", "fhc/off", "rhc/off", "rfhc/off", "rrhc/off", "online/off"},
+	}
+	scen, err := Build(scale.spec(TraceWikipedia, 1, 1000, scale.PredictT))
+	if err != nil {
+		return nil, err
+	}
+	suite := NewSuite(scen, 1e-3) // paper uses ε = 10⁻³ for Figs. 8–10
+	log.printf("predictive: offline...")
+	off, err := suite.Offline()
+	if err != nil {
+		return nil, err
+	}
+	offC := off.Cost.Total()
+	log.printf("predictive: online...")
+	on, err := suite.Online()
+	if err != nil {
+		return nil, err
+	}
+	onRatio := on.Cost.Total() / offC
+	for _, w := range windows {
+		for _, er := range errRates {
+			row := []string{fmt.Sprintf("%d", w), fmt.Sprintf("%.0f", er*100)}
+			for _, alg := range []string{"fhc", "rhc", "rfhc", "rrhc"} {
+				run, err := suite.Predictive(alg, w, er, scale.BaseSeed+101)
+				if err != nil {
+					return nil, err
+				}
+				log.printf("predictive %s w=%d err=%.0f%%: ratio %.3f", alg, w, er*100, run.Cost.Total()/offC)
+				row = append(row, fmt.Sprintf("%.3f", run.Cost.Total()/offC))
+			}
+			row = append(row, fmt.Sprintf("%.3f", onRatio))
+			tbl.Rows = append(tbl.Rows, row)
+		}
+	}
+	return tbl, nil
+}
+
+// Fig8 sweeps the prediction window with accurate predictions.
+func Fig8(scale Scale, log Logger) (*Table, error) {
+	tbl, err := predictiveSweep(scale, []int{2, 4, 6, 8, 10}, []float64{0}, log)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Title = "Fig. 8 — predictive control vs window length, accurate predictions (cost / offline)"
+	return tbl, nil
+}
+
+// Fig9 repeats Fig. 8 with a 15% prediction error.
+func Fig9(scale Scale, log Logger) (*Table, error) {
+	tbl, err := predictiveSweep(scale, []int{2, 4, 6, 8, 10}, []float64{0.15}, log)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Title = "Fig. 9 — predictive control vs window length, 15% prediction error (cost / offline)"
+	return tbl, nil
+}
+
+// Fig10 sweeps the prediction error rate at w = 2.
+func Fig10(scale Scale, log Logger) (*Table, error) {
+	tbl, err := predictiveSweep(scale, []int{2}, []float64{0, 0.05, 0.10, 0.15}, log)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Title = "Fig. 10 — predictive control vs prediction error, w = 2 (cost / offline)"
+	return tbl, nil
+}
+
+// Table1 renders the electricity price model (Table I).
+func Table1() *Table {
+	tbl := &Table{
+		Title:  "Table I — electricity price model per tier-2 location",
+		Header: []string{"location", "market", "mean $/MWh", "sd $/MWh", "real-time"},
+	}
+	for _, lp := range pricing.DefaultElectricity() {
+		tbl.Rows = append(tbl.Rows, []string{
+			lp.Location, lp.Market.Name,
+			fmt.Sprintf("%.1f", lp.Market.Mean),
+			fmt.Sprintf("%.1f", lp.Market.SD),
+			fmt.Sprintf("%v", lp.RealTime),
+		})
+	}
+	return tbl
+}
+
+// Table2 renders the tiered bandwidth pricing (Table II).
+func Table2() *Table {
+	tbl := &Table{
+		Title:  "Table II — tiered bandwidth pricing",
+		Header: []string{"capacity (GB/month)", "price ($/GB)"},
+	}
+	prev := 0.0
+	for _, tier := range pricing.BandwidthTiers() {
+		label := fmt.Sprintf("%g – %g", prev, tier.UpToGBMonth)
+		if tier.UpToGBMonth < 0 {
+			label = fmt.Sprintf("> %g", prev)
+		}
+		tbl.Rows = append(tbl.Rows, []string{label, fmt.Sprintf("%.3f", tier.PricePerGB)})
+		prev = tier.UpToGBMonth
+	}
+	return tbl
+}
+
+// AdversarialVShape demonstrates Theorems 2–3 on the scalar instance: the
+// greedy/offline ratio grows without bound in the reconfiguration price.
+func AdversarialVShape() (*Table, error) {
+	tbl := &Table{
+		Title:  "Theorems 2–3 — V-shaped workload, greedy vs offline (scalar instance)",
+		Header: []string{"b", "greedy/offline", "online/offline"},
+	}
+	lam := core.VShape(8, 0.5, 8)
+	a := make([]float64, len(lam))
+	for i := range a {
+		a[i] = 1
+	}
+	for _, b := range []float64{10, 100, 1000, 10000} {
+		s := &core.ScalarInstance{C: 10, B: b, A: a, Lam: lam, X0: lam[0]}
+		_, offC, err := s.RunOffline()
+		if err != nil {
+			return nil, err
+		}
+		onX, err := s.RunOnline(1e-2)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%g", b),
+			fmt.Sprintf("%.2f", s.Cost(s.RunGreedy())/offC),
+			fmt.Sprintf("%.2f", s.Cost(onX)/offC),
+		})
+	}
+	return tbl, nil
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the table with aligned columns.
+func Render(w io.Writer, t *Table) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the table as comma-separated values (header first).
+func WriteCSV(w io.Writer, t *Table) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		out := make([]string, len(row))
+		for i, c := range row {
+			out[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(out, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes one or more named numeric series of equal length as
+// CSV columns (used for the Fig. 4 traces and Fig. 5 cumulative costs).
+func WriteSeriesCSV(w io.Writer, names []string, series [][]float64) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("eval: %d names for %d series", len(names), len(series))
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	if _, err := fmt.Fprintln(w, "t,"+strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for t := 0; t < n; t++ {
+		cells := make([]string, 0, len(series)+1)
+		cells = append(cells, fmt.Sprintf("%d", t))
+		for _, s := range series {
+			if t < len(s) {
+				cells = append(cells, fmt.Sprintf("%g", s[t]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

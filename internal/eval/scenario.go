@@ -1,0 +1,217 @@
+// Package eval assembles the paper's evaluation scenarios (Section V-A) from
+// the topology, pricing, and workload substrates, runs the algorithm suites,
+// and regenerates the data behind every table and figure (Figs. 4–10,
+// Tables I–II). The cmd/soralbench binary and the repository's benchmark
+// harness are thin layers over this package.
+package eval
+
+import (
+	"fmt"
+
+	"soral/internal/model"
+	"soral/internal/pricing"
+	"soral/internal/topology"
+	"soral/internal/workload"
+)
+
+// Trace selects the demand trace family.
+type Trace string
+
+const (
+	// TraceWikipedia is the regular-dynamics workload (Fig. 4a).
+	TraceWikipedia Trace = "wiki"
+	// TraceWorldCup is the bursty workload (Fig. 4b).
+	TraceWorldCup Trace = "worldcup"
+)
+
+// ScenarioSpec parameterizes one evaluation instance.
+type ScenarioSpec struct {
+	NumTier2 int   // ≤ 18, subsampled from the AT&T metros
+	NumTier1 int   // ≤ 48, subsampled from the state capitals
+	K        int   // SLA breadth: each tier-1 cloud uses its K closest tier-2 clouds
+	T        int   // horizon in hours (clamped to the trace length)
+	Trace    Trace // workload family
+	Seed     int64
+
+	// ReconfWeight is the paper's control knob b: reconfiguration prices are
+	// this multiple of the corresponding mean operating price (§V-B).
+	ReconfWeight float64
+
+	// PeakLoad is the per-tier-1-cloud workload peak, in capacity units.
+	// The default 40 makes the provisioned tier-2 capacities span the
+	// bandwidth pricing tiers of Table II. Zero selects the default.
+	PeakLoad float64
+
+	// ElecScale converts $/MWh market prices into per-workload-unit
+	// operating prices so the compute and network cost components are
+	// comparable after normalization. Zero selects the default 0.01.
+	ElecScale float64
+
+	// CustomTrace, when non-nil, replaces the synthetic generator: the
+	// series (e.g. a real request log aggregated to hours through
+	// workload.LoadCSV) is normalized to PeakLoad and replicated across the
+	// tier-1 clouds exactly like the built-in traces. Trace is then ignored.
+	CustomTrace []float64
+}
+
+func (s ScenarioSpec) withDefaults() ScenarioSpec {
+	if s.PeakLoad == 0 {
+		s.PeakLoad = 40
+	}
+	if s.ElecScale == 0 {
+		s.ElecScale = 0.01
+	}
+	if s.Trace == "" {
+		s.Trace = TraceWikipedia
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Scenario is a fully-instantiated problem.
+type Scenario struct {
+	Spec ScenarioSpec
+	Net  *model.Network
+	In   *model.Inputs
+
+	TraceSeries []float64 // the normalized demand trace replicated across tier-1 clouds
+	SiteT2      []topology.Site
+	SiteT1      []topology.Site
+}
+
+// Build constructs the network and inputs for the spec.
+func Build(spec ScenarioSpec) (*Scenario, error) {
+	spec = spec.withDefaults()
+	if spec.NumTier2 < 1 || spec.NumTier2 > 18 {
+		return nil, fmt.Errorf("eval: NumTier2 = %d (1..18)", spec.NumTier2)
+	}
+	if spec.NumTier1 < 1 || spec.NumTier1 > 48 {
+		return nil, fmt.Errorf("eval: NumTier1 = %d (1..48)", spec.NumTier1)
+	}
+	if spec.K < 1 || spec.K > spec.NumTier2 {
+		return nil, fmt.Errorf("eval: K = %d with %d tier-2 clouds", spec.K, spec.NumTier2)
+	}
+	if spec.T < 1 {
+		return nil, fmt.Errorf("eval: T = %d", spec.T)
+	}
+
+	idxT2 := topology.SubsetIndices(18, spec.NumTier2)
+	allT2 := topology.Tier2Sites()
+	allElec := pricing.DefaultElectricity()
+	siteT2 := make([]topology.Site, len(idxT2))
+	elec := make([]pricing.LocPrice, len(idxT2))
+	for k, i := range idxT2 {
+		siteT2[k] = allT2[i]
+		elec[k] = allElec[i]
+	}
+	siteT1 := topology.Subset(topology.Tier1Sites(), spec.NumTier1)
+
+	sla, err := topology.KNearest(siteT1, siteT2, spec.K)
+	if err != nil {
+		return nil, err
+	}
+
+	// Demand trace, replicated across tier-1 clouds (as in the paper).
+	var trace []float64
+	if spec.CustomTrace != nil {
+		if len(spec.CustomTrace) < spec.T {
+			return nil, fmt.Errorf("eval: custom trace has %d hours for T=%d", len(spec.CustomTrace), spec.T)
+		}
+		trace = append([]float64(nil), spec.CustomTrace[:spec.T]...)
+	} else {
+		switch spec.Trace {
+		case TraceWikipedia:
+			trace = workload.Wikipedia(max(spec.T, 1), spec.Seed)
+		case TraceWorldCup:
+			trace = workload.WorldCup(max(spec.T, 1), spec.Seed)
+		default:
+			return nil, fmt.Errorf("eval: unknown trace %q", spec.Trace)
+		}
+		if spec.T < len(trace) {
+			trace = trace[:spec.T]
+		}
+	}
+	workload.Normalize(trace, spec.PeakLoad)
+
+	// Capacities per §V-A.
+	peaks := make([]float64, spec.NumTier1)
+	for j := range peaks {
+		peaks[j] = spec.PeakLoad
+	}
+	capT2, _ := topology.Provision(spec.NumTier2, sla, peaks, 0.05*spec.PeakLoad)
+
+	// Pairs and network resources.
+	var pairs []model.Pair
+	var capNet, priceNet []float64
+	for j, set := range sla {
+		for _, i := range set {
+			pairs = append(pairs, model.Pair{I: i, J: j})
+			capNet = append(capNet, capT2[i])
+			bw, err := pricing.BandwidthPrice(capT2[i])
+			if err != nil {
+				return nil, err
+			}
+			priceNet = append(priceNet, bw)
+		}
+	}
+
+	// Operating prices.
+	elecRaw := pricing.Synthesize(elec, spec.T, spec.Seed+17)
+	priceT2 := make([][]float64, spec.T)
+	for t := range elecRaw {
+		row := make([]float64, spec.NumTier2)
+		for i := range row {
+			row[i] = elecRaw[t][i] * spec.ElecScale
+		}
+		priceT2[t] = row
+	}
+
+	// Reconfiguration prices: weight × mean operating price (§V-B, b_i = d_ij).
+	reconfT2 := make([]float64, spec.NumTier2)
+	for i := range reconfT2 {
+		var mean float64
+		for t := range priceT2 {
+			mean += priceT2[t][i]
+		}
+		mean /= float64(spec.T)
+		reconfT2[i] = spec.ReconfWeight * mean
+	}
+	reconfNet := make([]float64, len(pairs))
+	for p := range reconfNet {
+		reconfNet[p] = spec.ReconfWeight * priceNet[p]
+	}
+
+	net, err := model.NewNetwork(spec.NumTier2, spec.NumTier1, pairs, capT2, reconfT2, capNet, priceNet, reconfNet)
+	if err != nil {
+		return nil, err
+	}
+
+	in := &model.Inputs{
+		T:        spec.T,
+		PriceT2:  priceT2,
+		Workload: make([][]float64, spec.T),
+	}
+	for t := 0; t < spec.T; t++ {
+		row := make([]float64, spec.NumTier1)
+		for j := range row {
+			row[j] = trace[t]
+		}
+		in.Workload[t] = row
+	}
+	if err := in.CheckFeasibility(net); err != nil {
+		return nil, fmt.Errorf("eval: scenario infeasible: %w", err)
+	}
+	return &Scenario{
+		Spec: spec, Net: net, In: in,
+		TraceSeries: trace, SiteT2: siteT2, SiteT1: siteT1,
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBlockTriSPD builds a random SPD block-tridiagonal matrix by assembling
+// M = KᵀK + I where K has the right band structure, realized directly in
+// block form: D_t = AᵀA + I dominant, E_t small coupling.
+func randBlockTriSPD(rng *rand.Rand, sizes []int) *BlockTriDiag {
+	m := NewBlockTriDiag(sizes)
+	for t, n := range sizes {
+		d := randSPD(rng, n)
+		// Make diagonally dominant relative to coupling blocks.
+		d.AddDiag(10 * float64(n))
+		m.Diag[t] = d
+		if t > 0 {
+			e := randMatrix(rng, n, sizes[t-1])
+			Scale(0.5, e.Data)
+			m.Sub[t-1] = e
+		}
+	}
+	return m
+}
+
+// toDense expands a block-tridiagonal matrix to a dense matrix for reference.
+func (m *BlockTriDiag) toDense() *Dense {
+	off := m.Offsets()
+	n := off[len(off)-1]
+	d := NewDense(n, n)
+	for t, blk := range m.Diag {
+		for i := 0; i < blk.Rows; i++ {
+			for j := 0; j < blk.Cols; j++ {
+				d.Set(off[t]+i, off[t]+j, blk.At(i, j))
+			}
+		}
+	}
+	for t, e := range m.Sub {
+		for i := 0; i < e.Rows; i++ {
+			for j := 0; j < e.Cols; j++ {
+				d.Set(off[t+1]+i, off[t]+j, e.At(i, j))
+				d.Set(off[t]+j, off[t+1]+i, e.At(i, j))
+			}
+		}
+	}
+	return d
+}
+
+func TestBlockTriMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		nb := 1 + rng.Intn(5)
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(4)
+		}
+		m := randBlockTriSPD(rng, sizes)
+		x := randVec(rng, m.Dim())
+		got := make([]float64, m.Dim())
+		m.MulVec(got, x)
+		want := make([]float64, m.Dim())
+		m.toDense().MulVec(want, x)
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-10) {
+				t.Fatalf("MulVec mismatch at %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBlockTriCholSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		nb := 1 + rng.Intn(6)
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(5)
+		}
+		m := randBlockTriSPD(rng, sizes)
+		xTrue := randVec(rng, m.Dim())
+		b := make([]float64, m.Dim())
+		m.MulVec(b, xTrue)
+
+		f, err := NewBlockTriChol(m, 0)
+		if err != nil {
+			t.Fatalf("factorize: %v", err)
+		}
+		x := make([]float64, m.Dim())
+		f.Solve(x, b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-7) {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestBlockTriCholSolveAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randBlockTriSPD(rng, []int{3, 4, 2})
+	xTrue := randVec(rng, m.Dim())
+	b := make([]float64, m.Dim())
+	m.MulVec(b, xTrue)
+	f, err := NewBlockTriChol(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(b, b)
+	for i := range b {
+		if !almostEq(b[i], xTrue[i], 1e-7) {
+			t.Fatal("aliased block solve wrong")
+		}
+	}
+}
+
+func TestBlockTriSingleBlockEqualsCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randSPD(rng, 6)
+	m := NewBlockTriDiag([]int{6})
+	m.Diag[0] = a
+	f, err := NewBlockTriChol(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := randVec(rng, 6)
+	b := make([]float64, 6)
+	a.MulVec(b, xTrue)
+	x := make([]float64, 6)
+	f.Solve(x, b)
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-8) {
+			t.Fatal("single-block solve differs from Cholesky")
+		}
+	}
+}
+
+func TestBlockTriValidate(t *testing.T) {
+	m := NewBlockTriDiag([]int{2, 3})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid structure rejected: %v", err)
+	}
+	m.Sub[0] = NewDense(2, 2) // wrong shape, should be 3x2
+	if err := m.Validate(); err == nil {
+		t.Fatal("invalid sub-diagonal shape accepted")
+	}
+	m2 := &BlockTriDiag{Diag: []*Dense{NewDense(2, 3)}}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("non-square diagonal block accepted")
+	}
+}
+
+func TestBlockTriEmptyFactorization(t *testing.T) {
+	m := &BlockTriDiag{}
+	if _, err := NewBlockTriChol(m, 0); err == nil {
+		t.Fatal("expected error for empty matrix")
+	}
+}
+
+func TestBlockTriOffsets(t *testing.T) {
+	m := NewBlockTriDiag([]int{2, 3, 1})
+	off := m.Offsets()
+	want := []int{0, 2, 5, 6}
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("Offsets = %v", off)
+		}
+	}
+	if m.Dim() != 6 || m.NumBlocks() != 3 {
+		t.Fatal("Dim/NumBlocks wrong")
+	}
+}
+
+func TestBlockTriCholLongChain(t *testing.T) {
+	// A long horizon with small blocks — the staircase IPM regime.
+	rng := rand.New(rand.NewSource(24))
+	sizes := make([]int, 80)
+	for i := range sizes {
+		sizes[i] = 3
+	}
+	m := randBlockTriSPD(rng, sizes)
+	xTrue := randVec(rng, m.Dim())
+	b := make([]float64, m.Dim())
+	m.MulVec(b, xTrue)
+	f, err := NewBlockTriChol(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.Dim())
+	f.Solve(x, b)
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-6) {
+			t.Fatalf("long-chain solve mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization encounters
+// a non-positive pivot that regularization could not repair.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ.
+type Cholesky struct {
+	N int
+	L *Dense
+	// Shift is the diagonal regularization that was actually added to A
+	// before factorizing (0 when the matrix was positive definite as given).
+	Shift float64
+}
+
+// NewCholesky factorizes the symmetric positive definite matrix A (only the
+// lower triangle is read). If the factorization hits a non-positive pivot and
+// maxShift > 0, it retries with geometrically increasing diagonal shifts up
+// to maxShift; the shift that succeeded is recorded in the result.
+func NewCholesky(a *Dense, maxShift float64) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky on %dx%d matrix", a.Rows, a.Cols)
+	}
+	if !AllFinite(a.Data) {
+		return nil, fmt.Errorf("linalg: Cholesky input has non-finite entries")
+	}
+	if math.IsInf(maxShift, 1) || math.IsNaN(maxShift) {
+		return nil, fmt.Errorf("linalg: invalid maxShift %g", maxShift)
+	}
+	n := a.Rows
+	shift := 0.0
+	for {
+		l := NewDense(n, n)
+		ok := tryCholesky(a, l, shift)
+		if ok {
+			return &Cholesky{N: n, L: l, Shift: shift}, nil
+		}
+		if maxShift <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		if shift == 0 {
+			// Start from a scale-aware tiny shift.
+			scale := 0.0
+			for i := 0; i < n; i++ {
+				if d := math.Abs(a.At(i, i)); d > scale {
+					scale = d
+				}
+			}
+			if scale == 0 {
+				scale = 1
+			}
+			shift = 1e-12 * scale
+		} else {
+			shift *= 100
+		}
+		if shift > maxShift {
+			return nil, ErrNotPositiveDefinite
+		}
+	}
+}
+
+func tryCholesky(a, l *Dense, shift float64) bool {
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + shift
+		lrowj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrowj[k] * lrowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		d = math.Sqrt(d)
+		lrowj[j] = d
+		inv := 1 / d
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lrowi := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lrowi[k] * lrowj[k]
+			}
+			lrowi[j] = s * inv
+		}
+	}
+	return true
+}
+
+// Solve solves A·x = b using the factorization, writing the result into x
+// (which may alias b).
+func (c *Cholesky) Solve(x, b []float64) {
+	if len(b) != c.N || len(x) != c.N {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	c.SolveInPlace(x)
+}
+
+// SolveInPlace solves A·x = b where x initially holds b.
+func (c *Cholesky) SolveInPlace(x []float64) {
+	n := c.N
+	l := c.L
+	// Forward substitution L·y = b.
+	for i := 0; i < n; i++ {
+		row := l.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	// Backward substitution Lᵀ·x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+}
+
+// SolveLower solves L·y = b (forward substitution only), writing into y.
+func (c *Cholesky) SolveLower(y, b []float64) {
+	if &y[0] != &b[0] {
+		copy(y, b)
+	}
+	for i := 0; i < c.N; i++ {
+		row := c.L.Row(i)
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+}
+
+// SolveUpper solves Lᵀ·x = b (backward substitution only), writing into x.
+func (c *Cholesky) SolveUpper(x, b []float64) {
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	for i := c.N - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < c.N; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+}

@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randSPD(rng, n)
+		c, err := NewCholesky(a, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c.Shift != 0 {
+			t.Fatalf("unexpected shift %v for SPD matrix", c.Shift)
+		}
+		rec := Mul(c.L, c.L.Transpose())
+		for i := range a.Data {
+			if !almostEq(rec.Data[i], a.Data[i], 1e-9) {
+				t.Fatalf("L·Lᵀ ≠ A at %d: %v vs %v", i, rec.Data[i], a.Data[i])
+			}
+		}
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(15)
+		a := randSPD(rng, n)
+		xTrue := randVec(rng, n)
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		c, err := NewCholesky(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		c.Solve(x, b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("solve mismatch at %d: %v vs %v", i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskySolveAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randSPD(rng, 6)
+	xTrue := randVec(rng, 6)
+	b := make([]float64, 6)
+	a.MulVec(b, xTrue)
+	c, _ := NewCholesky(a, 0)
+	c.Solve(b, b) // in-place
+	for i := range b {
+		if !almostEq(b[i], xTrue[i], 1e-8) {
+			t.Fatal("aliased solve wrong")
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
+	if _, err := NewCholesky(a, 0); err == nil {
+		t.Fatal("expected failure on indefinite matrix without shift")
+	}
+}
+
+func TestCholeskyShiftRepairsSemidefinite(t *testing.T) {
+	// Rank-deficient PSD matrix: vvᵀ.
+	v := []float64{1, 2, 3}
+	a := NewDense(3, 3)
+	for i := range v {
+		for j := range v {
+			a.Set(i, j, v[i]*v[j])
+		}
+	}
+	c, err := NewCholesky(a, 1)
+	if err != nil {
+		t.Fatalf("shifted Cholesky failed: %v", err)
+	}
+	if c.Shift <= 0 {
+		t.Fatal("expected a positive shift to have been applied")
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := NewCholesky(NewDense(2, 3), 0); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestSolveLowerUpper(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randSPD(rng, 8)
+	c, _ := NewCholesky(a, 0)
+	xTrue := randVec(rng, 8)
+	// b = L·xTrue, then SolveLower must recover xTrue.
+	b := make([]float64, 8)
+	c.L.MulVec(b, xTrue)
+	y := make([]float64, 8)
+	c.SolveLower(y, b)
+	for i := range y {
+		if !almostEq(y[i], xTrue[i], 1e-9) {
+			t.Fatal("SolveLower wrong")
+		}
+	}
+	// b = Lᵀ·xTrue, then SolveUpper must recover xTrue.
+	c.L.Transpose().MulVec(b, xTrue)
+	c.SolveUpper(y, b)
+	for i := range y {
+		if !almostEq(y[i], xTrue[i], 1e-9) {
+			t.Fatal("SolveUpper wrong")
+		}
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		a.AddDiag(float64(n)) // keep well-conditioned
+		xTrue := randVec(rng, n)
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		f, err := NewLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		f.Solve(x, b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-7) {
+				t.Fatalf("LU solve mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := NewLU(a); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{3, 1, 4, 2}) // det = 2
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), 2, 1e-12) {
+		t.Fatalf("Det = %v, want 2", f.Det())
+	}
+}
+
+func TestLUPermutationHandling(t *testing.T) {
+	// First pivot is zero, forcing a row swap.
+	a := NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.Solve(x, []float64{5, 7})
+	if !almostEq(x[0], 7, 1e-12) || !almostEq(x[1], 5, 1e-12) {
+		t.Fatalf("permuted solve got %v", x)
+	}
+}

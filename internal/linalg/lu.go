@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when an LU factorization meets an (effectively)
+// zero pivot.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, stored packed in a single
+// matrix.
+type LU struct {
+	N    int
+	lu   *Dense
+	piv  []int
+	sign int
+}
+
+// NewLU factorizes the square matrix A (copied, not modified).
+func NewLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LU on non-square matrix")
+	}
+	n := a.Rows
+	f := &LU{N: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		p := col
+		maxAbs := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(lu.At(r, col)); a > maxAbs {
+				maxAbs = a
+				p = r
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			rp, rc := lu.Row(p), lu.Row(col)
+			for k := range rp {
+				rp[k], rc[k] = rc[k], rp[k]
+			}
+			f.piv[p], f.piv[col] = f.piv[col], f.piv[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			m := lu.At(r, col) * inv
+			lu.Set(r, col, m)
+			if m == 0 {
+				continue
+			}
+			rowR := lu.Row(r)
+			rowC := lu.Row(col)
+			for k := col + 1; k < n; k++ {
+				rowR[k] -= m * rowC[k]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b, writing into x (x must not alias b unless equal).
+func (f *LU) Solve(x, b []float64) {
+	if len(x) != f.N || len(b) != f.N {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	// Apply permutation: y = P·b.
+	tmp := make([]float64, f.N)
+	for i, p := range f.piv {
+		tmp[i] = b[p]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 0; i < f.N; i++ {
+		row := f.lu.Row(i)
+		s := tmp[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * tmp[k]
+		}
+		tmp[i] = s
+	}
+	// Backward substitution with U.
+	for i := f.N - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := tmp[i]
+		for k := i + 1; k < f.N; k++ {
+			s -= row[k] * tmp[k]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(x, tmp)
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.N; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}

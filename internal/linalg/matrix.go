@@ -1,0 +1,187 @@
+package linalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dense is a dense row-major matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, element (r,c) at Data[r*Cols+c]
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewDenseFrom builds an r×c matrix from row-major data (copied).
+func NewDenseFrom(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("linalg: NewDenseFrom needs %d elements, got %d", r*c, len(data)))
+	}
+	m := NewDense(r, c)
+	copy(m.Data, data)
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add increments the element at row r, column c by v.
+func (m *Dense) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// Row returns the r-th row as a slice sharing the matrix's storage.
+func (m *Dense) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	n := NewDense(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// Zero resets every element to 0, keeping the allocation.
+func (m *Dense) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MulVec computes dst = M·x. dst must have length Rows and must not alias x.
+func (m *Dense) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MulVecTrans computes dst = Mᵀ·x. dst must have length Cols and must not alias x.
+func (m *Dense) MulVecTrans(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVecTrans dims %dx%d with x=%d dst=%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		row := m.Row(r)
+		for c, v := range row {
+			dst[c] += v * xr
+		}
+	}
+}
+
+// Mul returns A·B as a new matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range crow {
+				crow[j] += aik * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns Mᵀ as a new matrix.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			t.Data[c*t.Cols+r] = v
+		}
+	}
+	return t
+}
+
+// AddDiag adds v to every diagonal element of a square matrix.
+func (m *Dense) AddDiag(v float64) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// SymRankKUpdate accumulates dst += Aᵀ·diag(d)·A for an m×n matrix A and a
+// weight vector d of length m. dst must be n×n. Only the full matrix is
+// written (not just a triangle) so dst can be used directly by Cholesky.
+func SymRankKUpdate(dst *Dense, a *Dense, d []float64) {
+	if len(d) != a.Rows || dst.Rows != a.Cols || dst.Cols != a.Cols {
+		panic("linalg: SymRankKUpdate dimension mismatch")
+	}
+	for r := 0; r < a.Rows; r++ {
+		w := d[r]
+		if w == 0 {
+			continue
+		}
+		row := a.Row(r)
+		for i, vi := range row {
+			if vi == 0 {
+				continue
+			}
+			wi := w * vi
+			drow := dst.Row(i)
+			for j, vj := range row {
+				drow[j] += wi * vj
+			}
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%10.4g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

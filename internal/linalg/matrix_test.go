@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randSPD builds a random symmetric positive definite matrix AᵀA + I.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	a := randMatrix(rng, n, n)
+	s := Mul(a.Transpose(), a)
+	s.AddDiag(1)
+	return s
+}
+
+func TestDenseAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 || m.Data[1*3+2] != 7 {
+		t.Fatal("At/Set layout wrong")
+	}
+	m.Add(1, 2, 1)
+	if m.At(1, 2) != 8 {
+		t.Fatal("Add wrong")
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := randMatrix(rng, r, c)
+		x := randVec(rng, c)
+		dst := make([]float64, r)
+		m.MulVec(dst, x)
+		// Reference via Mul with x as a column matrix.
+		xm := NewDenseFrom(c, 1, x)
+		ref := Mul(m, xm)
+		for i := 0; i < r; i++ {
+			if !almostEq(dst[i], ref.At(i, 0), 1e-12) {
+				t.Fatalf("MulVec mismatch at %d: %v vs %v", i, dst[i], ref.At(i, 0))
+			}
+		}
+	}
+}
+
+func TestMulVecTransAgainstTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := randMatrix(rng, r, c)
+		x := randVec(rng, r)
+		got := make([]float64, c)
+		m.MulVecTrans(got, x)
+		want := make([]float64, c)
+		m.Transpose().MulVec(want, x)
+		for i := range got {
+			if !almostEq(got[i], want[i], 1e-12) {
+				t.Fatalf("MulVecTrans mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMatrix(rng, 4, 7)
+	tt := m.Transpose().Transpose()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}
+
+func TestMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 3, 4)
+	b := randMatrix(rng, 4, 5)
+	c := randMatrix(rng, 5, 2)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	for i := range left.Data {
+		if !almostEq(left.Data[i], right.Data[i], 1e-10) {
+			t.Fatal("matrix multiplication not associative numerically")
+		}
+	}
+}
+
+func TestEyeIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randMatrix(rng, 4, 4)
+	p := Mul(Eye(4), m)
+	for i := range m.Data {
+		if p.Data[i] != m.Data[i] {
+			t.Fatal("Eye is not identity under Mul")
+		}
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	m := NewDense(3, 3)
+	m.AddDiag(2.5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 2.5
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("AddDiag wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSymRankKUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMatrix(rng, 5, 3)
+	d := []float64{1, 2, 0, 0.5, 3}
+	dst := NewDense(3, 3)
+	SymRankKUpdate(dst, a, d)
+	// Reference: Aᵀ·diag(d)·A.
+	da := a.Clone()
+	for r := 0; r < a.Rows; r++ {
+		row := da.Row(r)
+		for c := range row {
+			row[c] *= d[r]
+		}
+	}
+	ref := Mul(a.Transpose(), da)
+	for i := range dst.Data {
+		if !almostEq(dst.Data[i], ref.Data[i], 1e-12) {
+			t.Fatal("SymRankKUpdate mismatch")
+		}
+	}
+	// Symmetry.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(dst.At(i, j), dst.At(j, i), 1e-12) {
+				t.Fatal("SymRankKUpdate result not symmetric")
+			}
+		}
+	}
+}
+
+func TestRowSharesStorage(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Row(1)[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row does not share storage")
+	}
+}
+
+func TestNewDenseFromCopies(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := NewDenseFrom(2, 2, data)
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("NewDenseFrom did not copy")
+	}
+}

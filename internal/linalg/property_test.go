@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg gives the quick checker a deterministic source.
+func quickCfg(seed int64, n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(seed))}
+}
+
+func TestQuickDotBilinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		x, y, z := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		a := rng.NormFloat64()
+		// ⟨a·x + y, z⟩ = a⟨x,z⟩ + ⟨y,z⟩
+		lhsVec := Clone(y)
+		Axpy(a, x, lhsVec)
+		lhs := Dot(lhsVec, z)
+		rhs := a*Dot(x, z) + Dot(y, z)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, quickCfg(1, 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCholeskyResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randSPD(rng, n)
+		b := randVec(rng, n)
+		c, err := NewCholesky(a, 0)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		c.Solve(x, b)
+		ax := make([]float64, n)
+		a.MulVec(ax, x)
+		SubTo(ax, ax, b)
+		return Norm2(ax) <= 1e-7*(1+Norm2(b))
+	}
+	if err := quick.Check(f, quickCfg(2, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLUResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		a.AddDiag(float64(n) + 1)
+		b := randVec(rng, n)
+		f2, err := NewLU(a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		f2.Solve(x, b)
+		ax := make([]float64, n)
+		a.MulVec(ax, x)
+		SubTo(ax, ax, b)
+		return Norm2(ax) <= 1e-7*(1+Norm2(b))
+	}
+	if err := quick.Check(f, quickCfg(3, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		lhs := Mul(a, b).Transpose()
+		rhs := Mul(b.Transpose(), a.Transpose())
+		for i := range lhs.Data {
+			if !almostEq(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(4, 150)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBlockTriSymmetry(t *testing.T) {
+	// The implicit symmetric matrix must satisfy xᵀMy = yᵀMx.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nb := 1 + rng.Intn(5)
+		sizes := make([]int, nb)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(4)
+		}
+		m := randBlockTriSPD(rng, sizes)
+		// Symmetrize the diagonal blocks (randSPD already is; coupling is
+		// handled implicitly by MulVec).
+		x := randVec(rng, m.Dim())
+		y := randVec(rng, m.Dim())
+		mx := make([]float64, m.Dim())
+		my := make([]float64, m.Dim())
+		m.MulVec(mx, x)
+		m.MulVec(my, y)
+		return almostEq(Dot(y, mx), Dot(x, my), 1e-8)
+	}
+	if err := quick.Check(f, quickCfg(5, 100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		x, y := randVec(rng, n), randVec(rng, n)
+		sum := make([]float64, n)
+		AddTo(sum, x, y)
+		return Norm2(sum) <= Norm2(x)+Norm2(y)+1e-12 &&
+			Norm1(sum) <= Norm1(x)+Norm1(y)+1e-12 &&
+			NormInf(sum) <= NormInf(x)+NormInf(y)+1e-12
+	}
+	if err := quick.Check(f, quickCfg(6, 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCholeskySPDOfGram(t *testing.T) {
+	// Gram matrices AᵀA + δI are always factorizable without a shift.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randMatrix(rng, m, n)
+		g := Mul(a.Transpose(), a)
+		g.AddDiag(0.5)
+		c, err := NewCholesky(g, 0)
+		if err != nil {
+			return false
+		}
+		// Diagonal of L must be strictly positive.
+		for i := 0; i < n; i++ {
+			if c.L.At(i, i) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(7, 150)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLUDetSign(t *testing.T) {
+	// det(A) via LU matches the 2×2 closed form.
+	f := func(a, b, c, d float64) bool {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological draws
+			}
+		}
+		m := NewDenseFrom(2, 2, []float64{a, b, c, d})
+		want := a*d - b*c
+		f2, err := NewLU(m)
+		if err != nil {
+			return math.Abs(want) < 1e-6 // singular only if det ≈ 0
+		}
+		return almostEq(f2.Det(), want, 1e-6)
+	}
+	if err := quick.Check(f, quickCfg(8, 300)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package lp
+
+import (
+	"fmt"
+
+	"soral/internal/linalg"
+)
+
+// CheckOptimality verifies the KKT certificate of a standard-form solution:
+// primal feasibility (Ax = b, x ≥ 0), dual feasibility (Aᵀy + s = c, s ≥ 0),
+// and complementary slackness (xᵀs ≈ 0), all at relative tolerance tol.
+// It returns nil when the certificate proves (approximate) optimality, and
+// a descriptive error naming the first violated condition otherwise.
+//
+// This is how downstream code distinguishes "the solver says optimal" from
+// "the solution is verifiably optimal": the check is independent of the
+// algorithm that produced the point and costs one matrix-vector product.
+func CheckOptimality(std *Standard, sol *Solution, tol float64) error {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	a := std.A
+	n := len(std.C)
+	if len(sol.X) != n || len(sol.S) != n {
+		return fmt.Errorf("lp: certificate has %d/%d entries for %d columns", len(sol.X), len(sol.S), n)
+	}
+	if len(sol.Y) != a.M {
+		return fmt.Errorf("lp: certificate has %d duals for %d rows", len(sol.Y), a.M)
+	}
+	bScale := 1 + linalg.NormInf(std.B)
+	cScale := 1 + linalg.NormInf(std.C)
+
+	// Primal feasibility.
+	ax := make([]float64, a.M)
+	a.MulVec(ax, sol.X)
+	linalg.SubTo(ax, ax, std.B)
+	if r := linalg.NormInf(ax); r > tol*bScale {
+		return fmt.Errorf("lp: primal residual ‖Ax−b‖ = %g", r)
+	}
+	for i, v := range sol.X {
+		if v < -tol*bScale {
+			return fmt.Errorf("lp: x[%d] = %g negative", i, v)
+		}
+	}
+	// Dual feasibility.
+	aty := make([]float64, n)
+	a.MulVecTrans(aty, sol.Y)
+	for i := range aty {
+		aty[i] += sol.S[i] - std.C[i]
+	}
+	if r := linalg.NormInf(aty); r > tol*cScale {
+		return fmt.Errorf("lp: dual residual ‖Aᵀy+s−c‖ = %g", r)
+	}
+	for i, v := range sol.S {
+		if v < -tol*cScale {
+			return fmt.Errorf("lp: s[%d] = %g negative", i, v)
+		}
+	}
+	// Complementary slackness / duality gap.
+	gap := linalg.Dot(sol.X, sol.S)
+	scale := 1 + absF(linalg.Dot(std.C, sol.X))
+	if gap > tol*scale*float64(n) {
+		return fmt.Errorf("lp: complementarity gap xᵀs = %g", gap)
+	}
+	return nil
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SolveStandardCertified runs SolveStandard and then verifies the KKT
+// certificate, returning an error if the solver's "optimal" claim does not
+// withstand independent checking.
+func SolveStandardCertified(std *Standard, normal NormalSolver, opts Options) (*Solution, error) {
+	sol, err := SolveStandard(std, normal, opts)
+	if err != nil {
+		return sol, err
+	}
+	if sol.Status != Optimal {
+		return sol, nil
+	}
+	certTol := opts.withDefaults().Tol * 100
+	if certTol < 1e-6 {
+		certTol = 1e-6
+	}
+	if err := CheckOptimality(std, sol, certTol); err != nil {
+		sol.Status = NumericalFailure
+		return sol, fmt.Errorf("lp: certificate rejected: %w", err)
+	}
+	return sol, nil
+}

@@ -1,0 +1,12 @@
+// Package lp implements linear programming from scratch for the soral
+// reproduction: a sparse general-form model builder, conversion to standard
+// form, a Mehrotra predictor–corrector primal–dual interior-point solver with
+// a pluggable normal-equation backend, and a small two-phase dense simplex
+// used to cross-check the interior-point solver on little instances.
+//
+// The interior-point iteration is factored so that all problem-structure
+// knowledge lives behind the NormalSolver interface: the default backend
+// assembles the normal equations A·diag(d)·Aᵀ densely, while package
+// staircase provides a block-tridiagonal backend for multi-period problems,
+// reusing this package's entire Mehrotra loop.
+package lp

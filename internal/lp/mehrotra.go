@@ -1,0 +1,382 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"soral/internal/linalg"
+)
+
+// Status reports the outcome of a solve.
+type Status int8
+
+const (
+	// Optimal means the solver converged to the requested tolerance.
+	Optimal Status = iota
+	// IterationLimit means the iteration budget ran out first.
+	IterationLimit
+	// Infeasible means the solver concluded the problem has no feasible point.
+	Infeasible
+	// Unbounded means the objective appears unbounded below.
+	Unbounded
+	// NumericalFailure means the linear algebra broke down.
+	NumericalFailure
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case IterationLimit:
+		return "iteration-limit"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NumericalFailure:
+		return "numerical-failure"
+	}
+	return "unknown"
+}
+
+// Options configures the interior-point solver.
+type Options struct {
+	Tol     float64 // relative optimality/feasibility tolerance (default 1e-8)
+	MaxIter int     // default 100
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// Solution is the result of a standard-form solve.
+type Solution struct {
+	Status Status
+	X      []float64 // primal (standard form)
+	Y      []float64 // dual multipliers of Ax=b
+	S      []float64 // reduced costs
+	Obj    float64   // cᵀx in standard form
+	Iters  int
+}
+
+// NormalSolver abstracts the factor/solve of the normal equations
+// A·diag(d)·Aᵀ that dominate each interior-point iteration. The Mehrotra
+// loop calls Factorize once per iteration and Solve twice (predictor and
+// corrector) against the same factorization.
+type NormalSolver interface {
+	Factorize(d []float64) error
+	Solve(x, b []float64)
+}
+
+// DenseNormal assembles A·diag(d)·Aᵀ densely and factorizes with Cholesky.
+type DenseNormal struct {
+	A    *SparseMatrix
+	mat  *linalg.Dense
+	chol *linalg.Cholesky
+}
+
+// NewDenseNormal creates the default dense backend for A.
+func NewDenseNormal(a *SparseMatrix) *DenseNormal {
+	return &DenseNormal{A: a, mat: linalg.NewDense(a.M, a.M)}
+}
+
+// Factorize implements NormalSolver.
+func (dn *DenseNormal) Factorize(d []float64) error {
+	dn.A.AssembleNormal(dn.mat, d)
+	c, err := linalg.NewCholesky(dn.mat, 1e-4*maxDiag(dn.mat)+1e-10)
+	if err != nil {
+		return err
+	}
+	dn.chol = c
+	return nil
+}
+
+func maxDiag(m *linalg.Dense) float64 {
+	var v float64
+	for i := 0; i < m.Rows; i++ {
+		if d := math.Abs(m.At(i, i)); d > v {
+			v = d
+		}
+	}
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// Solve implements NormalSolver.
+func (dn *DenseNormal) Solve(x, b []float64) { dn.chol.Solve(x, b) }
+
+// ErrEmptyProblem is returned for a standard form with no variables.
+var ErrEmptyProblem = errors.New("lp: empty problem")
+
+// SolveStandard runs Mehrotra's predictor–corrector method on a
+// standard-form LP with the given normal-equation backend.
+func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	a := std.A
+	n := len(std.C)
+	m := a.M
+	if n == 0 {
+		return nil, ErrEmptyProblem
+	}
+	c := std.C
+	b := std.B
+
+	if m == 0 {
+		// No constraints: min cᵀx over x ≥ 0 is 0 at x = 0 unless some
+		// cost is negative, in which case the problem is unbounded.
+		sol := &Solution{X: make([]float64, n), Y: nil, S: linalg.Clone(c)}
+		for _, ci := range c {
+			if ci < 0 {
+				sol.Status = Unbounded
+				return sol, nil
+			}
+		}
+		sol.Status = Optimal
+		return sol, nil
+	}
+
+	x := make([]float64, n)
+	s := make([]float64, n)
+	y := make([]float64, m)
+
+	// Starting point (simplified Mehrotra heuristic): factor with d = 1.
+	ones := make([]float64, n)
+	linalg.Fill(ones, 1)
+	if err := normal.Factorize(ones); err != nil {
+		return &Solution{Status: NumericalFailure}, fmt.Errorf("lp: initial factorization: %w", err)
+	}
+	// x̃ = Aᵀ(AAᵀ)⁻¹ b
+	tmpM := make([]float64, m)
+	normal.Solve(tmpM, b)
+	a.MulVecTrans(x, tmpM)
+	// ỹ = (AAᵀ)⁻¹ A c ; s̃ = c − Aᵀỹ
+	ac := make([]float64, m)
+	a.MulVec(ac, c)
+	normal.Solve(y, ac)
+	aty := make([]float64, n)
+	a.MulVecTrans(aty, y)
+	for i := range s {
+		s[i] = c[i] - aty[i]
+	}
+	shiftPositive(x)
+	shiftPositive(s)
+
+	bNorm := 1 + linalg.NormInf(b)
+	cNorm := 1 + linalg.NormInf(c)
+
+	rb := make([]float64, m)   // Ax − b
+	rc := make([]float64, n)   // Aᵀy + s − c
+	rxs := make([]float64, n)  // complementarity rhs
+	dvec := make([]float64, n) // x/s
+	rhsM := make([]float64, m)
+	dy := make([]float64, m)
+	ds := make([]float64, n)
+	dx := make([]float64, n)
+	dxAff := make([]float64, n)
+	dsAff := make([]float64, n)
+	tmpN := make([]float64, n)
+
+	sol := &Solution{X: x, Y: y, S: s}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sol.Iters = iter
+		// Residuals.
+		a.MulVec(rb, x)
+		linalg.SubTo(rb, rb, b)
+		a.MulVecTrans(rc, y)
+		for i := range rc {
+			rc[i] += s[i] - c[i]
+		}
+		mu := linalg.Dot(x, s) / float64(n)
+		pinf := linalg.NormInf(rb) / bNorm
+		dinf := linalg.NormInf(rc) / cNorm
+		gap := mu / (1 + math.Abs(linalg.Dot(c, x)))
+		if pinf < opts.Tol && dinf < opts.Tol && gap < opts.Tol {
+			sol.Status = Optimal
+			sol.Obj = linalg.Dot(c, x)
+			return sol, nil
+		}
+		// Crude infeasibility/unboundedness detection: iterates diverging
+		// while residuals refuse to shrink.
+		if linalg.NormInf(x) > 1e13 || linalg.NormInf(s) > 1e13 {
+			if pinf > dinf {
+				sol.Status = Infeasible
+			} else {
+				sol.Status = Unbounded
+			}
+			sol.Obj = linalg.Dot(c, x)
+			return sol, nil
+		}
+
+		for i := range dvec {
+			dvec[i] = x[i] / s[i]
+		}
+		if err := normal.Factorize(dvec); err != nil {
+			sol.Status = NumericalFailure
+			sol.Obj = linalg.Dot(c, x)
+			return sol, fmt.Errorf("lp: iteration %d factorization: %w", iter, err)
+		}
+
+		// Affine (predictor) direction: rxs = −x∘s.
+		for i := range rxs {
+			rxs[i] = -x[i] * s[i]
+		}
+		solveNewton(a, normal, dvec, rb, rc, rxs, x, s, rhsM, tmpN, dy, ds, dxAff)
+		copy(dsAff, ds)
+
+		alphaPX := maxStep(x, dxAff)
+		alphaDS := maxStep(s, dsAff)
+		muAff := 0.0
+		for i := range x {
+			muAff += (x[i] + alphaPX*dxAff[i]) * (s[i] + alphaDS*dsAff[i])
+		}
+		muAff /= float64(n)
+		sigma := math.Pow(muAff/mu, 3)
+		if sigma > 1 {
+			sigma = 1
+		}
+
+		// Corrector: rxs = σμ·1 − x∘s − Δx_aff∘Δs_aff.
+		for i := range rxs {
+			rxs[i] = sigma*mu - x[i]*s[i] - dxAff[i]*dsAff[i]
+		}
+		solveNewton(a, normal, dvec, rb, rc, rxs, x, s, rhsM, tmpN, dy, ds, dx)
+
+		ap := 0.99 * maxStep(x, dx)
+		ad := 0.99 * maxStep(s, ds)
+		if ap > 1 {
+			ap = 1
+		}
+		if ad > 1 {
+			ad = 1
+		}
+		if ap < 1e-14 && ad < 1e-14 {
+			// Degenerate corrector direction: retry with a pure centering
+			// step before giving up.
+			for i := range rxs {
+				rxs[i] = 0.9*mu - x[i]*s[i]
+			}
+			solveNewton(a, normal, dvec, rb, rc, rxs, x, s, rhsM, tmpN, dy, ds, dx)
+			ap = math.Min(1, 0.99*maxStep(x, dx))
+			ad = math.Min(1, 0.99*maxStep(s, ds))
+		}
+		if ap < 1e-14 && ad < 1e-14 {
+			// Accept the iterate if it is already good at a relaxed
+			// tolerance; otherwise report the numerical failure.
+			if pinf < 1e-6 && dinf < 1e-6 && gap < 1e-6 {
+				sol.Status = Optimal
+				sol.Obj = linalg.Dot(c, x)
+				return sol, nil
+			}
+			sol.Status = NumericalFailure
+			sol.Obj = linalg.Dot(c, x)
+			return sol, errors.New("lp: step size collapsed")
+		}
+		for i := range x {
+			x[i] += ap * dx[i]
+			s[i] += ad * ds[i]
+		}
+		for i := range y {
+			y[i] += ad * dy[i]
+		}
+	}
+	sol.Status = IterationLimit
+	sol.Obj = linalg.Dot(c, x)
+	sol.Iters = opts.MaxIter
+	return sol, nil
+}
+
+// solveNewton solves one Newton system of the predictor–corrector scheme:
+//
+//	A·D·Aᵀ Δy = −rb − A(S⁻¹ rxs) − A(D rc)
+//	Δs = −rc − AᵀΔy
+//	Δx = S⁻¹ rxs − D Δs
+func solveNewton(a *SparseMatrix, normal NormalSolver, d, rb, rc, rxs, x, s, rhsM, tmpN, dy, ds, dx []float64) {
+	for i := range tmpN {
+		tmpN[i] = rxs[i]/s[i] + d[i]*rc[i]
+	}
+	a.MulVec(rhsM, tmpN)
+	for i := range rhsM {
+		rhsM[i] = -rb[i] - rhsM[i]
+	}
+	normal.Solve(dy, rhsM)
+	a.MulVecTrans(ds, dy)
+	for i := range ds {
+		ds[i] = -rc[i] - ds[i]
+	}
+	for i := range dx {
+		dx[i] = rxs[i]/s[i] - d[i]*ds[i]
+	}
+}
+
+// maxStep returns the largest α ≥ 0 with v + α·dv ≥ 0 (capped at 1e30).
+func maxStep(v, dv []float64) float64 {
+	alpha := 1e30
+	for i := range v {
+		if dv[i] < 0 {
+			if a := -v[i] / dv[i]; a < alpha {
+				alpha = a
+			}
+		}
+	}
+	return alpha
+}
+
+func shiftPositive(v []float64) {
+	minV := linalg.MinElem(v)
+	delta := math.Max(-1.5*minV, 0.1)
+	sum := 0.0
+	for i := range v {
+		v[i] += delta
+		sum += v[i]
+	}
+	if sum <= 0 {
+		for i := range v {
+			v[i] = 1
+		}
+		return
+	}
+	// Keep the point comfortably inside the positive cone.
+	for i := range v {
+		if v[i] < 1e-2 {
+			v[i] = 1e-2
+		}
+	}
+}
+
+// Solve converts the general-form problem to standard form, solves it with
+// the dense backend, and maps the solution back to the original variables.
+func Solve(p *Problem, opts Options) (*GeneralSolution, error) {
+	std, err := p.ToStandard()
+	if err != nil {
+		return nil, err
+	}
+	normal := NewDenseNormal(std.A)
+	sol, err := SolveStandard(std, normal, opts)
+	if err != nil {
+		return nil, err
+	}
+	x := std.Recover(sol.X)
+	return &GeneralSolution{
+		Status: sol.Status,
+		X:      x,
+		Obj:    p.Objective(x),
+		Iters:  sol.Iters,
+	}, nil
+}
+
+// GeneralSolution is a solve result in the original variable space.
+type GeneralSolution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Iters  int
+}

@@ -1,0 +1,235 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFail(t *testing.T, p *Problem) *GeneralSolution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if v := p.MaxViolation(sol.X); v > 1e-5 {
+		t.Fatalf("solution infeasible by %v", v)
+	}
+	return sol
+}
+
+func TestIPMSimpleMax(t *testing.T) {
+	// max x+y s.t. x+y ≤ 1  →  min −x−y, optimum −1.
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 1, "")
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.Obj+1) > 1e-6 {
+		t.Fatalf("obj = %v, want −1", sol.Obj)
+	}
+}
+
+func TestIPMCoverConstraint(t *testing.T) {
+	// min 3x + 2y s.t. x + y ≥ 4, x ≤ 1 → y=4, x=0, obj 8.
+	p := NewProblem(2)
+	p.C = []float64{3, 2}
+	p.Hi[0] = 1
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 4, "")
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.Obj-8) > 1e-5 {
+		t.Fatalf("obj = %v, want 8", sol.Obj)
+	}
+}
+
+func TestIPMEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 3 → x=3, y=0, obj 3.
+	p := NewProblem(2)
+	p.C = []float64{1, 2}
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, EQ, 3, "")
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.Obj-3) > 1e-5 {
+		t.Fatalf("obj = %v, want 3", sol.Obj)
+	}
+}
+
+func TestIPMFreeVariable(t *testing.T) {
+	// min |ish|: min x₊cost with free y: min 2y s.t. y ≥ −5 handled by split.
+	p := NewProblem(1)
+	p.Lo[0] = math.Inf(-1)
+	p.C = []float64{2}
+	p.AddConstraint([]Entry{{0, 1}}, GE, -5, "")
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.X[0]+5) > 1e-5 {
+		t.Fatalf("x = %v, want −5", sol.X[0])
+	}
+}
+
+func TestIPMTransportation(t *testing.T) {
+	// Two sources (cap 5, 5), two sinks (demand 4, 4), costs
+	// c11=1 c12=3 c21=2 c22=1. Optimum: x11=4, x22=4, obj 8.
+	p := NewProblem(4) // x11 x12 x21 x22
+	p.C = []float64{1, 3, 2, 1}
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 5, "s1")
+	p.AddConstraint([]Entry{{2, 1}, {3, 1}}, LE, 5, "s2")
+	p.AddConstraint([]Entry{{0, 1}, {2, 1}}, GE, 4, "d1")
+	p.AddConstraint([]Entry{{1, 1}, {3, 1}}, GE, 4, "d2")
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.Obj-8) > 1e-5 {
+		t.Fatalf("obj = %v, want 8", sol.Obj)
+	}
+}
+
+func TestIPMDegenerate(t *testing.T) {
+	// Redundant constraints.
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 2, "")
+	p.AddConstraint([]Entry{{0, 2}, {1, 2}}, GE, 4, "") // same face
+	sol := solveOrFail(t, p)
+	if math.Abs(sol.Obj-2) > 1e-5 {
+		t.Fatalf("obj = %v, want 2", sol.Obj)
+	}
+}
+
+func TestIPMInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]Entry{{0, 1}}, LE, -1, "")
+	sol, _ := Solve(p, Options{MaxIter: 60})
+	if sol != nil && sol.Status == Optimal {
+		t.Fatalf("infeasible problem reported optimal, x=%v", sol.X)
+	}
+}
+
+func TestIPMUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{-1}
+	// x ≥ 0, no upper bound: unbounded below.
+	sol, _ := Solve(p, Options{MaxIter: 60})
+	if sol != nil && sol.Status == Optimal {
+		t.Fatal("unbounded problem reported optimal")
+	}
+}
+
+func TestIPMMatchesSimplexOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(4)
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.C[i] = rng.Float64()*4 - 1
+			p.Hi[i] = 2 + rng.Float64()*8 // bounded → always has an optimum
+		}
+		for r := 0; r < m; r++ {
+			var es []Entry
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.7 {
+					es = append(es, Entry{i, rng.Float64()*2 + 0.1})
+				}
+			}
+			if len(es) == 0 {
+				es = append(es, Entry{rng.Intn(n), 1})
+			}
+			// Keep the RHS below the achievable maximum so the row is feasible.
+			var maxLHS float64
+			for _, e := range es {
+				maxLHS += e.Val * p.Hi[e.Index]
+			}
+			p.AddConstraint(es, GE, rng.Float64()*0.8*maxLHS, "")
+		}
+		ipm, err := Solve(p, Options{})
+		if err != nil || ipm.Status != Optimal {
+			t.Fatalf("trial %d: ipm status %v err %v", trial, ipm.Status, err)
+		}
+		spx, err := SolveSimplex(p, 0)
+		if err != nil || spx.Status != Optimal {
+			t.Fatalf("trial %d: simplex status %v err %v", trial, spx.Status, err)
+		}
+		if math.Abs(ipm.Obj-spx.Obj) > 1e-4*(1+math.Abs(spx.Obj)) {
+			t.Fatalf("trial %d: ipm obj %v vs simplex %v", trial, ipm.Obj, spx.Obj)
+		}
+	}
+}
+
+func TestIPMLargeSparse(t *testing.T) {
+	// A chain problem: min Σ xᵢ s.t. xᵢ + xᵢ₊₁ ≥ 1. Optimum alternates.
+	n := 60
+	p := NewProblem(n)
+	for i := range p.C {
+		p.C[i] = 1
+	}
+	for i := 0; i+1 < n; i++ {
+		p.AddConstraint([]Entry{{i, 1}, {i + 1, 1}}, GE, 1, "")
+	}
+	sol := solveOrFail(t, p)
+	want := float64(n) / 2 // x=1/2 everywhere is optimal (and so are alternations)
+	if math.Abs(sol.Obj-want) > 1e-4 {
+		t.Fatalf("chain obj = %v, want %v", sol.Obj, want)
+	}
+}
+
+func TestSimplexKnownOptimum(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{-3, -5}
+	p.Hi[0] = 4
+	p.Hi[1] = 6
+	p.AddConstraint([]Entry{{0, 3}, {1, 2}}, LE, 18, "")
+	spx, err := SolveSimplex(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spx.Status != Optimal || math.Abs(spx.Obj+36) > 1e-8 {
+		t.Fatalf("simplex obj = %v status %v, want −36", spx.Obj, spx.Status)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Entry{{0, 1}}, LE, -2, "")
+	spx, err := SolveSimplex(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spx.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", spx.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{-1}
+	spx, err := SolveSimplex(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spx.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", spx.Status)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Tol != 1e-8 || o.MaxIter != 100 {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		Optimal: "optimal", IterationLimit: "iteration-limit",
+		Infeasible: "infeasible", Unbounded: "unbounded",
+		NumericalFailure: "numerical-failure", Status(99): "unknown",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" || Sense(9).String() != "?" {
+		t.Fatal("Sense.String wrong")
+	}
+}

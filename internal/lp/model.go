@@ -1,0 +1,311 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int8
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an = constraint.
+	EQ
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Constraint is one linear constraint Σ aᵢxᵢ (sense) RHS.
+type Constraint struct {
+	Entries []Entry
+	Sense   Sense
+	RHS     float64
+	Name    string
+}
+
+// Problem is a general-form linear program:
+//
+//	minimize  cᵀx
+//	subject to the listed constraints and bounds Lo ≤ x ≤ Hi.
+//
+// Unset bounds default to [0, +Inf). Use math.Inf for unbounded sides.
+type Problem struct {
+	C    []float64
+	Cons []Constraint
+	Lo   []float64
+	Hi   []float64
+
+	names []string
+}
+
+// NewProblem creates a problem with n variables, default bounds [0, ∞).
+func NewProblem(n int) *Problem {
+	p := &Problem{
+		C:     make([]float64, n),
+		Lo:    make([]float64, n),
+		Hi:    make([]float64, n),
+		names: make([]string, n),
+	}
+	for i := range p.Hi {
+		p.Hi[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.C) }
+
+// AddVar appends a variable with the given objective coefficient and bounds,
+// returning its index.
+func (p *Problem) AddVar(c, lo, hi float64, name string) int {
+	p.C = append(p.C, c)
+	p.Lo = append(p.Lo, lo)
+	p.Hi = append(p.Hi, hi)
+	p.names = append(p.names, name)
+	return len(p.C) - 1
+}
+
+// VarName returns the variable's name (may be empty).
+func (p *Problem) VarName(i int) string { return p.names[i] }
+
+// AddConstraint appends a constraint and returns its index.
+func (p *Problem) AddConstraint(entries []Entry, sense Sense, rhs float64, name string) int {
+	p.Cons = append(p.Cons, Constraint{Entries: entries, Sense: sense, RHS: rhs, Name: name})
+	return len(p.Cons) - 1
+}
+
+// Validate checks index ranges and bound consistency.
+func (p *Problem) Validate() error {
+	n := p.NumVars()
+	if len(p.Lo) != n || len(p.Hi) != n {
+		return fmt.Errorf("lp: bounds length %d/%d vs %d vars", len(p.Lo), len(p.Hi), n)
+	}
+	for i := 0; i < n; i++ {
+		if p.Lo[i] > p.Hi[i] {
+			return fmt.Errorf("lp: variable %d has Lo %g > Hi %g", i, p.Lo[i], p.Hi[i])
+		}
+		if math.IsInf(p.Lo[i], -1) && math.IsInf(p.Hi[i], 1) {
+			continue
+		}
+	}
+	for k, con := range p.Cons {
+		for _, e := range con.Entries {
+			if e.Index < 0 || e.Index >= n {
+				return fmt.Errorf("lp: constraint %d (%s) references variable %d of %d", k, con.Name, e.Index, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Objective evaluates cᵀx.
+func (p *Problem) Objective(x []float64) float64 {
+	var s float64
+	for i, c := range p.C {
+		s += c * x[i]
+	}
+	return s
+}
+
+// MaxViolation returns the largest constraint or bound violation of x.
+func (p *Problem) MaxViolation(x []float64) float64 {
+	var v float64
+	for i := range x {
+		if d := p.Lo[i] - x[i]; d > v {
+			v = d
+		}
+		if d := x[i] - p.Hi[i]; d > v {
+			v = d
+		}
+	}
+	for _, con := range p.Cons {
+		var s float64
+		for _, e := range con.Entries {
+			s += e.Val * x[e.Index]
+		}
+		var d float64
+		switch con.Sense {
+		case LE:
+			d = s - con.RHS
+		case GE:
+			d = con.RHS - s
+		case EQ:
+			d = math.Abs(s - con.RHS)
+		}
+		if d > v {
+			v = d
+		}
+	}
+	return v
+}
+
+// Standard is an LP in standard form: minimize cᵀx s.t. Ax = b, x ≥ 0,
+// together with the mapping needed to recover the original variables.
+type Standard struct {
+	C []float64
+	A *SparseMatrix
+	B []float64
+
+	// Recovery mapping: original x_i = Shift_i + x_std[Pos_i] − x_std[Neg_i]
+	// (Neg_i = −1 when the variable was not split).
+	Shift []float64
+	Pos   []int
+	Neg   []int
+
+	// RowOrigin maps each standard-form row to its source: a value k ≥ 0 is
+	// original constraint index k; a value −1−v is the upper-bound row of
+	// original variable v. Structured backends (package staircase) use this
+	// to partition rows into time blocks.
+	RowOrigin []int
+}
+
+// ToStandard converts the general-form problem to standard form.
+//
+//   - a variable with finite Lo is shifted so its lower bound becomes 0;
+//   - a variable with finite Hi gains a row  x' + slack = Hi − Lo;
+//   - a free variable (both bounds infinite) is split x = x⁺ − x⁻;
+//   - ≤ / ≥ rows gain slack / surplus variables.
+func (p *Problem) ToStandard() (*Standard, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumVars()
+	std := &Standard{
+		Shift: make([]float64, n),
+		Pos:   make([]int, n),
+		Neg:   make([]int, n),
+	}
+	// Assign standard-form columns to original variables.
+	next := 0
+	type ubRow struct {
+		col     int
+		origVar int
+		rhs     float64
+	}
+	var ubRows []ubRow
+	for i := 0; i < n; i++ {
+		lo, hi := p.Lo[i], p.Hi[i]
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			std.Pos[i] = next
+			std.Neg[i] = next + 1
+			next += 2
+		case math.IsInf(lo, -1):
+			// (−∞, hi]: substitute x = hi − x', x' ≥ 0.
+			// Handled via shift = hi and a negated column.
+			std.Pos[i] = -2 - next // sentinel: negated column stored as −2−col
+			std.Shift[i] = hi
+			std.Neg[i] = -1
+			next++
+		default:
+			std.Pos[i] = next
+			std.Neg[i] = -1
+			std.Shift[i] = lo
+			next++
+			if !math.IsInf(hi, 1) {
+				ubRows = append(ubRows, ubRow{col: next - 1, origVar: i, rhs: hi - lo})
+			}
+		}
+	}
+	numStructCols := next
+	// Count slack columns: one per ≤/≥ row plus one per upper-bound row.
+	numSlacks := len(ubRows)
+	for _, con := range p.Cons {
+		if con.Sense != EQ {
+			numSlacks++
+		}
+	}
+	total := numStructCols + numSlacks
+	rows := len(p.Cons) + len(ubRows)
+	a := NewSparseMatrix(rows, total)
+	b := make([]float64, rows)
+	c := make([]float64, total)
+
+	// colOf returns (column, sign) for original variable i.
+	colOf := func(i int) (int, float64, int) {
+		if std.Pos[i] <= -2 {
+			return -2 - std.Pos[i], -1, -1
+		}
+		return std.Pos[i], 1, std.Neg[i]
+	}
+
+	for i := 0; i < n; i++ {
+		col, sign, neg := colOf(i)
+		c[col] += sign * p.C[i]
+		if neg >= 0 {
+			c[neg] -= p.C[i]
+		}
+	}
+
+	slack := numStructCols
+	for r, con := range p.Cons {
+		rhs := con.RHS
+		for _, e := range con.Entries {
+			col, sign, neg := colOf(e.Index)
+			a.Append(r, col, sign*e.Val)
+			if neg >= 0 {
+				a.Append(r, neg, -e.Val)
+			}
+			rhs -= e.Val * std.Shift[e.Index]
+		}
+		switch con.Sense {
+		case LE:
+			a.Append(r, slack, 1)
+			slack++
+		case GE:
+			a.Append(r, slack, -1)
+			slack++
+		}
+		b[r] = rhs
+	}
+	for k, ub := range ubRows {
+		r := len(p.Cons) + k
+		a.Append(r, ub.col, 1)
+		a.Append(r, slack, 1)
+		slack++
+		b[r] = ub.rhs
+	}
+	a.Canonicalize()
+	std.C = c
+	std.A = a
+	std.B = b
+	std.RowOrigin = make([]int, rows)
+	for r := range p.Cons {
+		std.RowOrigin[r] = r
+	}
+	for k, ub := range ubRows {
+		std.RowOrigin[len(p.Cons)+k] = -1 - ub.origVar
+	}
+	return std, nil
+}
+
+// Recover maps a standard-form solution back to original variables.
+func (s *Standard) Recover(xStd []float64) []float64 {
+	n := len(s.Shift)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if s.Pos[i] <= -2 {
+			x[i] = s.Shift[i] - xStd[-2-s.Pos[i]]
+			continue
+		}
+		x[i] = s.Shift[i] + xStd[s.Pos[i]]
+		if s.Neg[i] >= 0 {
+			x[i] -= xStd[s.Neg[i]]
+		}
+	}
+	return x
+}

@@ -1,0 +1,136 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToStandardDefaultBounds(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{1, 2}
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 5, "cap")
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 structural + 1 slack.
+	if len(std.C) != 3 || std.A.M != 1 {
+		t.Fatalf("standard form dims: %d vars, %d rows", len(std.C), std.A.M)
+	}
+	x := std.Recover([]float64{1, 2, 2})
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatalf("Recover = %v", x)
+	}
+}
+
+func TestToStandardShiftedLowerBound(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.Lo[0] = 3
+	p.AddConstraint([]Entry{{0, 1}}, LE, 10, "")
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constraint RHS should have been shifted: x' + slack = 7.
+	if std.B[0] != 7 {
+		t.Fatalf("shifted RHS = %v", std.B[0])
+	}
+	x := std.Recover([]float64{2, 0})
+	if x[0] != 5 {
+		t.Fatalf("Recover shifted var = %v", x[0])
+	}
+}
+
+func TestToStandardFreeVariableSplit(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.Lo[0] = math.Inf(-1)
+	p.AddConstraint([]Entry{{0, 1}}, EQ, -4, "")
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(std.C) != 2 {
+		t.Fatalf("expected split into 2 columns, got %d", len(std.C))
+	}
+	x := std.Recover([]float64{1, 5})
+	if x[0] != -4 {
+		t.Fatalf("Recover split var = %v", x[0])
+	}
+}
+
+func TestToStandardUpperBoundedFromBelowInf(t *testing.T) {
+	// (−∞, 4]: x = 4 − x'.
+	p := NewProblem(1)
+	p.C = []float64{-1}
+	p.Lo[0] = math.Inf(-1)
+	p.Hi[0] = 4
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := std.Recover([]float64{1})
+	if x[0] != 3 {
+		t.Fatalf("Recover negated var = %v", x[0])
+	}
+}
+
+func TestToStandardBoxBound(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.Lo[0] = 1
+	p.Hi[0] = 3
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One upper-bound row: x' + slack = 2.
+	if std.A.M != 1 || std.B[0] != 2 {
+		t.Fatalf("box-bound row: m=%d b=%v", std.A.M, std.B)
+	}
+}
+
+func TestValidateRejectsBadBoundsAndIndices(t *testing.T) {
+	p := NewProblem(1)
+	p.Lo[0] = 2
+	p.Hi[0] = 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("Lo>Hi accepted")
+	}
+	p2 := NewProblem(1)
+	p2.AddConstraint([]Entry{{3, 1}}, LE, 0, "bad")
+	if err := p2.Validate(); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestMaxViolation(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 4, "cover")
+	p.Hi[0] = 1
+	x := []float64{2, 1} // violates Hi[0] by 1 and GE by 1
+	if v := p.MaxViolation(x); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("MaxViolation = %v", v)
+	}
+	x2 := []float64{1, 3}
+	if v := p.MaxViolation(x2); v != 0 {
+		t.Fatalf("feasible point has violation %v", v)
+	}
+}
+
+func TestAddVarAndNames(t *testing.T) {
+	p := NewProblem(0)
+	i := p.AddVar(2, 0, 5, "x0")
+	if i != 0 || p.VarName(0) != "x0" || p.C[0] != 2 || p.Hi[0] != 5 {
+		t.Fatal("AddVar bookkeeping wrong")
+	}
+}
+
+func TestObjective(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{2, -1}
+	if p.Objective([]float64{3, 4}) != 2 {
+		t.Fatal("Objective wrong")
+	}
+}

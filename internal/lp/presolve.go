@@ -1,0 +1,148 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Presolved is the outcome of Presolve: a reduced problem plus the mapping
+// needed to re-inflate its solutions.
+type Presolved struct {
+	Prob *Problem
+
+	// fixed[i] ≥ 0 means original variable i was fixed at that value;
+	// keptCol[i] is its column in the reduced problem (−1 when fixed).
+	fixedVal []float64
+	isFixed  []bool
+	keptCol  []int
+	origN    int
+}
+
+// ErrPresolveInfeasible is returned when presolve proves infeasibility.
+var ErrPresolveInfeasible = fmt.Errorf("lp: presolve detected infeasibility")
+
+// Presolve applies safe, loss-free reductions to a general-form problem:
+//
+//   - variables with Lo = Hi are fixed and substituted into every
+//     constraint (their cost becomes a constant, dropped from the reduced
+//     objective — Restore re-accounts it);
+//   - zero coefficients are removed;
+//   - constraints with no remaining variables are checked against their
+//     RHS: trivially true rows are dropped, violated ones prove
+//     infeasibility.
+//
+// The reduced problem is solved with any solver in this package; Restore
+// maps its solution back to the original variable space.
+func Presolve(p *Problem) (*Presolved, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumVars()
+	ps := &Presolved{
+		fixedVal: make([]float64, n),
+		isFixed:  make([]bool, n),
+		keptCol:  make([]int, n),
+		origN:    n,
+	}
+	kept := 0
+	for i := 0; i < n; i++ {
+		if p.Lo[i] == p.Hi[i] {
+			ps.isFixed[i] = true
+			ps.fixedVal[i] = p.Lo[i]
+			ps.keptCol[i] = -1
+			continue
+		}
+		ps.keptCol[i] = kept
+		kept++
+	}
+	red := NewProblem(kept)
+	for i := 0; i < n; i++ {
+		if c := ps.keptCol[i]; c >= 0 {
+			red.C[c] = p.C[i]
+			red.Lo[c] = p.Lo[i]
+			red.Hi[c] = p.Hi[i]
+		}
+	}
+	for _, con := range p.Cons {
+		var es []Entry
+		rhs := con.RHS
+		for _, e := range con.Entries {
+			if e.Val == 0 {
+				continue
+			}
+			if ps.isFixed[e.Index] {
+				rhs -= e.Val * ps.fixedVal[e.Index]
+				continue
+			}
+			es = append(es, Entry{Index: ps.keptCol[e.Index], Val: e.Val})
+		}
+		if len(es) == 0 {
+			// Constant constraint: check it.
+			ok := true
+			switch con.Sense {
+			case LE:
+				ok = rhs >= -1e-12
+			case GE:
+				ok = rhs <= 1e-12
+			case EQ:
+				ok = math.Abs(rhs) <= 1e-12
+			}
+			if !ok {
+				return nil, fmt.Errorf("%w: constraint %q reduces to 0 %v %g",
+					ErrPresolveInfeasible, con.Name, con.Sense, rhs)
+			}
+			continue
+		}
+		red.AddConstraint(es, con.Sense, rhs, con.Name)
+	}
+	ps.Prob = red
+	return ps, nil
+}
+
+// Restore maps a reduced-space solution back to the original variables.
+func (ps *Presolved) Restore(xRed []float64) []float64 {
+	x := make([]float64, ps.origN)
+	for i := 0; i < ps.origN; i++ {
+		if ps.isFixed[i] {
+			x[i] = ps.fixedVal[i]
+		} else {
+			x[i] = xRed[ps.keptCol[i]]
+		}
+	}
+	return x
+}
+
+// NumFixed reports how many variables presolve eliminated.
+func (ps *Presolved) NumFixed() int {
+	n := 0
+	for _, f := range ps.isFixed {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// SolvePresolved presolves, solves the reduction with the interior-point
+// method, and restores the solution (objective evaluated in original space).
+func SolvePresolved(p *Problem, opts Options) (*GeneralSolution, error) {
+	ps, err := Presolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Prob.NumVars() == 0 {
+		// Everything fixed: the point is feasible iff no constant row
+		// failed above.
+		x := ps.Restore(nil)
+		return &GeneralSolution{Status: Optimal, X: x, Obj: p.Objective(x)}, nil
+	}
+	sol, err := Solve(ps.Prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != Optimal {
+		return &GeneralSolution{Status: sol.Status}, nil
+	}
+	x := ps.Restore(sol.X)
+	return &GeneralSolution{Status: Optimal, X: x, Obj: p.Objective(x), Iters: sol.Iters}, nil
+}

@@ -1,0 +1,108 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPresolveFixesVariables(t *testing.T) {
+	p := NewProblem(3)
+	p.C = []float64{1, 2, 3}
+	p.Lo[1], p.Hi[1] = 4, 4 // fixed at 4
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}, {2, 1}}, GE, 10, "")
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumFixed() != 1 || ps.Prob.NumVars() != 2 {
+		t.Fatalf("fixed=%d vars=%d", ps.NumFixed(), ps.Prob.NumVars())
+	}
+	// The constraint RHS must have absorbed the fixed value: x0 + x2 ≥ 6.
+	if ps.Prob.Cons[0].RHS != 6 {
+		t.Fatalf("reduced RHS = %v", ps.Prob.Cons[0].RHS)
+	}
+	x := ps.Restore([]float64{1, 5})
+	if x[0] != 1 || x[1] != 4 || x[2] != 5 {
+		t.Fatalf("Restore = %v", x)
+	}
+}
+
+func TestPresolveDetectsInfeasibleConstantRow(t *testing.T) {
+	p := NewProblem(1)
+	p.Lo[0], p.Hi[0] = 2, 2
+	p.AddConstraint([]Entry{{0, 1}}, GE, 5, "")
+	_, err := Presolve(p)
+	if !errors.Is(err, ErrPresolveInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPresolveDropsTrueConstantRow(t *testing.T) {
+	p := NewProblem(2)
+	p.Lo[0], p.Hi[0] = 2, 2
+	p.AddConstraint([]Entry{{0, 1}}, LE, 5, "trivial")
+	p.AddConstraint([]Entry{{1, 1}}, GE, 1, "real")
+	ps, err := Presolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Prob.Cons) != 1 || ps.Prob.Cons[0].Name != "real" {
+		t.Fatalf("constraints = %+v", ps.Prob.Cons)
+	}
+}
+
+func TestSolvePresolvedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(240))
+	for trial := 0; trial < 20; trial++ {
+		p := randGeneralProblem(rng)
+		for i := range p.Hi {
+			if math.IsInf(p.Hi[i], 1) {
+				p.Hi[i] = 7
+			}
+			if math.IsInf(p.Lo[i], -1) {
+				p.Lo[i] = -7
+			}
+		}
+		// Fix a random subset of variables.
+		for i := range p.Lo {
+			if rng.Float64() < 0.3 {
+				v := p.Lo[i] + rng.Float64()*(p.Hi[i]-p.Lo[i])
+				p.Lo[i], p.Hi[i] = v, v
+			}
+		}
+		direct, err1 := Solve(p, Options{MaxIter: 80})
+		pre, err2 := SolvePresolved(p, Options{MaxIter: 80})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if direct.Status != pre.Status {
+			// Presolve can legitimately be more decisive (e.g. proving
+			// infeasibility); only a disagreement between two optima is a bug.
+			if direct.Status == Optimal && pre.Status == Optimal {
+				t.Fatalf("trial %d: status %v vs %v", trial, direct.Status, pre.Status)
+			}
+			continue
+		}
+		if direct.Status == Optimal &&
+			math.Abs(direct.Obj-pre.Obj) > 1e-4*(1+math.Abs(direct.Obj)) {
+			t.Fatalf("trial %d: direct %v vs presolved %v", trial, direct.Obj, pre.Obj)
+		}
+	}
+}
+
+func TestSolvePresolvedAllFixed(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{3, 4}
+	p.Lo[0], p.Hi[0] = 1, 1
+	p.Lo[1], p.Hi[1] = 2, 2
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 5, "")
+	sol, err := SolvePresolved(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Obj != 11 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}

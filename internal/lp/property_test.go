@@ -1,0 +1,174 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randGeneralProblem builds a random general-form LP with a mix of bound
+// types and constraint senses.
+func randGeneralProblem(rng *rand.Rand) *Problem {
+	n := 1 + rng.Intn(6)
+	p := NewProblem(n)
+	for i := 0; i < n; i++ {
+		p.C[i] = rng.NormFloat64()
+		switch rng.Intn(4) {
+		case 0: // default [0, ∞)
+		case 1: // shifted lower bound
+			p.Lo[i] = rng.NormFloat64()
+			if p.Lo[i] > 0 {
+				p.Lo[i] = -p.Lo[i]
+			}
+		case 2: // box
+			p.Lo[i] = -rng.Float64()
+			p.Hi[i] = p.Lo[i] + 1 + rng.Float64()*5
+		case 3: // free
+			p.Lo[i] = math.Inf(-1)
+		}
+	}
+	rows := rng.Intn(4)
+	for r := 0; r < rows; r++ {
+		var es []Entry
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.6 {
+				es = append(es, Entry{i, rng.NormFloat64()})
+			}
+		}
+		if len(es) == 0 {
+			es = append(es, Entry{rng.Intn(n), 1})
+		}
+		p.AddConstraint(es, Sense(rng.Intn(3)), rng.NormFloat64(), "")
+	}
+	return p
+}
+
+// TestQuickStandardFormObjectiveConsistency: for any general problem and any
+// non-negative standard-form point, the standard objective plus the constant
+// cᵀ·shift equals the original objective of the recovered point.
+func TestQuickStandardFormObjectiveConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randGeneralProblem(r)
+		std, err := p.ToStandard()
+		if err != nil {
+			return false
+		}
+		xStd := make([]float64, len(std.C))
+		for i := range xStd {
+			xStd[i] = r.Float64() * 3
+		}
+		x := std.Recover(xStd)
+		var stdObj float64
+		for i, c := range std.C {
+			stdObj += c * xStd[i]
+		}
+		var shiftConst float64
+		for i := range p.C {
+			shiftConst += p.C[i] * std.Shift[i]
+		}
+		return math.Abs(stdObj+shiftConst-p.Objective(x)) < 1e-8*(1+math.Abs(p.Objective(x)))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStandardFormConstraintEquivalence: a standard-form point
+// satisfying Ax = b, x ≥ 0 recovers to a point satisfying the original
+// constraints and bounds. Points are produced by solving the LP, which
+// guarantees standard-form feasibility.
+func TestQuickStandardFormConstraintEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	checked := 0
+	for trial := 0; trial < 120 && checked < 40; trial++ {
+		p := randGeneralProblem(rng)
+		// Bound every variable so the LP cannot be unbounded.
+		for i := range p.Hi {
+			if math.IsInf(p.Hi[i], 1) {
+				p.Hi[i] = 10
+			}
+			if math.IsInf(p.Lo[i], -1) {
+				p.Lo[i] = -10
+			}
+		}
+		sol, err := Solve(p, Options{MaxIter: 80})
+		if err != nil || sol.Status != Optimal {
+			continue // infeasible random instance — fine
+		}
+		checked++
+		if v := p.MaxViolation(sol.X); v > 1e-5 {
+			t.Fatalf("trial %d: recovered solution violates by %v", trial, v)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d feasible instances sampled", checked)
+	}
+}
+
+// TestQuickRecoverBoundsRespected: Recover never lands a shifted or negated
+// variable outside its one-sided bound when the standard point is
+// non-negative.
+func TestQuickRecoverBoundsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	for trial := 0; trial < 150; trial++ {
+		p := randGeneralProblem(rng)
+		std, err := p.ToStandard()
+		if err != nil {
+			t.Fatal(err)
+		}
+		xStd := make([]float64, len(std.C))
+		for i := range xStd {
+			xStd[i] = rng.Float64() * 2
+		}
+		x := std.Recover(xStd)
+		for i := range x {
+			if !math.IsInf(p.Lo[i], -1) && x[i] < p.Lo[i]-1e-12 {
+				t.Fatalf("x[%d] = %v below Lo %v", i, x[i], p.Lo[i])
+			}
+			// Upper bounds are enforced by rows, not by Recover, except for
+			// the negated (−∞, hi] representation.
+			if math.IsInf(p.Lo[i], -1) && !math.IsInf(p.Hi[i], 1) && x[i] > p.Hi[i]+1e-12 {
+				t.Fatalf("negated x[%d] = %v above Hi %v", i, x[i], p.Hi[i])
+			}
+		}
+	}
+}
+
+// TestQuickSimplexAgreesWithIPM is a broader randomized cross-check than the
+// deterministic table-driven tests.
+func TestQuickSimplexAgreesWithIPM(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	agree := 0
+	for trial := 0; trial < 60; trial++ {
+		p := randGeneralProblem(rng)
+		for i := range p.Hi {
+			if math.IsInf(p.Hi[i], 1) {
+				p.Hi[i] = 8
+			}
+			if math.IsInf(p.Lo[i], -1) {
+				p.Lo[i] = -8
+			}
+		}
+		ipm, err1 := Solve(p, Options{MaxIter: 80})
+		spx, err2 := SolveSimplex(p, 0)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if ipm.Status == Optimal && spx.Status == Optimal {
+			agree++
+			if math.Abs(ipm.Obj-spx.Obj) > 1e-4*(1+math.Abs(spx.Obj)) {
+				t.Fatalf("trial %d: IPM %v vs simplex %v", trial, ipm.Obj, spx.Obj)
+			}
+		}
+		if ipm.Status == Optimal && spx.Status == Infeasible {
+			t.Fatalf("trial %d: IPM optimal but simplex infeasible", trial)
+		}
+	}
+	if agree < 10 {
+		t.Fatalf("only %d optimal instances sampled", agree)
+	}
+}

@@ -1,0 +1,205 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// SimplexSolve solves a standard-form LP (min cᵀx, Ax=b, x≥0) with a dense
+// two-phase tableau simplex using Bland's rule. It is intended for small
+// cross-check instances only; the interior-point solver is the production
+// path.
+func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
+	if maxIter <= 0 {
+		maxIter = 20000
+	}
+	m := std.A.M
+	n := len(std.C)
+	if n == 0 {
+		return nil, ErrEmptyProblem
+	}
+	// Dense copy with artificial variables: columns [x | artificials].
+	a := std.A.ToDense()
+	b := append([]float64(nil), std.B...)
+	// Ensure b ≥ 0 by flipping rows.
+	for r := 0; r < m; r++ {
+		if b[r] < 0 {
+			b[r] = -b[r]
+			row := a.Row(r)
+			for c := range row {
+				row[c] = -row[c]
+			}
+		}
+	}
+	total := n + m
+	// tableau rows: m constraint rows over `total` columns plus RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for r := 0; r < m; r++ {
+		tab[r] = make([]float64, total+1)
+		copy(tab[r], a.Row(r))
+		tab[r][n+r] = 1
+		tab[r][total] = b[r]
+		basis[r] = n + r
+	}
+
+	pivot := func(costs []float64, phase1 bool) (Status, error) {
+		for iter := 0; iter < maxIter; iter++ {
+			// Reduced costs: c_j − c_Bᵀ B⁻¹ A_j, maintained implicitly by
+			// recomputing from the tableau (costs row eliminated on the fly).
+			// Build z_j = Σ_r costs[basis[r]] * tab[r][j].
+			var enter = -1
+			for j := 0; j < total; j++ {
+				if phase1 && j >= n {
+					// Artificial columns may not re-enter in phase 1 once left?
+					// They may, but never profitably; skipping keeps Bland simple.
+				}
+				var z float64
+				for r := 0; r < m; r++ {
+					cb := costs[basis[r]]
+					if cb != 0 {
+						z += cb * tab[r][j]
+					}
+				}
+				red := costs[j] - z
+				if red < -1e-9 {
+					enter = j // Bland: first improving column
+					break
+				}
+			}
+			if enter < 0 {
+				return Optimal, nil
+			}
+			// Ratio test (Bland: smallest basis index on ties).
+			leave := -1
+			best := math.Inf(1)
+			for r := 0; r < m; r++ {
+				if tab[r][enter] > 1e-11 {
+					ratio := tab[r][total] / tab[r][enter]
+					if ratio < best-1e-12 || (math.Abs(ratio-best) <= 1e-12 && (leave < 0 || basis[r] < basis[leave])) {
+						best = ratio
+						leave = r
+					}
+				}
+			}
+			if leave < 0 {
+				return Unbounded, nil
+			}
+			// Pivot.
+			pv := tab[leave][enter]
+			rowL := tab[leave]
+			for j := range rowL {
+				rowL[j] /= pv
+			}
+			for r := 0; r < m; r++ {
+				if r == leave {
+					continue
+				}
+				f := tab[r][enter]
+				if f == 0 {
+					continue
+				}
+				rowR := tab[r]
+				for j := range rowR {
+					rowR[j] -= f * rowL[j]
+				}
+			}
+			basis[leave] = enter
+		}
+		return IterationLimit, errors.New("lp: simplex iteration limit")
+	}
+
+	// Phase 1: minimize sum of artificials.
+	costs1 := make([]float64, total)
+	for j := n; j < total; j++ {
+		costs1[j] = 1
+	}
+	st, err := pivot(costs1, true)
+	if err != nil {
+		return &Solution{Status: st}, err
+	}
+	// Phase-1 objective value.
+	var art float64
+	for r := 0; r < m; r++ {
+		if basis[r] >= n {
+			art += tab[r][total]
+		}
+	}
+	if art > 1e-7 {
+		return &Solution{Status: Infeasible}, nil
+	}
+	// Drive remaining artificial basics out if possible (degenerate rows).
+	for r := 0; r < m; r++ {
+		if basis[r] < n {
+			continue
+		}
+		replaced := false
+		for j := 0; j < n && !replaced; j++ {
+			if math.Abs(tab[r][j]) > 1e-9 {
+				pv := tab[r][j]
+				rowR := tab[r]
+				for k := range rowR {
+					rowR[k] /= pv
+				}
+				for r2 := 0; r2 < m; r2++ {
+					if r2 == r {
+						continue
+					}
+					f := tab[r2][j]
+					if f == 0 {
+						continue
+					}
+					for k := range tab[r2] {
+						tab[r2][k] -= f * rowR[k]
+					}
+				}
+				basis[r] = j
+				replaced = true
+			}
+		}
+		// If the row is all-zero over structural columns it is redundant;
+		// leave the artificial basic at value 0.
+	}
+
+	// Phase 2.
+	costs2 := make([]float64, total)
+	copy(costs2, std.C)
+	for j := n; j < total; j++ {
+		costs2[j] = 1e30 // forbid artificials
+	}
+	st, err = pivot(costs2, false)
+	if err != nil {
+		return &Solution{Status: st}, err
+	}
+	if st != Optimal {
+		return &Solution{Status: st}, nil
+	}
+	x := make([]float64, n)
+	for r := 0; r < m; r++ {
+		if basis[r] < n {
+			x[basis[r]] = tab[r][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += std.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+// SolveSimplex solves a general-form problem with the simplex cross-checker.
+func SolveSimplex(p *Problem, maxIter int) (*GeneralSolution, error) {
+	std, err := p.ToStandard()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := SimplexSolve(std, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != Optimal {
+		return &GeneralSolution{Status: sol.Status}, nil
+	}
+	x := std.Recover(sol.X)
+	return &GeneralSolution{Status: Optimal, X: x, Obj: p.Objective(x)}, nil
+}

@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"fmt"
+	"sort"
+
+	"soral/internal/linalg"
+)
+
+// Entry is one nonzero coefficient of a sparse row or column.
+type Entry struct {
+	Index int     // column (in a row) or row (in a column)
+	Val   float64 // coefficient
+}
+
+// SparseMatrix is a sparse matrix stored by rows, with an optional
+// column-wise view built on demand for normal-equation assembly.
+type SparseMatrix struct {
+	M, N int
+	Rows [][]Entry
+
+	cols [][]Entry // lazily built column view
+}
+
+// NewSparseMatrix allocates an m×n sparse matrix with empty rows.
+func NewSparseMatrix(m, n int) *SparseMatrix {
+	return &SparseMatrix{M: m, N: n, Rows: make([][]Entry, m)}
+}
+
+// Append adds a coefficient to row r. Duplicate columns in one row are
+// allowed and are summed by Canonicalize.
+func (a *SparseMatrix) Append(r, c int, v float64) {
+	if r < 0 || r >= a.M || c < 0 || c >= a.N {
+		panic(fmt.Sprintf("lp: Append(%d,%d) out of %dx%d", r, c, a.M, a.N))
+	}
+	if v == 0 {
+		return
+	}
+	a.Rows[r] = append(a.Rows[r], Entry{Index: c, Val: v})
+	a.cols = nil
+}
+
+// Canonicalize sorts every row by column and merges duplicate entries.
+func (a *SparseMatrix) Canonicalize() {
+	for r, row := range a.Rows {
+		if len(row) < 2 {
+			continue
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i].Index < row[j].Index })
+		out := row[:0]
+		for _, e := range row {
+			if n := len(out); n > 0 && out[n-1].Index == e.Index {
+				out[n-1].Val += e.Val
+			} else {
+				out = append(out, e)
+			}
+		}
+		a.Rows[r] = out
+	}
+	a.cols = nil
+}
+
+// Cols returns (building if necessary) the column-wise view.
+func (a *SparseMatrix) Cols() [][]Entry {
+	if a.cols == nil {
+		cols := make([][]Entry, a.N)
+		for r, row := range a.Rows {
+			for _, e := range row {
+				cols[e.Index] = append(cols[e.Index], Entry{Index: r, Val: e.Val})
+			}
+		}
+		a.cols = cols
+	}
+	return a.cols
+}
+
+// MulVec computes dst = A·x.
+func (a *SparseMatrix) MulVec(dst, x []float64) {
+	if len(x) != a.N || len(dst) != a.M {
+		panic("lp: SparseMatrix.MulVec dimension mismatch")
+	}
+	for r, row := range a.Rows {
+		var s float64
+		for _, e := range row {
+			s += e.Val * x[e.Index]
+		}
+		dst[r] = s
+	}
+}
+
+// MulVecTrans computes dst = Aᵀ·x.
+func (a *SparseMatrix) MulVecTrans(dst, x []float64) {
+	if len(x) != a.M || len(dst) != a.N {
+		panic("lp: SparseMatrix.MulVecTrans dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r, row := range a.Rows {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for _, e := range row {
+			dst[e.Index] += e.Val * xr
+		}
+	}
+}
+
+// NNZ returns the number of stored nonzeros.
+func (a *SparseMatrix) NNZ() int {
+	n := 0
+	for _, row := range a.Rows {
+		n += len(row)
+	}
+	return n
+}
+
+// ToDense expands the matrix for debugging and small-problem cross-checks.
+func (a *SparseMatrix) ToDense() *linalg.Dense {
+	d := linalg.NewDense(a.M, a.N)
+	for r, row := range a.Rows {
+		for _, e := range row {
+			d.Add(r, e.Index, e.Val)
+		}
+	}
+	return d
+}
+
+// AssembleNormal accumulates A·diag(d)·Aᵀ into the dense matrix dst
+// (which must be M×M and is zeroed first).
+func (a *SparseMatrix) AssembleNormal(dst *linalg.Dense, d []float64) {
+	if dst.Rows != a.M || dst.Cols != a.M || len(d) != a.N {
+		panic("lp: AssembleNormal dimension mismatch")
+	}
+	dst.Zero()
+	// Column-wise outer-product accumulation.
+	for c, col := range a.Cols() {
+		w := d[c]
+		if w == 0 || len(col) == 0 {
+			continue
+		}
+		for i := 0; i < len(col); i++ {
+			vi := col[i].Val * w
+			ri := col[i].Index
+			row := dst.Row(ri)
+			for j := 0; j < len(col); j++ {
+				row[col[j].Index] += vi * col[j].Val
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/linalg"
+)
+
+func randSparse(rng *rand.Rand, m, n int, density float64) *SparseMatrix {
+	a := NewSparseMatrix(m, n)
+	for r := 0; r < m; r++ {
+		for c := 0; c < n; c++ {
+			if rng.Float64() < density {
+				a.Append(r, c, rng.NormFloat64())
+			}
+		}
+	}
+	return a
+}
+
+func TestSparseAppendCanonicalize(t *testing.T) {
+	a := NewSparseMatrix(2, 3)
+	a.Append(0, 2, 1)
+	a.Append(0, 0, 2)
+	a.Append(0, 2, 3) // duplicate, should merge to 4
+	a.Append(0, 1, 0) // zero, dropped
+	a.Canonicalize()
+	row := a.Rows[0]
+	if len(row) != 2 || row[0].Index != 0 || row[0].Val != 2 || row[1].Index != 2 || row[1].Val != 4 {
+		t.Fatalf("canonicalized row = %+v", row)
+	}
+}
+
+func TestSparseAppendPanics(t *testing.T) {
+	a := NewSparseMatrix(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Append(0, 5, 1)
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := randSparse(rng, m, n, 0.6)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, m)
+		a.MulVec(got, x)
+		want := make([]float64, m)
+		a.ToDense().MulVec(want, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatal("MulVec differs from dense")
+			}
+		}
+		// Transpose multiply.
+		xr := make([]float64, m)
+		for i := range xr {
+			xr[i] = rng.NormFloat64()
+		}
+		gt := make([]float64, n)
+		a.MulVecTrans(gt, xr)
+		wt := make([]float64, n)
+		a.ToDense().Transpose().MulVec(wt, xr)
+		for i := range gt {
+			if math.Abs(gt[i]-wt[i]) > 1e-12 {
+				t.Fatal("MulVecTrans differs from dense")
+			}
+		}
+	}
+}
+
+func TestAssembleNormalMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		m, n := 1+rng.Intn(6), 1+rng.Intn(9)
+		a := randSparse(rng, m, n, 0.5)
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = rng.Float64() + 0.1
+		}
+		got := linalg.NewDense(m, m)
+		a.AssembleNormal(got, d)
+
+		ad := a.ToDense()
+		want := linalg.NewDense(m, m)
+		linalg.SymRankKUpdate(want, ad.Transpose(), d)
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-10 {
+				t.Fatalf("AssembleNormal mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestSparseNNZ(t *testing.T) {
+	a := NewSparseMatrix(2, 2)
+	a.Append(0, 0, 1)
+	a.Append(1, 1, 2)
+	a.Append(1, 0, 3)
+	if a.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", a.NNZ())
+	}
+}
+
+func TestColsViewInvalidatedByAppend(t *testing.T) {
+	a := NewSparseMatrix(2, 2)
+	a.Append(0, 0, 1)
+	cols := a.Cols()
+	if len(cols[0]) != 1 {
+		t.Fatal("cols wrong")
+	}
+	a.Append(1, 0, 2)
+	cols = a.Cols()
+	if len(cols[0]) != 2 {
+		t.Fatal("cols view not rebuilt after Append")
+	}
+}

@@ -1,0 +1,104 @@
+package model
+
+// CostBreakdown separates a cost total into the paper's components.
+type CostBreakdown struct {
+	AllocT2  float64 // Σ a_it·x   (part of F2)
+	AllocNet float64 // Σ c_ij·y   (part of F12)
+	AllocT1  float64 // Σ e_jt·z   (part of F1, optional)
+
+	ReconfT2  float64 // Σ b_i·[ΔΣx]⁺   (part of F2)
+	ReconfNet float64 // Σ d_ij·[Δy]⁺   (part of F12)
+	ReconfT1  float64 // Σ f_j·[ΔΣz]⁺   (part of F1, optional)
+}
+
+// Total returns the sum of all components (the objective F1+F12+F2).
+func (c CostBreakdown) Total() float64 {
+	return c.AllocT2 + c.AllocNet + c.AllocT1 + c.ReconfT2 + c.ReconfNet + c.ReconfT1
+}
+
+// Allocation returns the operating-cost part.
+func (c CostBreakdown) Allocation() float64 { return c.AllocT2 + c.AllocNet + c.AllocT1 }
+
+// Reconfiguration returns the switching-cost part.
+func (c CostBreakdown) Reconfiguration() float64 { return c.ReconfT2 + c.ReconfNet + c.ReconfT1 }
+
+func (c *CostBreakdown) add(o CostBreakdown) {
+	c.AllocT2 += o.AllocT2
+	c.AllocNet += o.AllocNet
+	c.AllocT1 += o.AllocT1
+	c.ReconfT2 += o.ReconfT2
+	c.ReconfNet += o.ReconfNet
+	c.ReconfT1 += o.ReconfT1
+}
+
+// Accountant computes the exact P1 objective for decision sequences, so
+// every algorithm in the library is scored identically.
+type Accountant struct {
+	Net *Network
+	In  *Inputs
+}
+
+// SlotCost returns the cost contribution of slot t (0-based) for decision
+// cur following decision prev (prev is the all-zero decision for t = 0).
+func (a *Accountant) SlotCost(t int, prev, cur *Decision) CostBreakdown {
+	var c CostBreakdown
+	n := a.Net
+	// Allocation costs.
+	for p, pr := range n.Pairs {
+		c.AllocT2 += a.In.PriceT2[t][pr.I] * cur.X[p]
+		c.AllocNet += n.PriceNet[p] * cur.Y[p]
+		if n.Tier1 {
+			c.AllocT1 += a.In.PriceT1[t][pr.J] * cur.Z[p]
+		}
+	}
+	// Reconfiguration: tier-2 is charged on cloud-level aggregates,
+	// networks per link, tier-1 on cloud-level aggregates.
+	for i := 0; i < n.NumTier2; i++ {
+		if d := cur.GroupSumT2(n, i) - prev.GroupSumT2(n, i); d > 0 {
+			c.ReconfT2 += n.ReconfT2[i] * d
+		}
+	}
+	for p := range n.Pairs {
+		if d := cur.Y[p] - prev.Y[p]; d > 0 {
+			c.ReconfNet += n.ReconfNet[p] * d
+		}
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			if d := cur.GroupSumT1(n, j) - prev.GroupSumT1(n, j); d > 0 {
+				c.ReconfT1 += n.ReconfT1[j] * d
+			}
+		}
+	}
+	return c
+}
+
+// SequenceCost sums SlotCost over the whole sequence, starting from the
+// all-zero decision (or from `prev` when non-nil).
+func (a *Accountant) SequenceCost(seq []*Decision, prev *Decision) CostBreakdown {
+	if prev == nil {
+		prev = NewZeroDecision(a.Net)
+	}
+	var total CostBreakdown
+	for t, d := range seq {
+		total.add(a.SlotCost(t, prev, d))
+		prev = d
+	}
+	return total
+}
+
+// CumulativeCost returns the running total after each slot, useful for the
+// paper's cost-over-time plots (Fig. 5).
+func (a *Accountant) CumulativeCost(seq []*Decision, prev *Decision) []float64 {
+	if prev == nil {
+		prev = NewZeroDecision(a.Net)
+	}
+	out := make([]float64, len(seq))
+	var run float64
+	for t, d := range seq {
+		run += a.SlotCost(t, prev, d).Total()
+		out[t] = run
+		prev = d
+	}
+	return out
+}

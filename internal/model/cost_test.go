@@ -1,0 +1,114 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSlotCostHandComputed(t *testing.T) {
+	n := tinyNetwork(t, 5, 3) // b=5, d=3, c=1
+	in := &Inputs{T: 2, PriceT2: [][]float64{{2}, {2}}, Workload: [][]float64{{4}, {2}}}
+	acct := &Accountant{Net: n, In: in}
+	d0 := NewZeroDecision(n)
+	d1 := NewZeroDecision(n)
+	d1.X[0], d1.Y[0] = 4, 4
+	c := acct.SlotCost(0, d0, d1)
+	// alloc: a·x = 8, c·y = 4; reconfig: b·4 = 20, d·4 = 12.
+	if c.AllocT2 != 8 || c.AllocNet != 4 || c.ReconfT2 != 20 || c.ReconfNet != 12 {
+		t.Fatalf("breakdown = %+v", c)
+	}
+	if c.Total() != 44 || c.Allocation() != 12 || c.Reconfiguration() != 32 {
+		t.Fatalf("totals wrong: %+v", c)
+	}
+	// Decrease: no reconfiguration cost.
+	d2 := NewZeroDecision(n)
+	d2.X[0], d2.Y[0] = 2, 2
+	c2 := acct.SlotCost(1, d1, d2)
+	if c2.Reconfiguration() != 0 {
+		t.Fatalf("decrease charged reconfiguration: %+v", c2)
+	}
+	if c2.Total() != 2*2+1*2 {
+		t.Fatalf("slot-1 total = %v", c2.Total())
+	}
+}
+
+func TestReconfigurationOnGroupSums(t *testing.T) {
+	// Tier-2 reconfiguration is charged on Σ_j x_ij, not per pair: moving
+	// load between two tier-1 clouds served by the same tier-2 cloud with
+	// constant total is free.
+	n := twoByTwo(t, 7, 0)
+	in := &Inputs{T: 2, PriceT2: [][]float64{{0, 0}, {0, 0}}, Workload: [][]float64{{1, 1}, {1, 1}}}
+	acct := &Accountant{Net: n, In: in}
+	d1 := NewZeroDecision(n)
+	d1.X[0], d1.X[2] = 3, 1 // cloud 0 serves j=0:3, j=1:1 → sum 4
+	d2 := NewZeroDecision(n)
+	d2.X[0], d2.X[2] = 1, 3 // same sum 4
+	c := acct.SlotCost(1, d1, d2)
+	if c.ReconfT2 != 0 {
+		t.Fatalf("intra-cloud shuffle charged %v", c.ReconfT2)
+	}
+	// Increasing the sum by 2 charges b·2.
+	d3 := NewZeroDecision(n)
+	d3.X[0], d3.X[2] = 3, 3
+	c3 := acct.SlotCost(1, d1, d3)
+	if c3.ReconfT2 != 14 {
+		t.Fatalf("sum increase charged %v, want 14", c3.ReconfT2)
+	}
+}
+
+func TestSequenceCostMatchesManualSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	n := RandomNetwork(rng, 3, 4, 2, 5)
+	in := RandomInputs(rng, n, 6)
+	acct := &Accountant{Net: n, In: in}
+	seq := make([]*Decision, in.T)
+	for t2 := range seq {
+		d := NewZeroDecision(n)
+		for p := range d.X {
+			d.X[p] = rng.Float64() * 5
+			d.Y[p] = rng.Float64() * 5
+		}
+		seq[t2] = d
+	}
+	total := acct.SequenceCost(seq, nil)
+	var manual float64
+	prev := NewZeroDecision(n)
+	for t2, d := range seq {
+		manual += acct.SlotCost(t2, prev, d).Total()
+		prev = d
+	}
+	if math.Abs(total.Total()-manual) > 1e-9 {
+		t.Fatalf("SequenceCost %v vs manual %v", total.Total(), manual)
+	}
+	// Cumulative must end at the total and be non-decreasing.
+	cum := acct.CumulativeCost(seq, nil)
+	if math.Abs(cum[len(cum)-1]-manual) > 1e-9 {
+		t.Fatal("cumulative end differs from total")
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1]-1e-12 {
+			t.Fatal("cumulative cost decreased")
+		}
+	}
+}
+
+func TestTier1CostComponents(t *testing.T) {
+	n := tinyNetwork(t, 5, 3)
+	if err := n.EnableTier1([]float64{10}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{
+		T:        1,
+		PriceT2:  [][]float64{{0}},
+		Workload: [][]float64{{1}},
+		PriceT1:  [][]float64{{4}},
+	}
+	acct := &Accountant{Net: n, In: in}
+	d := NewZeroDecision(n)
+	d.Z[0] = 3
+	c := acct.SlotCost(0, NewZeroDecision(n), d)
+	if c.AllocT1 != 12 || c.ReconfT1 != 6 {
+		t.Fatalf("tier-1 components = %+v", c)
+	}
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decision is a resource allocation for one time slot: per-pair tier-2
+// compute X, network Y, and (when the tier-1 component is enabled) tier-1
+// compute Z.
+type Decision struct {
+	X []float64 // x_ij per pair
+	Y []float64 // y_ij per pair
+	Z []float64 // z_ij per pair; nil when tier-1 is disabled
+}
+
+// NewZeroDecision returns the all-zero decision used as the state before
+// the first slot (x_0 = y_0 = 0).
+func NewZeroDecision(n *Network) *Decision {
+	d := &Decision{
+		X: make([]float64, n.NumPairs()),
+		Y: make([]float64, n.NumPairs()),
+	}
+	if n.Tier1 {
+		d.Z = make([]float64, n.NumPairs())
+	}
+	return d
+}
+
+// Clone deep-copies the decision.
+func (d *Decision) Clone() *Decision {
+	c := &Decision{
+		X: append([]float64(nil), d.X...),
+		Y: append([]float64(nil), d.Y...),
+	}
+	if d.Z != nil {
+		c.Z = append([]float64(nil), d.Z...)
+	}
+	return c
+}
+
+// GroupSumT2 returns Σ_{j∈J_i} x_ijt for tier-2 cloud i.
+func (d *Decision) GroupSumT2(n *Network, i int) float64 {
+	var s float64
+	for _, p := range n.PairsOfI(i) {
+		s += d.X[p]
+	}
+	return s
+}
+
+// GroupSumT1 returns Σ_{i∈I_j} z_ijt for tier-1 cloud j.
+func (d *Decision) GroupSumT1(n *Network, j int) float64 {
+	var s float64
+	for _, p := range n.PairsOfJ(j) {
+		s += d.Z[p]
+	}
+	return s
+}
+
+// Validate checks dimensions and non-negativity.
+func (d *Decision) Validate(n *Network) error {
+	np := n.NumPairs()
+	if len(d.X) != np || len(d.Y) != np {
+		return fmt.Errorf("model: decision has %d/%d entries for %d pairs", len(d.X), len(d.Y), np)
+	}
+	if n.Tier1 && len(d.Z) != np {
+		return fmt.Errorf("model: tier-1 enabled but Z has %d entries", len(d.Z))
+	}
+	for p := 0; p < np; p++ {
+		if d.X[p] < 0 || d.Y[p] < 0 {
+			return fmt.Errorf("model: negative allocation at pair %d (x=%g y=%g)", p, d.X[p], d.Y[p])
+		}
+		if n.Tier1 && d.Z[p] < 0 {
+			return fmt.Errorf("model: negative tier-1 allocation at pair %d", p)
+		}
+	}
+	return nil
+}
+
+// FeasibleAt reports whether the decision satisfies the slot-t constraints
+// of P1 — coverage (1a)/(2a–2e) and capacities (1b)/(1c)/(1d) — within the
+// given absolute tolerance. It returns the worst violation found.
+func (d *Decision) FeasibleAt(n *Network, workload []float64, tol float64) (bool, float64) {
+	worst := 0.0
+	viol := func(v float64) {
+		if v > worst {
+			worst = v
+		}
+	}
+	// Coverage: Σ_{i∈I_j} min{x,y(,z)} ≥ λ_j.
+	for j := 0; j < n.NumTier1; j++ {
+		var s float64
+		for _, p := range n.PairsOfJ(j) {
+			m := math.Min(d.X[p], d.Y[p])
+			if n.Tier1 {
+				m = math.Min(m, d.Z[p])
+			}
+			s += m
+		}
+		viol(workload[j] - s)
+	}
+	// Tier-2 capacity: Σ_{j∈J_i} x ≤ C_i.
+	for i := 0; i < n.NumTier2; i++ {
+		viol(d.GroupSumT2(n, i) - n.CapT2[i])
+	}
+	// Network capacity: y ≤ B_ij.
+	for p := range d.Y {
+		viol(d.Y[p] - n.CapNet[p])
+	}
+	// Tier-1 capacity.
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			viol(d.GroupSumT1(n, j) - n.CapT1[j])
+		}
+	}
+	// Non-negativity.
+	for p := range d.X {
+		viol(-d.X[p])
+		viol(-d.Y[p])
+		if n.Tier1 {
+			viol(-d.Z[p])
+		}
+	}
+	return worst <= tol, worst
+}

@@ -1,0 +1,16 @@
+// Package model defines the paper's multi-tier cloud network resource
+// allocation problem: the two-tier network topology with SLA subsets
+// (Section II-A), the offline optimization problem P1 with allocation and
+// reconfiguration costs (Section II-B), exact cost accounting for arbitrary
+// decision sequences, and LP formulations of P1 over full horizons and
+// prediction windows (used by the offline optimum, the greedy one-shot
+// baseline, LCP-M, and the FHC/RHC/RFHC/RRHC controllers).
+//
+// Notation follows the paper: tier-2 clouds i ∈ I with capacity C_i,
+// time-varying operating price a_it and reconfiguration price b_i; tier-1
+// clouds j ∈ J; inter-tier networks with capacity B_ij, price c_ij and
+// reconfiguration price d_ij; SLA subsets I_j / J_i realized as an explicit
+// pair list; workload λ_jt at each tier-1 cloud. The optional tier-1
+// compute component (F1, z variables) that the paper factors out for
+// presentation is fully supported and switched on per network.
+package model

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"math/rand"
+)
+
+// RandomNetwork builds a random but always-valid two-tier network where each
+// tier-1 cloud is SLA-connected to k distinct tier-2 clouds. Capacities are
+// generous enough that RandomInputs workloads are always feasible. It is
+// used by property tests and synthetic examples across the repository.
+func RandomNetwork(rng *rand.Rand, numT2, numT1, k int, reconfWeight float64) *Network {
+	if k > numT2 {
+		k = numT2
+	}
+	var pairs []Pair
+	for j := 0; j < numT1; j++ {
+		perm := rng.Perm(numT2)
+		for _, i := range perm[:k] {
+			pairs = append(pairs, Pair{I: i, J: j})
+		}
+	}
+	// Capacity must cover the worst case where every attached tier-1 cloud
+	// routes its full peak (10) through this tier-2 cloud.
+	attached := make([]int, numT2)
+	for _, pr := range pairs {
+		attached[pr.I]++
+	}
+	capT2 := make([]float64, numT2)
+	reconfT2 := make([]float64, numT2)
+	for i := range capT2 {
+		capT2[i] = (12 + rng.Float64()*8) * float64(maxInt(1, attached[i]))
+		reconfT2[i] = reconfWeight * (0.5 + rng.Float64())
+	}
+	np := len(pairs)
+	capNet := make([]float64, np)
+	priceNet := make([]float64, np)
+	reconfNet := make([]float64, np)
+	for p := range pairs {
+		capNet[p] = 20 + rng.Float64()*20
+		priceNet[p] = 0.5 + rng.Float64()
+		reconfNet[p] = reconfWeight * (0.5 + rng.Float64())
+	}
+	n, err := NewNetwork(numT2, numT1, pairs, capT2, reconfT2, capNet, priceNet, reconfNet)
+	if err != nil {
+		panic("model: RandomNetwork produced invalid network: " + err.Error())
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RandomInputs builds T slots of smooth random prices and workloads
+// (workload per tier-1 cloud stays in [0, 10], guaranteed feasible against
+// RandomNetwork capacities).
+func RandomInputs(rng *rand.Rand, n *Network, T int) *Inputs {
+	in := &Inputs{
+		T:        T,
+		PriceT2:  make([][]float64, T),
+		Workload: make([][]float64, T),
+	}
+	if n.Tier1 {
+		in.PriceT1 = make([][]float64, T)
+	}
+	// Random-walk workloads and prices for temporal correlation.
+	lam := make([]float64, n.NumTier1)
+	for j := range lam {
+		lam[j] = 2 + rng.Float64()*6
+	}
+	price := make([]float64, n.NumTier2)
+	for i := range price {
+		price[i] = 1 + rng.Float64()*2
+	}
+	for t := 0; t < T; t++ {
+		in.PriceT2[t] = make([]float64, n.NumTier2)
+		in.Workload[t] = make([]float64, n.NumTier1)
+		for i := range price {
+			price[i] += rng.NormFloat64() * 0.1
+			if price[i] < 0.2 {
+				price[i] = 0.2
+			}
+			if price[i] > 5 {
+				price[i] = 5
+			}
+			in.PriceT2[t][i] = price[i]
+		}
+		for j := range lam {
+			lam[j] += rng.NormFloat64() * 0.8
+			if lam[j] < 0 {
+				lam[j] = 0
+			}
+			if lam[j] > 10 {
+				lam[j] = 10
+			}
+			in.Workload[t][j] = lam[j]
+		}
+		if n.Tier1 {
+			in.PriceT1[t] = make([]float64, n.NumTier1)
+			for j := range in.PriceT1[t] {
+				in.PriceT1[t][j] = 0.5 + rng.Float64()
+			}
+		}
+	}
+	return in
+}

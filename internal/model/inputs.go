@@ -1,0 +1,114 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inputs carries the time-varying side of a problem instance: operating
+// prices and workloads for T time slots (indexed 0..T−1; the paper's t=1..T).
+type Inputs struct {
+	T        int
+	PriceT2  [][]float64 // a_it: PriceT2[t][i]
+	Workload [][]float64 // λ_jt: Workload[t][j]
+	PriceT1  [][]float64 // tier-1 operating price (only when Network.Tier1)
+}
+
+// Validate checks shapes and non-negativity against the network.
+func (in *Inputs) Validate(n *Network) error {
+	if in.T <= 0 {
+		return fmt.Errorf("model: T = %d", in.T)
+	}
+	if len(in.PriceT2) != in.T || len(in.Workload) != in.T {
+		return fmt.Errorf("model: inputs have %d price rows and %d workload rows for T=%d",
+			len(in.PriceT2), len(in.Workload), in.T)
+	}
+	for t := 0; t < in.T; t++ {
+		if len(in.PriceT2[t]) != n.NumTier2 {
+			return fmt.Errorf("model: PriceT2[%d] has %d entries, want %d", t, len(in.PriceT2[t]), n.NumTier2)
+		}
+		if len(in.Workload[t]) != n.NumTier1 {
+			return fmt.Errorf("model: Workload[%d] has %d entries, want %d", t, len(in.Workload[t]), n.NumTier1)
+		}
+		for i, a := range in.PriceT2[t] {
+			if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("model: PriceT2[%d][%d] = %g", t, i, a)
+			}
+		}
+		for j, l := range in.Workload[t] {
+			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				return fmt.Errorf("model: Workload[%d][%d] = %g", t, j, l)
+			}
+		}
+	}
+	if n.Tier1 {
+		if len(in.PriceT1) != in.T {
+			return fmt.Errorf("model: tier-1 enabled but PriceT1 has %d rows", len(in.PriceT1))
+		}
+		for t := range in.PriceT1 {
+			if len(in.PriceT1[t]) != n.NumTier1 {
+				return fmt.Errorf("model: PriceT1[%d] has %d entries, want %d", t, len(in.PriceT1[t]), n.NumTier1)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckFeasibility verifies the three feasibility preconditions from
+// Section II-B:
+//
+//	Σ_{i∈I_j} B_ij ≥ λ_jt           (network capacity covers each workload)
+//	Σ_{i∈I_j} C_i ≥ ... and in aggregate Σ_i C_i ≥ Σ_j λ_jt
+//	C_j ≥ λ_jt when tier-1 compute is enabled
+//
+// It returns a descriptive error for the first violated condition.
+func (in *Inputs) CheckFeasibility(n *Network) error {
+	if err := in.Validate(n); err != nil {
+		return err
+	}
+	for t := 0; t < in.T; t++ {
+		var total float64
+		for j, lam := range in.Workload[t] {
+			total += lam
+			var bsum float64
+			for _, p := range n.PairsOfJ(j) {
+				bsum += n.CapNet[p]
+			}
+			if bsum < lam {
+				return fmt.Errorf("model: slot %d tier-1 cloud %d: Σ B_ij = %g < λ = %g", t, j, bsum, lam)
+			}
+			if n.Tier1 && n.CapT1[j] < lam {
+				return fmt.Errorf("model: slot %d tier-1 cloud %d: C_j = %g < λ = %g", t, j, n.CapT1[j], lam)
+			}
+		}
+		var csum float64
+		for _, c := range n.CapT2 {
+			csum += c
+		}
+		if csum < total {
+			return fmt.Errorf("model: slot %d: Σ C_i = %g < Σ λ = %g", t, csum, total)
+		}
+	}
+	return nil
+}
+
+// Window returns a shallow view of the inputs restricted to slots
+// [from, from+w), clamped to the horizon.
+func (in *Inputs) Window(from, w int) *Inputs {
+	if from < 0 || from >= in.T || w <= 0 {
+		return &Inputs{T: 0}
+	}
+	to := from + w
+	if to > in.T {
+		to = in.T
+	}
+	out := &Inputs{
+		T:        to - from,
+		PriceT2:  in.PriceT2[from:to],
+		Workload: in.Workload[from:to],
+	}
+	if in.PriceT1 != nil {
+		out.PriceT1 = in.PriceT1[from:to]
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk representation of a full problem instance.
+type instanceJSON struct {
+	NumTier2 int    `json:"numTier2"`
+	NumTier1 int    `json:"numTier1"`
+	Pairs    []Pair `json:"pairs"`
+
+	CapT2    []float64 `json:"capT2"`
+	ReconfT2 []float64 `json:"reconfT2"`
+
+	CapNet    []float64 `json:"capNet"`
+	PriceNet  []float64 `json:"priceNet"`
+	ReconfNet []float64 `json:"reconfNet"`
+
+	CapT1    []float64 `json:"capT1,omitempty"`
+	ReconfT1 []float64 `json:"reconfT1,omitempty"`
+
+	PriceT2  [][]float64 `json:"priceT2"`
+	PriceT1  [][]float64 `json:"priceT1,omitempty"`
+	Workload [][]float64 `json:"workload"`
+}
+
+// WriteInstance serializes a network and its inputs as JSON, so instances
+// can be exchanged with other tools or archived next to experiment results.
+func WriteInstance(w io.Writer, n *Network, in *Inputs) error {
+	if err := in.Validate(n); err != nil {
+		return err
+	}
+	doc := instanceJSON{
+		NumTier2: n.NumTier2, NumTier1: n.NumTier1, Pairs: n.Pairs,
+		CapT2: n.CapT2, ReconfT2: n.ReconfT2,
+		CapNet: n.CapNet, PriceNet: n.PriceNet, ReconfNet: n.ReconfNet,
+		PriceT2: in.PriceT2, Workload: in.Workload,
+	}
+	if n.Tier1 {
+		doc.CapT1 = n.CapT1
+		doc.ReconfT1 = n.ReconfT1
+		doc.PriceT1 = in.PriceT1
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadInstance parses an instance written by WriteInstance (or authored by
+// hand), validating it fully.
+func ReadInstance(r io.Reader) (*Network, *Inputs, error) {
+	var doc instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, nil, fmt.Errorf("model: parsing instance: %w", err)
+	}
+	n, err := NewNetwork(doc.NumTier2, doc.NumTier1, doc.Pairs,
+		doc.CapT2, doc.ReconfT2, doc.CapNet, doc.PriceNet, doc.ReconfNet)
+	if err != nil {
+		return nil, nil, err
+	}
+	if doc.CapT1 != nil || doc.ReconfT1 != nil {
+		if err := n.EnableTier1(doc.CapT1, doc.ReconfT1); err != nil {
+			return nil, nil, err
+		}
+	}
+	in := &Inputs{
+		T:        len(doc.Workload),
+		PriceT2:  doc.PriceT2,
+		PriceT1:  doc.PriceT1,
+		Workload: doc.Workload,
+	}
+	if err := in.Validate(n); err != nil {
+		return nil, nil, err
+	}
+	return n, in, nil
+}
+
+// WriteDecisions serializes a decision sequence as JSON (an array of
+// per-slot {x, y, z} objects).
+func WriteDecisions(w io.Writer, n *Network, seq []*Decision) error {
+	type decJSON struct {
+		X []float64 `json:"x"`
+		Y []float64 `json:"y"`
+		Z []float64 `json:"z,omitempty"`
+	}
+	out := make([]decJSON, len(seq))
+	for t, d := range seq {
+		if err := d.Validate(n); err != nil {
+			return fmt.Errorf("model: slot %d: %w", t, err)
+		}
+		out[t] = decJSON{X: d.X, Y: d.Y, Z: d.Z}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,93 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(250))
+	n := RandomNetwork(rng, 3, 4, 2, 10)
+	in := RandomInputs(rng, n, 5)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, n, in); err != nil {
+		t.Fatal(err)
+	}
+	n2, in2, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.NumTier2 != n.NumTier2 || n2.NumPairs() != n.NumPairs() {
+		t.Fatal("network shape lost")
+	}
+	for p := range n.Pairs {
+		if n2.Pairs[p] != n.Pairs[p] || n2.CapNet[p] != n.CapNet[p] {
+			t.Fatal("pair data lost")
+		}
+	}
+	for ts := range in.Workload {
+		for j := range in.Workload[ts] {
+			if in2.Workload[ts][j] != in.Workload[ts][j] {
+				t.Fatal("workload lost")
+			}
+		}
+	}
+}
+
+func TestInstanceJSONRoundTripTier1(t *testing.T) {
+	n := tinyNetwork(t, 5, 3)
+	if err := n.EnableTier1([]float64{10}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{
+		T:        1,
+		PriceT2:  [][]float64{{1}},
+		Workload: [][]float64{{4}},
+		PriceT1:  [][]float64{{2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, n, in); err != nil {
+		t.Fatal(err)
+	}
+	n2, in2, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n2.Tier1 || n2.CapT1[0] != 10 || in2.PriceT1[0][0] != 2 {
+		t.Fatal("tier-1 data lost")
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"bogusField": 1}`,
+		`{"numTier2":1,"numTier1":1,"pairs":[{"I":0,"J":0}],"capT2":[0],"reconfT2":[1],"capNet":[1],"priceNet":[1],"reconfNet":[1],"priceT2":[[1]],"workload":[[1]]}`,  // zero capacity
+		`{"numTier2":1,"numTier1":1,"pairs":[{"I":0,"J":0}],"capT2":[5],"reconfT2":[1],"capNet":[1],"priceNet":[1],"reconfNet":[1],"priceT2":[[1]],"workload":[[-1]]}`, // negative workload
+	}
+	for i, src := range cases {
+		if _, _, err := ReadInstance(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteDecisions(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	d := NewZeroDecision(n)
+	d.X[0], d.Y[0] = 2, 3
+	var buf bytes.Buffer
+	if err := WriteDecisions(&buf, n, []*Decision{d}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"x"`) {
+		t.Fatal("decision JSON missing fields")
+	}
+	bad := NewZeroDecision(n)
+	bad.X[0] = -1
+	if err := WriteDecisions(&buf, n, []*Decision{bad}); err == nil {
+		t.Fatal("invalid decision accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Pair is one SLA-admissible (tier-2 cloud, tier-1 cloud) combination:
+// requests arriving at tier-1 cloud J may be served by tier-2 cloud I.
+type Pair struct {
+	I int // tier-2 cloud index
+	J int // tier-1 cloud index
+}
+
+// Network is a two-tier cloud network instance (Fig. 1 of the paper).
+// All prices here are the time-invariant ones; time-varying operating
+// prices live in Inputs.
+type Network struct {
+	NumTier2 int // |I|
+	NumTier1 int // |J|
+
+	// Tier-2 clouds.
+	CapT2    []float64 // C_i
+	ReconfT2 []float64 // b_i
+
+	// SLA pairs and the network resources on them.
+	Pairs     []Pair
+	CapNet    []float64 // B_ij per pair
+	PriceNet  []float64 // c_ij per pair (bandwidth price; constant, §V-A)
+	ReconfNet []float64 // d_ij per pair
+
+	// Optional tier-1 compute component (F1 in the paper). Enabled when
+	// Tier1 is true; then CapT1 and ReconfT1 must be set and Inputs must
+	// carry PriceT1.
+	Tier1    bool
+	CapT1    []float64 // C_j
+	ReconfT1 []float64 // f_j
+
+	pairsOfI [][]int
+	pairsOfJ [][]int
+}
+
+// NewNetwork builds a network and its derived indexes. The pair-indexed
+// slices must all have len(pairs) entries.
+func NewNetwork(numT2, numT1 int, pairs []Pair, capT2, reconfT2, capNet, priceNet, reconfNet []float64) (*Network, error) {
+	n := &Network{
+		NumTier2: numT2, NumTier1: numT1,
+		CapT2: capT2, ReconfT2: reconfT2,
+		Pairs: pairs, CapNet: capNet, PriceNet: priceNet, ReconfNet: reconfNet,
+	}
+	if err := n.init(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// EnableTier1 switches on the tier-1 compute component.
+func (n *Network) EnableTier1(capT1, reconfT1 []float64) error {
+	if len(capT1) != n.NumTier1 || len(reconfT1) != n.NumTier1 {
+		return fmt.Errorf("model: tier-1 slices must have %d entries", n.NumTier1)
+	}
+	n.Tier1 = true
+	n.CapT1 = capT1
+	n.ReconfT1 = reconfT1
+	return nil
+}
+
+func (n *Network) init() error {
+	if n.NumTier2 <= 0 || n.NumTier1 <= 0 {
+		return fmt.Errorf("model: need at least one cloud per tier, got |I|=%d |J|=%d", n.NumTier2, n.NumTier1)
+	}
+	if len(n.CapT2) != n.NumTier2 || len(n.ReconfT2) != n.NumTier2 {
+		return fmt.Errorf("model: tier-2 slices must have %d entries", n.NumTier2)
+	}
+	np := len(n.Pairs)
+	if len(n.CapNet) != np || len(n.PriceNet) != np || len(n.ReconfNet) != np {
+		return fmt.Errorf("model: pair slices must have %d entries", np)
+	}
+	n.pairsOfI = make([][]int, n.NumTier2)
+	n.pairsOfJ = make([][]int, n.NumTier1)
+	seen := make(map[Pair]bool, np)
+	for p, pr := range n.Pairs {
+		if pr.I < 0 || pr.I >= n.NumTier2 || pr.J < 0 || pr.J >= n.NumTier1 {
+			return fmt.Errorf("model: pair %d = (%d,%d) out of range", p, pr.I, pr.J)
+		}
+		if seen[pr] {
+			return fmt.Errorf("model: duplicate pair (%d,%d)", pr.I, pr.J)
+		}
+		seen[pr] = true
+		n.pairsOfI[pr.I] = append(n.pairsOfI[pr.I], p)
+		n.pairsOfJ[pr.J] = append(n.pairsOfJ[pr.J], p)
+	}
+	for j := 0; j < n.NumTier1; j++ {
+		if len(n.pairsOfJ[j]) == 0 {
+			return fmt.Errorf("model: tier-1 cloud %d has an empty SLA set I_j", j)
+		}
+	}
+	for i, c := range n.CapT2 {
+		if c <= 0 {
+			return fmt.Errorf("model: tier-2 cloud %d has capacity %g", i, c)
+		}
+	}
+	for p, c := range n.CapNet {
+		if c <= 0 {
+			return fmt.Errorf("model: pair %d has network capacity %g", p, c)
+		}
+	}
+	for i, b := range n.ReconfT2 {
+		if b < 0 {
+			return fmt.Errorf("model: tier-2 cloud %d has negative reconfiguration price %g", i, b)
+		}
+	}
+	for p, d := range n.ReconfNet {
+		if d < 0 {
+			return fmt.Errorf("model: pair %d has negative reconfiguration price %g", p, d)
+		}
+	}
+	return nil
+}
+
+// NumPairs returns the number of SLA pairs.
+func (n *Network) NumPairs() int { return len(n.Pairs) }
+
+// PairsOfI returns the indexes of the pairs served by tier-2 cloud i
+// (the SLA set J_i). The returned slice must not be modified.
+func (n *Network) PairsOfI(i int) []int { return n.pairsOfI[i] }
+
+// PairsOfJ returns the indexes of the pairs available to tier-1 cloud j
+// (the SLA set I_j). The returned slice must not be modified.
+func (n *Network) PairsOfJ(j int) []int { return n.pairsOfJ[j] }

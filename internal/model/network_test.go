@@ -1,0 +1,225 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tinyNetwork is a 1×1 network with a single pair, used across tests.
+func tinyNetwork(t *testing.T, b, d float64) *Network {
+	t.Helper()
+	n, err := NewNetwork(1, 1,
+		[]Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{b},
+		[]float64{10}, []float64{1}, []float64{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// twoByTwo builds 2 tier-2 clouds, 2 tier-1 clouds, full SLA mesh.
+func twoByTwo(t *testing.T, b, d float64) *Network {
+	t.Helper()
+	pairs := []Pair{{0, 0}, {1, 0}, {0, 1}, {1, 1}}
+	n, err := NewNetwork(2, 2, pairs,
+		[]float64{20, 20}, []float64{b, b},
+		[]float64{15, 15, 15, 15},
+		[]float64{1, 2, 2, 1},
+		[]float64{d, d, d, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNetworkIndexes(t *testing.T) {
+	n := twoByTwo(t, 1, 1)
+	if n.NumPairs() != 4 {
+		t.Fatal("NumPairs wrong")
+	}
+	// PairsOfI(0) should be pairs 0 and 2 (j=0 and j=1).
+	pi := n.PairsOfI(0)
+	if len(pi) != 2 || pi[0] != 0 || pi[1] != 2 {
+		t.Fatalf("PairsOfI(0) = %v", pi)
+	}
+	pj := n.PairsOfJ(1)
+	if len(pj) != 2 || pj[0] != 2 || pj[1] != 3 {
+		t.Fatalf("PairsOfJ(1) = %v", pj)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	mk := func(mod func(*Network)) error {
+		n := &Network{
+			NumTier2: 1, NumTier1: 1,
+			CapT2: []float64{1}, ReconfT2: []float64{1},
+			Pairs:  []Pair{{0, 0}},
+			CapNet: []float64{1}, PriceNet: []float64{1}, ReconfNet: []float64{1},
+		}
+		mod(n)
+		return n.init()
+	}
+	if err := mk(func(n *Network) {}); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	cases := map[string]func(*Network){
+		"pair out of range": func(n *Network) { n.Pairs = []Pair{{2, 0}} },
+		"duplicate pair": func(n *Network) {
+			n.Pairs = append(n.Pairs, Pair{0, 0})
+			n.CapNet = []float64{1, 1}
+			n.PriceNet = []float64{1, 1}
+			n.ReconfNet = []float64{1, 1}
+		},
+		"zero tier2 capacity": func(n *Network) { n.CapT2[0] = 0 },
+		"zero net capacity":   func(n *Network) { n.CapNet[0] = 0 },
+		"negative reconfig":   func(n *Network) { n.ReconfT2[0] = -1 },
+		"negative net reconf": func(n *Network) { n.ReconfNet[0] = -1 },
+		"wrong slice len":     func(n *Network) { n.CapT2 = []float64{1, 2} },
+	}
+	for name, mod := range cases {
+		if err := mk(mod); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// Empty SLA set.
+	if _, err := NewNetwork(1, 2, []Pair{{0, 0}},
+		[]float64{1}, []float64{1}, []float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("tier-1 cloud without SLA accepted")
+	}
+}
+
+func TestEnableTier1(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	if err := n.EnableTier1([]float64{5}, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Tier1 || n.CapT1[0] != 5 {
+		t.Fatal("tier-1 not enabled")
+	}
+	if err := n.EnableTier1([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("wrong-length tier-1 slices accepted")
+	}
+}
+
+func TestDecisionGroupSums(t *testing.T) {
+	n := twoByTwo(t, 1, 1)
+	d := NewZeroDecision(n)
+	d.X = []float64{1, 2, 3, 4}
+	if got := d.GroupSumT2(n, 0); got != 4 { // pairs 0 and 2
+		t.Fatalf("GroupSumT2(0) = %v", got)
+	}
+	if got := d.GroupSumT2(n, 1); got != 6 {
+		t.Fatalf("GroupSumT2(1) = %v", got)
+	}
+}
+
+func TestDecisionValidateAndClone(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	d := NewZeroDecision(n)
+	if err := d.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	d.X[0] = -1
+	if err := d.Validate(n); err == nil {
+		t.Fatal("negative allocation accepted")
+	}
+	d.X[0] = 2
+	c := d.Clone()
+	c.X[0] = 9
+	if d.X[0] != 2 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDecisionFeasibleAt(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	d := NewZeroDecision(n)
+	d.X[0], d.Y[0] = 4, 4
+	ok, v := d.FeasibleAt(n, []float64{4}, 1e-9)
+	if !ok || v > 1e-9 {
+		t.Fatalf("feasible decision rejected (violation %v)", v)
+	}
+	// Coverage is limited by min(x,y): y too small fails.
+	d.Y[0] = 3
+	if ok, _ := d.FeasibleAt(n, []float64{4}, 1e-9); ok {
+		t.Fatal("insufficient y accepted")
+	}
+	// Capacity violation.
+	d.X[0], d.Y[0] = 11, 11
+	if ok, _ := d.FeasibleAt(n, []float64{4}, 1e-9); ok {
+		t.Fatal("capacity violation accepted")
+	}
+}
+
+func TestRandomNetworkAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 20; trial++ {
+		numT2 := 1 + rng.Intn(4)
+		numT1 := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		n := RandomNetwork(rng, numT2, numT1, k, 10)
+		in := RandomInputs(rng, n, 8)
+		if err := in.CheckFeasibility(n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestInputsWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := RandomNetwork(rng, 2, 2, 2, 1)
+	in := RandomInputs(rng, n, 10)
+	w := in.Window(3, 4)
+	if w.T != 4 {
+		t.Fatalf("window T = %d", w.T)
+	}
+	if &w.Workload[0][0] != &in.Workload[3][0] {
+		t.Fatal("window is not a view")
+	}
+	// Clamped at the end.
+	w2 := in.Window(8, 5)
+	if w2.T != 2 {
+		t.Fatalf("clamped window T = %d", w2.T)
+	}
+	if in.Window(-1, 2).T != 0 || in.Window(10, 2).T != 0 || in.Window(0, 0).T != 0 {
+		t.Fatal("degenerate windows should be empty")
+	}
+}
+
+func TestInputsValidation(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{2}}}
+	if err := in.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Inputs{T: 2, PriceT2: [][]float64{{1}}, Workload: [][]float64{{2}}}
+	if err := bad.Validate(n); err == nil {
+		t.Fatal("short inputs accepted")
+	}
+	neg := &Inputs{T: 1, PriceT2: [][]float64{{-1}}, Workload: [][]float64{{2}}}
+	if err := neg.Validate(n); err == nil {
+		t.Fatal("negative price accepted")
+	}
+}
+
+func TestCheckFeasibilityDetectsOverload(t *testing.T) {
+	n := tinyNetwork(t, 1, 1) // capacities 10
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{11}}}
+	if err := in.CheckFeasibility(n); err == nil {
+		t.Fatal("infeasible workload accepted")
+	}
+}
+
+func TestInputsRejectNonFinite(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	nan := &Inputs{T: 1, PriceT2: [][]float64{{math.NaN()}}, Workload: [][]float64{{1}}}
+	if err := nan.Validate(n); err == nil {
+		t.Fatal("NaN price accepted")
+	}
+	inf := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{math.Inf(1)}}}
+	if err := inf.Validate(n); err == nil {
+		t.Fatal("Inf workload accepted")
+	}
+}

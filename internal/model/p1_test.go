@@ -1,0 +1,239 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+)
+
+func TestP1HandComputedDecreasing(t *testing.T) {
+	// Single pair, a=c=1, b=d=5, λ=[4,2]. Optimal: follow the workload,
+	// total = (4+4) + 5·4+5·4 + (2+2) = 52.
+	n := tinyNetwork(t, 5, 5)
+	in := &Inputs{T: 2, PriceT2: [][]float64{{1}, {1}}, Workload: [][]float64{{4}, {2}}}
+	seq, obj, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-52) > 1e-4 {
+		t.Fatalf("obj = %v, want 52", obj)
+	}
+	acct := &Accountant{Net: n, In: in}
+	if got := acct.SequenceCost(seq, nil).Total(); math.Abs(got-obj) > 1e-4 {
+		t.Fatalf("accountant %v vs LP objective %v", got, obj)
+	}
+}
+
+func TestP1HandComputedIncreasing(t *testing.T) {
+	n := tinyNetwork(t, 5, 5)
+	in := &Inputs{T: 2, PriceT2: [][]float64{{1}, {1}}, Workload: [][]float64{{2}, {4}}}
+	_, obj, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow: (2+2) + 10·2 + (4+4) + 10·2 = 52.
+	if math.Abs(obj-52) > 1e-4 {
+		t.Fatalf("obj = %v, want 52", obj)
+	}
+}
+
+func TestP1HoldsThroughValley(t *testing.T) {
+	// V-shaped workload with huge reconfiguration price: the offline optimum
+	// holds the allocation flat through the valley (Lemma 2).
+	n := tinyNetwork(t, 1000, 1000)
+	in := &Inputs{
+		T:        3,
+		PriceT2:  [][]float64{{1}, {1}, {1}},
+		Workload: [][]float64{{5}, {1}, {5}},
+	}
+	seq, _, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[1].X[0] < 5-1e-3 {
+		t.Fatalf("offline dipped to %v in the valley despite b≫a", seq[1].X[0])
+	}
+}
+
+func TestP1DipsThroughValleyWhenCheap(t *testing.T) {
+	// With b = 0 the optimum follows the workload exactly.
+	n := tinyNetwork(t, 0, 0)
+	in := &Inputs{
+		T:        3,
+		PriceT2:  [][]float64{{1}, {1}, {1}},
+		Workload: [][]float64{{5}, {1}, {5}},
+	}
+	seq, _, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[1].X[0] > 1+1e-3 {
+		t.Fatalf("free reconfiguration but x stayed at %v", seq[1].X[0])
+	}
+}
+
+func TestP1PrevDecisionCredit(t *testing.T) {
+	// Starting from prev = workload means zero reconfiguration cost.
+	n := tinyNetwork(t, 5, 5)
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{4}}}
+	prev := NewZeroDecision(n)
+	prev.X[0], prev.Y[0] = 4, 4
+	_, obj, err := SolveP1Dense(n, in, prev, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-8) > 1e-4 { // allocation only
+		t.Fatalf("obj = %v, want 8", obj)
+	}
+}
+
+func TestP1EndPin(t *testing.T) {
+	// One slot, prev 0, end pinned at 5: cost(x) = 2x + 10x + 10(5−x) for
+	// x ≥ 2 → minimized at x = 2 with value 54.
+	n := tinyNetwork(t, 5, 5)
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{2}}}
+	pin := NewZeroDecision(n)
+	pin.X[0], pin.Y[0] = 5, 5
+	seq, obj, err := SolveP1Dense(n, in, nil, pin, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-54) > 1e-3 {
+		t.Fatalf("obj = %v, want 54", obj)
+	}
+	if math.Abs(seq[0].X[0]-2) > 1e-3 {
+		t.Fatalf("x = %v, want 2", seq[0].X[0])
+	}
+}
+
+func TestP1SolutionsFeasiblePerSlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 8; trial++ {
+		n := RandomNetwork(rng, 2, 3, 1+rng.Intn(2), 10)
+		in := RandomInputs(rng, n, 4)
+		seq, _, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ts, d := range seq {
+			if ok, v := d.FeasibleAt(n, in.Workload[ts], 1e-5); !ok {
+				t.Fatalf("trial %d slot %d infeasible by %v", trial, ts, v)
+			}
+		}
+	}
+}
+
+func TestP1IPMMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 5; trial++ {
+		n := RandomNetwork(rng, 2, 2, 1+rng.Intn(2), 5)
+		in := RandomInputs(rng, n, 3)
+		l, err := BuildP1(n, in, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipm, err := lp.Solve(l.Prob, lp.Options{})
+		if err != nil || ipm.Status != lp.Optimal {
+			t.Fatalf("trial %d: ipm %v %v", trial, ipm.Status, err)
+		}
+		spx, err := lp.SolveSimplex(l.Prob, 0)
+		if err != nil || spx.Status != lp.Optimal {
+			t.Fatalf("trial %d: simplex %v %v", trial, spx.Status, err)
+		}
+		if math.Abs(ipm.Obj-spx.Obj) > 1e-3*(1+math.Abs(spx.Obj)) {
+			t.Fatalf("trial %d: ipm %v vs simplex %v", trial, ipm.Obj, spx.Obj)
+		}
+	}
+}
+
+func TestP1ObjectiveMatchesAccountant(t *testing.T) {
+	// The LP objective must equal the accountant's cost of the extracted
+	// decisions (the epigraph linearization is exact at the optimum).
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 6; trial++ {
+		n := RandomNetwork(rng, 2, 2, 2, 8)
+		in := RandomInputs(rng, n, 4)
+		seq, obj, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acct := &Accountant{Net: n, In: in}
+		got := acct.SequenceCost(seq, nil).Total()
+		if math.Abs(got-obj) > 1e-3*(1+obj) {
+			t.Fatalf("trial %d: accountant %v vs LP %v", trial, got, obj)
+		}
+	}
+}
+
+func TestP1WithTier1Component(t *testing.T) {
+	n := tinyNetwork(t, 5, 5)
+	if err := n.EnableTier1([]float64{10}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{
+		T:        2,
+		PriceT2:  [][]float64{{1}, {1}},
+		Workload: [][]float64{{4}, {2}},
+		PriceT1:  [][]float64{{1}, {1}},
+	}
+	seq, obj, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same as the two-tier case plus z mirroring x: alloc +4+2, reconfig +20.
+	if math.Abs(obj-(52+26)) > 1e-3 {
+		t.Fatalf("obj = %v, want 78", obj)
+	}
+	if seq[0].Z[0] < 4-1e-4 {
+		t.Fatalf("z = %v, want ≥ 4", seq[0].Z[0])
+	}
+	acct := &Accountant{Net: n, In: in}
+	if got := acct.SequenceCost(seq, nil).Total(); math.Abs(got-obj) > 1e-3 {
+		t.Fatalf("accountant %v vs obj %v", got, obj)
+	}
+}
+
+func TestP1LayoutSlotAssignments(t *testing.T) {
+	n := twoByTwo(t, 1, 1)
+	in := &Inputs{
+		T:        3,
+		PriceT2:  [][]float64{{1, 1}, {1, 1}, {1, 1}},
+		Workload: [][]float64{{1, 1}, {1, 1}, {1, 1}},
+	}
+	l, err := BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.SlotOfVar) != l.Prob.NumVars() || len(l.SlotOfCons) != len(l.Prob.Cons) {
+		t.Fatal("slot maps have wrong length")
+	}
+	// Every constraint must reference only vars of its own slot or slot−1.
+	for k, con := range l.Prob.Cons {
+		slot := l.SlotOfCons[k]
+		for _, e := range con.Entries {
+			vs := l.SlotOfVar[e.Index]
+			if vs != slot && vs != slot-1 {
+				t.Fatalf("constraint %d (slot %d) references var of slot %d", k, slot, vs)
+			}
+		}
+	}
+	// Spot-check variable indexing round trip.
+	if l.SlotOfVar[l.XVar(2, 3)] != 2 || l.SlotOfVar[l.WVar(1, 0)] != 1 {
+		t.Fatal("variable indexing broken")
+	}
+}
+
+func TestBuildP1Errors(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	if _, err := BuildP1(n, &Inputs{T: 0}, nil, nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	bad := NewZeroDecision(n)
+	bad.X[0] = -1
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{1}}}
+	if _, err := BuildP1(n, in, bad, nil); err == nil {
+		t.Fatal("invalid prev accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package model
+
+import (
+	"errors"
+
+	"soral/internal/lp"
+)
+
+// BuildP3 formulates the relaxation P3 of Theorem 1's proof (Step 2.1):
+// P1 with its hard capacity constraints (1b), (1c) replaced by the covering
+// rows derived from them,
+//
+//	Σ_{k≠i} Σ_{p∈P(k)} x_pt ≥ [Σ_j λ_jt − C_i]⁺          (7d)
+//	Σ_{q∈P(j), q≠p} y_qt ≥ [λ_jt − B_p]⁺                  (7e)
+//
+// while the coverage chain (2a), (2b), (2d), (2e) and the reconfiguration
+// epigraphs (7a), (7b) stay exact. Every P1-feasible point is P3-feasible
+// with equal objective, so OPT(P3) ≤ OPT(P1); the online algorithm's
+// competitive bound is proved against OPT(P3) via the dual P4, and the
+// tests verify the resulting chain
+//
+//	online ≤ r·OPT(P3) ≤ r·OPT(P1)
+//
+// numerically. The returned layout reuses the P1 variable indexing.
+func BuildP3(n *Network, in *Inputs, prev *Decision) (*Layout, error) {
+	if err := in.Validate(n); err != nil {
+		return nil, err
+	}
+	if in.T == 0 {
+		return nil, errors.New("model: empty window")
+	}
+	if n.Tier1 {
+		return nil, errors.New("model: P3 relaxation implemented for the paper's two-tier problem only")
+	}
+	if prev == nil {
+		prev = NewZeroDecision(n)
+	}
+	np := n.NumPairs()
+	ni := n.NumTier2
+	W := in.T
+
+	l := &Layout{Net: n, W: W}
+	l.xOff = 0
+	l.yOff = np
+	l.sOff = 2 * np
+	l.vOff = 3 * np
+	l.wOff = 3*np + ni
+	l.perSlot = 4*np + ni
+
+	prob := lp.NewProblem(W * l.perSlot)
+	l.Prob = prob
+	l.SlotOfVar = make([]int, W*l.perSlot)
+	for t := 0; t < W; t++ {
+		for k := 0; k < l.perSlot; k++ {
+			l.SlotOfVar[t*l.perSlot+k] = t
+		}
+	}
+
+	for t := 0; t < W; t++ {
+		for p, pr := range n.Pairs {
+			prob.C[l.XVar(t, p)] = in.PriceT2[t][pr.I]
+			prob.C[l.YVar(t, p)] = n.PriceNet[p]
+			prob.C[l.WVar(t, p)] = n.ReconfNet[p]
+		}
+		for i := 0; i < ni; i++ {
+			prob.C[l.VVar(t, i)] = n.ReconfT2[i]
+		}
+	}
+
+	addCons := func(t int, es []lp.Entry, sense lp.Sense, rhs float64, name string) {
+		prob.AddConstraint(es, sense, rhs, name)
+		l.SlotOfCons = append(l.SlotOfCons, t)
+	}
+
+	for t := 0; t < W; t++ {
+		// Coverage chain (2a), (2b), (2d); (2e) is the default bound s ≥ 0.
+		for p := 0; p < np; p++ {
+			addCons(t, []lp.Entry{{Index: l.XVar(t, p), Val: 1}, {Index: l.SVar(t, p), Val: -1}}, lp.GE, 0, "2a")
+			addCons(t, []lp.Entry{{Index: l.YVar(t, p), Val: 1}, {Index: l.SVar(t, p), Val: -1}}, lp.GE, 0, "2b")
+		}
+		for j := 0; j < n.NumTier1; j++ {
+			es := make([]lp.Entry, 0, len(n.PairsOfJ(j)))
+			for _, p := range n.PairsOfJ(j) {
+				es = append(es, lp.Entry{Index: l.SVar(t, p), Val: 1})
+			}
+			addCons(t, es, lp.GE, in.Workload[t][j], "2d")
+		}
+		var totalLam float64
+		for _, lam := range in.Workload[t] {
+			totalLam += lam
+		}
+		// (7d): the other clouds must absorb what cloud i cannot.
+		for i := 0; i < ni; i++ {
+			need := totalLam - n.CapT2[i]
+			if need <= 0 {
+				continue
+			}
+			var es []lp.Entry
+			for k := 0; k < ni; k++ {
+				if k == i {
+					continue
+				}
+				for _, p := range n.PairsOfI(k) {
+					es = append(es, lp.Entry{Index: l.XVar(t, p), Val: 1})
+				}
+			}
+			if len(es) == 0 {
+				return nil, errors.New("model: P3 infeasible — no alternative clouds")
+			}
+			addCons(t, es, lp.GE, need, "7d")
+		}
+		// (7e): the other links of tier-1 cloud j must absorb what link p cannot.
+		for p, pr := range n.Pairs {
+			need := in.Workload[t][pr.J] - n.CapNet[p]
+			if need <= 0 {
+				continue
+			}
+			var es []lp.Entry
+			for _, q := range n.PairsOfJ(pr.J) {
+				if q == p {
+					continue
+				}
+				es = append(es, lp.Entry{Index: l.YVar(t, q), Val: 1})
+			}
+			if len(es) == 0 {
+				return nil, errors.New("model: P3 infeasible — no alternative links")
+			}
+			addCons(t, es, lp.GE, need, "7e")
+		}
+		// (7a)/(7b): exact reconfiguration epigraphs.
+		for i := 0; i < ni; i++ {
+			es := make([]lp.Entry, 0, 2*len(n.PairsOfI(i))+1)
+			rhs := 0.0
+			for _, p := range n.PairsOfI(i) {
+				es = append(es, lp.Entry{Index: l.XVar(t, p), Val: 1})
+				if t > 0 {
+					es = append(es, lp.Entry{Index: l.XVar(t-1, p), Val: -1})
+				} else {
+					rhs += prev.X[p]
+				}
+			}
+			es = append(es, lp.Entry{Index: l.VVar(t, i), Val: -1})
+			addCons(t, es, lp.LE, rhs, "7a")
+		}
+		for p := 0; p < np; p++ {
+			es := []lp.Entry{{Index: l.YVar(t, p), Val: 1}, {Index: l.WVar(t, p), Val: -1}}
+			rhs := 0.0
+			if t > 0 {
+				es = append(es, lp.Entry{Index: l.YVar(t-1, p), Val: -1})
+			} else {
+				rhs = prev.Y[p]
+			}
+			addCons(t, es, lp.LE, rhs, "7b")
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+)
+
+func solveP3(t *testing.T, n *Network, in *Inputs) float64 {
+	t.Helper()
+	l, err := BuildP3(n, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := lp.Solve(l.Prob, lp.Options{})
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("P3 solve: %v %v", sol, err)
+	}
+	return sol.Obj
+}
+
+func TestP3IsARelaxationOfP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 6; trial++ {
+		n := RandomNetwork(rng, 2+rng.Intn(2), 2+rng.Intn(2), 1+rng.Intn(2), 20)
+		in := RandomInputs(rng, n, 4)
+		_, p1Obj, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p3Obj := solveP3(t, n, in)
+		if p3Obj > p1Obj+1e-4*(1+p1Obj) {
+			t.Fatalf("trial %d: OPT(P3) %v exceeds OPT(P1) %v — not a relaxation", trial, p3Obj, p1Obj)
+		}
+	}
+}
+
+func TestP1FeasiblePointIsP3Feasible(t *testing.T) {
+	// Plug a P1-optimal trajectory (with its exact epigraph values) into
+	// P3's constraints: every row must hold.
+	rng := rand.New(rand.NewSource(201))
+	n := RandomNetwork(rng, 3, 3, 2, 15)
+	in := RandomInputs(rng, n, 3)
+	seq, _, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := BuildP3(n, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assemble the P3 variable vector from the P1 decisions.
+	x := make([]float64, l3.Prob.NumVars())
+	prev := NewZeroDecision(n)
+	for ts, d := range seq {
+		// Valid s values for the coverage chain: the per-pair bottleneck.
+		covered := make([]float64, n.NumTier1)
+		for p, pr := range n.Pairs {
+			s := d.X[p]
+			if d.Y[p] < s {
+				s = d.Y[p]
+			}
+			x[l3.SVar(ts, p)] = s
+			covered[pr.J] += s
+		}
+		for j, c := range covered {
+			if c < in.Workload[ts][j]-1e-5 {
+				t.Fatalf("slot %d cloud %d: P1 solution does not cover (%v < %v)", ts, j, c, in.Workload[ts][j])
+			}
+		}
+		for p := range d.X {
+			x[l3.XVar(ts, p)] = d.X[p]
+			x[l3.YVar(ts, p)] = d.Y[p]
+			if diff := d.Y[p] - prev.Y[p]; diff > 0 {
+				x[l3.WVar(ts, p)] = diff
+			}
+		}
+		for i := 0; i < n.NumTier2; i++ {
+			if diff := d.GroupSumT2(n, i) - prev.GroupSumT2(n, i); diff > 0 {
+				x[l3.VVar(ts, i)] = diff
+			}
+		}
+		prev = d
+	}
+	if v := l3.Prob.MaxViolation(x); v > 1e-5 {
+		t.Fatalf("P1 point violates P3 by %v", v)
+	}
+}
+
+func TestP3RejectsTier1(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	if err := n.EnableTier1([]float64{10}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{1}}, PriceT1: [][]float64{{1}}}
+	if _, err := BuildP3(n, in, nil); err == nil {
+		t.Fatal("tier-1 P3 accepted")
+	}
+}
+
+func TestP3EmptyWindow(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	if _, err := BuildP3(n, &Inputs{T: 0}, nil); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

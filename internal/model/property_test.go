@@ -1,0 +1,129 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDecisionFor(rng *rand.Rand, n *Network, scale float64) *Decision {
+	d := NewZeroDecision(n)
+	for p := range d.X {
+		d.X[p] = rng.Float64() * scale
+		d.Y[p] = rng.Float64() * scale
+		if n.Tier1 {
+			d.Z[p] = rng.Float64() * scale
+		}
+	}
+	return d
+}
+
+func TestQuickCostNonNegativeAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := RandomNetwork(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(2), rng.Float64()*50)
+		in := RandomInputs(rng, n, 2)
+		acct := &Accountant{Net: n, In: in}
+		prev := randDecisionFor(rng, n, 5)
+		cur := randDecisionFor(rng, n, 5)
+		c := acct.SlotCost(0, prev, cur)
+		if c.Total() < 0 || c.Allocation() < 0 || c.Reconfiguration() < 0 {
+			return false
+		}
+		// Scaling the current decision up never reduces the cost: allocation
+		// is linear with non-negative prices and [·]⁺ is monotone.
+		bigger := cur.Clone()
+		for p := range bigger.X {
+			bigger.X[p] *= 1.5
+			bigger.Y[p] *= 1.5
+			if n.Tier1 {
+				bigger.Z[p] *= 1.5
+			}
+		}
+		return acct.SlotCost(0, prev, bigger).Total() >= c.Total()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(230))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFeasibilityMonotoneInWorkload(t *testing.T) {
+	// If a decision covers λ it covers any λ' ≤ λ.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := RandomNetwork(rng, 2, 2, 2, 1)
+		d := randDecisionFor(rng, n, 10)
+		lam := make([]float64, n.NumTier1)
+		for j := range lam {
+			lam[j] = rng.Float64() * 10
+		}
+		ok, _ := d.FeasibleAt(n, lam, 1e-9)
+		if !ok {
+			return true // nothing to check
+		}
+		smaller := make([]float64, len(lam))
+		for j := range smaller {
+			smaller[j] = lam[j] * rng.Float64()
+		}
+		ok2, _ := d.FeasibleAt(n, smaller, 1e-9)
+		return ok2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(231))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickReconfigurationTriangle(t *testing.T) {
+	// Moving a→c directly never costs more reconfiguration than a→b→c
+	// (the [·]⁺ movement cost satisfies the triangle inequality per slot).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := RandomNetwork(rng, 2, 2, 1, 10)
+		in := RandomInputs(rng, n, 2)
+		acct := &Accountant{Net: n, In: in}
+		a := randDecisionFor(rng, n, 5)
+		b := randDecisionFor(rng, n, 5)
+		c := randDecisionFor(rng, n, 5)
+		direct := acct.SlotCost(1, a, c).Reconfiguration()
+		viaB := acct.SlotCost(1, a, b).Reconfiguration() + acct.SlotCost(1, b, c).Reconfiguration()
+		return direct <= viaB+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(232))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCumulativeMatchesSequence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := RandomNetwork(rng, 2, 2, 2, 20)
+		T := 1 + rng.Intn(5)
+		in := RandomInputs(rng, n, T)
+		acct := &Accountant{Net: n, In: in}
+		seq := make([]*Decision, T)
+		for i := range seq {
+			seq[i] = randDecisionFor(rng, n, 5)
+		}
+		cum := acct.CumulativeCost(seq, nil)
+		total := acct.SequenceCost(seq, nil).Total()
+		return len(cum) == T && almostEqF(cum[T-1], total, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(233))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almostEqF(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	s := a
+	if s < 0 {
+		s = -s
+	}
+	if s < 1 {
+		return d <= tol
+	}
+	return d <= tol*s
+}

@@ -1,0 +1,68 @@
+package model
+
+// ScaleInstance returns a copy of the network and inputs with every
+// capacity-dimensioned quantity (capacities and workloads) multiplied by
+// sigma. Prices are untouched, so the problem is positively homogeneous:
+// the offline optimum's decisions and objective scale by exactly sigma.
+//
+// This implements the normalization observation in Theorem 1's remarks: the
+// worst-case ratio r = 1 + |I|·(C(ε)+B(ε′)) grows with the capacities, so
+// one normalizes the instance (e.g. sigma = 1/max C_i), runs the online
+// algorithm there, and scales the decisions back with UnscaleDecisions.
+func ScaleInstance(n *Network, in *Inputs, sigma float64) (*Network, *Inputs) {
+	sn := &Network{
+		NumTier2:  n.NumTier2,
+		NumTier1:  n.NumTier1,
+		CapT2:     scaleSlice(n.CapT2, sigma),
+		ReconfT2:  append([]float64(nil), n.ReconfT2...),
+		Pairs:     append([]Pair(nil), n.Pairs...),
+		CapNet:    scaleSlice(n.CapNet, sigma),
+		PriceNet:  append([]float64(nil), n.PriceNet...),
+		ReconfNet: append([]float64(nil), n.ReconfNet...),
+		Tier1:     n.Tier1,
+	}
+	if n.Tier1 {
+		sn.CapT1 = scaleSlice(n.CapT1, sigma)
+		sn.ReconfT1 = append([]float64(nil), n.ReconfT1...)
+	}
+	if err := sn.init(); err != nil {
+		// The source network was valid and scaling by a positive sigma
+		// preserves validity; reaching here is a programming error.
+		panic("model: ScaleInstance produced invalid network: " + err.Error())
+	}
+	si := &Inputs{
+		T:        in.T,
+		PriceT2:  in.PriceT2,
+		PriceT1:  in.PriceT1,
+		Workload: make([][]float64, in.T),
+	}
+	for t := range in.Workload {
+		si.Workload[t] = scaleSlice(in.Workload[t], sigma)
+	}
+	return sn, si
+}
+
+// UnscaleDecisions maps decisions of a sigma-scaled instance back to the
+// original instance (divides every allocation by sigma), in place.
+func UnscaleDecisions(seq []*Decision, sigma float64) {
+	inv := 1 / sigma
+	for _, d := range seq {
+		for p := range d.X {
+			d.X[p] *= inv
+			d.Y[p] *= inv
+		}
+		if d.Z != nil {
+			for p := range d.Z {
+				d.Z[p] *= inv
+			}
+		}
+	}
+}
+
+func scaleSlice(xs []float64, sigma float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v * sigma
+	}
+	return out
+}

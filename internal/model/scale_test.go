@@ -1,0 +1,69 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+)
+
+func TestScaleInstanceHomogeneity(t *testing.T) {
+	// With prices fixed and capacities/workloads scaled by σ, the offline
+	// optimum's objective scales by exactly σ (positive homogeneity).
+	rng := rand.New(rand.NewSource(160))
+	n := RandomNetwork(rng, 2, 3, 2, 10)
+	in := RandomInputs(rng, n, 4)
+	_, base, err := SolveP1Dense(n, in, nil, nil, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sigma := range []float64{0.25, 4} {
+		sn, si := ScaleInstance(n, in, sigma)
+		seq, obj, err := SolveP1Dense(sn, si, nil, nil, lp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(obj-sigma*base) > 1e-4*(1+sigma*base) {
+			t.Fatalf("sigma=%v: obj %v, want %v", sigma, obj, sigma*base)
+		}
+		// Unscaled decisions are feasible for the original instance.
+		UnscaleDecisions(seq, sigma)
+		for ts, d := range seq {
+			if ok, v := d.FeasibleAt(n, in.Workload[ts], 1e-4); !ok {
+				t.Fatalf("sigma=%v slot %d infeasible by %v after unscale", sigma, ts, v)
+			}
+		}
+	}
+}
+
+func TestScaleInstanceLeavesOriginalUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	n := RandomNetwork(rng, 2, 2, 1, 5)
+	in := RandomInputs(rng, n, 3)
+	cap0 := n.CapT2[0]
+	lam0 := in.Workload[0][0]
+	sn, si := ScaleInstance(n, in, 2)
+	if n.CapT2[0] != cap0 || in.Workload[0][0] != lam0 {
+		t.Fatal("ScaleInstance mutated the original")
+	}
+	if sn.CapT2[0] != 2*cap0 || si.Workload[0][0] != 2*lam0 {
+		t.Fatal("scaled copy wrong")
+	}
+	// Shared price slices are intentional (prices are scale-free).
+	if &si.PriceT2[0][0] != &in.PriceT2[0][0] {
+		t.Fatal("prices should be shared, not copied")
+	}
+}
+
+func TestScaleInstanceWithTier1(t *testing.T) {
+	n := tinyNetwork(t, 5, 5)
+	if err := n.EnableTier1([]float64{10}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	in := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{4}}, PriceT1: [][]float64{{1}}}
+	sn, _ := ScaleInstance(n, in, 0.5)
+	if sn.CapT1[0] != 5 {
+		t.Fatalf("tier-1 capacity not scaled: %v", sn.CapT1[0])
+	}
+}

@@ -1,0 +1,318 @@
+// Package ntier implements the paper's Section III-E generalization to
+// N ≥ 2 tiers of clouds.
+//
+// Edge clouds at tier 1 receive the workload; requests travel through
+// SLA-admissible links across intermediate tiers and are eventually
+// processed at a top-tier cloud. Every cloud and every link is a resource
+// with a capacity, a (time-varying for clouds) operating price, and a
+// reconfiguration price charged on increases of the resource's aggregate
+// allocation. Decisions are path-based: each admissible edge-to-top path p
+// carries a throughput s_p, and every resource on the path must allocate at
+// least s_p for the path's traffic.
+//
+// The online algorithm regularizes each resource's reconfiguration term with
+// the same entropic movement penalty as the two-tier algorithm,
+// (b_r/η_r)·((G+ε)ln((G+ε)/(G_prev+ε)) − G) with η_r = ln(1+Cap_r/ε), so the
+// per-slot subproblem decouples over time exactly as P2(t) does. For N = 2
+// this reproduces package core's algorithm (the tests verify the reduction).
+// The exact competitive constant of the N-tier theorem lives in the paper's
+// supplementary file, which is not publicly available; CompetitiveRatio
+// reports the natural generalization of Theorem 1's parameterized form (see
+// DESIGN.md §3).
+package ntier
+
+import (
+	"fmt"
+	"math"
+)
+
+// CloudSpec describes one cloud's static parameters.
+type CloudSpec struct {
+	Cap    float64 // capacity
+	Reconf float64 // reconfiguration price
+}
+
+// Link is an admissible (SLA-satisfying) connection from cloud From at tier
+// Tier to cloud To at tier Tier+1.
+type Link struct {
+	Tier     int // tier of the From cloud (1-based, 1..N−1)
+	From, To int // cloud indexes within their tiers
+	Cap      float64
+	Price    float64 // constant bandwidth price
+	Reconf   float64
+}
+
+// Topology is an N-tier cloud network.
+type Topology struct {
+	Clouds [][]CloudSpec // Clouds[l] lists tier l+1's clouds (index 0 = tier 1, the edge)
+	Links  []Link
+}
+
+// NumTiers returns N.
+func (t *Topology) NumTiers() int { return len(t.Clouds) }
+
+// Validate checks tier/link consistency.
+func (t *Topology) Validate() error {
+	n := t.NumTiers()
+	if n < 2 {
+		return fmt.Errorf("ntier: %d tiers, need ≥ 2", n)
+	}
+	for l, tier := range t.Clouds {
+		if len(tier) == 0 {
+			return fmt.Errorf("ntier: tier %d is empty", l+1)
+		}
+		for i, c := range tier {
+			if c.Cap <= 0 {
+				return fmt.Errorf("ntier: tier %d cloud %d capacity %g", l+1, i, c.Cap)
+			}
+			if c.Reconf < 0 {
+				return fmt.Errorf("ntier: tier %d cloud %d reconfiguration price %g", l+1, i, c.Reconf)
+			}
+		}
+	}
+	for k, ln := range t.Links {
+		if ln.Tier < 1 || ln.Tier >= n {
+			return fmt.Errorf("ntier: link %d at tier %d of %d", k, ln.Tier, n)
+		}
+		if ln.From < 0 || ln.From >= len(t.Clouds[ln.Tier-1]) {
+			return fmt.Errorf("ntier: link %d From %d out of range", k, ln.From)
+		}
+		if ln.To < 0 || ln.To >= len(t.Clouds[ln.Tier]) {
+			return fmt.Errorf("ntier: link %d To %d out of range", k, ln.To)
+		}
+		if ln.Cap <= 0 || ln.Price < 0 || ln.Reconf < 0 {
+			return fmt.Errorf("ntier: link %d has cap %g price %g reconf %g", k, ln.Cap, ln.Price, ln.Reconf)
+		}
+	}
+	return nil
+}
+
+// Path is one admissible edge-to-top route: Clouds[l] is the cloud index at
+// tier l+1 and Links[l] the index (into Topology.Links) of the link from
+// tier l+1 to tier l+2.
+type Path struct {
+	Clouds []int
+	Links  []int
+}
+
+// Edge returns the path's tier-1 cloud.
+func (p *Path) Edge() int { return p.Clouds[0] }
+
+// EnumeratePaths lists every admissible path. maxPaths guards against
+// combinatorial blowup (0 means 10000).
+func EnumeratePaths(t *Topology, maxPaths int) ([]Path, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPaths <= 0 {
+		maxPaths = 10000
+	}
+	n := t.NumTiers()
+	// Outgoing links per (tier, cloud).
+	out := make([]map[int][]int, n)
+	for l := range out {
+		out[l] = map[int][]int{}
+	}
+	for k, ln := range t.Links {
+		out[ln.Tier-1][ln.From] = append(out[ln.Tier-1][ln.From], k)
+	}
+	var paths []Path
+	var walk func(tier int, clouds []int, links []int) error
+	walk = func(tier int, clouds, links []int) error {
+		if tier == n-1 {
+			if len(paths) >= maxPaths {
+				return fmt.Errorf("ntier: more than %d paths", maxPaths)
+			}
+			paths = append(paths, Path{
+				Clouds: append([]int(nil), clouds...),
+				Links:  append([]int(nil), links...),
+			})
+			return nil
+		}
+		cur := clouds[len(clouds)-1]
+		for _, k := range out[tier][cur] {
+			if err := walk(tier+1, append(clouds, t.Links[k].To), append(links, k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for j := range t.Clouds[0] {
+		if err := walk(0, []int{j}, nil); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+// Resource identifies one capacity-bearing element: a cloud or a link.
+type Resource struct {
+	IsLink bool
+	Tier   int // clouds only: tier (1-based)
+	Index  int // cloud index within tier, or link index
+}
+
+// System is a compiled N-tier instance ready for optimization: topology,
+// enumerated paths, and a flat resource indexing.
+type System struct {
+	Topo  *Topology
+	Paths []Path
+
+	Resources []Resource
+	ResCap    []float64
+	ResReconf []float64
+
+	cloudRes [][]int // resource id per (tier, cloud)
+	linkRes  []int   // resource id per link
+	pathsOf  [][]int // paths per edge cloud
+}
+
+// Compile validates, enumerates paths, and indexes resources.
+func Compile(t *Topology, maxPaths int) (*System, error) {
+	paths, err := EnumeratePaths(t, maxPaths)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("ntier: no admissible paths")
+	}
+	s := &System{Topo: t, Paths: paths}
+	s.cloudRes = make([][]int, t.NumTiers())
+	for l, tier := range t.Clouds {
+		s.cloudRes[l] = make([]int, len(tier))
+		for i, c := range tier {
+			s.cloudRes[l][i] = len(s.Resources)
+			s.Resources = append(s.Resources, Resource{Tier: l + 1, Index: i})
+			s.ResCap = append(s.ResCap, c.Cap)
+			s.ResReconf = append(s.ResReconf, c.Reconf)
+		}
+	}
+	s.linkRes = make([]int, len(t.Links))
+	for k, ln := range t.Links {
+		s.linkRes[k] = len(s.Resources)
+		s.Resources = append(s.Resources, Resource{IsLink: true, Index: k})
+		s.ResCap = append(s.ResCap, ln.Cap)
+		s.ResReconf = append(s.ResReconf, ln.Reconf)
+	}
+	s.pathsOf = make([][]int, len(t.Clouds[0]))
+	for p, path := range paths {
+		j := path.Edge()
+		s.pathsOf[j] = append(s.pathsOf[j], p)
+	}
+	for j, ps := range s.pathsOf {
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("ntier: edge cloud %d has no path to the top tier", j)
+		}
+	}
+	return s, nil
+}
+
+// NumPaths returns the number of admissible paths.
+func (s *System) NumPaths() int { return len(s.Paths) }
+
+// NumResources returns the number of clouds plus links.
+func (s *System) NumResources() int { return len(s.Resources) }
+
+// PathsOf returns the paths available to edge cloud j.
+func (s *System) PathsOf(j int) []int { return s.pathsOf[j] }
+
+// CloudResource returns the flat resource id of tier-`tier` cloud i
+// (tier 1-based).
+func (s *System) CloudResource(tier, i int) int { return s.cloudRes[tier-1][i] }
+
+// LinkResource returns the flat resource id of link k.
+func (s *System) LinkResource(k int) int { return s.linkRes[k] }
+
+// PathResources returns the flat resource ids touched by path p, in
+// tier order (cloud, link, cloud, link, …, cloud).
+func (s *System) PathResources(p int) []int {
+	path := s.Paths[p]
+	out := make([]int, 0, 2*len(path.Clouds)-1)
+	for l, c := range path.Clouds {
+		out = append(out, s.cloudRes[l][c])
+		if l < len(path.Links) {
+			out = append(out, s.linkRes[path.Links[l]])
+		}
+	}
+	return out
+}
+
+// Inputs carries the time-varying prices and workloads.
+type Inputs struct {
+	T          int
+	PriceCloud [][][]float64 // [t][tier-1][cloud] operating price
+	Workload   [][]float64   // [t][edge cloud]
+}
+
+// Validate checks shapes against the system.
+func (in *Inputs) Validate(s *System) error {
+	if in.T <= 0 || len(in.PriceCloud) != in.T || len(in.Workload) != in.T {
+		return fmt.Errorf("ntier: inputs have %d/%d rows for T=%d", len(in.PriceCloud), len(in.Workload), in.T)
+	}
+	for t := 0; t < in.T; t++ {
+		if len(in.PriceCloud[t]) != s.Topo.NumTiers() {
+			return fmt.Errorf("ntier: PriceCloud[%d] has %d tiers", t, len(in.PriceCloud[t]))
+		}
+		for l, tier := range in.PriceCloud[t] {
+			if len(tier) != len(s.Topo.Clouds[l]) {
+				return fmt.Errorf("ntier: PriceCloud[%d][%d] has %d clouds", t, l, len(tier))
+			}
+			for i, v := range tier {
+				if v < 0 {
+					return fmt.Errorf("ntier: negative price at t=%d tier=%d cloud=%d", t, l+1, i)
+				}
+			}
+		}
+		if len(in.Workload[t]) != len(s.Topo.Clouds[0]) {
+			return fmt.Errorf("ntier: Workload[%d] has %d entries", t, len(in.Workload[t]))
+		}
+		for j, v := range in.Workload[t] {
+			if v < 0 {
+				return fmt.Errorf("ntier: negative workload at t=%d j=%d", t, j)
+			}
+		}
+	}
+	return nil
+}
+
+// resourcePrice returns the operating price of resource r at slot t.
+func (s *System) resourcePrice(in *Inputs, t, r int) float64 {
+	res := s.Resources[r]
+	if res.IsLink {
+		return s.Topo.Links[res.Index].Price
+	}
+	return in.PriceCloud[t][res.Tier-1][res.Index]
+}
+
+// CompetitiveRatio reports the parameterized N-tier bound in the same form
+// as Theorem 1: 1 + Q·Σ_classes max_r (Cap_r+ε)·ln(1+Cap_r/ε), where Q is
+// the largest number of same-class resources an adversary can force to churn
+// (the top-tier cloud count, matching |I| at N = 2).
+func (s *System) CompetitiveRatio(eps float64) float64 {
+	n := s.Topo.NumTiers()
+	q := float64(len(s.Topo.Clouds[n-1]))
+	// One max-term per tier of clouds and one for the links, generalizing
+	// C(ε) + B(ε′).
+	var sum float64
+	for l := range s.Topo.Clouds {
+		var m float64
+		for i := range s.Topo.Clouds[l] {
+			r := s.cloudRes[l][i]
+			v := (s.ResCap[r] + eps) * math.Log(1+s.ResCap[r]/eps)
+			if v > m {
+				m = v
+			}
+		}
+		sum += m
+	}
+	var m float64
+	for k := range s.Topo.Links {
+		r := s.linkRes[k]
+		v := (s.ResCap[r] + eps) * math.Log(1+s.ResCap[r]/eps)
+		if v > m {
+			m = v
+		}
+	}
+	sum += m
+	return 1 + q*sum
+}

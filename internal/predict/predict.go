@@ -1,0 +1,152 @@
+// Package predict provides the prediction oracles used by the FHC/RHC and
+// RFHC/RRHC controllers (Section IV and §V-B of the paper).
+//
+// An oracle answers, at decision time t, with predicted operating prices and
+// workloads for the window {t, …, t+w−1}. The exact oracle returns the true
+// future; the noisy oracle perturbs every future slot with zero-mean
+// Gaussian noise whose standard deviation is a fixed percentage (the
+// "prediction error") of the corresponding series' mean over time, exactly
+// as in the paper's evaluation. The current slot t is always returned
+// exactly: its inputs are being revealed as the decision is made.
+package predict
+
+import (
+	"math/rand"
+
+	"soral/internal/model"
+)
+
+// Oracle produces per-window predictions of prices and workloads.
+type Oracle struct {
+	Net  *model.Network
+	True *model.Inputs
+	Err  float64 // noise σ as a fraction of each series' mean (0 = exact)
+
+	noisy *model.Inputs
+}
+
+// NewOracle builds an oracle. errRate 0 yields exact predictions; otherwise
+// one noisy realization of the whole input series is drawn from seed (the
+// prediction for a slot does not change between the times it is queried).
+// Noisy workloads are clamped so every predicted window stays feasible for
+// the network capacities.
+func NewOracle(n *model.Network, in *model.Inputs, errRate float64, seed int64) *Oracle {
+	o := &Oracle{Net: n, True: in, Err: errRate}
+	if errRate <= 0 {
+		return o
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noisy := &model.Inputs{
+		T:        in.T,
+		PriceT2:  make([][]float64, in.T),
+		Workload: make([][]float64, in.T),
+	}
+	if in.PriceT1 != nil {
+		noisy.PriceT1 = in.PriceT1 // tier-1 prices are not perturbed (not in §V-B)
+	}
+	priceMean := seriesMeans(in.PriceT2)
+	lamMean := seriesMeans(in.Workload)
+	for t := 0; t < in.T; t++ {
+		noisy.PriceT2[t] = make([]float64, len(in.PriceT2[t]))
+		for i, v := range in.PriceT2[t] {
+			nv := v + rng.NormFloat64()*errRate*priceMean[i]
+			if nv < 0 {
+				nv = 0
+			}
+			noisy.PriceT2[t][i] = nv
+		}
+		noisy.Workload[t] = make([]float64, len(in.Workload[t]))
+		for j, v := range in.Workload[t] {
+			nv := v + rng.NormFloat64()*errRate*lamMean[j]
+			if nv < 0 {
+				nv = 0
+			}
+			noisy.Workload[t][j] = nv
+		}
+		clampFeasible(n, noisy.Workload[t])
+	}
+	o.noisy = noisy
+	return o
+}
+
+func seriesMeans(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	m := make([]float64, len(rows[0]))
+	for _, row := range rows {
+		for i, v := range row {
+			m[i] += v
+		}
+	}
+	for i := range m {
+		m[i] /= float64(len(rows))
+	}
+	return m
+}
+
+// clampFeasible shrinks a predicted workload row so it satisfies the
+// feasibility preconditions of Section II-B with a small safety margin.
+func clampFeasible(n *model.Network, lam []float64) {
+	const margin = 0.999
+	for j := range lam {
+		var bsum float64
+		for _, p := range n.PairsOfJ(j) {
+			bsum += n.CapNet[p]
+		}
+		limit := bsum * margin
+		if n.Tier1 && n.CapT1[j]*margin < limit {
+			limit = n.CapT1[j] * margin
+		}
+		if lam[j] > limit {
+			lam[j] = limit
+		}
+	}
+	var total, ctotal float64
+	for _, l := range lam {
+		total += l
+	}
+	for _, c := range n.CapT2 {
+		ctotal += c
+	}
+	if total > ctotal*margin && total > 0 {
+		scale := ctotal * margin / total
+		for j := range lam {
+			lam[j] *= scale
+		}
+	}
+}
+
+// Predict returns the inputs the controller believes at time t for the
+// window {t, …, t+w−1}, clamped to the horizon. The returned Inputs is
+// freshly allocated; slot 0 of the window is always the true slot t.
+func (o *Oracle) Predict(t, w int) *model.Inputs {
+	if t < 0 || t >= o.True.T || w <= 0 {
+		return &model.Inputs{T: 0}
+	}
+	to := t + w
+	if to > o.True.T {
+		to = o.True.T
+	}
+	out := &model.Inputs{
+		T:        to - t,
+		PriceT2:  make([][]float64, to-t),
+		Workload: make([][]float64, to-t),
+	}
+	if o.True.PriceT1 != nil {
+		out.PriceT1 = make([][]float64, to-t)
+	}
+	src := o.True
+	for tau := t; tau < to; tau++ {
+		use := src
+		if o.noisy != nil && tau > t {
+			use = o.noisy
+		}
+		out.PriceT2[tau-t] = use.PriceT2[tau]
+		out.Workload[tau-t] = use.Workload[tau]
+		if out.PriceT1 != nil {
+			out.PriceT1[tau-t] = o.True.PriceT1[tau]
+		}
+	}
+	return out
+}

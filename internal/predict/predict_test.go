@@ -1,0 +1,136 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+)
+
+func setup(t *testing.T, T int) (*model.Network, *model.Inputs) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(120))
+	n := model.RandomNetwork(rng, 3, 4, 2, 10)
+	in := model.RandomInputs(rng, n, T)
+	return n, in
+}
+
+func TestExactOracleReturnsTruth(t *testing.T) {
+	n, in := setup(t, 10)
+	o := NewOracle(n, in, 0, 1)
+	win := o.Predict(3, 4)
+	if win.T != 4 {
+		t.Fatalf("window T = %d", win.T)
+	}
+	for k := 0; k < 4; k++ {
+		for j := range win.Workload[k] {
+			if win.Workload[k][j] != in.Workload[3+k][j] {
+				t.Fatal("exact oracle altered workload")
+			}
+		}
+		for i := range win.PriceT2[k] {
+			if win.PriceT2[k][i] != in.PriceT2[3+k][i] {
+				t.Fatal("exact oracle altered prices")
+			}
+		}
+	}
+}
+
+func TestPredictClampsAtHorizon(t *testing.T) {
+	n, in := setup(t, 10)
+	o := NewOracle(n, in, 0, 1)
+	if w := o.Predict(8, 5); w.T != 2 {
+		t.Fatalf("clamped window T = %d", w.T)
+	}
+	if w := o.Predict(10, 3); w.T != 0 {
+		t.Fatal("past-horizon window not empty")
+	}
+	if w := o.Predict(0, 0); w.T != 0 {
+		t.Fatal("zero-width window not empty")
+	}
+}
+
+func TestNoisyOracleCurrentSlotExact(t *testing.T) {
+	n, in := setup(t, 10)
+	o := NewOracle(n, in, 0.5, 7)
+	for ts := 0; ts < 9; ts++ {
+		win := o.Predict(ts, 3)
+		for j := range win.Workload[0] {
+			if win.Workload[0][j] != in.Workload[ts][j] {
+				t.Fatal("current slot perturbed")
+			}
+		}
+	}
+}
+
+func TestNoisyOracleIsDeterministicAndStable(t *testing.T) {
+	n, in := setup(t, 12)
+	o1 := NewOracle(n, in, 0.15, 42)
+	o2 := NewOracle(n, in, 0.15, 42)
+	// Same seed → same prediction; the prediction for a given slot does not
+	// change across query times (one noisy realization).
+	w1 := o1.Predict(2, 4)
+	w2 := o2.Predict(2, 4)
+	for k := 1; k < 4; k++ {
+		for j := range w1.Workload[k] {
+			if w1.Workload[k][j] != w2.Workload[k][j] {
+				t.Fatal("same seed, different predictions")
+			}
+		}
+	}
+	// Slot 5 predicted at t=2 (lead 3) equals slot 5 predicted at t=4 (lead 1).
+	a := o1.Predict(2, 4).Workload[3]
+	b := o1.Predict(4, 2).Workload[1]
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatal("prediction for a slot changed between queries")
+		}
+	}
+}
+
+func TestNoisyOracleActuallyPerturbs(t *testing.T) {
+	n, in := setup(t, 12)
+	o := NewOracle(n, in, 0.15, 42)
+	diff := 0.0
+	win := o.Predict(0, 12)
+	for k := 1; k < win.T; k++ {
+		for j := range win.Workload[k] {
+			diff += math.Abs(win.Workload[k][j] - in.Workload[k][j])
+		}
+	}
+	if diff == 0 {
+		t.Fatal("noisy oracle produced exact values")
+	}
+}
+
+func TestNoisyPredictionsStayFeasible(t *testing.T) {
+	n, in := setup(t, 20)
+	for _, errRate := range []float64{0.05, 0.15, 0.5, 2.0} {
+		o := NewOracle(n, in, errRate, 9)
+		for ts := 0; ts < in.T; ts++ {
+			win := o.Predict(ts, 5)
+			if err := win.CheckFeasibility(n); err != nil {
+				t.Fatalf("err=%v rate=%v t=%d: %v", err, errRate, ts, err)
+			}
+		}
+	}
+}
+
+func TestNoisyWorkloadsNonNegative(t *testing.T) {
+	n, in := setup(t, 20)
+	o := NewOracle(n, in, 3.0, 11) // huge noise
+	win := o.Predict(0, 20)
+	for k := range win.Workload {
+		for _, v := range win.Workload[k] {
+			if v < 0 {
+				t.Fatal("negative predicted workload")
+			}
+		}
+		for _, v := range win.PriceT2[k] {
+			if v < 0 {
+				t.Fatal("negative predicted price")
+			}
+		}
+	}
+}

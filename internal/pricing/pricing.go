@@ -1,0 +1,131 @@
+// Package pricing synthesizes the paper's operating prices (Section V-A):
+// hourly real-time electricity prices per RTO market (Table I) for the
+// tier-2 clouds, and Amazon-EC2-style tiered WAN bandwidth prices (Table II)
+// for the inter-tier networks.
+//
+// US wholesale electricity prices are modeled, as in the paper's source
+// [17], as Gaussian with per-market mean and standard deviation; tier-2
+// locations without an hourly real-time market use the fixed mean price of
+// the geographically closest market. Rows of Table I that are illegible in
+// the available scan carry documented plausible values (see DESIGN.md §3).
+package pricing
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Market is one RTO/ISO real-time electricity market.
+type Market struct {
+	Name string
+	Mean float64 // $/MWh
+	SD   float64 // $/MWh
+}
+
+// Table I markets. PJM (Annapolis row), the Chicago PJM node, CAISO, and
+// ISONE carry the paper's printed numbers; NYISO and the Washington-DC PJM
+// node are reconstructed.
+var (
+	MarketPJM     = Market{Name: "PJM", Mean: 40.6, SD: 26.9}
+	MarketPJMChi  = Market{Name: "PJM-ComEd", Mean: 54.0, SD: 34.2}
+	MarketPJMDC   = Market{Name: "PJM-DC", Mean: 44.0, SD: 28.0}
+	MarketCAISO   = Market{Name: "CAISO", Mean: 77.9, SD: 40.3}
+	MarketNYISO   = Market{Name: "NYISO", Mean: 64.7, SD: 35.0}
+	MarketNYISOAl = Market{Name: "NYISO-Albany", Mean: 52.0, SD: 30.0}
+	MarketISONE   = Market{Name: "ISONE", Mean: 66.5, SD: 25.8}
+)
+
+// LocPrice describes how one tier-2 location is priced.
+type LocPrice struct {
+	Location string
+	Market   Market
+	RealTime bool // false → fixed at the market mean
+}
+
+// DefaultElectricity returns the pricing rule for the 18 tier-2 metros of
+// package topology, in the same order.
+func DefaultElectricity() []LocPrice {
+	fixed := func(loc string, m Market) LocPrice {
+		return LocPrice{Location: loc, Market: m, RealTime: false}
+	}
+	rt := func(loc string, m Market) LocPrice {
+		return LocPrice{Location: loc, Market: m, RealTime: true}
+	}
+	return []LocPrice{
+		fixed("Seattle", MarketCAISO), // nearest market: CAISO
+		rt("San Francisco", MarketCAISO),
+		rt("San Jose", MarketCAISO),
+		rt("Los Angeles", MarketCAISO),
+		fixed("San Diego", MarketCAISO),
+		fixed("Phoenix", MarketCAISO),
+		fixed("Dallas", MarketPJMChi), // ERCOT is not hourly-synthesized here; nearest modeled market
+		fixed("Austin", MarketPJMChi),
+		rt("Chicago", MarketPJMChi),
+		fixed("St. Louis", MarketPJMChi),
+		fixed("Nashville", MarketPJM),
+		fixed("Atlanta", MarketPJM),
+		fixed("Orlando", MarketPJM),
+		rt("Washington", MarketPJMDC),
+		rt("Annapolis", MarketPJM),
+		rt("New York", MarketNYISO),
+		rt("Albany", MarketNYISOAl),
+		rt("Boston", MarketISONE),
+	}
+}
+
+// Synthesize draws T hours of prices for every location: Gaussian per hour
+// for real-time locations, the market mean otherwise. Prices are floored at
+// 10% of the market mean (negative wholesale prices exist in reality but
+// the paper's cost model assumes non-negative operating prices).
+func Synthesize(locs []LocPrice, T int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		row := make([]float64, len(locs))
+		for i, lp := range locs {
+			if lp.RealTime {
+				v := lp.Market.Mean + rng.NormFloat64()*lp.Market.SD
+				if floor := 0.1 * lp.Market.Mean; v < floor {
+					v = floor
+				}
+				row[i] = v
+			} else {
+				row[i] = lp.Market.Mean
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// BandwidthTier is one row of Table II.
+type BandwidthTier struct {
+	UpToGBMonth float64 // inclusive upper edge of the tier; +Inf for the last
+	PricePerGB  float64
+}
+
+// BandwidthTiers returns Table II (Amazon EC2 data-transfer pricing of the
+// paper's era). The >500 GB/month tier extends the table's trend.
+func BandwidthTiers() []BandwidthTier {
+	return []BandwidthTier{
+		{UpToGBMonth: 10, PricePerGB: 0.09},
+		{UpToGBMonth: 50, PricePerGB: 0.085},
+		{UpToGBMonth: 150, PricePerGB: 0.07},
+		{UpToGBMonth: 500, PricePerGB: 0.05},
+		{UpToGBMonth: -1, PricePerGB: 0.04}, // >500
+	}
+}
+
+// BandwidthPrice returns the unit price for a network of the given monthly
+// capacity, per the tiered scheme. Capacity must be positive.
+func BandwidthPrice(capGBMonth float64) (float64, error) {
+	if capGBMonth <= 0 {
+		return 0, fmt.Errorf("pricing: capacity %g GB/month", capGBMonth)
+	}
+	for _, tier := range BandwidthTiers() {
+		if tier.UpToGBMonth < 0 || capGBMonth <= tier.UpToGBMonth {
+			return tier.PricePerGB, nil
+		}
+	}
+	return 0, fmt.Errorf("pricing: unreachable tier for %g", capGBMonth)
+}

@@ -1,0 +1,128 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultElectricityCoversTopology(t *testing.T) {
+	locs := DefaultElectricity()
+	if len(locs) != 18 {
+		t.Fatalf("%d locations, want 18", len(locs))
+	}
+	// The paper's printed Table I rows must be present with their numbers.
+	want := map[string][2]float64{
+		"Annapolis":     {40.6, 26.9},
+		"Chicago":       {54.0, 34.2},
+		"San Francisco": {77.9, 40.3},
+		"San Jose":      {77.9, 40.3},
+		"Boston":        {66.5, 25.8},
+	}
+	for _, lp := range locs {
+		if stats, ok := want[lp.Location]; ok {
+			if lp.Market.Mean != stats[0] || lp.Market.SD != stats[1] {
+				t.Fatalf("%s: mean/sd = %v/%v, want %v", lp.Location, lp.Market.Mean, lp.Market.SD, stats)
+			}
+			if !lp.RealTime {
+				t.Fatalf("%s must be a real-time market", lp.Location)
+			}
+		}
+	}
+}
+
+func TestSynthesizeShapes(t *testing.T) {
+	locs := DefaultElectricity()
+	prices := Synthesize(locs, 100, 7)
+	if len(prices) != 100 || len(prices[0]) != len(locs) {
+		t.Fatal("wrong shape")
+	}
+	for t2, row := range prices {
+		for i, v := range row {
+			if v <= 0 {
+				t.Fatalf("non-positive price at (%d,%d)", t2, i)
+			}
+			if !locs[i].RealTime && v != locs[i].Market.Mean {
+				t.Fatalf("fixed-price location %d varies", i)
+			}
+		}
+	}
+}
+
+func TestSynthesizeStatistics(t *testing.T) {
+	// Over a long horizon the empirical mean of a real-time location must be
+	// near the market mean (the floor clips the left tail slightly upward).
+	locs := DefaultElectricity()
+	T := 20000
+	prices := Synthesize(locs, T, 3)
+	for i, lp := range locs {
+		if !lp.RealTime {
+			continue
+		}
+		var sum float64
+		for t2 := 0; t2 < T; t2++ {
+			sum += prices[t2][i]
+		}
+		mean := sum / float64(T)
+		if math.Abs(mean-lp.Market.Mean) > 0.15*lp.Market.Mean {
+			t.Fatalf("%s empirical mean %v vs market %v", lp.Location, mean, lp.Market.Mean)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	locs := DefaultElectricity()
+	a := Synthesize(locs, 10, 42)
+	b := Synthesize(locs, 10, 42)
+	for t2 := range a {
+		for i := range a[t2] {
+			if a[t2][i] != b[t2][i] {
+				t.Fatal("same seed, different prices")
+			}
+		}
+	}
+	c := Synthesize(locs, 10, 43)
+	same := true
+	for t2 := range a {
+		for i := range a[t2] {
+			if a[t2][i] != c[t2][i] && locs[i].RealTime {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prices")
+	}
+}
+
+func TestBandwidthPriceTiers(t *testing.T) {
+	cases := map[float64]float64{
+		5:    0.09,
+		10:   0.09,
+		11:   0.085,
+		50:   0.085,
+		100:  0.07,
+		150:  0.07,
+		400:  0.05,
+		500:  0.05,
+		1000: 0.04,
+	}
+	for capacity, want := range cases {
+		got, err := BandwidthPrice(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("BandwidthPrice(%v) = %v, want %v", capacity, got, want)
+		}
+	}
+	if _, err := BandwidthPrice(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	// Prices are non-increasing in capacity (volume discount).
+	tiers := BandwidthTiers()
+	for k := 1; k < len(tiers); k++ {
+		if tiers[k].PricePerGB > tiers[k-1].PricePerGB {
+			t.Fatal("tier prices must be non-increasing")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package staircase solves multi-period ("staircase") linear programs with
+// an interior-point method whose per-iteration linear algebra is linear in
+// the horizon length.
+//
+// The offline problem P1 couples consecutive time slots only through the
+// reconfiguration epigraph rows v_t ≥ x_t − x_{t−1}. When the standard-form
+// rows are partitioned by time slot, every column touches rows of at most
+// two adjacent blocks, so the interior-point normal equations A·diag(d)·Aᵀ
+// are symmetric block-tridiagonal. This package provides an lp.NormalSolver
+// backend that assembles and factorizes that block structure with
+// linalg.BlockTriChol, letting package lp's Mehrotra loop run unchanged:
+// an offline solve over T slots costs O(T·n³) instead of O((T·n)³).
+package staircase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"soral/internal/linalg"
+	"soral/internal/lp"
+)
+
+// Backend implements lp.NormalSolver for a standard-form matrix whose rows
+// are partitioned into consecutive time blocks.
+type Backend struct {
+	a        *lp.SparseMatrix
+	rowBlock []int // block of every row
+	sizes    []int // rows per block
+	offsets  []int // starting flat index of each block (in permuted order)
+	posInBlk []int // position of every row within its block
+
+	mat     *linalg.BlockTriDiag
+	fact    *linalg.BlockTriChol
+	permRHS []float64
+}
+
+// NewBackend validates the partition and prepares the workspace. rowBlock
+// must assign every row of std.A a block in [0, numBlocks); every column of
+// std.A may only touch rows of one block or two adjacent blocks.
+func NewBackend(std *lp.Standard, rowBlock []int, numBlocks int) (*Backend, error) {
+	a := std.A
+	if len(rowBlock) != a.M {
+		return nil, fmt.Errorf("staircase: %d row blocks for %d rows", len(rowBlock), a.M)
+	}
+	if numBlocks <= 0 {
+		return nil, errors.New("staircase: need at least one block")
+	}
+	sizes := make([]int, numBlocks)
+	for r, b := range rowBlock {
+		if b < 0 || b >= numBlocks {
+			return nil, fmt.Errorf("staircase: row %d assigned to block %d of %d", r, b, numBlocks)
+		}
+		sizes[b]++
+	}
+	for b, s := range sizes {
+		if s == 0 {
+			return nil, fmt.Errorf("staircase: block %d is empty", b)
+		}
+	}
+	// Validate the adjacency property per column.
+	for c, col := range a.Cols() {
+		lo, hi := numBlocks, -1
+		for _, e := range col {
+			b := rowBlock[e.Index]
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+		if hi >= 0 && hi-lo > 1 {
+			return nil, fmt.Errorf("staircase: column %d spans blocks %d..%d (non-adjacent)", c, lo, hi)
+		}
+	}
+	be := &Backend{
+		a:        a,
+		rowBlock: rowBlock,
+		sizes:    sizes,
+		offsets:  make([]int, numBlocks+1),
+		posInBlk: make([]int, a.M),
+		mat:      linalg.NewBlockTriDiag(sizes),
+		permRHS:  make([]float64, a.M),
+	}
+	for b := 0; b < numBlocks; b++ {
+		be.offsets[b+1] = be.offsets[b] + sizes[b]
+	}
+	counter := make([]int, numBlocks)
+	for r, b := range rowBlock {
+		be.posInBlk[r] = counter[b]
+		counter[b]++
+	}
+	return be, nil
+}
+
+// Factorize implements lp.NormalSolver: assemble A·diag(d)·Aᵀ into the
+// block-tridiagonal structure and factorize it.
+func (be *Backend) Factorize(d []float64) error {
+	for _, blk := range be.mat.Diag {
+		blk.Zero()
+	}
+	for _, blk := range be.mat.Sub {
+		blk.Zero()
+	}
+	maxDiag := 0.0
+	for c, col := range be.a.Cols() {
+		w := d[c]
+		if w == 0 || len(col) == 0 {
+			continue
+		}
+		for i := 0; i < len(col); i++ {
+			ri := col[i].Index
+			bi := be.rowBlock[ri]
+			pi := be.posInBlk[ri]
+			vi := col[i].Val * w
+			for j := 0; j < len(col); j++ {
+				rj := col[j].Index
+				bj := be.rowBlock[rj]
+				pj := be.posInBlk[rj]
+				prod := vi * col[j].Val
+				switch {
+				case bi == bj:
+					be.mat.Diag[bi].Add(pi, pj, prod)
+					if ri == rj {
+						if v := math.Abs(be.mat.Diag[bi].At(pi, pi)); v > maxDiag {
+							maxDiag = v
+						}
+					}
+				case bi == bj+1:
+					be.mat.Sub[bj].Add(pi, pj, prod)
+				// bi+1 == bj handled by the symmetric (j,i) pass.
+				default:
+				}
+			}
+		}
+	}
+	if maxDiag == 0 {
+		maxDiag = 1
+	}
+	fact, err := linalg.NewBlockTriChol(be.mat, 1e-4*maxDiag+1e-10)
+	if err != nil {
+		return err
+	}
+	be.fact = fact
+	return nil
+}
+
+// Solve implements lp.NormalSolver.
+func (be *Backend) Solve(x, b []float64) {
+	// Permute into block order, solve, permute back.
+	for r := range b {
+		be.permRHS[be.offsets[be.rowBlock[r]]+be.posInBlk[r]] = b[r]
+	}
+	be.fact.Solve(be.permRHS, be.permRHS)
+	for r := range x {
+		x[r] = be.permRHS[be.offsets[be.rowBlock[r]]+be.posInBlk[r]]
+	}
+}
+
+// Solve runs the full pipeline: convert the general-form problem to standard
+// form, derive the row partition from the caller's constraint/variable slot
+// maps, and run the Mehrotra loop with the structured backend.
+//
+// slotOfCons[k] is the time slot of general-form constraint k; slotOfVar[v]
+// the slot of general-form variable v (used for the bound rows ToStandard
+// synthesizes). numBlocks is the horizon length.
+func Solve(p *lp.Problem, slotOfCons, slotOfVar []int, numBlocks int, opts lp.Options) (*lp.GeneralSolution, error) {
+	std, err := p.ToStandard()
+	if err != nil {
+		return nil, err
+	}
+	rowBlock := make([]int, std.A.M)
+	for r, origin := range std.RowOrigin {
+		if origin >= 0 {
+			rowBlock[r] = slotOfCons[origin]
+		} else {
+			rowBlock[r] = slotOfVar[-1-origin]
+		}
+	}
+	be, err := NewBackend(std, rowBlock, numBlocks)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := lp.SolveStandard(std, be, opts)
+	if err != nil {
+		return nil, err
+	}
+	x := std.Recover(sol.X)
+	return &lp.GeneralSolution{
+		Status: sol.Status,
+		X:      x,
+		Obj:    p.Objective(x),
+		Iters:  sol.Iters,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package staircase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+	"soral/internal/model"
+)
+
+func solveBoth(t *testing.T, l *model.Layout) (dense, structured float64) {
+	t.Helper()
+	d, err := lp.Solve(l.Prob, lp.Options{})
+	if err != nil || d.Status != lp.Optimal {
+		t.Fatalf("dense: %v %v", d, err)
+	}
+	s, err := Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{})
+	if err != nil || s.Status != lp.Optimal {
+		t.Fatalf("staircase: %v %v", s, err)
+	}
+	return d.Obj, s.Obj
+}
+
+func TestStaircaseMatchesDenseOnP1(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 6; trial++ {
+		n := model.RandomNetwork(rng, 2, 2+rng.Intn(2), 1+rng.Intn(2), 10)
+		in := model.RandomInputs(rng, n, 3+rng.Intn(4))
+		l, err := model.BuildP1(n, in, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dObj, sObj := solveBoth(t, l)
+		if math.Abs(dObj-sObj) > 1e-4*(1+math.Abs(dObj)) {
+			t.Fatalf("trial %d: dense %v vs staircase %v", trial, dObj, sObj)
+		}
+	}
+}
+
+func TestStaircaseWithEndPin(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	n := model.RandomNetwork(rng, 2, 2, 2, 10)
+	in := model.RandomInputs(rng, n, 4)
+	pin := model.NewZeroDecision(n)
+	for p := range pin.X {
+		pin.X[p] = 3
+		pin.Y[p] = 3
+	}
+	l, err := model.BuildP1(n, in, nil, pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dObj, sObj := solveBoth(t, l)
+	if math.Abs(dObj-sObj) > 1e-4*(1+math.Abs(dObj)) {
+		t.Fatalf("dense %v vs staircase %v", dObj, sObj)
+	}
+}
+
+func TestStaircaseWithTier1(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	n := model.RandomNetwork(rng, 2, 2, 2, 5)
+	capT1 := make([]float64, n.NumTier1)
+	reconfT1 := make([]float64, n.NumTier1)
+	for j := range capT1 {
+		capT1[j] = 50
+		reconfT1[j] = 3
+	}
+	if err := n.EnableTier1(capT1, reconfT1); err != nil {
+		t.Fatal(err)
+	}
+	in := model.RandomInputs(rng, n, 3)
+	l, err := model.BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dObj, sObj := solveBoth(t, l)
+	if math.Abs(dObj-sObj) > 1e-4*(1+math.Abs(dObj)) {
+		t.Fatalf("dense %v vs staircase %v", dObj, sObj)
+	}
+}
+
+func TestStaircaseLongHorizon(t *testing.T) {
+	// A horizon far too large for the dense backend's O((T·n)³) cost:
+	// verify the structured solve stays optimal and the objective matches
+	// the accountant's cost of the extracted decisions.
+	rng := rand.New(rand.NewSource(113))
+	n := model.RandomNetwork(rng, 2, 3, 2, 20)
+	in := model.RandomInputs(rng, n, 60)
+	l, err := model.BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{})
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("staircase long: %v %v", sol, err)
+	}
+	seq := l.ExtractDecisions(sol.X)
+	acct := &model.Accountant{Net: n, In: in}
+	cost := acct.SequenceCost(seq, nil).Total()
+	if math.Abs(cost-sol.Obj) > 1e-3*(1+sol.Obj) {
+		t.Fatalf("accountant %v vs LP %v", cost, sol.Obj)
+	}
+	for ts, d := range seq {
+		if ok, v := d.FeasibleAt(n, in.Workload[ts], 1e-4); !ok {
+			t.Fatalf("slot %d infeasible by %v", ts, v)
+		}
+	}
+}
+
+func TestBackendRejectsNonAdjacentColumns(t *testing.T) {
+	// A column spanning blocks 0 and 2 must be rejected.
+	p := lp.NewProblem(1)
+	p.C[0] = 1
+	p.AddConstraint([]lp.Entry{{Index: 0, Val: 1}}, lp.GE, 1, "b0")
+	p.AddConstraint([]lp.Entry{{Index: 0, Val: 1}}, lp.GE, 1, "b2")
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend(std, []int{0, 2}, 3); err == nil {
+		t.Fatal("non-adjacent column accepted")
+	}
+}
+
+func TestBackendRejectsBadPartitions(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.AddConstraint([]lp.Entry{{Index: 0, Val: 1}}, lp.GE, 1, "")
+	std, err := p.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBackend(std, []int{5}, 2); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if _, err := NewBackend(std, []int{0}, 2); err == nil {
+		t.Fatal("empty block accepted")
+	}
+	if _, err := NewBackend(std, []int{0, 0}, 1); err == nil {
+		t.Fatal("wrong rowBlock length accepted")
+	}
+}
+
+func TestStaircaseSingleSlotEqualsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	n := model.RandomNetwork(rng, 2, 2, 2, 5)
+	in := model.RandomInputs(rng, n, 1)
+	l, err := model.BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dObj, sObj := solveBoth(t, l)
+	if math.Abs(dObj-sObj) > 1e-5*(1+math.Abs(dObj)) {
+		t.Fatalf("dense %v vs staircase %v", dObj, sObj)
+	}
+}

@@ -1,0 +1,194 @@
+// Package topology provides the geographic layout of the paper's evaluation
+// (Section V-A): 18 AT&T-era North-American data-center metros as tier-2
+// clouds, the 48 continental US state capitals as tier-1 edge clouds,
+// great-circle distances, k-nearest SLA construction, and the capacity
+// provisioning rule (peak workload consumes 80% of capacity, split across
+// the k SLA clouds).
+//
+// The cited AT&T data-center page [2] is no longer available; the metro list
+// here is a documented reconstruction of AT&T-era hosting locations (see
+// DESIGN.md §3). Only relative geographic proximity enters the algorithms.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Site is a named location.
+type Site struct {
+	Name     string
+	State    string
+	Lat, Lon float64 // degrees
+}
+
+// Tier2Sites returns the 18 tier-2 (AT&T-era) data-center metros.
+func Tier2Sites() []Site {
+	return []Site{
+		{"Seattle", "WA", 47.61, -122.33},
+		{"San Francisco", "CA", 37.77, -122.42},
+		{"San Jose", "CA", 37.34, -121.89},
+		{"Los Angeles", "CA", 34.05, -118.24},
+		{"San Diego", "CA", 32.72, -117.16},
+		{"Phoenix", "AZ", 33.45, -112.07},
+		{"Dallas", "TX", 32.78, -96.80},
+		{"Austin", "TX", 30.27, -97.74},
+		{"Chicago", "IL", 41.88, -87.63},
+		{"St. Louis", "MO", 38.63, -90.20},
+		{"Nashville", "TN", 36.16, -86.78},
+		{"Atlanta", "GA", 33.75, -84.39},
+		{"Orlando", "FL", 28.54, -81.38},
+		{"Washington", "DC", 38.91, -77.04},
+		{"Annapolis", "MD", 38.97, -76.50},
+		{"New York", "NY", 40.71, -74.01},
+		{"Albany", "NY", 42.65, -73.76},
+		{"Boston", "MA", 42.36, -71.06},
+	}
+}
+
+// Tier1Sites returns the 48 continental state capitals.
+func Tier1Sites() []Site {
+	return []Site{
+		{"Montgomery", "AL", 32.38, -86.30},
+		{"Phoenix", "AZ", 33.45, -112.07},
+		{"Little Rock", "AR", 34.74, -92.29},
+		{"Sacramento", "CA", 38.58, -121.49},
+		{"Denver", "CO", 39.74, -104.98},
+		{"Hartford", "CT", 41.76, -72.67},
+		{"Dover", "DE", 39.16, -75.52},
+		{"Tallahassee", "FL", 30.44, -84.28},
+		{"Atlanta", "GA", 33.75, -84.39},
+		{"Boise", "ID", 43.62, -116.20},
+		{"Springfield", "IL", 39.80, -89.65},
+		{"Indianapolis", "IN", 39.77, -86.16},
+		{"Des Moines", "IA", 41.59, -93.60},
+		{"Topeka", "KS", 39.05, -95.68},
+		{"Frankfort", "KY", 38.20, -84.87},
+		{"Baton Rouge", "LA", 30.45, -91.19},
+		{"Augusta", "ME", 44.31, -69.78},
+		{"Annapolis", "MD", 38.97, -76.50},
+		{"Boston", "MA", 42.36, -71.06},
+		{"Lansing", "MI", 42.73, -84.56},
+		{"St. Paul", "MN", 44.95, -93.09},
+		{"Jackson", "MS", 32.30, -90.18},
+		{"Jefferson City", "MO", 38.58, -92.17},
+		{"Helena", "MT", 46.59, -112.04},
+		{"Lincoln", "NE", 40.81, -96.68},
+		{"Carson City", "NV", 39.16, -119.77},
+		{"Concord", "NH", 43.21, -71.54},
+		{"Trenton", "NJ", 40.22, -74.76},
+		{"Santa Fe", "NM", 35.69, -105.94},
+		{"Albany", "NY", 42.65, -73.76},
+		{"Raleigh", "NC", 35.78, -78.64},
+		{"Bismarck", "ND", 46.81, -100.78},
+		{"Columbus", "OH", 39.96, -83.00},
+		{"Oklahoma City", "OK", 35.47, -97.52},
+		{"Salem", "OR", 44.94, -123.04},
+		{"Harrisburg", "PA", 40.26, -76.88},
+		{"Providence", "RI", 41.82, -71.41},
+		{"Columbia", "SC", 34.00, -81.03},
+		{"Pierre", "SD", 44.37, -100.35},
+		{"Nashville", "TN", 36.16, -86.78},
+		{"Austin", "TX", 30.27, -97.74},
+		{"Salt Lake City", "UT", 40.76, -111.89},
+		{"Montpelier", "VT", 44.26, -72.58},
+		{"Richmond", "VA", 37.54, -77.44},
+		{"Olympia", "WA", 47.04, -122.90},
+		{"Charleston", "WV", 38.35, -81.63},
+		{"Madison", "WI", 43.07, -89.40},
+		{"Cheyenne", "WY", 41.14, -104.82},
+	}
+}
+
+// Haversine returns the great-circle distance between two sites in km.
+func Haversine(a, b Site) float64 {
+	const earthRadiusKm = 6371.0
+	la1, lo1 := a.Lat*math.Pi/180, a.Lon*math.Pi/180
+	la2, lo2 := b.Lat*math.Pi/180, b.Lon*math.Pi/180
+	dla, dlo := la2-la1, lo2-lo1
+	h := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// KNearest returns, for every tier-1 site, the indexes of its k
+// geographically closest tier-2 sites — the paper's distance-based SLA sets
+// I_j. Results are sorted by increasing distance.
+func KNearest(tier1, tier2 []Site, k int) ([][]int, error) {
+	if k < 1 || k > len(tier2) {
+		return nil, fmt.Errorf("topology: k = %d with %d tier-2 sites", k, len(tier2))
+	}
+	out := make([][]int, len(tier1))
+	type distIdx struct {
+		d float64
+		i int
+	}
+	for j, s1 := range tier1 {
+		ds := make([]distIdx, len(tier2))
+		for i, s2 := range tier2 {
+			ds[i] = distIdx{Haversine(s1, s2), i}
+		}
+		sort.Slice(ds, func(a, b int) bool {
+			if ds[a].d != ds[b].d {
+				return ds[a].d < ds[b].d
+			}
+			return ds[a].i < ds[b].i
+		})
+		sel := make([]int, k)
+		for n := 0; n < k; n++ {
+			sel[n] = ds[n].i
+		}
+		out[j] = sel
+	}
+	return out, nil
+}
+
+// Provision computes the Section V-A capacity rule. peaks[j] is the peak
+// workload of tier-1 cloud j and sla[j] its k tier-2 clouds; the capacity of
+// tier-2 cloud i becomes (1.25/k)·Σ_{j: i∈I_j} peak_j (so that, with every
+// cloud taking an even 1/k split, peak load consumes 80% of capacity). The
+// capacity of the network between j and i equals the incident tier-2
+// capacity. Clouds that serve no tier-1 site receive capacity floor.
+func Provision(numTier2 int, sla [][]int, peaks []float64, floor float64) (capT2 []float64, capNet func(i int) float64) {
+	capT2 = make([]float64, numTier2)
+	for j, set := range sla {
+		k := float64(len(set))
+		for _, i := range set {
+			capT2[i] += 1.25 / k * peaks[j]
+		}
+	}
+	for i := range capT2 {
+		if capT2[i] < floor {
+			capT2[i] = floor
+		}
+	}
+	return capT2, func(i int) float64 { return capT2[i] }
+}
+
+// SubsetIndices deterministically spreads n picks over total items (used
+// for scaled-down scenarios that keep geographic diversity). Callers use the
+// same indices to subset parallel slices such as electricity pricing rows.
+func SubsetIndices(total, n int) []int {
+	if n >= total {
+		n = total
+	}
+	out := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, k*total/n)
+	}
+	return out
+}
+
+// Subset deterministically spreads n picks over the site list.
+func Subset(sites []Site, n int) []Site {
+	idx := SubsetIndices(len(sites), n)
+	if len(idx) == len(sites) {
+		return sites
+	}
+	out := make([]Site, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, sites[i])
+	}
+	return out
+}

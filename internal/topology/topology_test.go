@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSiteCounts(t *testing.T) {
+	if got := len(Tier2Sites()); got != 18 {
+		t.Fatalf("tier-2 sites = %d, want 18", got)
+	}
+	if got := len(Tier1Sites()); got != 48 {
+		t.Fatalf("tier-1 sites = %d, want 48", got)
+	}
+	// No duplicate tier-1 states (one capital per continental state).
+	seen := map[string]bool{}
+	for _, s := range Tier1Sites() {
+		if seen[s.State] {
+			t.Fatalf("duplicate state %s", s.State)
+		}
+		seen[s.State] = true
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	var ny, la Site
+	for _, s := range Tier2Sites() {
+		if s.Name == "New York" {
+			ny = s
+		}
+		if s.Name == "Los Angeles" {
+			la = s
+		}
+	}
+	d := Haversine(ny, la)
+	if d < 3800 || d > 4100 { // actual ≈ 3940 km
+		t.Fatalf("NY–LA distance = %v km", d)
+	}
+	if Haversine(ny, ny) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+	if math.Abs(Haversine(ny, la)-Haversine(la, ny)) > 1e-9 {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestKNearestProperties(t *testing.T) {
+	t1 := Tier1Sites()
+	t2 := Tier2Sites()
+	for _, k := range []int{1, 2, 3, 4} {
+		sla, err := KNearest(t1, t2, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sla) != len(t1) {
+			t.Fatal("wrong number of SLA sets")
+		}
+		for j, set := range sla {
+			if len(set) != k {
+				t.Fatalf("j=%d has %d clouds, want %d", j, len(set), k)
+			}
+			// Distances must be sorted and entries distinct.
+			seen := map[int]bool{}
+			for n := 0; n < k; n++ {
+				if seen[set[n]] {
+					t.Fatal("duplicate cloud in SLA set")
+				}
+				seen[set[n]] = true
+				if n > 0 && Haversine(t1[j], t2[set[n]]) < Haversine(t1[j], t2[set[n-1]])-1e-9 {
+					t.Fatal("SLA set not sorted by distance")
+				}
+			}
+			// No excluded cloud may be strictly closer than the selected ones.
+			worst := Haversine(t1[j], t2[set[k-1]])
+			for i := range t2 {
+				if seen[i] {
+					continue
+				}
+				if Haversine(t1[j], t2[i]) < worst-1e-9 {
+					t.Fatalf("j=%d: cloud %d closer than selected set", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKNearestSanityAtlanta(t *testing.T) {
+	// Atlanta's closest tier-2 cloud is Atlanta itself.
+	t1 := Tier1Sites()
+	t2 := Tier2Sites()
+	sla, err := KNearest(t1, t2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range t1 {
+		if s.Name == "Atlanta" {
+			if t2[sla[j][0]].Name != "Atlanta" {
+				t.Fatalf("Atlanta's nearest cloud is %s", t2[sla[j][0]].Name)
+			}
+		}
+	}
+}
+
+func TestKNearestValidation(t *testing.T) {
+	if _, err := KNearest(Tier1Sites(), Tier2Sites(), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KNearest(Tier1Sites(), Tier2Sites(), 19); err == nil {
+		t.Fatal("k>|I| accepted")
+	}
+}
+
+func TestProvisionK1(t *testing.T) {
+	// Two tier-2 clouds; three tier-1 clouds with peaks 4, 6, 10; SLA maps
+	// j0,j1 → i0 and j2 → i1.
+	sla := [][]int{{0}, {0}, {1}}
+	peaks := []float64{4, 6, 10}
+	capT2, capNet := Provision(2, sla, peaks, 0)
+	if math.Abs(capT2[0]-12.5) > 1e-9 { // 1.25·(4+6)
+		t.Fatalf("capT2[0] = %v", capT2[0])
+	}
+	if math.Abs(capT2[1]-12.5) > 1e-9 { // 1.25·10
+		t.Fatalf("capT2[1] = %v", capT2[1])
+	}
+	if capNet(1) != capT2[1] {
+		t.Fatal("network capacity must equal incident cloud capacity")
+	}
+}
+
+func TestProvisionK2SplitsPeaks(t *testing.T) {
+	// One tier-1 cloud with peak 8 split over two clouds: each gets 1.25/2·8 = 5.
+	sla := [][]int{{0, 1}}
+	capT2, _ := Provision(2, sla, []float64{8}, 0)
+	if math.Abs(capT2[0]-5) > 1e-9 || math.Abs(capT2[1]-5) > 1e-9 {
+		t.Fatalf("capT2 = %v", capT2)
+	}
+	// Peak consumes 80% in aggregate: Σcap = 10 = 8/0.8.
+	if math.Abs(capT2[0]+capT2[1]-8/0.8) > 1e-9 {
+		t.Fatal("80% provisioning rule broken")
+	}
+}
+
+func TestProvisionFloor(t *testing.T) {
+	capT2, _ := Provision(2, [][]int{{0}}, []float64{4}, 1)
+	if capT2[1] != 1 {
+		t.Fatalf("unused cloud capacity = %v, want floor 1", capT2[1])
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := Subset(Tier2Sites(), 6)
+	if len(s) != 6 {
+		t.Fatalf("subset size %d", len(s))
+	}
+	if s[0].Name != Tier2Sites()[0].Name {
+		t.Fatal("subset should start at the first site")
+	}
+	// Requesting all or more returns the original.
+	if len(Subset(Tier2Sites(), 30)) != 18 {
+		t.Fatal("oversized subset wrong")
+	}
+	// Distinct entries.
+	seen := map[string]bool{}
+	for _, site := range s {
+		key := site.Name + site.State
+		if seen[key] {
+			t.Fatal("duplicate in subset")
+		}
+		seen[key] = true
+	}
+}

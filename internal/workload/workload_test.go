@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWikipediaShape(t *testing.T) {
+	w := Wikipedia(WikipediaHours, 1)
+	if len(w) != 500 {
+		t.Fatalf("len = %d", len(w))
+	}
+	var peak, min float64
+	min = math.Inf(1)
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("negative workload")
+		}
+		if v > peak {
+			peak = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if math.Abs(peak-1) > 1e-12 {
+		t.Fatalf("peak = %v, want 1", peak)
+	}
+	// Regular dynamics: pronounced diurnal swing but no near-zero collapse.
+	if min < 0.05 || min > 0.7 {
+		t.Fatalf("min = %v, outside regular-dynamics band", min)
+	}
+}
+
+func TestWikipediaDiurnalCycle(t *testing.T) {
+	// Autocorrelation at lag 24 must dominate lag 12 (daily cycle).
+	w := Wikipedia(WikipediaHours, 2)
+	ac := func(lag int) float64 {
+		var num float64
+		mean := 0.0
+		for _, v := range w {
+			mean += v
+		}
+		mean /= float64(len(w))
+		var den float64
+		for i := 0; i+lag < len(w); i++ {
+			num += (w[i] - mean) * (w[i+lag] - mean)
+		}
+		for _, v := range w {
+			den += (v - mean) * (v - mean)
+		}
+		return num / den
+	}
+	if ac(24) < 0.5 {
+		t.Fatalf("lag-24 autocorrelation %v too weak", ac(24))
+	}
+	if ac(24) < ac(12) {
+		t.Fatalf("no daily cycle: ac24=%v ac12=%v", ac(24), ac(12))
+	}
+}
+
+func TestWorldCupBurstiness(t *testing.T) {
+	w := WorldCup(WorldCupHours, 1)
+	if len(w) != 600 {
+		t.Fatalf("len = %d", len(w))
+	}
+	var peak, sum float64
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("negative workload")
+		}
+		if v > peak {
+			peak = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(w))
+	// Spiky: peak-to-mean far larger than the Wikipedia trace's.
+	wWiki := Wikipedia(WikipediaHours, 1)
+	var sumW float64
+	for _, v := range wWiki {
+		sumW += v
+	}
+	meanWiki := sumW / float64(len(wWiki))
+	if peak/mean < 2.5 {
+		t.Fatalf("WorldCup peak/mean = %v, not bursty", peak/mean)
+	}
+	if peak/mean < 1.5*(1/meanWiki) {
+		t.Fatalf("WorldCup (%v) not burstier than Wikipedia (%v)", peak/mean, 1/meanWiki)
+	}
+}
+
+func TestRampDownPhases(t *testing.T) {
+	xs := []float64{3, 2, 1, 5, 4, 4, 6, 5, 4, 3}
+	phases := RampDownPhases(xs)
+	want := []int{2, 1, 3}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v", phases)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if len(RampDownPhases([]float64{1, 2, 3})) != 0 {
+		t.Fatal("increasing trace has no ramp-downs")
+	}
+}
+
+func TestWikipediaHasLongRampDowns(t *testing.T) {
+	// The Fig. 8 discussion: a substantial share of ramp-down phases are
+	// longer than a 10-slot prediction window.
+	w := Wikipedia(WikipediaHours, 3)
+	phases := RampDownPhases(w)
+	if len(phases) == 0 {
+		t.Fatal("no ramp-down phases at all")
+	}
+	long := 0
+	for _, p := range phases {
+		if p >= 8 {
+			long++
+		}
+	}
+	if long == 0 {
+		t.Fatal("no long ramp-down phases — diurnal structure missing")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	Normalize(xs, 10)
+	if xs[2] != 10 || xs[0] != 2.5 {
+		t.Fatalf("normalized = %v", xs)
+	}
+	zeros := []float64{0, 0}
+	Normalize(zeros, 5)
+	if zeros[0] != 0 {
+		t.Fatal("all-zero trace altered")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := WorldCup(100, 9)
+	b := WorldCup(100, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	src := "# comment\n0,10\n1,20.5\n\n2,0\n"
+	xs, err := LoadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 3 || xs[1] != 20.5 {
+		t.Fatalf("loaded %v", xs)
+	}
+	// Bare values.
+	xs, err = LoadCSV(strings.NewReader("5\n7\n"))
+	if err != nil || len(xs) != 2 || xs[1] != 7 {
+		t.Fatalf("bare load %v %v", xs, err)
+	}
+	if _, err := LoadCSV(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("0,-1\n")); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("# only comments\n")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestAggregateHours(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7}
+	hours, err := AggregateHours(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hours) != 2 || hours[0] != 6 || hours[1] != 15 {
+		t.Fatalf("aggregated = %v", hours)
+	}
+	if _, err := AggregateHours(samples, 0); err == nil {
+		t.Fatal("zero samplesPerHour accepted")
+	}
+	if _, err := AggregateHours([]float64{1}, 2); err == nil {
+		t.Fatal("sub-hour trace accepted")
+	}
+}
