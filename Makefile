@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate used before merging: static checks plus the full suite under the
+# race detector (the ADMM consensus loop and the fault-injection trip counter
+# are the concurrency-sensitive paths).
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -19,6 +19,7 @@
 package admm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +29,7 @@ import (
 	"soral/internal/convex"
 	"soral/internal/lp"
 	"soral/internal/model"
+	"soral/internal/resilience"
 )
 
 // Options tunes the ADMM iteration.
@@ -40,6 +42,11 @@ type Options struct {
 	// concurrently; the slot solves of one iteration are independent.
 	// 0 selects GOMAXPROCS.
 	Workers int
+
+	// Ctx, when non-nil, is checked at every consensus iteration and inside
+	// every per-slot barrier solve; cancellation aborts with a typed
+	// resilience.SolveError.
+	Ctx context.Context
 
 	Solver convex.Options // per-slot subproblem tuning
 }
@@ -254,6 +261,9 @@ func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, er
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.Solver.Ctx == nil {
+		opts.Solver.Ctx = opts.Ctx
+	}
 	T := in.T
 	nd := decWidth(n)
 	if opts.Rho <= 0 {
@@ -305,6 +315,9 @@ func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, er
 	res := &Result{}
 	zScale := 1.0
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if cerr := resilience.Interrupted(opts.Ctx, "admm", iter); cerr != nil {
+			return nil, cerr
+		}
 		res.Iters = iter + 1
 		// 1. Per-slot local solves — independent across slots, fanned out
 		// over a bounded worker pool.

@@ -1,0 +1,26 @@
+package admm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"soral/internal/model"
+	"soral/internal/resilience"
+)
+
+func TestADMMCanceledContext(t *testing.T) {
+	n, err := model.NewNetwork(1, 1, []model.Pair{{I: 0, J: 0}},
+		[]float64{10}, []float64{5}, []float64{10}, []float64{1}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &model.Inputs{T: 2, PriceT2: [][]float64{{1}, {1}}, Workload: [][]float64{{4}, {2}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = SolveOffline(n, in, Options{MaxIter: 50, Ctx: ctx})
+	se, ok := resilience.AsSolveError(err)
+	if !ok || se.Class != resilience.ClassCanceled || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ADMM returned %v", err)
+	}
+}

@@ -30,20 +30,21 @@ func (c *Config) denseLimit() int {
 	return c.DenseWindowLimit
 }
 
-// solveLayout solves a built P1 layout with the appropriate backend.
+// solveLayout solves a built P1 layout with the appropriate backend. Dense
+// windows go straight through the LP fallback ladder (rescaling, loosened
+// tolerance, simplex); a failed staircase solve falls back to the same
+// ladder on the flat problem, so a degenerate window degrades to a slower
+// solve instead of an aborted run.
 func (c *Config) solveLayout(l *model.Layout) ([]*model.Decision, float64, error) {
 	var sol *lp.GeneralSolution
 	var err error
 	if l.W <= c.denseLimit() {
-		sol, err = lp.Solve(l.Prob, c.LPOpts)
+		sol, _, err = lp.SolveResilient(l.Prob, c.LPOpts)
 	} else {
 		sol, err = staircase.Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, c.LPOpts)
-	}
-	if (err != nil || sol.Status != lp.Optimal) && l.Prob.NumVars() <= 4000 {
-		// Degenerate windows can defeat the interior-point method; the
-		// two-phase simplex is slower but unconditionally robust at small
-		// sizes.
-		sol, err = lp.SolveSimplex(l.Prob, 0)
+		if err != nil || sol.Status != lp.Optimal {
+			sol, _, err = lp.SolveResilient(l.Prob, c.LPOpts)
+		}
 	}
 	if err != nil {
 		return nil, 0, err

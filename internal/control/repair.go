@@ -19,48 +19,10 @@ func (c *Config) repair(t int, planned, prevApplied *model.Decision) (*model.Dec
 	if err != nil {
 		return nil, err
 	}
-	n := c.Net
 	// Lower-bound the decision variables at the planned values, guarding
-	// against solver noise that would make a bound cross its capacity.
-	for p := 0; p < n.NumPairs(); p++ {
-		yv := l.YVar(0, p)
-		lo := planned.Y[p]
-		if lo > n.CapNet[p] {
-			lo = n.CapNet[p]
-		}
-		l.Prob.Lo[yv] = lo
-		l.Prob.Lo[l.XVar(0, p)] = planned.X[p]
-		if n.Tier1 {
-			l.Prob.Lo[l.ZVar(0, p)] = planned.Z[p]
-		}
-	}
-	// Scale group lower bounds back under capacity if the plan overshoots.
-	for i := 0; i < n.NumTier2; i++ {
-		var sum float64
-		for _, p := range n.PairsOfI(i) {
-			sum += l.Prob.Lo[l.XVar(0, p)]
-		}
-		if sum > n.CapT2[i] {
-			scale := n.CapT2[i] / sum
-			for _, p := range n.PairsOfI(i) {
-				l.Prob.Lo[l.XVar(0, p)] *= scale
-			}
-		}
-	}
-	if n.Tier1 {
-		for j := 0; j < n.NumTier1; j++ {
-			var sum float64
-			for _, p := range n.PairsOfJ(j) {
-				sum += l.Prob.Lo[l.ZVar(0, p)]
-			}
-			if sum > n.CapT1[j] {
-				scale := n.CapT1[j] / sum
-				for _, p := range n.PairsOfJ(j) {
-					l.Prob.Lo[l.ZVar(0, p)] *= scale
-				}
-			}
-		}
-	}
+	// against solver noise that would make a bound cross its capacity
+	// (shared with the online degradation path — see model.LowerBoundPlan).
+	l.LowerBoundPlan(planned)
 	seq, _, err := c.solveLayout(l)
 	if err != nil {
 		// Fall back to the unconstrained one-shot slice: always feasible

@@ -1,0 +1,110 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+)
+
+func TestRepairAlreadyFeasiblePassthrough(t *testing.T) {
+	n := oneByOneNet(t, 1, 1, 1)
+	in := scalarInputs([]float64{3}, []float64{1})
+	c := cfgFor(n, in)
+	planned := model.NewZeroDecision(n)
+	planned.X[0], planned.Y[0] = 4, 4 // already covers λ=3
+	got, err := c.repair(0, planned, model.NewZeroDecision(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != planned {
+		t.Fatal("feasible plan was not returned unchanged")
+	}
+}
+
+func TestRepairRaisesInfeasiblePlan(t *testing.T) {
+	// The plan undershoots the realized workload; repair may only raise
+	// allocations, never lower them.
+	n := oneByOneNet(t, 1, 1, 1)
+	in := scalarInputs([]float64{6}, []float64{1})
+	c := cfgFor(n, in)
+	planned := model.NewZeroDecision(n)
+	planned.X[0], planned.Y[0] = 2, 2
+	got, err := c.repair(0, planned, model.NewZeroDecision(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := got.FeasibleAt(n, in.Workload[0], 1e-6); !ok {
+		t.Fatalf("repaired decision infeasible by %v", v)
+	}
+	if got.X[0] < planned.X[0]-1e-9 || got.Y[0] < planned.Y[0]-1e-9 {
+		t.Fatalf("repair lowered the plan: x %v→%v, y %v→%v",
+			planned.X[0], got.X[0], planned.Y[0], got.Y[0])
+	}
+	if got.X[0] < 6-1e-5 {
+		t.Fatalf("repaired x = %v does not cover λ = 6", got.X[0])
+	}
+}
+
+func TestRepairZeroCapacityHeadroom(t *testing.T) {
+	// The plan already saturates the only pair's capacity; repair must keep
+	// the decision feasible rather than push bounds past their capacities.
+	n := oneByOneNet(t, 1, 1, 1) // caps 10/10
+	in := scalarInputs([]float64{10}, []float64{1})
+	c := cfgFor(n, in)
+	planned := model.NewZeroDecision(n)
+	planned.X[0], planned.Y[0] = 10, 10
+	got, err := c.repair(0, planned, model.NewZeroDecision(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := got.FeasibleAt(n, in.Workload[0], 1e-6); !ok {
+		t.Fatalf("repair broke a saturated plan by %v", v)
+	}
+}
+
+func TestRepairOvershootingPlanScaledUnderCapacity(t *testing.T) {
+	// A plan that exceeds the capacities (e.g. produced by a sloppy solve)
+	// must not make the repair LP infeasible: LowerBoundPlan clamps and
+	// rescales the bounds back under the caps.
+	n := oneByOneNet(t, 1, 1, 1) // caps 10/10
+	in := scalarInputs([]float64{4}, []float64{1})
+	c := cfgFor(n, in)
+	planned := model.NewZeroDecision(n)
+	planned.X[0], planned.Y[0] = 13, 12 // over both capacities
+	planned.Y[0] = 12
+	got, err := c.repair(0, planned, model.NewZeroDecision(n))
+	if err != nil {
+		t.Fatalf("overshooting plan broke repair: %v", err)
+	}
+	if ok, v := got.FeasibleAt(n, in.Workload[0], 1e-6); !ok {
+		t.Fatalf("repaired decision infeasible by %v", v)
+	}
+	if got.X[0] > n.CapT2[0]+1e-6 || got.Y[0] > n.CapNet[0]+1e-6 {
+		t.Fatalf("repair exceeded capacity: x=%v y=%v", got.X[0], got.Y[0])
+	}
+}
+
+func TestRepairRandomInstancesStayFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for trial := 0; trial < 5; trial++ {
+		n := model.RandomNetwork(rng, 2, 2, 2, 10)
+		in := model.RandomInputs(rng, n, 2)
+		c := cfgFor(n, in)
+		// Plan built for slot 0's workload, repaired against slot 1's.
+		planned := model.SpreadDecision(n, in.Workload[0])
+		got, err := c.repair(1, planned, planned)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ok, v := got.FeasibleAt(n, in.Workload[1], 1e-5); !ok {
+			t.Fatalf("trial %d: repaired decision infeasible by %v", trial, v)
+		}
+		for p := range got.X {
+			if got.X[p] < math.Min(planned.X[p], n.CapT2[n.Pairs[p].I])-1e-6 {
+				t.Fatalf("trial %d: pair %d lowered below plan", trial, p)
+			}
+		}
+	}
+}

@@ -13,12 +13,14 @@
 package convex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"soral/internal/linalg"
 	"soral/internal/lp"
+	"soral/internal/resilience"
 )
 
 // Objective is a smooth convex function of x.
@@ -45,6 +47,15 @@ type Options struct {
 	Mu        float64 // barrier growth factor (default 20)
 	MaxNewton int     // Newton iterations per centering step (default 80)
 	MaxOuter  int     // barrier stages (default 60)
+
+	// Ctx, when non-nil, is checked at every Newton iteration; an expired
+	// deadline or cancellation aborts the solve with a typed
+	// resilience.SolveError (class ClassCanceled).
+	Ctx context.Context
+
+	// Fault, when non-nil, injects deterministic failures for resilience
+	// testing (see resilience.FaultPlan). Production callers leave it nil.
+	Fault *resilience.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -121,8 +132,15 @@ func FindStrictlyFeasible(g *lp.SparseMatrix, h []float64) ([]float64, error) {
 }
 
 // Solve minimizes the problem with the barrier method. If x0 is nil or not
-// strictly feasible, phase I is run first.
-func Solve(p *Problem, x0 []float64, opts Options) (*Result, error) {
+// strictly feasible, phase I is run first. Runtime panics from the linear
+// algebra are converted into typed resilience.SolveError values.
+func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = resilience.FromPanic("convex.barrier", r)
+		}
+	}()
 	opts = opts.withDefaults()
 	n := p.G.N
 	m := p.G.M
@@ -145,12 +163,40 @@ func Solve(p *Problem, x0 []float64, opts Options) (*Result, error) {
 	xTrial := make([]float64, n)
 	hess := linalg.NewDense(n, n)
 
-	res := &Result{}
+	res = &Result{}
+	// The fault plan can cap the total Newton budget to force an
+	// iteration-limit exit; organically the outer/inner loop bounds are the
+	// only budget.
+	budget := opts.Fault.Budget(opts.MaxOuter * opts.MaxNewton)
+	budgetInjected := budget < opts.MaxOuter*opts.MaxNewton
+	condEst := 0.0
 	t := opts.TInit
 	for outer := 0; outer < opts.MaxOuter; outer++ {
 		// Centering: Newton on t·f(x) − Σ ln(h − Gx).
 		for newton := 0; newton < opts.MaxNewton; newton++ {
+			iter := res.NewtonIters
 			res.NewtonIters++
+			if cerr := resilience.Interrupted(opts.Ctx, "convex.barrier", iter); cerr != nil {
+				return nil, cerr
+			}
+			opts.Fault.MaybePanic(iter)
+			if opts.Fault.NaNShouldInject(iter) {
+				x[0] = math.NaN()
+			}
+			if !linalg.AllFinite(x) {
+				return nil, &resilience.SolveError{
+					Stage: "convex.barrier", Class: resilience.ClassNonFinite,
+					Iters: iter, CondEst: condEst,
+					Err: errors.New("non-finite iterate"),
+				}
+			}
+			if budgetInjected && res.NewtonIters > budget {
+				return nil, &resilience.SolveError{
+					Stage: "convex.barrier", Class: resilience.ClassIterationLimit,
+					Iters: iter, CondEst: condEst,
+					Err: fmt.Errorf("Newton budget exhausted: %w", resilience.ErrInjected),
+				}
+			}
 			computeSlack(p.G, p.H, x, slack)
 			p.Obj.Gradient(grad, x)
 			p.Obj.Hessian(hess, x)
@@ -174,10 +220,21 @@ func Solve(p *Problem, x0 []float64, opts Options) (*Result, error) {
 					}
 				}
 			}
-			chol, err := linalg.NewCholesky(hess, 1e-6*maxAbsDiag(hess)+1e-12)
-			if err != nil {
-				return nil, fmt.Errorf("convex: Newton system: %w", err)
+			var chol *linalg.Cholesky
+			var cherr error
+			if opts.Fault.FactorizationShouldFail(iter) {
+				cherr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
+			} else {
+				chol, cherr = linalg.NewCholesky(hess, 1e-6*maxAbsDiag(hess)+1e-12)
 			}
+			if cherr != nil {
+				return nil, &resilience.SolveError{
+					Stage: "convex.barrier", Class: resilience.ClassFactorization,
+					Iters: iter, CondEst: condEst,
+					Err: fmt.Errorf("Newton system: %w", cherr),
+				}
+			}
+			condEst = chol.ConditionEstimate()
 			chol.Solve(dx, fullGrad)
 			linalg.Scale(-1, dx)
 			lambda2 := -linalg.Dot(fullGrad, dx) // Newton decrement squared

@@ -5,12 +5,17 @@ import (
 
 	"soral/internal/convex"
 	"soral/internal/model"
+	"soral/internal/resilience"
 )
 
 // Options bundles the algorithm parameters with solver tuning.
 type Options struct {
 	Params Params
 	Solver convex.Options
+
+	// Resilience tunes the fallback ladder and graceful degradation of the
+	// online pipeline; the zero value enables both.
+	Resilience ResilienceOptions
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -27,8 +32,9 @@ type Online struct {
 	In   *model.Inputs
 	Opts Options
 
-	prev *model.Decision
-	t    int
+	prev   *model.Decision
+	t      int
+	report Report
 }
 
 // NewOnline prepares a run over the given inputs starting from the all-zero
@@ -49,15 +55,42 @@ func (o *Online) Prev() *model.Decision { return o.prev }
 // Slot returns the index of the next slot to be decided.
 func (o *Online) Slot() int { return o.t }
 
-// Step solves P2(t) for the next slot and advances the state.
+// Report returns the per-run resilience record: one entry per decided slot,
+// marking which were solved cleanly, recovered by a fallback rung, or
+// degraded to a carried-forward decision.
+func (o *Online) Report() *Report { return &o.report }
+
+// Step solves P2(t) for the next slot and advances the state. Solver
+// failures climb the fallback ladder; if the whole ladder fails and
+// degradation is enabled (the default), the previous decision — projected to
+// feasibility for the realized inputs — is applied and the slot is marked
+// Degraded in the run report, so a sequence never aborts on a numerical
+// breakdown. Build/validation errors and context cancellation still abort.
 func (o *Online) Step() (*model.Decision, error) {
 	if o.t >= o.In.T {
 		return nil, fmt.Errorf("core: horizon exhausted at slot %d", o.t)
 	}
-	dec, err := SolveP2(o.Net, o.In, o.t, o.prev, o.Opts)
-	if err != nil {
+	dec, ladder, err := SolveP2Resilient(o.Net, o.In, o.t, o.prev, o.Opts)
+	sr := SlotReport{Slot: o.t, Ladder: ladder}
+	switch {
+	case err == nil:
+		sr.Rung = ladder.Rung
+		if ladder.Recovered() {
+			sr.Status = SlotRecovered
+		}
+	case o.Opts.Resilience.DisableDegrade || !resilience.IsSolveFailure(err) || resilience.IsCanceled(err):
 		return nil, fmt.Errorf("core: slot %d: %w", o.t, err)
+	default:
+		carried, tactic, derr := carryForward(o.Net, o.In, o.t, o.prev, o.Opts)
+		if derr != nil {
+			return nil, fmt.Errorf("core: slot %d unrecoverable: %w (degradation failed: %v)", o.t, err, derr)
+		}
+		dec = carried
+		sr.Status = SlotDegraded
+		sr.Rung = tactic
+		sr.Err = err
 	}
+	o.report.Slots = append(o.report.Slots, sr)
 	o.prev = dec
 	o.t++
 	return dec, nil
@@ -93,9 +126,18 @@ func SolveP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, op
 // RunOnline is the one-call convenience wrapper used by the evaluation
 // harness: it runs the online algorithm over the whole horizon.
 func RunOnline(n *model.Network, in *model.Inputs, opts Options) ([]*model.Decision, error) {
+	seq, _, err := RunOnlineReport(n, in, opts)
+	return seq, err
+}
+
+// RunOnlineReport runs the online algorithm over the whole horizon and also
+// returns the per-run resilience report. The report is valid (for the
+// decided prefix) even when an error is returned.
+func RunOnlineReport(n *model.Network, in *model.Inputs, opts Options) ([]*model.Decision, *Report, error) {
 	o, err := NewOnline(n, in, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return o.Run()
+	seq, err := o.Run()
+	return seq, o.Report(), err
 }

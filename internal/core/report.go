@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"soral/internal/resilience"
+)
+
+// SlotStatus classifies how one slot's decision was produced.
+type SlotStatus int8
+
+const (
+	// SlotOK means the primary solve succeeded directly.
+	SlotOK SlotStatus = iota
+	// SlotRecovered means a fallback rung of the solve ladder produced the
+	// decision (the guarantee-relevant subproblem was still solved).
+	SlotRecovered
+	// SlotDegraded means every solver rung failed and the previous slot's
+	// decision was carried forward, projected to feasibility for the
+	// realized inputs. The decision is feasible but no longer the P2(t)
+	// optimum, so Theorem 1's per-slot argument does not cover this slot.
+	SlotDegraded
+)
+
+func (s SlotStatus) String() string {
+	switch s {
+	case SlotOK:
+		return "ok"
+	case SlotRecovered:
+		return "recovered"
+	case SlotDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// SlotReport records the resilience outcome of one slot.
+type SlotReport struct {
+	Slot   int
+	Status SlotStatus
+	// Rung names the ladder rung (or degradation tactic) that produced the
+	// decision; empty for an untroubled primary solve.
+	Rung string
+	// Ladder is the full solve ladder transcript (nil when the primary
+	// solve succeeded on the first attempt with nothing to report).
+	Ladder *resilience.LadderReport
+	// Err is the terminal solver error that forced degradation (nil unless
+	// Status == SlotDegraded).
+	Err error
+}
+
+// Report is the per-run resilience record of an online run: one entry per
+// decided slot. A run whose report has no degraded slots satisfied the
+// conditions of Theorem 1 at every slot.
+type Report struct {
+	Slots []SlotReport
+}
+
+// Degraded returns the indexes of the slots that were carried forward.
+func (r *Report) Degraded() []int {
+	var out []int
+	for _, s := range r.Slots {
+		if s.Status == SlotDegraded {
+			out = append(out, s.Slot)
+		}
+	}
+	return out
+}
+
+// Recovered returns the indexes of the slots rescued by a fallback rung.
+func (r *Report) Recovered() []int {
+	var out []int
+	for _, s := range r.Slots {
+		if s.Status == SlotRecovered {
+			out = append(out, s.Slot)
+		}
+	}
+	return out
+}
+
+// Clean reports whether every slot was solved by the primary path.
+func (r *Report) Clean() bool {
+	for _, s := range r.Slots {
+		if s.Status != SlotOK {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Report) String() string {
+	if r == nil || len(r.Slots) == 0 {
+		return "core: no slots decided"
+	}
+	deg, rec := r.Degraded(), r.Recovered()
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: %d slots, %d recovered, %d degraded", len(r.Slots), len(rec), len(deg))
+	if len(deg) > 0 {
+		fmt.Fprintf(&b, " %v", deg)
+	}
+	return b.String()
+}

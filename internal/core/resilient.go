@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"soral/internal/convex"
+	"soral/internal/lp"
+	"soral/internal/model"
+	"soral/internal/resilience"
+)
+
+// ResilienceOptions tunes the online pipeline's fault handling. The zero
+// value enables everything: resilience is the default and must be opted out
+// of, not into.
+type ResilienceOptions struct {
+	// DisableLadder restricts every P2 solve to the primary warm-started
+	// attempt (no restart or loosened-tolerance rungs).
+	DisableLadder bool
+	// DisableDegrade makes a slot whose whole ladder failed abort the run
+	// (the pre-resilience behavior) instead of carrying the previous
+	// decision forward.
+	DisableDegrade bool
+	// LooseTolFactor scales the solver tolerance on the last ladder rung
+	// (default 100).
+	LooseTolFactor float64
+}
+
+func (r ResilienceOptions) looseFactor() float64 {
+	if r.LooseTolFactor <= 1 {
+		return 100
+	}
+	return r.LooseTolFactor
+}
+
+// P2 ladder rung names.
+const (
+	RungWarm          = "warm"
+	RungRestartCenter = "restart-center"
+	RungLooseTol      = "loose-tol"
+)
+
+// Degradation tactic names recorded in SlotReport.Rung.
+const (
+	DegradeCarry   = "carry-forward"
+	DegradeProject = "carry-forward+project"
+	DegradeOneShot = "one-shot"
+	DegradeSpread  = "spread"
+)
+
+// feasTol is the absolute slot-feasibility tolerance a ladder rung's
+// decision must meet to be accepted.
+const feasTol = 1e-4
+
+// SolveP2Resilient solves the regularized subproblem for one slot through a
+// fallback ladder:
+//
+//  1. warm — the barrier solve from the structured warm start;
+//  2. restart-center — discard the warm start and restart the barrier from
+//     the phase-I strictly feasible point (the fresh centering path pulls
+//     through the analytic center, stepping around whatever corner of the
+//     feasible region broke the warm-started Newton iteration);
+//  3. loose-tol — restart at LooseTolFactor× the tolerance and twice the
+//     Newton budget.
+//
+// A rung only succeeds if the barrier converged AND the extracted decision
+// is feasible for the realized slot inputs within 1e-4. Build/validation
+// errors are returned directly with a nil report: a malformed instance must
+// not be retried.
+func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Decision, opts Options) (*model.Decision, *resilience.LadderReport, error) {
+	p2, err := BuildP2(n, in, t, prev, opts.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	x0 := p2.warmStart(in, t)
+
+	attempt := func(solverOpts convex.Options, start []float64) (*model.Decision, error) {
+		res, err := convex.Solve(p2.Prob, start, solverOpts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Converged {
+			return nil, &resilience.SolveError{
+				Stage: "convex.barrier", Class: resilience.ClassIterationLimit,
+				Iters: res.NewtonIters,
+				Err:   fmt.Errorf("barrier stopped before reaching tol %g", solverOpts.Tol),
+			}
+		}
+		dec := p2.Extract(res.X)
+		if ok, v := dec.FeasibleAt(n, in.Workload[t], feasTol); !ok {
+			return nil, &resilience.SolveError{
+				Stage: "core.p2", Class: resilience.ClassInfeasible,
+				Iters: res.NewtonIters,
+				Err:   fmt.Errorf("extracted decision violates slot %d constraints by %g", t, v),
+			}
+		}
+		return dec, nil
+	}
+
+	rungs := []resilience.Rung[*model.Decision]{
+		{Name: RungWarm, Run: func() (*model.Decision, error) {
+			return attempt(opts.Solver, x0)
+		}},
+	}
+	if !opts.Resilience.DisableLadder {
+		if x0 != nil {
+			rungs = append(rungs, resilience.Rung[*model.Decision]{
+				Name: RungRestartCenter, Run: func() (*model.Decision, error) {
+					return attempt(opts.Solver, nil)
+				}})
+		}
+		loose := opts.Solver
+		loose.Tol = loose.Tol * opts.Resilience.looseFactor()
+		if loose.Tol <= 0 {
+			loose.Tol = 1e-7 * opts.Resilience.looseFactor()
+		}
+		if loose.MaxNewton <= 0 {
+			loose.MaxNewton = 160 // 2× the barrier default
+		} else {
+			loose.MaxNewton *= 2
+		}
+		rungs = append(rungs, resilience.Rung[*model.Decision]{
+			Name: RungLooseTol, Run: func() (*model.Decision, error) {
+				return attempt(loose, nil)
+			}})
+	}
+	return resilience.Climb(fmt.Sprintf("core.p2[t=%d]", t), rungs)
+}
+
+// carryForward implements graceful degradation for one slot: reuse the
+// previous decision, minimally raised to cover the realized inputs. It
+// tries, in order: the decision as-is (already feasible), the repair LP with
+// the previous decision as lower bounds (the same machinery as the
+// controllers' repair step), an unconstrained one-shot LP, and finally the
+// solver-free greedy spread. It returns the applied decision and the tactic
+// name.
+func carryForward(n *model.Network, in *model.Inputs, t int, prev *model.Decision, opts Options) (*model.Decision, string, error) {
+	if ok, _ := prev.FeasibleAt(n, in.Workload[t], 1e-7); ok {
+		return prev.Clone(), DegradeCarry, nil
+	}
+	lpOpts := lp.Options{Ctx: opts.Solver.Ctx}
+	if l, err := model.BuildP1(n, in.Window(t, 1), prev, nil); err == nil {
+		l.LowerBoundPlan(prev)
+		if sol, _, err := lp.SolveResilient(l.Prob, lpOpts); err == nil {
+			return l.ExtractDecisions(sol.X)[0], DegradeProject, nil
+		}
+	}
+	if l, err := model.BuildP1(n, in.Window(t, 1), prev, nil); err == nil {
+		if sol, _, err := lp.SolveResilient(l.Prob, lpOpts); err == nil {
+			return l.ExtractDecisions(sol.X)[0], DegradeOneShot, nil
+		}
+	}
+	d := model.SpreadDecision(n, in.Workload[t])
+	if ok, v := d.FeasibleAt(n, in.Workload[t], 1e-7); !ok {
+		return nil, "", fmt.Errorf("core: emergency spread allocation still infeasible by %g at slot %d", v, t)
+	}
+	return d, DegradeSpread, nil
+}

@@ -1,11 +1,13 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"soral/internal/linalg"
+	"soral/internal/resilience"
 )
 
 // Status reports the outcome of a solve.
@@ -44,6 +46,15 @@ func (s Status) String() string {
 type Options struct {
 	Tol     float64 // relative optimality/feasibility tolerance (default 1e-8)
 	MaxIter int     // default 100
+
+	// Ctx, when non-nil, is checked at the top of every iteration; an
+	// expired deadline or cancellation aborts the solve with a typed
+	// resilience.SolveError (class ClassCanceled).
+	Ctx context.Context
+
+	// Fault, when non-nil, injects deterministic failures for resilience
+	// testing (see resilience.FaultPlan). Production callers leave it nil.
+	Fault *resilience.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +75,11 @@ type Solution struct {
 	S      []float64 // reduced costs
 	Obj    float64   // cᵀx in standard form
 	Iters  int
+
+	// Residuals holds the normalized primal/dual infeasibilities and the
+	// complementarity gap at the final iterate. On an IterationLimit exit
+	// they let the caller decide whether the last iterate is acceptable.
+	Residuals resilience.Residuals
 }
 
 // NormalSolver abstracts the factor/solve of the normal equations
@@ -114,12 +130,38 @@ func maxDiag(m *linalg.Dense) float64 {
 // Solve implements NormalSolver.
 func (dn *DenseNormal) Solve(x, b []float64) { dn.chol.Solve(x, b) }
 
+// ConditionEstimate exposes the condition estimate of the last factorized
+// normal matrix (see linalg.Cholesky.ConditionEstimate). Returns 0 before
+// the first factorization.
+func (dn *DenseNormal) ConditionEstimate() float64 {
+	if dn.chol == nil {
+		return 0
+	}
+	return dn.chol.ConditionEstimate()
+}
+
+// condEstOf extracts a condition estimate from backends that provide one.
+func condEstOf(normal NormalSolver) float64 {
+	if ce, ok := normal.(interface{ ConditionEstimate() float64 }); ok {
+		return ce.ConditionEstimate()
+	}
+	return 0
+}
+
 // ErrEmptyProblem is returned for a standard form with no variables.
 var ErrEmptyProblem = errors.New("lp: empty problem")
 
 // SolveStandard runs Mehrotra's predictor–corrector method on a
-// standard-form LP with the given normal-equation backend.
-func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution, error) {
+// standard-form LP with the given normal-equation backend. Runtime panics
+// (e.g. a dimension mismatch in internal/linalg) are converted into typed
+// resilience.SolveError values instead of propagating.
+func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sol = &Solution{Status: NumericalFailure}
+			err = resilience.FromPanic("lp.mehrotra", r)
+		}
+	}()
 	opts = opts.withDefaults()
 	a := std.A
 	n := len(std.C)
@@ -133,7 +175,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 	if m == 0 {
 		// No constraints: min cᵀx over x ≥ 0 is 0 at x = 0 unless some
 		// cost is negative, in which case the problem is unbounded.
-		sol := &Solution{X: make([]float64, n), Y: nil, S: linalg.Clone(c)}
+		sol = &Solution{X: make([]float64, n), Y: nil, S: linalg.Clone(c)}
 		for _, ci := range c {
 			if ci < 0 {
 				sol.Status = Unbounded
@@ -152,7 +194,10 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 	ones := make([]float64, n)
 	linalg.Fill(ones, 1)
 	if err := normal.Factorize(ones); err != nil {
-		return &Solution{Status: NumericalFailure}, fmt.Errorf("lp: initial factorization: %w", err)
+		return &Solution{Status: NumericalFailure}, &resilience.SolveError{
+			Stage: "lp.mehrotra", Class: resilience.ClassFactorization,
+			Err: fmt.Errorf("initial factorization: %w", err),
+		}
 	}
 	// x̃ = Aᵀ(AAᵀ)⁻¹ b
 	tmpM := make([]float64, m)
@@ -185,10 +230,9 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 	dsAff := make([]float64, n)
 	tmpN := make([]float64, n)
 
-	sol := &Solution{X: x, Y: y, S: s}
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		sol.Iters = iter
-		// Residuals.
+	// residualsAt refreshes rb/rc and returns the normalized convergence
+	// measures of the current iterate.
+	residualsAt := func() resilience.Residuals {
 		a.MulVec(rb, x)
 		linalg.SubTo(rb, rb, b)
 		a.MulVecTrans(rc, y)
@@ -196,9 +240,38 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 			rc[i] += s[i] - c[i]
 		}
 		mu := linalg.Dot(x, s) / float64(n)
-		pinf := linalg.NormInf(rb) / bNorm
-		dinf := linalg.NormInf(rc) / cNorm
-		gap := mu / (1 + math.Abs(linalg.Dot(c, x)))
+		return resilience.Residuals{
+			Primal: linalg.NormInf(rb) / bNorm,
+			Dual:   linalg.NormInf(rc) / cNorm,
+			Gap:    mu / (1 + math.Abs(linalg.Dot(c, x))),
+		}
+	}
+
+	sol = &Solution{X: x, Y: y, S: s}
+	maxIter := opts.Fault.Budget(opts.MaxIter)
+	for iter := 0; iter < maxIter; iter++ {
+		sol.Iters = iter
+		if cerr := resilience.Interrupted(opts.Ctx, "lp.mehrotra", iter); cerr != nil {
+			sol.Status = NumericalFailure
+			sol.Residuals = residualsAt()
+			return sol, cerr
+		}
+		opts.Fault.MaybePanic(iter)
+		if opts.Fault.NaNShouldInject(iter) {
+			x[0] = math.NaN()
+		}
+		if !linalg.AllFinite(x) || !linalg.AllFinite(s) || !linalg.AllFinite(y) {
+			sol.Status = NumericalFailure
+			return sol, &resilience.SolveError{
+				Stage: "lp.mehrotra", Class: resilience.ClassNonFinite, Iters: iter,
+				CondEst: condEstOf(normal),
+				Err:     errors.New("non-finite iterate"),
+			}
+		}
+		rres := residualsAt()
+		sol.Residuals = rres
+		mu := linalg.Dot(x, s) / float64(n)
+		pinf, dinf, gap := rres.Primal, rres.Dual, rres.Gap
 		if pinf < opts.Tol && dinf < opts.Tol && gap < opts.Tol {
 			sol.Status = Optimal
 			sol.Obj = linalg.Dot(c, x)
@@ -219,10 +292,20 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 		for i := range dvec {
 			dvec[i] = x[i] / s[i]
 		}
-		if err := normal.Factorize(dvec); err != nil {
+		ferr := error(nil)
+		if opts.Fault.FactorizationShouldFail(iter) {
+			ferr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
+		} else {
+			ferr = normal.Factorize(dvec)
+		}
+		if ferr != nil {
 			sol.Status = NumericalFailure
 			sol.Obj = linalg.Dot(c, x)
-			return sol, fmt.Errorf("lp: iteration %d factorization: %w", iter, err)
+			return sol, &resilience.SolveError{
+				Stage: "lp.mehrotra", Class: resilience.ClassFactorization, Iters: iter,
+				Residuals: rres, CondEst: condEstOf(normal),
+				Err: ferr,
+			}
 		}
 
 		// Affine (predictor) direction: rxs = −x∘s.
@@ -278,7 +361,11 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 			}
 			sol.Status = NumericalFailure
 			sol.Obj = linalg.Dot(c, x)
-			return sol, errors.New("lp: step size collapsed")
+			return sol, &resilience.SolveError{
+				Stage: "lp.mehrotra", Class: resilience.ClassStepCollapse, Iters: iter,
+				Residuals: rres, CondEst: condEstOf(normal),
+				Err: errors.New("step size collapsed"),
+			}
 		}
 		for i := range x {
 			x[i] += ap * dx[i]
@@ -288,9 +375,14 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (*Solution,
 			y[i] += ad * dy[i]
 		}
 	}
+	// Budget exhausted. Surface the final iterate's residuals so the caller
+	// can distinguish "nearly converged — acceptable" from "nowhere near".
 	sol.Status = IterationLimit
 	sol.Obj = linalg.Dot(c, x)
-	sol.Iters = opts.MaxIter
+	sol.Iters = maxIter
+	if linalg.AllFinite(x) && linalg.AllFinite(s) && linalg.AllFinite(y) {
+		sol.Residuals = residualsAt()
+	}
 	return sol, nil
 }
 
@@ -366,10 +458,11 @@ func Solve(p *Problem, opts Options) (*GeneralSolution, error) {
 	}
 	x := std.Recover(sol.X)
 	return &GeneralSolution{
-		Status: sol.Status,
-		X:      x,
-		Obj:    p.Objective(x),
-		Iters:  sol.Iters,
+		Status:    sol.Status,
+		X:         x,
+		Obj:       p.Objective(x),
+		Iters:     sol.Iters,
+		Residuals: sol.Residuals,
 	}, nil
 }
 
@@ -379,4 +472,9 @@ type GeneralSolution struct {
 	X      []float64
 	Obj    float64
 	Iters  int
+
+	// Residuals at the final iterate (interior-point solves only); on an
+	// IterationLimit status they quantify how far from optimal the returned
+	// point is.
+	Residuals resilience.Residuals
 }

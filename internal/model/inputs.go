@@ -49,6 +49,11 @@ func (in *Inputs) Validate(n *Network) error {
 			if len(in.PriceT1[t]) != n.NumTier1 {
 				return fmt.Errorf("model: PriceT1[%d] has %d entries, want %d", t, len(in.PriceT1[t]), n.NumTier1)
 			}
+			for j, a := range in.PriceT1[t] {
+				if a < 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+					return fmt.Errorf("model: PriceT1[%d][%d] = %g", t, j, a)
+				}
+			}
 		}
 	}
 	return nil

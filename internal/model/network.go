@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 )
 
 // Pair is one SLA-admissible (tier-2 cloud, tier-1 cloud) combination:
@@ -58,6 +59,16 @@ func (n *Network) EnableTier1(capT1, reconfT1 []float64) error {
 	if len(capT1) != n.NumTier1 || len(reconfT1) != n.NumTier1 {
 		return fmt.Errorf("model: tier-1 slices must have %d entries", n.NumTier1)
 	}
+	for j, c := range capT1 {
+		if !(c > 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: tier-1 cloud %d has capacity %g (want finite positive)", j, c)
+		}
+	}
+	for j, f := range reconfT1 {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("model: tier-1 cloud %d has reconfiguration price %g (want finite non-negative)", j, f)
+		}
+	}
 	n.Tier1 = true
 	n.CapT1 = capT1
 	n.ReconfT1 = reconfT1
@@ -94,24 +105,34 @@ func (n *Network) init() error {
 			return fmt.Errorf("model: tier-1 cloud %d has an empty SLA set I_j", j)
 		}
 	}
+	// NaN comparisons are all false, so capacities are checked with !(c > 0)
+	// to reject NaN alongside non-positive values; prices must be finite and
+	// non-negative. Catching poisoned parameters here keeps NaN out of every
+	// downstream constraint matrix, where it would surface much later as an
+	// opaque factorization failure.
 	for i, c := range n.CapT2 {
-		if c <= 0 {
-			return fmt.Errorf("model: tier-2 cloud %d has capacity %g", i, c)
+		if !(c > 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: tier-2 cloud %d has capacity %g (want finite positive)", i, c)
 		}
 	}
 	for p, c := range n.CapNet {
-		if c <= 0 {
-			return fmt.Errorf("model: pair %d has network capacity %g", p, c)
+		if !(c > 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: pair %d has network capacity %g (want finite positive)", p, c)
+		}
+	}
+	for p, c := range n.PriceNet {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: pair %d has bandwidth price %g (want finite non-negative)", p, c)
 		}
 	}
 	for i, b := range n.ReconfT2 {
-		if b < 0 {
-			return fmt.Errorf("model: tier-2 cloud %d has negative reconfiguration price %g", i, b)
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("model: tier-2 cloud %d has reconfiguration price %g (want finite non-negative)", i, b)
 		}
 	}
 	for p, d := range n.ReconfNet {
-		if d < 0 {
-			return fmt.Errorf("model: pair %d has negative reconfiguration price %g", p, d)
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("model: pair %d has reconfiguration price %g (want finite non-negative)", p, d)
 		}
 	}
 	return nil

@@ -1,0 +1,95 @@
+package model
+
+import "math"
+
+// LowerBoundPlan constrains a 1-slot P1 layout so the slot-0 decision can
+// only be raised relative to the planned allocation: the planned values
+// become variable lower bounds, clamped so solver noise or an overshooting
+// plan cannot push a bound past its capacity (which would make the repair LP
+// trivially infeasible). This is the shared core of the controllers' repair
+// step and the online pipeline's graceful-degradation projection.
+func (l *Layout) LowerBoundPlan(planned *Decision) {
+	n := l.Net
+	for p := 0; p < n.NumPairs(); p++ {
+		lo := planned.Y[p]
+		if lo > n.CapNet[p] {
+			lo = n.CapNet[p]
+		}
+		l.Prob.Lo[l.YVar(0, p)] = lo
+		l.Prob.Lo[l.XVar(0, p)] = planned.X[p]
+		if n.Tier1 {
+			l.Prob.Lo[l.ZVar(0, p)] = planned.Z[p]
+		}
+	}
+	// Scale group lower bounds back under capacity if the plan overshoots.
+	for i := 0; i < n.NumTier2; i++ {
+		var sum float64
+		for _, p := range n.PairsOfI(i) {
+			sum += l.Prob.Lo[l.XVar(0, p)]
+		}
+		if sum > n.CapT2[i] {
+			scale := n.CapT2[i] / sum
+			for _, p := range n.PairsOfI(i) {
+				l.Prob.Lo[l.XVar(0, p)] *= scale
+			}
+		}
+	}
+	if n.Tier1 {
+		for j := 0; j < n.NumTier1; j++ {
+			var sum float64
+			for _, p := range n.PairsOfJ(j) {
+				sum += l.Prob.Lo[l.ZVar(0, p)]
+			}
+			if sum > n.CapT1[j] {
+				scale := n.CapT1[j] / sum
+				for _, p := range n.PairsOfJ(j) {
+					l.Prob.Lo[l.ZVar(0, p)] *= scale
+				}
+			}
+		}
+	}
+}
+
+// SpreadDecision is the solver-free emergency allocation: each tier-1
+// cloud's workload is greedily water-filled over its SLA pairs in order of
+// available headroom (respecting network, tier-2 and tier-1 capacities).
+// Under the Section II-B feasibility preconditions this covers every
+// workload whenever per-pair headroom — not just aggregate capacity — admits
+// it; it is the last rung below the repair LPs, used only when every solver
+// has failed, so a best-effort allocation beats aborting the run.
+func SpreadDecision(n *Network, workload []float64) *Decision {
+	d := NewZeroDecision(n)
+	t2Used := make([]float64, n.NumTier2)
+	t1Used := make([]float64, n.NumTier1)
+	for j := 0; j < n.NumTier1; j++ {
+		remaining := workload[j]
+		pairs := n.PairsOfJ(j)
+		for remaining > 0 {
+			// Pick the pair with the largest remaining headroom.
+			best, bestRoom := -1, 0.0
+			for _, p := range pairs {
+				room := math.Min(n.CapNet[p]-d.Y[p], n.CapT2[n.Pairs[p].I]-t2Used[n.Pairs[p].I])
+				if n.Tier1 {
+					room = math.Min(room, n.CapT1[j]-t1Used[j])
+				}
+				if room > bestRoom {
+					bestRoom = room
+					best = p
+				}
+			}
+			if best < 0 || bestRoom <= 0 {
+				break // out of headroom; cover as much as possible
+			}
+			grant := math.Min(remaining, bestRoom)
+			d.X[best] += grant
+			d.Y[best] += grant
+			t2Used[n.Pairs[best].I] += grant
+			if n.Tier1 {
+				d.Z[best] += grant
+				t1Used[j] += grant
+			}
+			remaining -= grant
+		}
+	}
+	return d
+}

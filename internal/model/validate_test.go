@@ -1,0 +1,160 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewNetworkRejectsNonFiniteParameters(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	base := func() ([]float64, []float64, []float64, []float64, []float64) {
+		return []float64{10}, []float64{1}, []float64{10}, []float64{1}, []float64{1}
+	}
+	cases := map[string]func(capT2, reconfT2, capNet, priceNet, reconfNet []float64){
+		"NaN tier-2 capacity":     func(c, _, _, _, _ []float64) { c[0] = nan },
+		"Inf tier-2 capacity":     func(c, _, _, _, _ []float64) { c[0] = inf },
+		"negative tier-2 cap":     func(c, _, _, _, _ []float64) { c[0] = -1 },
+		"NaN tier-2 reconf":       func(_, b, _, _, _ []float64) { b[0] = nan },
+		"Inf tier-2 reconf":       func(_, b, _, _, _ []float64) { b[0] = inf },
+		"NaN network capacity":    func(_, _, c, _, _ []float64) { c[0] = nan },
+		"Inf network capacity":    func(_, _, c, _, _ []float64) { c[0] = inf },
+		"NaN bandwidth price":     func(_, _, _, p, _ []float64) { p[0] = nan },
+		"Inf bandwidth price":     func(_, _, _, p, _ []float64) { p[0] = inf },
+		"negative bandwidth":      func(_, _, _, p, _ []float64) { p[0] = -0.5 },
+		"NaN network reconf":      func(_, _, _, _, d []float64) { d[0] = nan },
+		"Inf network reconf":      func(_, _, _, _, d []float64) { d[0] = inf },
+		"negative network reconf": func(_, _, _, _, d []float64) { d[0] = -1 },
+	}
+	for name, poison := range cases {
+		capT2, reconfT2, capNet, priceNet, reconfNet := base()
+		poison(capT2, reconfT2, capNet, priceNet, reconfNet)
+		if _, err := NewNetwork(1, 1, []Pair{{0, 0}}, capT2, reconfT2, capNet, priceNet, reconfNet); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEnableTier1RejectsNonFinite(t *testing.T) {
+	cases := map[string][2][]float64{
+		"NaN capacity":    {{math.NaN()}, {1}},
+		"Inf capacity":    {{math.Inf(1)}, {1}},
+		"zero capacity":   {{0}, {1}},
+		"NaN reconf":      {{5}, {math.NaN()}},
+		"Inf reconf":      {{5}, {math.Inf(1)}},
+		"negative reconf": {{5}, {-1}},
+	}
+	for name, c := range cases {
+		n := tinyNetwork(t, 1, 1)
+		if err := n.EnableTier1(c[0], c[1]); err == nil {
+			t.Errorf("EnableTier1 %s: accepted", name)
+		}
+	}
+}
+
+func TestInputsValidateRejectsBadPriceT1(t *testing.T) {
+	n := tinyNetwork(t, 1, 1)
+	if err := n.EnableTier1([]float64{5}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(price float64) *Inputs {
+		return &Inputs{
+			T:        1,
+			PriceT2:  [][]float64{{1}},
+			Workload: [][]float64{{2}},
+			PriceT1:  [][]float64{{price}},
+		}
+	}
+	if err := mk(1).Validate(n); err != nil {
+		t.Fatalf("valid tier-1 inputs rejected: %v", err)
+	}
+	for name, price := range map[string]float64{
+		"negative": -1, "NaN": math.NaN(), "Inf": math.Inf(1),
+	} {
+		if err := mk(price).Validate(n); err == nil {
+			t.Errorf("%s tier-1 price accepted", name)
+		}
+	}
+	// Missing PriceT1 rows entirely.
+	missing := &Inputs{T: 1, PriceT2: [][]float64{{1}}, Workload: [][]float64{{2}}}
+	if err := missing.Validate(n); err == nil {
+		t.Error("tier-1 network accepted inputs without PriceT1")
+	}
+}
+
+func TestSpreadDecisionCoversRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 15; trial++ {
+		n := RandomNetwork(rng, 1+rng.Intn(3), 1+rng.Intn(4), 1+rng.Intn(3), 5)
+		in := RandomInputs(rng, n, 1)
+		d := SpreadDecision(n, in.Workload[0])
+		if ok, v := d.FeasibleAt(n, in.Workload[0], 1e-9); !ok {
+			t.Fatalf("trial %d: spread decision infeasible by %v", trial, v)
+		}
+	}
+}
+
+func TestSpreadDecisionWithTier1(t *testing.T) {
+	n := twoByTwo(t, 1, 1)
+	if err := n.EnableTier1([]float64{12, 12}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	lam := []float64{8, 9}
+	d := SpreadDecision(n, lam)
+	if ok, v := d.FeasibleAt(n, lam, 1e-9); !ok {
+		t.Fatalf("tier-1 spread infeasible by %v", v)
+	}
+	for j := 0; j < n.NumTier1; j++ {
+		var zsum float64
+		for _, p := range n.PairsOfJ(j) {
+			zsum += d.Z[p]
+		}
+		if zsum > n.CapT1[j]+1e-12 {
+			t.Fatalf("tier-1 cloud %d over capacity: %v", j, zsum)
+		}
+	}
+}
+
+func TestSpreadDecisionPartialCoverageUnderOverload(t *testing.T) {
+	// Workload beyond all capacity: spread covers what it can and stops,
+	// without violating any capacity.
+	n := tinyNetwork(t, 1, 1) // caps 10/10
+	d := SpreadDecision(n, []float64{25})
+	if d.X[0] > 10+1e-12 || d.Y[0] > 10+1e-12 {
+		t.Fatalf("spread exceeded capacity: %v", d.X[0])
+	}
+	if d.X[0] < 10-1e-12 {
+		t.Fatalf("spread left headroom unused: %v", d.X[0])
+	}
+}
+
+func TestLowerBoundPlanClampsAndScales(t *testing.T) {
+	n := twoByTwo(t, 1, 1) // CapT2 = 20 each, CapNet = 15 each
+	in := &Inputs{
+		T:        1,
+		PriceT2:  [][]float64{{1, 1}},
+		Workload: [][]float64{{2, 2}},
+	}
+	l, err := BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := NewZeroDecision(n)
+	plan.Y = []float64{16, 1, 1, 1}  // pair 0 over CapNet=15
+	plan.X = []float64{18, 1, 12, 1} // tier-2 cloud 0 (pairs 0,2) sums to 30 > 20
+	l.LowerBoundPlan(plan)
+	if got := l.Prob.Lo[l.YVar(0, 0)]; got != 15 {
+		t.Fatalf("Y bound = %v, want clamped to 15", got)
+	}
+	var sum float64
+	for _, p := range n.PairsOfI(0) {
+		sum += l.Prob.Lo[l.XVar(0, p)]
+	}
+	if sum > n.CapT2[0]+1e-9 {
+		t.Fatalf("tier-2 group bound sum %v exceeds capacity %v", sum, n.CapT2[0])
+	}
+	// Scaling preserves proportions: 18:12 → 12:8.
+	if x0 := l.Prob.Lo[l.XVar(0, 0)]; math.Abs(x0-12) > 1e-9 {
+		t.Fatalf("scaled bound = %v, want 12", x0)
+	}
+}

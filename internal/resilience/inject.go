@@ -1,0 +1,116 @@
+package resilience
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel wrapped by every injected fault, so tests can
+// distinguish injected failures from organic ones with errors.Is.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// FaultPlan is a deterministic fault-injection plan hooked into the solver
+// Options. Every fault kind has an enable flag plus the (0-based) iteration
+// index at which it fires; a nil plan injects nothing. Determinism: faults
+// fire purely as a function of (Seed, iteration, trip budget) — no clocks,
+// no global randomness — so a test that arms a plan sees the exact same
+// failure every run.
+//
+// MaxTrips bounds how many faults fire in total across all kinds (and across
+// goroutines — the counter is atomic). This is how recovery is tested: with
+// MaxTrips = 1 the first attempt fails and the ladder's retry succeeds.
+type FaultPlan struct {
+	// FailFactorization makes the solver's factorization step report a
+	// breakdown at iteration FailFactorizationAt.
+	FailFactorization   bool
+	FailFactorizationAt int
+
+	// InjectNaN overwrites the first coordinate of the iterate with NaN at
+	// iteration InjectNaNAt, exercising the non-finite detection path.
+	InjectNaN   bool
+	InjectNaNAt int
+
+	// ExhaustAfter > 0 caps the solver's effective iteration budget at this
+	// many iterations, forcing an iteration-limit exit.
+	ExhaustAfter int
+
+	// Panic raises a runtime panic at iteration PanicAt, exercising the
+	// deferred panic-to-error conversion.
+	Panic   bool
+	PanicAt int
+
+	// FailProb ∈ (0,1] gates each armed fault through a seeded hash of the
+	// iteration index: the fault fires only when hash01(Seed, iter) < FailProb.
+	// Zero means "always fire when the iteration matches".
+	FailProb float64
+	Seed     uint64
+
+	// MaxTrips caps the total number of faults fired (0 = unlimited).
+	MaxTrips int32
+
+	trips atomic.Int32
+}
+
+// Trips reports how many faults have fired so far.
+func (f *FaultPlan) Trips() int {
+	if f == nil {
+		return 0
+	}
+	return int(f.trips.Load())
+}
+
+// fire consumes a trip for a fault eligible at iter, honoring FailProb and
+// MaxTrips.
+func (f *FaultPlan) fire(iter int) bool {
+	if f.FailProb > 0 && hash01(f.Seed, uint64(iter)) >= f.FailProb {
+		return false
+	}
+	if f.MaxTrips > 0 && f.trips.Add(1) > f.MaxTrips {
+		return false
+	}
+	if f.MaxTrips <= 0 {
+		f.trips.Add(1)
+	}
+	return true
+}
+
+// FactorizationShouldFail reports whether the factorization at iteration
+// iter must be failed. The caller returns ErrInjected (wrapped) in place of
+// factorizing.
+func (f *FaultPlan) FactorizationShouldFail(iter int) bool {
+	return f != nil && f.FailFactorization && iter == f.FailFactorizationAt && f.fire(iter)
+}
+
+// NaNShouldInject reports whether the iterate must be poisoned with NaN at
+// iteration iter.
+func (f *FaultPlan) NaNShouldInject(iter int) bool {
+	return f != nil && f.InjectNaN && iter == f.InjectNaNAt && f.fire(iter)
+}
+
+// Budget returns the effective iteration budget: def, or ExhaustAfter when
+// the exhaustion fault is armed and fires. It consumes one trip per call so
+// a retried solve regains its full budget once MaxTrips is spent.
+func (f *FaultPlan) Budget(def int) int {
+	if f == nil || f.ExhaustAfter <= 0 || f.ExhaustAfter >= def || !f.fire(0) {
+		return def
+	}
+	return f.ExhaustAfter
+}
+
+// MaybePanic panics with a recognizable value when the panic fault fires at
+// iteration iter.
+func (f *FaultPlan) MaybePanic(iter int) {
+	if f != nil && f.Panic && iter == f.PanicAt && f.fire(iter) {
+		panic("resilience: injected panic")
+	}
+}
+
+// hash01 maps (seed, k) to [0,1) with a splitmix64 finalizer — a stateless,
+// platform-independent PRN so probabilistic plans are reproducible.
+func hash01(seed, k uint64) float64 {
+	z := seed + k*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rung is one recovery tactic of a fallback ladder: a name for reporting and
+// a closure that attempts the solve. A rung succeeds when it returns a nil
+// error; the ladder stops at the first success.
+type Rung[T any] struct {
+	Name string
+	Run  func() (T, error)
+}
+
+// Attempt records the outcome of one rung.
+type Attempt struct {
+	Rung string
+	Err  error // nil when the rung succeeded
+}
+
+// LadderReport records every rung tried for one solve and which one (if any)
+// finally produced a solution.
+type LadderReport struct {
+	Stage    string
+	Attempts []Attempt
+	Rung     string // name of the succeeding rung; "" when the whole ladder failed
+}
+
+// Failed reports whether every rung failed.
+func (r *LadderReport) Failed() bool { return r == nil || r.Rung == "" }
+
+// Recovered reports whether a fallback rung (any rung past the first)
+// produced the solution.
+func (r *LadderReport) Recovered() bool {
+	return r != nil && r.Rung != "" && len(r.Attempts) > 1
+}
+
+func (r *LadderReport) String() string {
+	if r == nil {
+		return "<no ladder>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", r.Stage)
+	for _, a := range r.Attempts {
+		if a.Err == nil {
+			fmt.Fprintf(&b, " [%s ok]", a.Rung)
+		} else {
+			fmt.Fprintf(&b, " [%s: %v]", a.Rung, a.Err)
+		}
+	}
+	if r.Failed() {
+		b.WriteString(" — all rungs failed")
+	}
+	return b.String()
+}
+
+// Climb runs the rungs in order until one succeeds, recording every attempt.
+// On total failure it returns the zero value, the full report, and an error
+// wrapping the last rung's cause. A cancellation (ClassCanceled) aborts the
+// ladder immediately: retrying after a deadline has expired is pointless and
+// would only delay the caller further.
+func Climb[T any](stage string, rungs []Rung[T]) (T, *LadderReport, error) {
+	rep := &LadderReport{Stage: stage}
+	var zero T
+	var lastErr error
+	for _, rung := range rungs {
+		v, err := rung.Run()
+		rep.Attempts = append(rep.Attempts, Attempt{Rung: rung.Name, Err: err})
+		if err == nil {
+			rep.Rung = rung.Name
+			return v, rep, nil
+		}
+		lastErr = err
+		if se, ok := AsSolveError(err); ok && se.Class == ClassCanceled {
+			break
+		}
+	}
+	return zero, rep, fmt.Errorf("resilience: %s: all %d rungs failed: %w", stage, len(rep.Attempts), lastErr)
+}

@@ -94,6 +94,39 @@ func RunOnline(n *Network, in *Inputs, opts Options) ([]*Decision, error) {
 	return core.RunOnline(n, in, opts)
 }
 
+// ---- Resilience: fallback ladders and graceful degradation ----
+
+// ResilienceOptions tunes the online pipeline's fault handling; the zero
+// value (the default inside Options) enables the fallback ladder and
+// graceful degradation.
+type ResilienceOptions = core.ResilienceOptions
+
+// Report is the per-run resilience record of an online run: one entry per
+// decided slot, marking clean, recovered, and degraded slots.
+type Report = core.Report
+
+// SlotReport records the resilience outcome of one slot.
+type SlotReport = core.SlotReport
+
+// SlotStatus classifies how one slot's decision was produced.
+type SlotStatus = core.SlotStatus
+
+// Slot statuses: solved directly, rescued by a fallback rung, or carried
+// forward after every solver attempt failed (see DESIGN.md, "Failure
+// semantics & degradation guarantees").
+const (
+	SlotOK        = core.SlotOK
+	SlotRecovered = core.SlotRecovered
+	SlotDegraded  = core.SlotDegraded
+)
+
+// RunOnlineReport runs the online algorithm and also returns the per-run
+// resilience report. A run whose report has no degraded slots satisfied the
+// conditions of Theorem 1 at every slot.
+func RunOnlineReport(n *Network, in *Inputs, opts Options) ([]*Decision, *Report, error) {
+	return core.RunOnlineReport(n, in, opts)
+}
+
 // CompetitiveRatio returns Theorem 1's bound r = 1 + |I|·(C(ε)+B(ε′)).
 func CompetitiveRatio(n *Network, p Params) float64 { return core.CompetitiveRatio(n, p) }
 
