@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race obs-race check bench
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# The telemetry layer is hammered from many goroutines (ADMM workers, LCP-M
+# prefix solves); its registry/sink stress tests run under the race detector
+# with a higher count to shake out interleavings the full-suite pass misses.
+obs-race:
+	$(GO) test -race -count=2 ./internal/obs/...
+
 # The gate used before merging: static checks plus the full suite under the
 # race detector (the ADMM consensus loop and the fault-injection trip counter
-# are the concurrency-sensitive paths).
-check: vet race
+# are the concurrency-sensitive paths), plus the focused telemetry race pass.
+check: vet race obs-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

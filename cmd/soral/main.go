@@ -24,9 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
+	"soral/internal/core"
 	"soral/internal/eval"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/workload"
 )
 
@@ -62,6 +65,11 @@ func main() {
 		traceFile = flag.String("trace-file", "", "hourly demand trace CSV replacing the synthetic workload")
 		instance  = flag.String("instance", "", "full model instance JSON (network + inputs); overrides the scenario")
 		decOut    = flag.String("decisions", "", "write the decision sequence as JSON to this file")
+
+		traceOut   = flag.String("trace", "", "write a JSONL telemetry trace to this file")
+		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
+		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
 	)
 	flag.Parse()
 
@@ -128,6 +136,34 @@ func main() {
 	}
 	suite := eval.NewSuite(scen, cfg.Eps)
 
+	var reg *obs.Registry
+	var traceSink *obs.JSONLSink
+	if *traceOut != "" || *metricsOut != "" || *verbose {
+		reg = obs.NewRegistry()
+		var sink obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			traceSink = obs.NewJSONLSink(f)
+			sink = traceSink
+		}
+		suite.WithObs(obs.NewScope(reg, sink))
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var run *eval.Run
 	var err error
 	switch cfg.Algorithm {
@@ -172,6 +208,50 @@ func main() {
 		c.Reconfiguration(), c.ReconfT2, c.ReconfNet)
 	fmt.Fprintf(os.Stderr, "total cost:       %.2f\n", c.Total())
 	fmt.Fprintf(os.Stderr, "elapsed:          %v\n", run.Elapsed)
+
+	if *verbose {
+		var ok, rec, deg, iters int
+		if run.Report != nil {
+			for _, s := range run.Report.Slots {
+				switch s.Status {
+				case core.SlotOK:
+					ok++
+				case core.SlotRecovered:
+					rec++
+				case core.SlotDegraded:
+					deg++
+				}
+			}
+			iters = run.Report.TotalIterations()
+		}
+		if iters == 0 && reg != nil {
+			// Non-online algorithms have no Report; fall back to the
+			// process-wide counter.
+			iters = int(reg.Counter(obs.MetricSolverIters))
+		}
+		fmt.Fprintf(os.Stderr, "resilience:       %d ok, %d recovered, %d degraded, %d solver iterations\n",
+			ok, rec, deg, iters)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics:          %s\n", *metricsOut)
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fatal(fmt.Errorf("writing trace %s: %w", *traceOut, err))
+		}
+		fmt.Fprintf(os.Stderr, "trace:            %s\n", *traceOut)
+	}
 }
 
 func writeDecisions(scen *eval.Scenario, run *eval.Run) {

@@ -13,13 +13,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"soral/internal/eval"
+	"soral/internal/obs"
 	"soral/internal/workload"
 )
 
@@ -33,12 +37,47 @@ func main() {
 		fig5Trace = flag.String("fig5trace", "wiki", "trace for -fig5series: wiki|worldcup")
 		fig5B     = flag.Float64("fig5b", 1000, "reconfiguration weight for -fig5series")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
+
+		jsonDir    = flag.String("json", "", "write per-experiment BENCH_<name>.json results into this directory")
+		traceOut   = flag.String("trace", "", "write a JSONL telemetry trace to this file")
+		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 	)
 	flag.Parse()
 
 	scale, err := eval.ScaleByName(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	// One registry for the whole process: experiments build their own Suites
+	// internally, so the scope is installed as the eval-package default.
+	var reg *obs.Registry
+	var traceSink *obs.JSONLSink
+	if *jsonDir != "" || *traceOut != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		var sink obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			traceSink = obs.NewJSONLSink(f)
+			sink = traceSink
+		}
+		eval.SetDefaultObs(obs.NewScope(reg, sink))
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	var log eval.Logger
 	if !*quiet {
@@ -101,9 +140,20 @@ func main() {
 	}
 
 	for _, name := range selected {
+		var before obs.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+		}
+		start := time.Now()
 		tbl, err := exps[name]()
+		elapsed := time.Since(start)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *jsonDir != "" {
+			if err := writeBenchJSON(*jsonDir, name, elapsed, before, reg.Snapshot()); err != nil {
+				fatal(err)
+			}
 		}
 		if err := eval.Render(os.Stdout, tbl); err != nil {
 			fatal(err)
@@ -126,6 +176,68 @@ func main() {
 			}
 		}
 	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# wrote metrics to %s\n", *metricsOut)
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fatal(fmt.Errorf("writing trace %s: %w", *traceOut, err))
+		}
+	}
+}
+
+// benchResult is the BENCH_<name>.json schema (documented in
+// EXPERIMENTS.md): one record per experiment run, with the solver-iteration
+// counters attributing the work to the solver stages that performed it.
+type benchResult struct {
+	Name    string `json:"name"`
+	Iters   int    `json:"iters"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// SolverIterations maps each per-stage iteration counter (e.g.
+	// "lp.mehrotra.iterations") to its delta over this experiment.
+	SolverIterations map[string]int64 `json:"solver_iterations"`
+	// TotalSolverIterations is the delta of the shared solver.iterations
+	// counter (the sum over all stages).
+	TotalSolverIterations int64 `json:"total_solver_iterations"`
+}
+
+func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.Snapshot) error {
+	res := benchResult{
+		Name:             name,
+		Iters:            1,
+		NsPerOp:          elapsed.Nanoseconds(),
+		SolverIterations: map[string]int64{},
+		TotalSolverIterations: after.Counters[obs.MetricSolverIters] -
+			before.Counters[obs.MetricSolverIters],
+	}
+	for k, v := range after.Counters {
+		if k == obs.MetricSolverIters || !strings.HasSuffix(k, ".iterations") {
+			continue
+		}
+		if d := v - before.Counters[k]; d != 0 {
+			res.SolverIterations[k] = d
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(raw, '\n'), 0o644)
 }
 
 func writeTraces(scale eval.Scale, path string) error {

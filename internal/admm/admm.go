@@ -29,6 +29,7 @@ import (
 	"soral/internal/convex"
 	"soral/internal/lp"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/resilience"
 )
 
@@ -49,6 +50,13 @@ type Options struct {
 	Ctx context.Context
 
 	Solver convex.Options // per-slot subproblem tuning
+
+	// Obs, when non-nil, wraps the whole solve in an "admm.offline" span,
+	// emits one iteration event per consensus iteration (Primal = relative
+	// consensus residual), and labels each per-slot barrier solve with its
+	// slot index. The sink must be goroutine-safe: slot solves emit
+	// concurrently.
+	Obs *obs.Scope
 }
 
 func (o Options) withDefaults() Options {
@@ -312,6 +320,10 @@ func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, er
 		workers = T
 	}
 
+	admmScope := opts.Obs.Solver("admm")
+	span := admmScope.StartSpan("admm.offline")
+	defer span.End()
+
 	res := &Result{}
 	zScale := 1.0
 	for iter := 0; iter < opts.MaxIter; iter++ {
@@ -356,7 +368,11 @@ func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, er
 					obj.C[sp.qOff+k] += -opts.Rho * targetQ[k]
 					obj.C[sp.pOff+k] += -opts.Rho * targetP[k]
 				}
-				sol, err := convex.Solve(&convex.Problem{Obj: obj, G: sp.g, H: sp.h}, sp.warm, opts.Solver)
+				sOpts := opts.Solver
+				if sOpts.Obs == nil {
+					sOpts.Obs = admmScope.Slot(t)
+				}
+				sol, err := convex.Solve(&convex.Problem{Obj: obj, G: sp.g, H: sp.h}, sp.warm, sOpts)
 				if err != nil {
 					errs[t] = err
 					return
@@ -411,6 +427,7 @@ func SolveOffline(n *model.Network, in *model.Inputs, opts Options) (*Result, er
 		}
 		zScale = math.Sqrt(scale) + 1
 		res.Residual = math.Sqrt(prim) / zScale
+		admmScope.Iteration("admm.consensus", iter, obs.IterStats{Primal: res.Residual})
 		if res.Residual < opts.Tol && math.Sqrt(dualShift) < opts.Tol*zScale {
 			res.Converged = true
 			break

@@ -21,6 +21,8 @@ func AFHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("control: AFHC window %d", w)
 	}
+	span := c.span("afhc")
+	defer span.End()
 	T := c.In.T
 	copies := make([][]*model.Decision, w)
 	for phi := 0; phi < w; phi++ {

@@ -6,6 +6,7 @@ import (
 	"soral/internal/core"
 	"soral/internal/lp"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/staircase"
 )
 
@@ -21,6 +22,12 @@ type Config struct {
 	// DenseWindowLimit is the largest window solved with the dense LP
 	// backend; longer windows use the staircase backend. Default 3.
 	DenseWindowLimit int
+
+	// Obs, when non-nil, wraps every controller run in a per-horizon span
+	// labeled with the algorithm name and is threaded into the LP and core
+	// solves (unless those Options already carry their own scope). The sink
+	// must be goroutine-safe: LCP-M's prefix solves emit concurrently.
+	Obs *obs.Scope
 }
 
 func (c *Config) denseLimit() int {
@@ -28,6 +35,29 @@ func (c *Config) denseLimit() int {
 		return 3
 	}
 	return c.DenseWindowLimit
+}
+
+// lpOpts returns the LP options with the config's scope injected.
+func (c *Config) lpOpts() lp.Options {
+	o := c.LPOpts
+	if o.Obs == nil {
+		o.Obs = c.Obs
+	}
+	return o
+}
+
+// coreOpts returns the core options with the config's scope injected.
+func (c *Config) coreOpts() core.Options {
+	o := c.CoreOpts
+	if o.Obs == nil {
+		o.Obs = c.Obs
+	}
+	return o
+}
+
+// span opens the per-horizon span for one controller run.
+func (c *Config) span(alg string) obs.Span {
+	return c.Obs.Solver(alg).StartSpan("control.horizon")
 }
 
 // solveLayout solves a built P1 layout with the appropriate backend. Dense
@@ -38,12 +68,13 @@ func (c *Config) denseLimit() int {
 func (c *Config) solveLayout(l *model.Layout) ([]*model.Decision, float64, error) {
 	var sol *lp.GeneralSolution
 	var err error
+	lpo := c.lpOpts()
 	if l.W <= c.denseLimit() {
-		sol, _, err = lp.SolveResilient(l.Prob, c.LPOpts)
+		sol, _, err = lp.SolveResilient(l.Prob, lpo)
 	} else {
-		sol, err = staircase.Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, c.LPOpts)
+		sol, err = staircase.Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lpo)
 		if err != nil || sol.Status != lp.Optimal {
-			sol, _, err = lp.SolveResilient(l.Prob, c.LPOpts)
+			sol, _, err = lp.SolveResilient(l.Prob, lpo)
 		}
 	}
 	if err != nil {
@@ -67,6 +98,8 @@ func (c *Config) solveWindow(in *model.Inputs, prev, endPin *model.Decision) ([]
 // Offline solves P1 over the full horizon with perfect hindsight and
 // returns the decisions and the optimal objective value.
 func Offline(c *Config) ([]*model.Decision, float64, error) {
+	span := c.span("offline")
+	defer span.End()
 	return c.solveWindow(c.In, nil, nil)
 }
 
@@ -74,6 +107,8 @@ func Offline(c *Config) ([]*model.Decision, float64, error) {
 // minimizes that slot's cost (allocation plus reconfiguration from the
 // applied previous decision) with no view of the future.
 func Greedy(c *Config) ([]*model.Decision, error) {
+	span := c.span("greedy")
+	defer span.End()
 	prev := model.NewZeroDecision(c.Net)
 	out := make([]*model.Decision, 0, c.In.T)
 	for t := 0; t < c.In.T; t++ {

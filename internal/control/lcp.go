@@ -24,6 +24,8 @@ import (
 // underperforms — so it is projected back to feasibility with the shared
 // repair rule.
 func LCPM(c *Config) ([]*model.Decision, error) {
+	span := c.span("lcp-m")
+	defer span.End()
 	T := c.In.T
 	// Phase 1: the envelope problems depend only on the inputs, never on the
 	// applied decisions, so all 2T prefix solves are independent and run

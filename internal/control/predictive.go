@@ -15,6 +15,8 @@ func FHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("control: FHC window %d", w)
 	}
+	span := c.span("fhc")
+	defer span.End()
 	prev := model.NewZeroDecision(c.Net)
 	out := make([]*model.Decision, 0, c.In.T)
 	for t := 0; t < c.In.T; {
@@ -42,6 +44,8 @@ func RHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("control: RHC window %d", w)
 	}
+	span := c.span("rhc")
+	defer span.End()
 	prev := model.NewZeroDecision(c.Net)
 	out := make([]*model.Decision, 0, c.In.T)
 	for t := 0; t < c.In.T; t++ {
@@ -81,7 +85,7 @@ func (rc *regChain) extend(t int, win *model.Inputs, upto int) error {
 		if row < 0 || row >= win.T {
 			return fmt.Errorf("control: regularized chain slot %d outside window at %d", tau, t)
 		}
-		dec, err := core.SolveP2(rc.c.Net, win, row, prev, rc.c.CoreOpts)
+		dec, err := core.SolveP2(rc.c.Net, win, row, prev, rc.c.coreOpts())
 		if err != nil {
 			return fmt.Errorf("control: P2 chain slot %d: %w", tau, err)
 		}
@@ -98,6 +102,8 @@ func RFHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("control: RFHC window %d", w)
 	}
+	span := c.span("rfhc")
+	defer span.End()
 	rc := &regChain{c: c}
 	prev := model.NewZeroDecision(c.Net)
 	out := make([]*model.Decision, 0, c.In.T)
@@ -138,6 +144,8 @@ func RRHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("control: RRHC window %d", w)
 	}
+	span := c.span("rrhc")
+	defer span.End()
 	rc := &regChain{c: c}
 	prev := model.NewZeroDecision(c.Net)
 	out := make([]*model.Decision, 0, c.In.T)
@@ -170,5 +178,19 @@ func RRHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 // Online runs the paper's prediction-free online algorithm under this
 // package's Config (thin wrapper over core.RunOnline for harness symmetry).
 func Online(c *Config) ([]*model.Decision, error) {
-	return core.RunOnline(c.Net, c.In, c.CoreOpts)
+	seq, _, err := OnlineReport(c)
+	return seq, err
+}
+
+// OnlineReport is Online returning the per-run resilience report as well,
+// wrapped in a per-horizon span. The report is valid for the decided prefix
+// even on error.
+func OnlineReport(c *Config) ([]*model.Decision, *core.Report, error) {
+	span := c.span("online")
+	defer span.End()
+	opts := c.coreOpts()
+	if opts.Obs != nil {
+		opts.Obs = opts.Obs.Solver("online")
+	}
+	return core.RunOnlineReport(c.Net, c.In, opts)
 }

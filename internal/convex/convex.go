@@ -20,6 +20,7 @@ import (
 
 	"soral/internal/linalg"
 	"soral/internal/lp"
+	"soral/internal/obs"
 	"soral/internal/resilience"
 )
 
@@ -56,6 +57,11 @@ type Options struct {
 	// Fault, when non-nil, injects deterministic failures for resilience
 	// testing (see resilience.FaultPlan). Production callers leave it nil.
 	Fault *resilience.FaultPlan
+
+	// Obs, when non-nil, receives one iteration event per Newton step (barrier
+	// stage, squared decrement, accepted step size). A nil scope costs one
+	// branch per iteration.
+	Obs *obs.Scope
 }
 
 func (o Options) withDefaults() Options {
@@ -239,6 +245,9 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 			linalg.Scale(-1, dx)
 			lambda2 := -linalg.Dot(fullGrad, dx) // Newton decrement squared
 			if lambda2/2 <= 1e-12 {
+				opts.Obs.Iteration("convex.newton", iter, obs.IterStats{
+					Stage: outer, Decrement: lambda2,
+				})
 				break
 			}
 			// Backtracking line search maintaining strict feasibility.
@@ -260,6 +269,9 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 			for i := range x {
 				x[i] += step * dx[i]
 			}
+			opts.Obs.Iteration("convex.newton", iter, obs.IterStats{
+				Stage: outer, Decrement: lambda2, Step: step,
+			})
 			if step*math.Sqrt(lambda2) < 1e-12 {
 				break
 			}

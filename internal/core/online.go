@@ -5,6 +5,7 @@ import (
 
 	"soral/internal/convex"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/resilience"
 )
 
@@ -16,6 +17,11 @@ type Options struct {
 	// Resilience tunes the fallback ladder and graceful degradation of the
 	// online pipeline; the zero value enables both.
 	Resilience ResilienceOptions
+
+	// Obs, when non-nil, records one span per decided slot plus the nested
+	// ladder-rung and solver-iteration events, and fills the Duration and
+	// Iterations fields of each SlotReport. Nil costs one branch per call.
+	Obs *obs.Scope
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -70,7 +76,12 @@ func (o *Online) Step() (*model.Decision, error) {
 	if o.t >= o.In.T {
 		return nil, fmt.Errorf("core: horizon exhausted at slot %d", o.t)
 	}
-	dec, ladder, err := SolveP2Resilient(o.Net, o.In, o.t, o.prev, o.Opts)
+	slotScope := o.Opts.Obs.Slot(o.t)
+	span := slotScope.StartSpan("core.slot")
+	itersBefore := slotScope.CounterValue(obs.MetricSolverIters)
+	stepOpts := o.Opts
+	stepOpts.Obs = slotScope
+	dec, ladder, err := SolveP2Resilient(o.Net, o.In, o.t, o.prev, stepOpts)
 	sr := SlotReport{Slot: o.t, Ladder: ladder}
 	switch {
 	case err == nil:
@@ -79,10 +90,17 @@ func (o *Online) Step() (*model.Decision, error) {
 			sr.Status = SlotRecovered
 		}
 	case o.Opts.Resilience.DisableDegrade || !resilience.IsSolveFailure(err) || resilience.IsCanceled(err):
+		span.End()
 		return nil, fmt.Errorf("core: slot %d: %w", o.t, err)
 	default:
-		carried, tactic, derr := carryForward(o.Net, o.In, o.t, o.prev, o.Opts)
+		var carried *model.Decision
+		var tactic string
+		var derr error
+		slotScope.Phase(o.Opts.Solver.Ctx, "repair", func() {
+			carried, tactic, derr = carryForward(o.Net, o.In, o.t, o.prev, stepOpts)
+		})
 		if derr != nil {
+			span.End()
 			return nil, fmt.Errorf("core: slot %d unrecoverable: %w (degradation failed: %v)", o.t, err, derr)
 		}
 		dec = carried
@@ -90,6 +108,8 @@ func (o *Online) Step() (*model.Decision, error) {
 		sr.Rung = tactic
 		sr.Err = err
 	}
+	sr.Duration = span.End()
+	sr.Iterations = int(slotScope.CounterValue(obs.MetricSolverIters) - itersBefore)
 	o.report.Slots = append(o.report.Slots, sr)
 	o.prev = dec
 	o.t++
@@ -116,7 +136,11 @@ func SolveP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, op
 		return nil, err
 	}
 	x0 := p2.warmStart(in, t)
-	res, err := convex.Solve(p2.Prob, x0, opts.Solver)
+	solverOpts := opts.Solver
+	if solverOpts.Obs == nil {
+		solverOpts.Obs = opts.Obs
+	}
+	res, err := convex.Solve(p2.Prob, x0, solverOpts)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"soral/internal/resilience"
 )
@@ -48,6 +49,13 @@ type SlotReport struct {
 	// Err is the terminal solver error that forced degradation (nil unless
 	// Status == SlotDegraded).
 	Err error
+	// Duration is the slot's wall time (solve ladder plus any degradation),
+	// measured by the slot span; zero when no obs scope was attached.
+	Duration time.Duration
+	// Iterations counts the solver iterations (Newton + LP) the slot
+	// consumed, a delta of the obs.MetricSolverIters counter; zero when no
+	// obs scope was attached.
+	Iterations int
 }
 
 // Report is the per-run resilience record of an online run: one entry per
@@ -79,6 +87,26 @@ func (r *Report) Recovered() []int {
 	return out
 }
 
+// TotalIterations sums the solver iterations over every decided slot (0
+// when the run carried no obs scope).
+func (r *Report) TotalIterations() int {
+	var n int
+	for _, s := range r.Slots {
+		n += s.Iterations
+	}
+	return n
+}
+
+// TotalDuration sums the per-slot wall times (0 when the run carried no obs
+// scope).
+func (r *Report) TotalDuration() time.Duration {
+	var d time.Duration
+	for _, s := range r.Slots {
+		d += s.Duration
+	}
+	return d
+}
+
 // Clean reports whether every slot was solved by the primary path.
 func (r *Report) Clean() bool {
 	for _, s := range r.Slots {
@@ -98,6 +126,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "core: %d slots, %d recovered, %d degraded", len(r.Slots), len(rec), len(deg))
 	if len(deg) > 0 {
 		fmt.Fprintf(&b, " %v", deg)
+	}
+	if n := r.TotalIterations(); n > 0 {
+		fmt.Fprintf(&b, ", %d solver iterations in %v", n, r.TotalDuration().Round(time.Microsecond))
 	}
 	return b.String()
 }

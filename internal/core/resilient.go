@@ -74,9 +74,16 @@ func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Dec
 	x0 := p2.warmStart(in, t)
 
 	attempt := func(solverOpts convex.Options, start []float64) (*model.Decision, error) {
-		res, err := convex.Solve(p2.Prob, start, solverOpts)
-		if err != nil {
-			return nil, err
+		if solverOpts.Obs == nil {
+			solverOpts.Obs = opts.Obs
+		}
+		var res *convex.Result
+		var serr error
+		opts.Obs.Phase(solverOpts.Ctx, "p2-barrier", func() {
+			res, serr = convex.Solve(p2.Prob, start, solverOpts)
+		})
+		if serr != nil {
+			return nil, serr
 		}
 		if !res.Converged {
 			return nil, &resilience.SolveError{
@@ -123,7 +130,7 @@ func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Dec
 				return attempt(loose, nil)
 			}})
 	}
-	return resilience.Climb(fmt.Sprintf("core.p2[t=%d]", t), rungs)
+	return resilience.ClimbObs(fmt.Sprintf("core.p2[t=%d]", t), opts.Obs, rungs)
 }
 
 // carryForward implements graceful degradation for one slot: reuse the
@@ -137,7 +144,7 @@ func carryForward(n *model.Network, in *model.Inputs, t int, prev *model.Decisio
 	if ok, _ := prev.FeasibleAt(n, in.Workload[t], 1e-7); ok {
 		return prev.Clone(), DegradeCarry, nil
 	}
-	lpOpts := lp.Options{Ctx: opts.Solver.Ctx}
+	lpOpts := lp.Options{Ctx: opts.Solver.Ctx, Obs: opts.Obs}
 	if l, err := model.BuildP1(n, in.Window(t, 1), prev, nil); err == nil {
 		l.LowerBoundPlan(prev)
 		if sol, _, err := lp.SolveResilient(l.Prob, lpOpts); err == nil {

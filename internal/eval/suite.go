@@ -3,11 +3,13 @@ package eval
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"soral/internal/control"
 	"soral/internal/core"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/predict"
 )
 
@@ -18,6 +20,10 @@ type Run struct {
 	Cost      model.CostBreakdown
 	CumCost   []float64
 	Elapsed   time.Duration
+
+	// Report is the per-run resilience/telemetry record; currently only the
+	// online algorithm produces one (nil otherwise).
+	Report *core.Report
 }
 
 // Suite executes algorithms on a scenario with shared settings.
@@ -27,7 +33,22 @@ type Suite struct {
 
 	// Eps is the regularization parameter ε = ε′ (paper default 10⁻²).
 	Eps float64
+
+	// Obs is the telemetry scope threaded into every run (nil = disabled).
+	Obs *obs.Scope
 }
+
+// defaultObs holds the process-wide scope picked up by NewSuite, so harnesses
+// whose suites are constructed internally (the experiment functions) can
+// still attach telemetry.
+var defaultObs atomic.Pointer[obs.Scope]
+
+// SetDefaultObs installs the scope every subsequently-built Suite picks up.
+// Pass nil to clear it.
+func SetDefaultObs(sc *obs.Scope) { defaultObs.Store(sc) }
+
+// DefaultObs returns the process-wide scope (nil when unset).
+func DefaultObs() *obs.Scope { return defaultObs.Load() }
 
 // NewSuite prepares a suite with the given ε (0 selects the paper default).
 func NewSuite(s *Scenario, eps float64) *Suite {
@@ -36,7 +57,7 @@ func NewSuite(s *Scenario, eps float64) *Suite {
 	}
 	opts := core.DefaultOptions()
 	opts.Params = core.Params{EpsT2: eps, EpsNet: eps, EpsT1: eps}
-	return &Suite{
+	suite := &Suite{
 		Scen: s,
 		Eps:  eps,
 		Cfg: &control.Config{
@@ -45,6 +66,18 @@ func NewSuite(s *Scenario, eps float64) *Suite {
 			CoreOpts: opts,
 		},
 	}
+	if sc := DefaultObs(); sc != nil {
+		suite.WithObs(sc)
+	}
+	return suite
+}
+
+// WithObs attaches a telemetry scope to the suite (and its control config)
+// and returns the suite for chaining.
+func (s *Suite) WithObs(sc *obs.Scope) *Suite {
+	s.Obs = sc
+	s.Cfg.Obs = sc
+	return s
 }
 
 func (s *Suite) account(name string, seq []*model.Decision, start time.Time) *Run {
@@ -81,11 +114,13 @@ func (s *Suite) Greedy() (*Run, error) {
 // Online runs the paper's prediction-free algorithm.
 func (s *Suite) Online() (*Run, error) {
 	start := time.Now()
-	seq, err := control.Online(s.Cfg)
+	seq, report, err := control.OnlineReport(s.Cfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: online: %w", err)
 	}
-	return s.account("online", seq, start), nil
+	run := s.account("online", seq, start)
+	run.Report = report
+	return run, nil
 }
 
 // LCPM runs the LCP-M baseline.

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"soral/internal/linalg"
+	"soral/internal/obs"
 	"soral/internal/resilience"
 )
 
@@ -55,6 +56,11 @@ type Options struct {
 	// Fault, when non-nil, injects deterministic failures for resilience
 	// testing (see resilience.FaultPlan). Production callers leave it nil.
 	Fault *resilience.FaultPlan
+
+	// Obs, when non-nil, receives one iteration event per Mehrotra iteration
+	// (residuals, gap) and attributes CPU samples to phase=lp-mehrotra. A nil
+	// scope costs one branch per iteration.
+	Obs *obs.Scope
 }
 
 func (o Options) withDefaults() Options {
@@ -270,6 +276,9 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		}
 		rres := residualsAt()
 		sol.Residuals = rres
+		opts.Obs.Iteration("lp.mehrotra", iter, obs.IterStats{
+			Primal: rres.Primal, Dual: rres.Dual, Gap: rres.Gap,
+		})
 		mu := linalg.Dot(x, s) / float64(n)
 		pinf, dinf, gap := rres.Primal, rres.Dual, rres.Gap
 		if pinf < opts.Tol && dinf < opts.Tol && gap < opts.Tol {
@@ -452,7 +461,10 @@ func Solve(p *Problem, opts Options) (*GeneralSolution, error) {
 		return nil, err
 	}
 	normal := NewDenseNormal(std.A)
-	sol, err := SolveStandard(std, normal, opts)
+	var sol *Solution
+	opts.Obs.Phase(opts.Ctx, "lp-mehrotra", func() {
+		sol, err = SolveStandard(std, normal, opts)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package lp
+
+import (
+	"testing"
+
+	"soral/internal/obs"
+	"soral/internal/obs/obstest"
+)
+
+// TestMehrotraEmitsIterations checks the iteration instrumentation: one iter
+// event per Mehrotra iteration, carrying finite residuals, with the counters
+// in lockstep.
+func TestMehrotraEmitsIterations(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{1, 2}
+	p.AddConstraint([]Entry{{Index: 0, Val: 1}, {Index: 1, Val: 1}}, GE, 1, "cover")
+
+	sc, rec := obstest.NewScope()
+	sol, err := Solve(p, Options{Obs: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	iters := rec.Kind(obs.KindIter)
+	if len(iters) == 0 {
+		t.Fatal("no iter events emitted")
+	}
+	for _, e := range iters {
+		if e.Name != "lp.mehrotra" {
+			t.Fatalf("unexpected iter name %q", e.Name)
+		}
+	}
+	// Mehrotra records the iteration event before a possible optimal exit,
+	// so the event count matches the counters exactly; Solution.Iters is the
+	// 0-based index of the converging iteration.
+	if got := rec.Counter("lp.mehrotra.iterations"); got != int64(len(iters)) {
+		t.Fatalf("lp.mehrotra.iterations = %d, %d events", got, len(iters))
+	}
+	if got := rec.Counter(obs.MetricSolverIters); got != int64(len(iters)) {
+		t.Fatalf("%s = %d, %d events", obs.MetricSolverIters, got, len(iters))
+	}
+	if len(iters) != sol.Iters+1 {
+		t.Fatalf("%d iter events, solution reports %d iterations", len(iters), sol.Iters)
+	}
+}

@@ -111,7 +111,7 @@ func SolveResilient(p *Problem, opts Options) (*GeneralSolution, *resilience.Lad
 			return sol, nil
 		}},
 	}
-	return resilience.Climb("lp.solve", rungs)
+	return resilience.ClimbObs("lp.solve", opts.Obs, rungs)
 }
 
 func classOfStatus(s Status) resilience.FailureClass {

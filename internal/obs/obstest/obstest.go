@@ -1,0 +1,53 @@
+// Package obstest gives other packages' tests a ready-made enabled scope and
+// a Recorder for asserting on the events and metrics it captured, without
+// reaching into sink internals.
+package obstest
+
+import (
+	"soral/internal/obs"
+)
+
+// Recorder wraps the registry and ring sink behind a test scope.
+type Recorder struct {
+	reg  *obs.Registry
+	ring *obs.RingSink
+}
+
+// NewScope returns an enabled scope backed by a fresh registry and a large
+// ring sink, plus the Recorder observing them.
+func NewScope() (*obs.Scope, *Recorder) {
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(1 << 16)
+	return obs.NewScope(reg, ring), &Recorder{reg: reg, ring: ring}
+}
+
+// Events returns every captured event in emission order.
+func (r *Recorder) Events() []obs.Event { return r.ring.Events() }
+
+// Kind returns the captured events of one kind, in emission order.
+func (r *Recorder) Kind(kind string) []obs.Event {
+	var out []obs.Event
+	for _, e := range r.ring.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Named returns the captured events with the given name, in emission order.
+func (r *Recorder) Named(name string) []obs.Event {
+	var out []obs.Event
+	for _, e := range r.ring.Events() {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Counter reads a registry counter.
+func (r *Recorder) Counter(name string) int64 { return r.reg.Counter(name) }
+
+// Snapshot copies the registry state.
+func (r *Recorder) Snapshot() obs.Snapshot { return r.reg.Snapshot() }

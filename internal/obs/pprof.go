@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Phase runs fn with the pprof label phase=name attached, so CPU profiles
+// attribute samples inside fn to the solver phase (e.g. phase=p2-barrier,
+// phase=lp-mehrotra, phase=repair). On a nil scope fn runs directly with no
+// labeling overhead. A nil ctx defaults to context.Background.
+func (s *Scope) Phase(ctx context.Context, name string, fn func()) {
+	if s == nil {
+		fn()
+		return
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels("phase", name), func(context.Context) { fn() })
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// histogramCap bounds the per-histogram observation reservoir. Once full,
+// new observations overwrite the oldest ring-style, so quantiles reflect the
+// most recent window while count/sum/min/max stay exact over the whole run.
+const histogramCap = 2048
+
+// Registry is a concurrency-safe metrics registry. Counters and gauges are
+// lock-free after first creation (atomic loads/stores behind an RWMutex-
+// protected name table); histograms serialize observations on a per-
+// histogram mutex.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Uint64 // float64 bits
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*atomic.Int64{},
+		gauges:   map[string]*atomic.Uint64{},
+		hists:    map[string]*histogram{},
+	}
+}
+
+func (r *Registry) counter(name string) *atomic.Int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(atomic.Int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta (creating it at zero first).
+func (r *Registry) Add(name string, delta int64) { r.counter(name).Add(delta) }
+
+// Counter returns the current value of the named counter (0 if never used).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+func (r *Registry) gauge(name string) *atomic.Uint64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(atomic.Uint64)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// SetGauge records the latest value of the named gauge.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.gauge(name).Store(math.Float64bits(v))
+}
+
+// Gauge returns the last value set on the named gauge (0 if never set).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.Load())
+}
+
+func (r *Registry) histogram(name string) *histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one value into the named bounded histogram.
+func (r *Registry) Observe(name string, v float64) { r.histogram(name).observe(v) }
+
+// HistogramStats summarizes one bounded histogram. Count and Sum are exact
+// over every observation; the quantiles are computed from the bounded
+// reservoir (the most recent histogramCap observations).
+type HistogramStats struct {
+	Count         int64
+	Sum, Min, Max float64
+	P50, P95, P99 float64
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramStats
+}
+
+// Snapshot copies the registry's current state. It is safe to call
+// concurrently with writers.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*atomic.Int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*atomic.Uint64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramStats, len(hists)),
+	}
+	for k, v := range counters {
+		snap.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = math.Float64frombits(v.Load())
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.stats()
+	}
+	return snap
+}
+
+// WriteText dumps the registry as sorted, expvar-style text: one metric per
+// line, grouped by kind, stable across runs with equal values.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, name := range sortedKeys(snap.Counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %g\n", name, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%g min=%g max=%g p50=%g p95=%g p99=%g\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	ring     []float64
+	next     int
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.ring) < histogramCap {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.next] = v
+		h.next = (h.next + 1) % histogramCap
+	}
+	h.mu.Unlock()
+}
+
+func (h *histogram) stats() HistogramStats {
+	h.mu.Lock()
+	st := HistogramStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	vals := append([]float64(nil), h.ring...)
+	h.mu.Unlock()
+	if len(vals) == 0 {
+		return st
+	}
+	sort.Float64s(vals)
+	st.P50 = quantile(vals, 0.50)
+	st.P95 = quantile(vals, 0.95)
+	st.P99 = quantile(vals, 0.99)
+	return st
+}
+
+// quantile returns the nearest-rank q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d, want 0", got)
+	}
+	r.Add("a", 2)
+	r.Add("a", 3)
+	if got := r.Counter("a"); got != 5 {
+		t.Fatalf("counter a = %d, want 5", got)
+	}
+	r.SetGauge("g", 1.5)
+	r.SetGauge("g", -2.25)
+	if got := r.Gauge("g"); got != -2.25 {
+		t.Fatalf("gauge g = %g, want -2.25", got)
+	}
+	if got := r.Gauge("missing"); got != 0 {
+		t.Fatalf("missing gauge = %g, want 0", got)
+	}
+}
+
+func TestRegistryHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Observe("h", float64(i))
+	}
+	st := r.Snapshot().Histograms["h"]
+	if st.Count != 100 {
+		t.Fatalf("count = %d, want 100", st.Count)
+	}
+	if st.Sum != 5050 {
+		t.Fatalf("sum = %g, want 5050", st.Sum)
+	}
+	if st.Min != 1 || st.Max != 100 {
+		t.Fatalf("min,max = %g,%g, want 1,100", st.Min, st.Max)
+	}
+	if st.P50 != 50 || st.P95 != 95 || st.P99 != 99 {
+		t.Fatalf("p50,p95,p99 = %g,%g,%g, want 50,95,99", st.P50, st.P95, st.P99)
+	}
+}
+
+func TestRegistryHistogramBounded(t *testing.T) {
+	r := NewRegistry()
+	n := histogramCap + 500
+	for i := 0; i < n; i++ {
+		r.Observe("h", float64(i))
+	}
+	st := r.Snapshot().Histograms["h"]
+	if st.Count != int64(n) {
+		t.Fatalf("count = %d, want %d", st.Count, n)
+	}
+	// Quantiles come from the most recent histogramCap observations
+	// [500, n), so the median sits near 500 + histogramCap/2.
+	lo, hi := float64(500+histogramCap/2-1), float64(500+histogramCap/2+1)
+	if st.P50 < lo || st.P50 > hi {
+		t.Fatalf("p50 = %g, want within [%g, %g]", st.P50, lo, hi)
+	}
+	// Min/max remain exact over the whole run.
+	if st.Min != 0 || st.Max != float64(n-1) {
+		t.Fatalf("min,max = %g,%g, want 0,%d", st.Min, st.Max, n-1)
+	}
+}
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Add("z.count", 1)
+	r.Add("a.count", 7)
+	r.SetGauge("m.gauge", 0.5)
+	r.Observe("lat", 2)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "counter a.count 7\n" +
+		"counter z.count 1\n" +
+		"gauge m.gauge 0.5\n" +
+		"histogram lat count=1 sum=2 min=2 max=2 p50=2 p95=2 p99=2\n"
+	if sb.String() != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; run with
+// -race (Makefile check does) to catch data races.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add("shared", 1)
+				r.Add("own", int64(w%3))
+				r.SetGauge("g", float64(i))
+				r.Observe("h", float64(i))
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared"); got != workers*perWorker {
+		t.Fatalf("shared = %d, want %d", got, workers*perWorker)
+	}
+	st := r.Snapshot().Histograms["h"]
+	if st.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", st.Count, workers*perWorker)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// nilScopeExercise calls every hot-path method on a disabled (nil) scope.
+func nilScopeExercise() {
+	var sc *Scope
+	child := sc.Solver("online").Slot(4)
+	span := child.StartSpan("core.slot")
+	child.Iteration("lp.mehrotra", 3, IterStats{Primal: 1e-3})
+	child.Rung("stage", "rung", "ok", time.Millisecond, 2)
+	child.Count("x", 1)
+	child.SetGauge("g", 1)
+	child.Observe("h", 1)
+	_ = child.CounterValue(MetricSolverIters)
+	span.End()
+}
+
+func TestNilScopeZeroAllocs(t *testing.T) {
+	if allocs := testing.AllocsPerRun(100, nilScopeExercise); allocs != 0 {
+		t.Fatalf("nil-scope path allocates %g bytes-worth of objects per run, want 0", allocs)
+	}
+}
+
+func TestNilScopeSafe(t *testing.T) {
+	var sc *Scope
+	if sc.Enabled() {
+		t.Fatal("nil scope reports enabled")
+	}
+	if sc.Registry() != nil {
+		t.Fatal("nil scope registry non-nil")
+	}
+	sc.SetClock(time.Now)
+	sc.Emit(Event{Kind: KindIter})
+	ran := false
+	sc.Phase(nil, "p2-barrier", func() { ran = true })
+	if !ran {
+		t.Fatal("nil-scope Phase did not run fn")
+	}
+}
+
+func TestPhaseRunsUnderLabel(t *testing.T) {
+	sc := NewScope(NewRegistry(), nil)
+	ran := false
+	sc.Phase(context.Background(), "lp-mehrotra", func() { ran = true })
+	if !ran {
+		t.Fatal("Phase did not run fn")
+	}
+}
+
+// BenchmarkNilScope is the acceptance benchmark for the disabled path: it
+// must report 0 allocs/op.
+func BenchmarkNilScope(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nilScopeExercise()
+	}
+}
+
+// BenchmarkEnabledScope gives the enabled-path cost for comparison.
+func BenchmarkEnabledScope(b *testing.B) {
+	sc := NewScope(NewRegistry(), NewRingSink(1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := sc.Solver("online").Slot(i)
+		span := slot.StartSpan("core.slot")
+		slot.Iteration("convex.newton", 0, IterStats{Decrement: 0.1})
+		span.End()
+	}
+}

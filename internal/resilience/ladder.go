@@ -3,6 +3,9 @@ package resilience
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"soral/internal/obs"
 )
 
 // Rung is one recovery tactic of a fallback ladder: a name for reporting and
@@ -17,6 +20,10 @@ type Rung[T any] struct {
 type Attempt struct {
 	Rung string
 	Err  error // nil when the rung succeeded
+	// Duration is the rung's wall time; Iterations the solver iterations it
+	// consumed (a delta of obs.MetricSolverIters, 0 without a scope).
+	Duration   time.Duration
+	Iterations int
 }
 
 // LadderReport records every rung tried for one solve and which one (if any)
@@ -61,12 +68,35 @@ func (r *LadderReport) String() string {
 // ladder immediately: retrying after a deadline has expired is pointless and
 // would only delay the caller further.
 func Climb[T any](stage string, rungs []Rung[T]) (T, *LadderReport, error) {
+	return ClimbObs(stage, nil, rungs)
+}
+
+// ClimbObs is Climb with telemetry: each attempt's wall time and solver
+// iteration consumption are recorded on the report and emitted as rung
+// events through sc. A nil scope degrades to plain Climb.
+func ClimbObs[T any](stage string, sc *obs.Scope, rungs []Rung[T]) (T, *LadderReport, error) {
 	rep := &LadderReport{Stage: stage}
 	var zero T
 	var lastErr error
 	for _, rung := range rungs {
+		start := time.Now()
+		itersBefore := sc.CounterValue(obs.MetricSolverIters)
 		v, err := rung.Run()
-		rep.Attempts = append(rep.Attempts, Attempt{Rung: rung.Name, Err: err})
+		a := Attempt{
+			Rung:       rung.Name,
+			Err:        err,
+			Duration:   time.Since(start),
+			Iterations: int(sc.CounterValue(obs.MetricSolverIters) - itersBefore),
+		}
+		rep.Attempts = append(rep.Attempts, a)
+		status := "ok"
+		if err != nil {
+			status = "error"
+			if se, ok := AsSolveError(err); ok {
+				status = se.Class.String()
+			}
+		}
+		sc.Rung(stage, rung.Name, status, a.Duration, a.Iterations)
 		if err == nil {
 			rep.Rung = rung.Name
 			return v, rep, nil

@@ -29,10 +29,13 @@
 package soral
 
 import (
+	"io"
+
 	"soral/internal/control"
 	"soral/internal/core"
 	"soral/internal/eval"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/predict"
 )
 
@@ -129,6 +132,25 @@ func RunOnlineReport(n *Network, in *Inputs, opts Options) ([]*Decision, *Report
 
 // CompetitiveRatio returns Theorem 1's bound r = 1 + |I|·(C(ε)+B(ε′)).
 func CompetitiveRatio(n *Network, p Params) float64 { return core.CompetitiveRatio(n, p) }
+
+// ---- Observability: metrics, tracing, run profiles ----
+
+// ObsScope is the nil-safe telemetry handle threaded through the solver
+// Options (Options.Obs, ControlConfig.Obs). See DESIGN.md §6.
+type ObsScope = obs.Scope
+
+// ObsRegistry is the concurrency-safe metrics registry behind a scope.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsScope builds an enabled telemetry scope; either argument may be nil.
+func NewObsScope(reg *ObsRegistry, sink obs.Sink) *ObsScope { return obs.NewScope(reg, sink) }
+
+// NewJSONLSink wraps w in a line-delimited JSON trace sink (one event per
+// line, schema pinned by the obs package's golden test).
+func NewJSONLSink(w io.Writer) *obs.JSONLSink { return obs.NewJSONLSink(w) }
 
 // ---- Baselines and predictive controllers ----
 
