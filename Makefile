@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race obs-race check bench
+.PHONY: build test vet lint race obs-race check bench
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,18 @@ test:
 	$(GO) test ./...
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet -all ./...
 
+# Project-specific invariants (float comparisons, division guards, map-order
+# determinism, context plumbing, telemetry nil-safety, dropped kernel
+# errors). Exits nonzero on any finding; see DESIGN.md §7.
+lint:
+	$(GO) run ./cmd/sorallint ./...
+
+# -shuffle=on randomizes test order so accidental inter-test coupling (the
+# dynamic cousin of the maporder lint) fails loudly instead of silently.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # The telemetry layer is hammered from many goroutines (ADMM workers, LCP-M
 # prefix solves); its registry/sink stress tests run under the race detector
@@ -20,10 +28,11 @@ race:
 obs-race:
 	$(GO) test -race -count=2 ./internal/obs/...
 
-# The gate used before merging: static checks plus the full suite under the
-# race detector (the ADMM consensus loop and the fault-injection trip counter
-# are the concurrency-sensitive paths), plus the focused telemetry race pass.
-check: vet race obs-race
+# The gate used before merging: static checks (vet plus the sorallint
+# invariants) and the full suite under the race detector (the ADMM consensus
+# loop and the fault-injection trip counter are the concurrency-sensitive
+# paths), plus the focused telemetry race pass.
+check: vet lint race obs-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -7,7 +7,10 @@
 //	soralbench -exp all -scale medium -csv out/
 //	soralbench -exp fig4 -series trace.csv   # dump raw demand traces
 //
-// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all.
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
+// plus lint (not part of all): per-package sorallint wall time, for tracking
+// the cost of the static-analysis gate alongside the solver benchmarks.
+// lint must run from inside the module source tree.
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
@@ -22,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"soral/internal/analysis"
 	"soral/internal/eval"
 	"soral/internal/obs"
 	"soral/internal/workload"
@@ -29,7 +33,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -99,6 +103,15 @@ func main() {
 		"table2": func() (*eval.Table, error) { return eval.Table2(), nil },
 		"vshape": eval.AdversarialVShape,
 	}
+	var lintRes *analysis.Result
+	exps["lint"] = func() (*eval.Table, error) {
+		res, err := analysis.Run(analysis.RunConfig{Dir: "."})
+		if err != nil {
+			return nil, err
+		}
+		lintRes = res
+		return lintTable(res), nil
+	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 
 	var selected []string
@@ -151,7 +164,11 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		if *jsonDir != "" {
-			if err := writeBenchJSON(*jsonDir, name, elapsed, before, reg.Snapshot()); err != nil {
+			var lint *analysis.Result
+			if name == "lint" {
+				lint = lintRes
+			}
+			if err := writeBenchJSON(*jsonDir, name, elapsed, before, reg.Snapshot(), lint); err != nil {
 				fatal(err)
 			}
 		}
@@ -211,9 +228,39 @@ type benchResult struct {
 	// TotalSolverIterations is the delta of the shared solver.iterations
 	// counter (the sum over all stages).
 	TotalSolverIterations int64 `json:"total_solver_iterations"`
+	// LintPackages maps each analyzed package to its sorallint analyzer wall
+	// time in nanoseconds (lint experiment only; excludes load/type-check).
+	LintPackages map[string]int64 `json:"lint_packages,omitempty"`
+	// LintLoadNs is the one-off parse+type-check cost shared by all packages.
+	LintLoadNs int64 `json:"lint_load_ns,omitempty"`
+	// LintFindings counts the surviving diagnostics across the module.
+	LintFindings int `json:"lint_findings,omitempty"`
 }
 
-func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.Snapshot) error {
+// lintTable renders a lint run as the common table shape so -csv and the
+// terminal output work like any other experiment.
+func lintTable(res *analysis.Result) *eval.Table {
+	tbl := &eval.Table{
+		Title:  "sorallint — per-package static-analysis cost",
+		Header: []string{"package", "files", "analyze(ms)", "findings"},
+	}
+	for _, p := range res.Packages {
+		tbl.Rows = append(tbl.Rows, []string{
+			p.Path,
+			fmt.Sprintf("%d", p.Files),
+			fmt.Sprintf("%.2f", float64(p.Duration.Nanoseconds())/1e6),
+			fmt.Sprintf("%d", len(p.Diagnostics)),
+		})
+	}
+	tbl.Rows = append(tbl.Rows, []string{
+		"(load+typecheck)", "",
+		fmt.Sprintf("%.2f", float64(res.LoadDuration.Nanoseconds())/1e6),
+		fmt.Sprintf("%d total", len(res.Diagnostics)),
+	})
+	return tbl
+}
+
+func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.Snapshot, lint *analysis.Result) error {
 	res := benchResult{
 		Name:             name,
 		Iters:            1,
@@ -229,6 +276,14 @@ func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.S
 		if d := v - before.Counters[k]; d != 0 {
 			res.SolverIterations[k] = d
 		}
+	}
+	if lint != nil {
+		res.LintPackages = map[string]int64{}
+		for _, p := range lint.Packages {
+			res.LintPackages[p.Path] = p.Duration.Nanoseconds()
+		}
+		res.LintLoadNs = lint.LoadDuration.Nanoseconds()
+		res.LintFindings = len(lint.Diagnostics)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

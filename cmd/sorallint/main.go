@@ -1,0 +1,159 @@
+// Command sorallint runs the soral static-analysis suite: six project
+// analyzers enforcing the numerical, determinism, and concurrency
+// invariants of the solver stack (see internal/analysis and DESIGN.md §7).
+//
+// Usage:
+//
+//	sorallint ./...                 # analyze the whole module
+//	sorallint internal/lp           # report findings for one package dir
+//	sorallint -checks floatcmp,divguard ./...
+//	sorallint -unused ./...         # also flag stale //sorallint:ignore
+//	sorallint -list                 # print the analyzer registry
+//	sorallint -timing ./...         # per-package analyzer wall time
+//
+// Findings can be suppressed with a justified directive on the offending
+// line or the line above:
+//
+//	//sorallint:ignore floatcmp comparing against the exact sentinel stored above
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type-check errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"soral/internal/analysis"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		unusedFlag = flag.Bool("unused", false, "also report //sorallint:ignore directives that suppress nothing")
+		listFlag   = flag.Bool("list", false, "list registered analyzers and exit")
+		timingFlag = flag.Bool("timing", false, "print per-package analyzer wall time to stderr")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var checks []string
+	if *checksFlag != "" {
+		for _, c := range strings.Split(*checksFlag, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				checks = append(checks, c)
+			}
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Run(analysis.RunConfig{
+		Dir:          cwd,
+		Checks:       checks,
+		ReportUnused: *unusedFlag,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	keep, err := packageFilter(cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range res.Packages {
+		if !keep(pkg.Path) {
+			continue
+		}
+		for _, d := range pkg.Diagnostics {
+			findings++
+			fmt.Println(relativize(cwd, d))
+		}
+	}
+	if *timingFlag {
+		pkgs := append([]analysis.PackageResult(nil), res.Packages...)
+		sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Duration > pkgs[j].Duration })
+		fmt.Fprintf(os.Stderr, "# load+typecheck %.3fs\n", res.LoadDuration.Seconds())
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "# %8.3fms %s (%d files)\n",
+				float64(p.Duration.Microseconds())/1000, p.Path, p.Files)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sorallint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// packageFilter turns the positional arguments into an import-path
+// predicate. No arguments, ".", or "./..." selects every package; a
+// directory argument selects the packages under it. Wildcard suffix /...
+// is honored on directory arguments too.
+func packageFilter(cwd string, args []string) (func(string) bool, error) {
+	if len(args) == 0 {
+		return func(string) bool { return true }, nil
+	}
+	root, module, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		return nil, err
+	}
+	var prefixes []string
+	for _, arg := range args {
+		if arg == "." || arg == "./..." || arg == "..." || arg == "all" {
+			return func(string) bool { return true }, nil
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			arg, recursive = rest, true
+		}
+		abs, err := filepath.Abs(arg)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("sorallint: %s is outside the module at %s", arg, root)
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + filepath.ToSlash(rel)
+		}
+		prefixes = append(prefixes, path)
+		_ = recursive // a bare dir and dir/... both select the subtree
+	}
+	return func(pkg string) bool {
+		for _, p := range prefixes {
+			if pkg == p || strings.HasPrefix(pkg, p+"/") {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// relativize shortens diagnostic filenames relative to the working
+// directory for terminal-friendly, clickable output.
+func relativize(cwd string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sorallint:", err)
+	os.Exit(2)
+}

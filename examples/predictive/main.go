@@ -29,6 +29,9 @@ func main() {
 		log.Fatal(err)
 	}
 	offC := offline.Cost.Total()
+	if offC <= 0 {
+		log.Fatalf("degenerate offline optimum %g; cost ratios would be meaningless", offC)
+	}
 	online, err := suite.Online()
 	if err != nil {
 		log.Fatal(err)

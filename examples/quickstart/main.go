@@ -70,6 +70,9 @@ func main() {
 		fmt.Printf("%4d  %8.1f  %10.2f  %10.2f  %11.2f\n",
 			t, lams[t], sum(greedy[t]), sum(online[t]), sum(offline[t]))
 	}
+	if offObj <= 0 {
+		log.Fatalf("degenerate offline optimum %g; cost ratios would be meaningless", offObj)
+	}
 	gc := acct.SequenceCost(greedy, nil).Total()
 	oc := acct.SequenceCost(online, nil).Total()
 	fmt.Printf("\ntotal cost: greedy %.1f | online %.1f | offline optimum %.1f\n", gc, oc, offObj)

@@ -66,7 +66,7 @@ func (o Options) withDefaults() Options {
 	if o.Tol <= 0 {
 		o.Tol = 1e-4
 	}
-	if o.Solver.Tol == 0 {
+	if o.Solver.Tol <= 0 {
 		o.Solver.Tol = 1e-7
 	}
 	return o

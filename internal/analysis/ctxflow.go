@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// solverPackages are the packages whose exported entry points must be
+// cancelable: a production deployment shedding load needs every solve loop
+// to notice a dead client.
+var solverPackages = map[string]bool{
+	"lp": true, "convex": true, "admm": true, "core": true, "control": true,
+}
+
+// CtxFlow enforces context plumbing through the solver stack. An exported
+// entry point (a function whose name starts with "Solve", or that takes a
+// solver Options/Config parameter) must accept a context.Context — either
+// directly or via a context field reachable through its Options/Config
+// struct (the repo's established pattern is Options.Ctx). Inside solver
+// packages, calls to context.Background or context.TODO are flagged: a
+// fresh context severs the caller's cancellation instead of propagating it.
+var CtxFlow = &Analyzer{
+	Name:      "ctxflow",
+	Doc:       "solver entry points must accept and propagate context.Context",
+	SkipTests: true,
+	Run:       runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if !solverPackages[lastSegment(pass.Pkg.Path)] {
+		return
+	}
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				// Methods are exempt: Solve(x, b) on a factorization is an
+				// inner kernel, not an entry point.
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if !isEntryPoint(fd.Name.Name, sig) {
+				continue
+			}
+			if !acceptsContext(sig) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported solver entry point %s accepts no context.Context (directly or via an Options/Config ctx field); cancellation cannot reach the solve loop", fd.Name.Name)
+			}
+		}
+		// Propagation: a solver package must never mint its own root context.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					pass.Reportf(call.Pos(),
+						"context.%s severs the caller's cancellation; propagate the ctx carried by Options/Config instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isEntryPoint decides whether an exported function is a solver entry
+// point: its name starts with "Solve", or one of its parameters is a named
+// Options/Config (possibly pointer) declared in a solver package.
+func isEntryPoint(name string, sig *types.Signature) bool {
+	if len(name) >= 5 && name[:5] == "Solve" {
+		return true
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+			continue
+		}
+		tn := n.Obj().Name()
+		if (tn == "Options" || tn == "Config") && solverPackages[lastSegment(n.Obj().Pkg().Path())] {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsContext reports whether any parameter is a context.Context or a
+// struct carrying one (transitively, through nested named struct fields).
+func acceptsContext(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if typeCarriesContext(params.At(i).Type(), 3, map[*types.Named]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeCarriesContext(t types.Type, depth int, seen map[*types.Named]bool) bool {
+	if isContextType(t) {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if typeCarriesContext(st.Field(i).Type(), depth-1, seen) {
+			return true
+		}
+	}
+	return false
+}

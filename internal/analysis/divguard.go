@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// DivGuard flags floating-point divisions whose denominator is not provably
+// guarded. A denominator passes when it is a nonzero constant, is shifted by
+// a positive constant (x + eps), is wrapped in math.Max with a positive
+// constant floor, or when every variable it references is inspected by a
+// comparison or a math.Abs/math.Max/math.Min call somewhere in the enclosing
+// function. Everything else is a potential Inf/NaN seed that silently
+// poisons downstream accumulations.
+var DivGuard = &Analyzer{
+	Name:      "divguard",
+	Doc:       "float division must have an epsilon/Abs-guarded denominator",
+	SkipTests: true,
+	Run:       runDivGuard,
+}
+
+func runDivGuard(pass *Pass) {
+	info := pass.Info()
+	fieldGuards := packageFieldGuards(pass)
+	for _, f := range pass.Files() {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.QUO {
+				return
+			}
+			if !isFloat(pass.TypeOf(be.X)) && !isFloat(pass.TypeOf(be.Y)) {
+				return
+			}
+			den := ast.Unparen(be.Y)
+			if denSafe(info, den) {
+				return
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil {
+				return // package-level constant context; folded or vetted elsewhere
+			}
+			vars := denomVars(info, den)
+			if len(vars) == 0 {
+				pass.Reportf(den.Pos(), "float division by unguarded expression; bind the denominator and guard it against zero")
+				return
+			}
+			for _, v := range vars {
+				// Struct fields are guarded by their package's validators
+				// (Validate, withDefaults); locals must be guarded in the
+				// enclosing function.
+				if v.IsField() {
+					if !fieldGuards[v] {
+						pass.Reportf(den.Pos(), "float division by field %q never zero-checked anywhere in this package", v.Name())
+						return
+					}
+					continue
+				}
+				if !varGuarded(info, fn, v) {
+					pass.Reportf(den.Pos(), "float division by %q with no epsilon/Abs guard in the enclosing function", v.Name())
+					return
+				}
+			}
+		})
+	}
+}
+
+// denomVars collects the variables whose value determines the denominator:
+// for a selector chain the selected field (not its base), for an index
+// expression the indexed container (not the index), otherwise every
+// referenced variable.
+func denomVars(info *types.Info, den ast.Expr) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	add := func(v *types.Var) {
+		if v != nil && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				add(v)
+			}
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+				add(v) // the field decides the value; the base does not
+				return
+			}
+			visit(e.X) // method value or qualified name: look deeper
+		case *ast.IndexExpr:
+			visit(e.X) // the container matters, the index position does not
+		case *ast.BinaryExpr:
+			visit(e.X)
+			visit(e.Y)
+		case *ast.UnaryExpr:
+			visit(e.X)
+		case *ast.StarExpr:
+			visit(e.X)
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				visit(a)
+			}
+		}
+	}
+	visit(den)
+	return out
+}
+
+// packageFieldGuards collects every struct-field object that some function
+// in the package inspects with a comparison or a math.Abs/Max/Min call —
+// the cross-function validator idiom (Params.Validate, Options.withDefaults).
+func packageFieldGuards(pass *Pass) map[*types.Var]bool {
+	info := pass.Info()
+	guarded := map[*types.Var]bool{}
+	mark := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && v.IsField() {
+					guarded[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ, token.EQL:
+					mark(e.X)
+					mark(e.Y)
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, e); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" {
+					switch fn.Name() {
+					case "Abs", "Max", "Min":
+						for _, arg := range e.Args {
+							mark(arg)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// denSafe recognizes denominators that carry their own guard.
+func denSafe(info *types.Info, den ast.Expr) bool {
+	if tv := info.Types[den]; tv.Value != nil {
+		// Nonzero constant. A constant zero denominator is a compile error
+		// for typed constants and a vet finding otherwise; don't double-report.
+		return constant.Sign(tv.Value) != 0
+	}
+	switch e := den.(type) {
+	case *ast.BinaryExpr:
+		// x + c or c + x with constant c > 0: the epsilon-shift idiom.
+		if e.Op == token.ADD {
+			return positiveConst(info, e.X) || positiveConst(info, e.Y)
+		}
+	case *ast.CallExpr:
+		// math.Max(x, c) with constant floor c > 0.
+		if fn := calleeFunc(info, e); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "math" && fn.Name() == "Max" {
+			for _, arg := range e.Args {
+				if positiveConst(info, arg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// positiveConst reports whether e is a constant with value > 0.
+func positiveConst(info *types.Info, e ast.Expr) bool {
+	tv := info.Types[ast.Unparen(e)]
+	return tv.Value != nil && constant.Sign(tv.Value) > 0
+}
+
+// varGuarded reports whether v is inspected anywhere in fn: used inside a
+// relational comparison, passed to math.Abs/math.Max/math.Min, or assigned
+// from a self-guarding expression (x := 1 + norm). The whole function body
+// counts — the goal is "the author thought about zero here", not a
+// dataflow proof.
+func varGuarded(info *types.Info, fn ast.Node, v *types.Var) bool {
+	guarded := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range e.Lhs {
+				if i >= len(e.Rhs) {
+					break
+				}
+				if id, ok := lhs.(*ast.Ident); ok &&
+					(info.Defs[id] == v || info.Uses[id] == v) && denSafe(info, ast.Unparen(e.Rhs[i])) {
+					guarded = true
+				}
+			}
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ, token.EQL:
+				if usesVar(info, e.X, v) || usesVar(info, e.Y, v) {
+					guarded = true
+				}
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(info, e); f != nil && f.Pkg() != nil && f.Pkg().Path() == "math" {
+				switch f.Name() {
+				case "Abs", "Max", "Min":
+					for _, arg := range e.Args {
+						if usesVar(info, arg, v) {
+							guarded = true
+						}
+					}
+				}
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdropPackages are the numerical-kernel packages whose error returns
+// must never be dropped: a swallowed factorization or solve failure turns
+// into NaNs three layers up, far from the cause.
+var errdropPackages = map[string]bool{"linalg": true, "lp": true, "convex": true}
+
+// ErrDrop flags discarded error returns from linalg/lp/convex calls:
+// a bare call statement, a call under go/defer, or an assignment that binds
+// the error result to the blank identifier.
+var ErrDrop = &Analyzer{
+	Name:      "errdrop",
+	Doc:       "errors from linalg/lp/convex factorization and solve calls must be handled",
+	SkipTests: true,
+	Run:       runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					checkDroppedCall(pass, info, call, "call statement discards")
+				}
+			case *ast.GoStmt:
+				checkDroppedCall(pass, info, s.Call, "go statement discards")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, info, s.Call, "defer statement discards")
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, info, s)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall reports a statement-position call into a kernel package
+// that returns an error nobody can see.
+func checkDroppedCall(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {
+	fn, _ := kernelErrCall(info, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s the error from %s.%s; handle it or assign and check it",
+		how, fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankErrAssign reports `x, _ := pkg.Solve(...)` where the blank slot
+// is the call's error result.
+func checkBlankErrAssign(pass *Pass, info *types.Info, s *ast.AssignStmt) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := kernelErrCall(info, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == len(s.Lhs) {
+		if id, ok := s.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(), "error from %s.%s assigned to _; factorization/solve failures must be checked",
+				fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// kernelErrCall resolves a call to a function or method defined in one of
+// the kernel packages whose signature returns an error; it returns the
+// callee and the index of the error result, or (nil, 0).
+func kernelErrCall(info *types.Info, call *ast.CallExpr) (*types.Func, int) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !errdropPackages[lastSegment(fn.Pkg().Path())] {
+		return nil, 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return fn, i
+		}
+	}
+	return nil, 0
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != between floating-point operands. Exact float
+// equality silently depends on rounding mode, evaluation order, and
+// compiler optimizations; the paper's reproducibility (Figs. 4-10) requires
+// epsilon/relative tolerance comparisons. Two idioms stay legal: comparing
+// an expression against itself (the NaN test) and fully constant
+// comparisons (folded at compile time).
+var FloatCmp = &Analyzer{
+	Name:      "floatcmp",
+	Doc:       "forbid ==/!= on floating-point operands outside tests",
+	SkipTests: true,
+	Run:       runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if !isFloat(tx) && !isFloat(ty) {
+				return true
+			}
+			xv, yv := info.Types[be.X], info.Types[be.Y]
+			if xv.Value != nil && yv.Value != nil {
+				return true // constant-folded; no runtime float compare
+			}
+			if sameSimpleExpr(be.X, be.Y) {
+				return true // x != x: the canonical NaN check
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon or relative-tolerance check", be.Op)
+			return true
+		})
+	}
+}
+
+// sameSimpleExpr reports whether two expressions are the identical simple
+// reference (same identifier chain), covering the x != x NaN idiom and its
+// field/index forms like v.X[i] != v.X[i].
+func sameSimpleExpr(a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		b, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameSimpleExpr(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := ast.Unparen(b).(*ast.IndexExpr)
+		return ok && sameSimpleExpr(a.X, b.X) && sameSimpleExpr(a.Index, b.Index)
+	case *ast.BasicLit:
+		b, ok := ast.Unparen(b).(*ast.BasicLit)
+		return ok && a.Kind == b.Kind && a.Value == b.Value
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags ranging over a map while doing order-sensitive work in the
+// body: accumulating into floats declared outside the loop (float addition
+// is not associative, so the sum depends on Go's randomized iteration
+// order), appending non-key values to an outer slice, or emitting telemetry
+// events (obs.Scope / obs.Span methods). Any of these makes two runs of the
+// same seed diverge — the determinism killer for the paper's figures. The
+// sort-keys idiom (collect only the range key, sort, then iterate the
+// slice) is recognized and allowed. Unlike the float checks this one also
+// covers _test.go files: order-dependent tests are exactly what
+// `go test -shuffle=on` exists to catch.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no order-dependent accumulation, appends, or trace emission while ranging over a map",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, info, rs)
+			return true
+		})
+	}
+}
+
+func checkMapRangeBody(pass *Pass, info *types.Info, rs *ast.RangeStmt) {
+	keyObj := rangeKeyObj(info, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			switch e.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range e.Lhs {
+					if !isFloat(pass.TypeOf(lhs)) {
+						continue
+					}
+					if v := lhsRootVar(info, lhs); v != nil && !declaredWithin(v, rs.Pos(), rs.End()) {
+						pass.Reportf(e.TokPos, "float accumulation into %q inside map iteration is order-dependent; sort the keys first", v.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, e, "append") && len(e.Args) >= 2 {
+				dst := lhsRootVar(info, e.Args[0])
+				if dst == nil || declaredWithin(dst, rs.Pos(), rs.End()) {
+					return true
+				}
+				if appendsOnlyKey(info, e, keyObj) {
+					return true // the sort-keys idiom
+				}
+				pass.Reportf(e.Pos(), "append to %q inside map iteration records map order; collect and sort the keys instead", dst.Name())
+				return true
+			}
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				recv := pass.TypeOf(sel.X)
+				if isNamed(recv, "obs", "Scope") || isNamed(recv, "obs", "Span") {
+					pass.Reportf(e.Pos(), "telemetry emission inside map iteration makes the trace order-dependent; sort the keys first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeKeyObj returns the object of the range key variable, if any.
+func rangeKeyObj(info *types.Info, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.Defs[id]
+}
+
+// lhsRootVar resolves the base variable of an assignable expression
+// (ident, selector chain, index expression).
+func lhsRootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				return v
+			}
+			if v, ok := info.Defs[x].(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// appendsOnlyKey reports whether every appended value is exactly the range
+// key identifier.
+func appendsOnlyKey(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || info.Uses[id] != keyObj {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// RunConfig selects what Run analyzes.
+type RunConfig struct {
+	// Dir is any directory inside the module; Run resolves the module root
+	// and analyzes every package under it.
+	Dir string
+
+	// Checks restricts the analyzers by name; empty means the full registry.
+	Checks []string
+
+	// ReportUnused additionally reports suppressions that matched nothing.
+	// Only meaningful with the full check set: a suppression for an analyzer
+	// that did not run always looks unused.
+	ReportUnused bool
+}
+
+// PackageResult carries the outcome and cost of analyzing one package.
+type PackageResult struct {
+	Path        string
+	Files       int
+	Duration    time.Duration // analyzer wall time for this package (excludes load)
+	Diagnostics []Diagnostic
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	Packages     []PackageResult
+	LoadDuration time.Duration // parse + type-check time for the whole module
+	Diagnostics  []Diagnostic  // all surviving diagnostics, sorted
+}
+
+// Run loads the module containing cfg.Dir and analyzes every package.
+func Run(cfg RunConfig) (*Result, error) {
+	root, module, err := FindModuleRoot(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	loadStart := time.Now()
+	pr, err := Load(LoadConfig{Dir: root, Module: module})
+	if err != nil {
+		return nil, err
+	}
+	checks, err := selectChecks(cfg.Checks)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{LoadDuration: time.Since(loadStart)}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, pkg := range pr.Packages {
+		start := time.Now()
+		diags := AnalyzePackage(pr, pkg, checks)
+		dirs, problems := ParseDirectives(pr.Fset, pkg, known)
+		diags = Suppress(diags, dirs)
+		diags = append(diags, problems...)
+		if cfg.ReportUnused {
+			diags = append(diags, UnusedDirectives(dirs)...)
+		}
+		diags = sortDiagnostics(diags)
+		res.Packages = append(res.Packages, PackageResult{
+			Path:        pkg.Path,
+			Files:       len(pkg.Files),
+			Duration:    time.Since(start),
+			Diagnostics: diags,
+		})
+		res.Diagnostics = append(res.Diagnostics, diags...)
+	}
+	return res, nil
+}
+
+// selectChecks resolves names against the registry (all when empty).
+func selectChecks(names []string) ([]*Analyzer, error) {
+	if len(names) == 0 {
+		return Analyzers(), nil
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AnalyzePackage runs the given analyzers over one package and returns the
+// raw (pre-suppression) diagnostics, sorted and deduplicated.
+func AnalyzePackage(pr *Program, pkg *Package, checks []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range checks {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pr.Fset,
+			Pkg:      pkg,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	return sortDiagnostics(diags)
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScopeNil enforces the telemetry nil-receiver contract. The nil *obs.Scope
+// is the disabled state — instrumented code calls it unconditionally — so
+// the contract has two sides:
+//
+//   - inside package obs, every exported method with a *Scope receiver must
+//     be nil-safe: it either opens with an `if s == nil` guard or touches
+//     the receiver only in nil comparisons (the Enabled pattern);
+//   - outside obs, the handle must stay a pointer: a value-typed obs.Scope
+//     (field, parameter, variable) or an explicit dereference copies state
+//     and panics on the disabled nil handle.
+var ScopeNil = &Analyzer{
+	Name:      "scopenil",
+	Doc:       "*obs.Scope must follow the nil-safe handle pattern",
+	SkipTests: true,
+	Run:       runScopeNil,
+}
+
+func runScopeNil(pass *Pass) {
+	if pass.Pkg.Name == "obs" {
+		checkScopeMethods(pass)
+		return
+	}
+	checkScopeUses(pass)
+}
+
+// checkScopeMethods verifies the nil-guard on exported *Scope methods.
+func checkScopeMethods(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			if len(fd.Recv.List) != 1 || !isNamed(pass.TypeOf(fd.Recv.List[0].Type), "obs", "Scope") {
+				continue
+			}
+			if _, isPtr := pass.TypeOf(fd.Recv.List[0].Type).(*types.Pointer); !isPtr {
+				continue
+			}
+			recv := recvObj(info, fd)
+			if recv == nil {
+				continue // receiver unnamed or _: body cannot touch it
+			}
+			if firstStmtNilGuard(info, fd.Body, recv) || onlyNilComparisons(info, fd.Body, recv) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method %s on *Scope is not nil-safe; start with `if %s == nil { return ... }` (nil is the disabled telemetry state)",
+				fd.Name.Name, recv.Name())
+		}
+	}
+}
+
+func recvObj(info *types.Info, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[0]]
+}
+
+// firstStmtNilGuard reports whether the body opens with an if statement
+// whose condition contains `recv == nil`.
+func firstStmtNilGuard(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		if (identIs(info, be.X, recv) && isNilIdent(info, be.Y)) ||
+			(identIs(info, be.Y, recv) && isNilIdent(info, be.X)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// onlyNilComparisons reports whether every use of recv in the body is an
+// operand of a ==/!= comparison against nil (e.g. `return s != nil`).
+func onlyNilComparisons(info *types.Info, body *ast.BlockStmt, recv types.Object) bool {
+	ok := true
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if !ok || !identIs(info, n, recv) {
+			return
+		}
+		parent := stack[len(stack)-1]
+		be, isCmp := parent.(*ast.BinaryExpr)
+		if !isCmp || (be.Op != token.EQL && be.Op != token.NEQ) ||
+			!(isNilIdent(info, be.X) || isNilIdent(info, be.Y)) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func identIs(info *types.Info, n ast.Node, obj types.Object) bool {
+	id, isIdent := n.(*ast.Ident)
+	return isIdent && info.Uses[id] == obj
+}
+
+// checkScopeUses flags value-typed obs.Scope declarations and explicit
+// dereferences outside the obs package.
+func checkScopeUses(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Field:
+				if isValueScopeType(pass, e.Type) {
+					pass.Reportf(e.Type.Pos(), "obs.Scope held by value; use *obs.Scope — the nil pointer is the disabled state")
+				}
+			case *ast.ValueSpec:
+				if e.Type != nil && isValueScopeType(pass, e.Type) {
+					pass.Reportf(e.Type.Pos(), "obs.Scope declared by value; use *obs.Scope — the nil pointer is the disabled state")
+				}
+			case *ast.StarExpr:
+				tv := info.Types[e.X]
+				if tv.IsValue() && isNamed(tv.Type, "obs", "Scope") {
+					if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+						pass.Reportf(e.Pos(), "dereferencing a *obs.Scope copies the handle and panics when telemetry is disabled (nil scope)")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isValueScopeType reports whether the type expression denotes the value
+// type obs.Scope (not a pointer to it).
+func isValueScopeType(pass *Pass, t ast.Expr) bool {
+	tv := pass.Info().Types[t]
+	if !tv.IsType() {
+		return false
+	}
+	if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+		return false
+	}
+	return isNamed(tv.Type, "obs", "Scope")
+}

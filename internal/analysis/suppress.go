@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. Like //go: directives it
+// tolerates no space before the verb:
+//
+//	//sorallint:ignore floatcmp exact sentinel set by the same function
+//
+// A directive suppresses matching diagnostics on its own line and on the
+// line directly below it (so it works both as an end-of-line comment and as
+// a standalone comment above the offending statement). The check name must
+// be a registered analyzer and the reason is mandatory: a suppression that
+// cannot say why it exists is a finding in its own right.
+const directivePrefix = "//sorallint:"
+
+// A Directive is one parsed //sorallint:ignore comment.
+type Directive struct {
+	Check  string
+	Reason string
+	Pos    token.Position
+	used   bool
+}
+
+// ParseDirectives scans a package's comments for sorallint directives.
+// Malformed directives (missing check, missing reason, unknown verb or
+// check name) are returned as unsuppressible diagnostics.
+func ParseDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) ([]*Directive, []Diagnostic) {
+	var dirs []*Directive
+	var problems []Diagnostic
+	problem := func(pos token.Pos, format string, args ...any) {
+		problems = append(problems, Diagnostic{
+			Check:    "sorallint",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+			Severity: SeverityDirective,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				verb, args, _ := strings.Cut(rest, " ")
+				if verb != "ignore" {
+					problem(c.Pos(), "unknown directive %q (only %signore is supported)", verb, directivePrefix)
+					continue
+				}
+				fields := strings.Fields(args)
+				if len(fields) == 0 {
+					problem(c.Pos(), "bare %signore: a check name and a reason are required", directivePrefix)
+					continue
+				}
+				check := fields[0]
+				if !known[check] {
+					problem(c.Pos(), "unknown check %q in suppression (known: %s)", check, strings.Join(knownNames(known), ", "))
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(args, check))
+				if reason == "" {
+					problem(c.Pos(), "suppression of %q has no reason; justify it or fix the finding", check)
+					continue
+				}
+				dirs = append(dirs, &Directive{Check: check, Reason: reason, Pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return dirs, problems
+}
+
+func knownNames(known map[string]bool) []string {
+	names := make([]string, 0, len(known))
+	for _, a := range Analyzers() {
+		if known[a.Name] {
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}
+
+// Suppress filters diags through the directives: a diagnostic is dropped
+// when a directive for its check sits on the same line or the line above in
+// the same file. Directive-problem diagnostics (SeverityDirective) are never
+// dropped. The returned directives have their used flags updated so callers
+// can report unused suppressions.
+func Suppress(diags []Diagnostic, dirs []*Directive) []Diagnostic {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	index := map[key]*Directive{}
+	for _, d := range dirs {
+		index[key{d.Pos.Filename, d.Pos.Line, d.Check}] = d
+		index[key{d.Pos.Filename, d.Pos.Line + 1, d.Check}] = d
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		if dg.Severity != SeverityDirective {
+			if d := index[key{dg.Pos.Filename, dg.Pos.Line, dg.Check}]; d != nil {
+				d.used = true
+				continue
+			}
+		}
+		kept = append(kept, dg)
+	}
+	return kept
+}
+
+// UnusedDirectives reports every directive that suppressed nothing, for the
+// -unused mode: stale suppressions hide the next real finding at that site.
+func UnusedDirectives(dirs []*Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Diagnostic{
+				Check:    "sorallint",
+				Pos:      d.Pos,
+				Message:  fmt.Sprintf("unused suppression for %s (reason: %s); remove it", d.Check, d.Reason),
+				Severity: SeverityDirective,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func position(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// suppressFixture runs the full Run pipeline (analyze, parse directives,
+// suppress, collect problems) over testdata/src/suppress and returns the
+// surviving diagnostics plus the parsed directives.
+func suppressFixture(t *testing.T) ([]Diagnostic, []*Directive) {
+	t.Helper()
+	pr := loadFixture(t, "suppress")
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	var dirs []*Directive
+	for _, pkg := range pr.Packages {
+		d := AnalyzePackage(pr, pkg, Analyzers())
+		pd, problems := ParseDirectives(pr.Fset, pkg, known)
+		d = Suppress(d, pd)
+		diags = append(diags, d...)
+		diags = append(diags, problems...)
+		dirs = append(dirs, pd...)
+	}
+	return sortDiagnostics(diags), dirs
+}
+
+func countMatching(diags []Diagnostic, check, substr string) int {
+	n := 0
+	for _, d := range diags {
+		if d.Check == check && strings.Contains(d.Message, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSuppressionPipeline(t *testing.T) {
+	diags, dirs := suppressFixture(t)
+
+	// Three directives parse successfully: the two valid floatcmp
+	// suppressions and the wrong-check divguard one.
+	if len(dirs) != 3 {
+		t.Fatalf("parsed %d directives, want 3:\n%v", len(dirs), dirs)
+	}
+
+	// The fixture has four floatcmp findings; the two with valid matching
+	// directives are suppressed. The wrong-check and missing-reason sites
+	// survive.
+	if got := countMatching(diags, "floatcmp", "floating-point"); got != 2 {
+		t.Errorf("got %d surviving floatcmp findings, want 2 (wrongCheck and missingReason sites):\n%v", got, diags)
+	}
+
+	// Every malformed-directive class surfaces as an unsuppressible
+	// "sorallint" diagnostic.
+	for _, want := range []string{
+		"bare //sorallint:ignore",
+		`unknown check "nosuchcheck"`,
+		`unknown directive "disable"`,
+		`suppression of "floatcmp" has no reason`,
+	} {
+		if got := countMatching(diags, "sorallint", want); got != 1 {
+			t.Errorf("got %d sorallint diagnostics containing %q, want 1", got, want)
+		}
+	}
+
+	// The unknown-check problem lists the registry so the author can fix
+	// the name without hunting for it.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "nosuchcheck") && !strings.Contains(d.Message, "floatcmp") {
+			t.Errorf("unknown-check problem does not list known checks: %s", d.Message)
+		}
+	}
+
+	// Directive problems carry the unsuppressible severity.
+	for _, d := range diags {
+		if d.Check == "sorallint" && d.Severity != SeverityDirective {
+			t.Errorf("directive problem with suppressible severity: %s", d)
+		}
+	}
+}
+
+func TestSuppressionUsage(t *testing.T) {
+	_, dirs := suppressFixture(t)
+
+	used, unused := 0, 0
+	for _, d := range dirs {
+		if d.used {
+			used++
+		} else {
+			unused++
+		}
+	}
+	if used != 2 || unused != 1 {
+		t.Fatalf("got %d used / %d unused directives, want 2/1", used, unused)
+	}
+
+	// UnusedDirectives (the -unused mode) reports exactly the wrong-check
+	// suppression, naming its check and recorded reason.
+	rep := UnusedDirectives(dirs)
+	if len(rep) != 1 {
+		t.Fatalf("UnusedDirectives reported %d, want 1:\n%v", len(rep), rep)
+	}
+	if !strings.Contains(rep[0].Message, "unused suppression for divguard") {
+		t.Errorf("unused report does not name the check: %s", rep[0].Message)
+	}
+	if !strings.Contains(rep[0].Message, "stays unused") {
+		t.Errorf("unused report does not echo the reason: %s", rep[0].Message)
+	}
+	if rep[0].Severity != SeverityDirective {
+		t.Errorf("unused report must be unsuppressible, got severity %d", rep[0].Severity)
+	}
+}
+
+// TestSuppressionSameLineAndBelow pins the directive's reach: its own line
+// and the line directly below, nothing further.
+func TestSuppressionSameLineAndBelow(t *testing.T) {
+	dirs := []*Directive{{
+		Check: "floatcmp",
+		Pos:   position("f.go", 10),
+	}}
+	mk := func(line int) Diagnostic {
+		return Diagnostic{Check: "floatcmp", Pos: position("f.go", line), Message: "m"}
+	}
+	kept := Suppress([]Diagnostic{mk(9), mk(10), mk(11), mk(12)}, dirs)
+	if len(kept) != 2 || kept[0].Pos.Line != 9 || kept[1].Pos.Line != 12 {
+		t.Fatalf("directive at line 10 should suppress lines 10-11 only, kept: %v", kept)
+	}
+
+	// A different check on a covered line is untouched.
+	other := []Diagnostic{{Check: "divguard", Pos: position("f.go", 10), Message: "m"}}
+	if kept := Suppress(other, dirs); len(kept) != 1 {
+		t.Fatalf("directive suppressed a different check: %v", kept)
+	}
+}

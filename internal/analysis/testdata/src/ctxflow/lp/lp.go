@@ -1,0 +1,58 @@
+package lp
+
+import "context"
+
+// Options mirrors the real solver options: Ctx carries cancellation.
+type Options struct {
+	Tol float64
+	Ctx context.Context
+}
+
+// Bare has no context route at all.
+type Bare struct {
+	Tol float64
+}
+
+type Problem struct{}
+
+func Solve(p *Problem) error { // want `ctxflow: exported solver entry point Solve accepts no context.Context`
+	return nil
+}
+
+func SolveCtx(ctx context.Context, p *Problem) error {
+	_ = ctx
+	return nil
+}
+
+func SolveOpts(p *Problem, opts Options) error { // Options carries Ctx: reachable
+	return nil
+}
+
+func Tune(p *Problem, opts Options) error { // entry point via the Options parameter
+	return nil
+}
+
+func SolveBare(p *Problem, b Bare) error { // want `ctxflow: exported solver entry point SolveBare accepts no context.Context`
+	return nil
+}
+
+func solveInner(p *Problem) error { // unexported: not an entry point
+	return nil
+}
+
+func Objective(p *Problem) float64 { // no Solve name, no Options param: not an entry point
+	return 0
+}
+
+type Fact struct{}
+
+// Solve on a factorization is an inner kernel, not an entry point.
+func (f *Fact) Solve(x, b []float64) {}
+
+func fresh() context.Context {
+	return context.Background() // want `ctxflow: context.Background severs the caller's cancellation`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `ctxflow: context.TODO severs the caller's cancellation`
+}

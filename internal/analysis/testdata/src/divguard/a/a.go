@@ -1,0 +1,73 @@
+package a
+
+import "math"
+
+type Params struct {
+	Eps   float64
+	Loose float64
+}
+
+// Validate is the package-wide validator guarding Eps; Loose is never
+// inspected anywhere in the package.
+func (p Params) Validate() bool {
+	return p.Eps > 0
+}
+
+func unguardedLocal(x, y float64) float64 {
+	return y / x // want `divguard: float division by "x" with no epsilon/Abs guard`
+}
+
+func guardedLocal(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return y / x
+}
+
+func epsilonShift(x, y float64) float64 {
+	return y / (x + 1e-9) // the epsilon-shift idiom carries its own guard
+}
+
+func maxFloor(x, y float64) float64 {
+	return y / math.Max(x, 1e-12) // constant floor via math.Max
+}
+
+func absGuard(x, y float64) float64 {
+	_ = math.Abs(x) // inspecting the magnitude counts as thinking about zero
+	return y / x
+}
+
+func selfGuardingDef(y, z float64) float64 {
+	den := 1 + z // assignment from an epsilon-shifted expression
+	return y / den
+}
+
+func closureInherits(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	f := func() float64 { return y / x } // the parent's guard covers the closure
+	return f()
+}
+
+func next() float64 { return 2 }
+
+func unguardedCall(y float64) float64 {
+	return y / next() // want `divguard: float division by unguarded expression`
+}
+
+func fieldGuarded(p Params, y float64) float64 {
+	return y / p.Eps // Eps is compared in Validate: guarded package-wide
+}
+
+func fieldUnguarded(p Params, y float64) float64 {
+	return y / p.Loose // want `divguard: float division by field "Loose" never zero-checked anywhere in this package`
+}
+
+func constDen(y float64) float64 {
+	return y / 2 // nonzero constant denominator
+}
+
+func intDivision(a, b int) int {
+	return a / b // integer division is out of scope
+}

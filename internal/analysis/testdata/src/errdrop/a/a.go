@@ -1,0 +1,36 @@
+package a
+
+import "linalg"
+
+func drops() {
+	linalg.Check()       // want `errdrop: call statement discards the error from linalg.Check`
+	go linalg.Check()    // want `errdrop: go statement discards the error from linalg.Check`
+	defer linalg.Check() // want `errdrop: defer statement discards the error from linalg.Check`
+	f, _ := linalg.Factor() // want `errdrop: error from linalg.Factor assigned to _`
+	_ = f
+}
+
+func dropsMethod(f *linalg.Fact) {
+	f.Refine() // want `errdrop: call statement discards the error from linalg.Refine`
+}
+
+func handles() error {
+	if err := linalg.Check(); err != nil {
+		return err
+	}
+	f, err := linalg.Factor()
+	if err != nil {
+		return err
+	}
+	return f.Refine()
+}
+
+func pure(x []float64) {
+	linalg.Norm(x) // no error result: nothing to drop
+}
+
+func local() {
+	noErrHere() // functions outside the kernel packages are out of scope
+}
+
+func noErrHere() error { return nil }

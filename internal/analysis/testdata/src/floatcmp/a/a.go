@@ -1,0 +1,34 @@
+package a
+
+func cmp(x, y float64) bool {
+	if x == y { // want `floatcmp: floating-point == comparison`
+		return true
+	}
+	return x != y // want `floatcmp: floating-point != comparison`
+}
+
+func sentinel(x float64) bool {
+	return x == 0 // want `floatcmp: floating-point == comparison`
+}
+
+func mixed(x float32) bool {
+	return x != 1.5 // want `floatcmp: floating-point != comparison`
+}
+
+func isNaN(x float64) bool {
+	return x != x // the canonical NaN idiom is allowed
+}
+
+func fieldNaN(v struct{ X []float64 }, i int) bool {
+	return v.X[i] != v.X[i] // NaN idiom through selector/index chains
+}
+
+func constants() bool {
+	const a = 1.5
+	const b = 2.5
+	return a == b // fully constant: folded at compile time, no runtime compare
+}
+
+func ints(a, b int) bool {
+	return a == b // integers compare exactly
+}

@@ -1,0 +1,7 @@
+package a
+
+// floatcmp skips _test.go files: tests may pin exact values on purpose.
+
+func testOnlyComparison(x float64) bool {
+	return x == 3.14
+}

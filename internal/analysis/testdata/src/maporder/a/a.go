@@ -1,0 +1,62 @@
+package a
+
+import (
+	"sort"
+
+	"obs"
+)
+
+func sumValues(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `maporder: float accumulation into "sum" inside map iteration`
+	}
+	return sum
+}
+
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // the sort-keys idiom is allowed
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys { // ranging over a slice is ordered
+		sum += m[k]
+	}
+	return sum
+}
+
+func collectValues(m map[string]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `maporder: append to "out" inside map iteration records map order`
+	}
+	return out
+}
+
+func localAccumulation(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		scaled := 0.0
+		scaled += v // accumulator declared inside the loop: order-independent
+		if scaled > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func intCount(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative; order cannot matter
+	}
+	return total
+}
+
+func emitPerKey(sc *obs.Scope, m map[string]float64) {
+	for k := range m {
+		sc.Counter(k) // want `maporder: telemetry emission inside map iteration`
+	}
+}

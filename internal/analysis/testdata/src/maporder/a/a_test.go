@@ -1,0 +1,12 @@
+package a
+
+// Unlike the float checks, maporder also covers _test.go files:
+// order-dependent tests are exactly what `go test -shuffle=on` catches.
+
+func shuffleSensitive(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `maporder: float accumulation into "total" inside map iteration`
+	}
+	return total
+}

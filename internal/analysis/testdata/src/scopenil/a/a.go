@@ -1,0 +1,25 @@
+package a
+
+import "obs"
+
+// Config holds the handle the right way: a pointer, nil when disabled.
+type Config struct {
+	Obs *obs.Scope
+}
+
+type Bad struct {
+	Obs obs.Scope // want `scopenil: obs.Scope held by value`
+}
+
+var global obs.Scope // want `scopenil: obs.Scope declared by value`
+
+func byValue(s obs.Scope) {} // want `scopenil: obs.Scope held by value`
+
+func deref(sc *obs.Scope) {
+	local := *sc // want `scopenil: dereferencing a .obs.Scope copies the handle`
+	_ = local
+}
+
+func use(c Config) bool {
+	return c.Obs.Enabled() // calling through the pointer handle is the contract
+}

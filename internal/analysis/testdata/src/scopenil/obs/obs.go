@@ -1,0 +1,27 @@
+package obs
+
+type Scope struct {
+	name string
+}
+
+// Enabled follows the nil-comparison pattern: the receiver is only ever an
+// operand of a nil comparison.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Counter opens with the nil guard.
+func (s *Scope) Counter(name string) {
+	if s == nil {
+		return
+	}
+	s.name = name
+}
+
+func (s *Scope) Name() string { // want `scopenil: exported method Name on .Scope is not nil-safe`
+	return s.name
+}
+
+// helper is unexported: the nil-safety contract binds the exported surface.
+func (s *Scope) helper() string { return s.name }
+
+// Reset takes a value receiver; the pointer-handle contract does not apply.
+func (s Scope) Reset() Scope { return Scope{} }

@@ -1,0 +1,36 @@
+package a
+
+// Fixture for the suppression pipeline: valid directives above and beside
+// findings, a wrong-check directive that leaves the finding alive, and every
+// malformed-directive class.
+
+func suppressedAbove(x, y float64) bool {
+	//sorallint:ignore floatcmp sentinel comparison pinned by the suppression test
+	return x == y
+}
+
+func suppressedInline(x, y float64) bool {
+	return x == y //sorallint:ignore floatcmp sentinel comparison pinned by the suppression test
+}
+
+func wrongCheck(x, y float64) bool {
+	//sorallint:ignore divguard this suppresses a different check and stays unused
+	return x == y
+}
+
+func bareDirective() {
+	//sorallint:ignore
+}
+
+func unknownCheck() {
+	//sorallint:ignore nosuchcheck a confident reason for a check that does not exist
+}
+
+func unknownVerb() {
+	//sorallint:disable floatcmp only the ignore verb exists
+}
+
+func missingReason(x, y float64) bool {
+	//sorallint:ignore floatcmp
+	return x == y
+}

@@ -214,6 +214,7 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 			}
 			// Barrier gradient and Hessian: Gᵀ(1/s) and Gᵀ diag(1/s²) G.
 			for r, row := range p.G.Rows {
+				//sorallint:ignore divguard barrier invariant: slack stays strictly positive (line search only accepts strictly feasible iterates)
 				inv := 1 / slack[r]
 				for _, e := range row {
 					fullGrad[e.Index] += inv * e.Val
@@ -285,6 +286,7 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 	computeSlack(p.G, p.H, x, slack)
 	duals := make([]float64, m)
 	for r := range duals {
+		//sorallint:ignore divguard barrier invariant: slack is strictly positive at the final iterate and t grows from a positive start
 		duals[r] = 1 / (t * slack[r])
 	}
 	res.X = x
@@ -347,7 +349,7 @@ func maxAbsDiag(m *linalg.Dense) float64 {
 			v = d
 		}
 	}
-	if v == 0 {
+	if v <= 0 {
 		return 1
 	}
 	return v

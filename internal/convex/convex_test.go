@@ -123,7 +123,7 @@ func TestBarrierLPMatchesSimplex(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		spx, err := lp.SolveSimplex(gp, 0)
+		spx, err := lp.SolveSimplex(gp, lp.Options{})
 		if err != nil || spx.Status != lp.Optimal {
 			t.Fatalf("trial %d: simplex %v %v", trial, spx, err)
 		}

@@ -100,16 +100,22 @@ type Entropic struct {
 	Groups []EntGroup
 }
 
+// entDenFloor floors the entropic denominators (Prev+Eps, sum+Eps). A
+// correctly populated group keeps them well above it; a mis-populated one
+// degrades to a huge-but-finite penalty instead of seeding Inf/NaN.
+const entDenFloor = 1e-12
+
 // Value implements Objective.
 func (o *Entropic) Value(x []float64) float64 {
 	v := linalg.Dot(o.Linear, x)
 	for i := range o.Groups {
 		g := &o.Groups[i]
+		//sorallint:ignore floatcmp Coef = 0 encodes a disabled penalty group; the skip is exact by contract
 		if g.Coef == 0 {
 			continue
 		}
 		s := g.sum(x)
-		v += g.Coef * ((s+g.Eps)*math.Log((s+g.Eps)/(g.Prev+g.Eps)) - s)
+		v += g.Coef * ((s+g.Eps)*math.Log((s+g.Eps)/math.Max(g.Prev+g.Eps, entDenFloor)) - s)
 	}
 	return v
 }
@@ -119,11 +125,12 @@ func (o *Entropic) Gradient(grad, x []float64) {
 	copy(grad, o.Linear)
 	for i := range o.Groups {
 		g := &o.Groups[i]
+		//sorallint:ignore floatcmp Coef = 0 encodes a disabled penalty group; the skip is exact by contract
 		if g.Coef == 0 {
 			continue
 		}
 		s := g.sum(x)
-		d := g.Coef * math.Log((s+g.Eps)/(g.Prev+g.Eps))
+		d := g.Coef * math.Log((s+g.Eps)/math.Max(g.Prev+g.Eps, entDenFloor))
 		for _, k := range g.Members {
 			grad[k] += d
 		}
@@ -135,11 +142,12 @@ func (o *Entropic) Hessian(hess *linalg.Dense, x []float64) {
 	hess.Zero()
 	for i := range o.Groups {
 		g := &o.Groups[i]
+		//sorallint:ignore floatcmp Coef = 0 encodes a disabled penalty group; the skip is exact by contract
 		if g.Coef == 0 {
 			continue
 		}
 		s := g.sum(x)
-		w := g.Coef / (s + g.Eps)
+		w := g.Coef / math.Max(s+g.Eps, entDenFloor)
 		for _, k1 := range g.Members {
 			row := hess.Row(k1)
 			for _, k2 := range g.Members {

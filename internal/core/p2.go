@@ -63,6 +63,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 	}
 	for i := 0; i < n.NumTier2; i++ {
 		pairs := n.PairsOfI(i)
+		//sorallint:ignore floatcmp a zero reconfiguration price disables the penalty group; the skip is exact by contract
 		if len(pairs) == 0 || n.ReconfT2[i] == 0 {
 			continue
 		}
@@ -80,6 +81,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 		})
 	}
 	for p := 0; p < np; p++ {
+		//sorallint:ignore floatcmp a zero reconfiguration price disables the penalty group; the skip is exact by contract
 		if n.ReconfNet[p] == 0 {
 			continue
 		}
@@ -92,6 +94,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 	}
 	if n.Tier1 {
 		for j := 0; j < n.NumTier1; j++ {
+			//sorallint:ignore floatcmp a zero reconfiguration price disables the penalty group; the skip is exact by contract
 			if n.ReconfT1[j] == 0 {
 				continue
 			}
@@ -105,7 +108,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 			obj.Groups = append(obj.Groups, convex.EntGroup{
 				Members: members,
 				Coef:    n.ReconfT1[j] / params.EtaT1(n, j),
-				Eps:     params.EpsT1,
+				Eps:     params.epsT1(),
 				Prev:    prevSum,
 			})
 		}
@@ -236,6 +239,9 @@ func (p2 *P2) warmStart(in *model.Inputs, t int) []float64 {
 	lam := in.Workload[t]
 	for j := 0; j < n.NumTier1; j++ {
 		pairs := n.PairsOfJ(j)
+		if len(pairs) == 0 {
+			continue // no SLA pairs to route this cloud's demand over
+		}
 		share := lam[j] / float64(len(pairs))
 		for _, p := range pairs {
 			s := share + 1e-3 + 1e-3*share

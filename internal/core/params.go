@@ -19,12 +19,25 @@ func DefaultParams() Params {
 	return Params{EpsT2: 1e-2, EpsNet: 1e-2, EpsT1: 1e-2}
 }
 
-// Validate checks positivity.
+// Validate checks positivity. EpsT1 may be zero — tier-1 terms then inherit
+// EpsT2 (see epsT1), keeping two-tier Params literals valid on
+// tier-1-enabled networks — but it must not be negative.
 func (p Params) Validate() error {
 	if p.EpsT2 <= 0 || p.EpsNet <= 0 {
 		return fmt.Errorf("core: epsilons must be positive, got ε=%g ε′=%g", p.EpsT2, p.EpsNet)
 	}
+	if p.EpsT1 < 0 {
+		return fmt.Errorf("core: ε₁ must be nonnegative, got %g", p.EpsT1)
+	}
 	return nil
+}
+
+// epsT1 returns ε₁, inheriting ε when unset.
+func (p Params) epsT1() float64 {
+	if p.EpsT1 > 0 {
+		return p.EpsT1
+	}
+	return p.EpsT2
 }
 
 // EtaT2 returns η_i = ln(1 + C_i/ε) for tier-2 cloud i.
@@ -39,11 +52,18 @@ func (p Params) EtaNet(n *model.Network, pr int) float64 {
 
 // EtaT1 returns the tier-1 analogue ln(1 + C_j/ε₁).
 func (p Params) EtaT1(n *model.Network, j int) float64 {
-	return math.Log(1 + n.CapT1[j]/p.EpsT1)
+	eps := p.epsT1()
+	if eps <= 0 {
+		eps = 1e-2 // unreachable after Validate; keeps raw Params finite
+	}
+	return math.Log(1 + n.CapT1[j]/eps)
 }
 
 // CEps returns C(ε) = max_i (C_i+ε)·ln(1+C_i/ε) from Theorem 1.
 func CEps(n *model.Network, eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1) // C(ε) diverges as ε → 0⁺; nonpositive ε is that limit
+	}
 	var m float64
 	for i := 0; i < n.NumTier2; i++ {
 		v := (n.CapT2[i] + eps) * math.Log(1+n.CapT2[i]/eps)
@@ -56,6 +76,9 @@ func CEps(n *model.Network, eps float64) float64 {
 
 // BEps returns B(ε′) = max_{ij} (B_ij+ε′)·ln(1+B_ij/ε′) from Theorem 1.
 func BEps(n *model.Network, eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1) // B(ε′) diverges as ε′ → 0⁺; nonpositive ε′ is that limit
+	}
 	var m float64
 	for p := 0; p < n.NumPairs(); p++ {
 		v := (n.CapNet[p] + eps) * math.Log(1+n.CapNet[p]/eps)

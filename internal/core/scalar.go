@@ -68,8 +68,10 @@ func (s *ScalarInstance) Cost(x []float64) float64 {
 //
 //	x̄_t = (1 + C/ε)^(−a_t/b) · (x_{t−1} + ε) − ε.
 func (s *ScalarInstance) DecayStep(prev, at, eps float64) float64 {
-	if s.B == 0 {
-		return 0 // pure decay collapses instantly without switching cost
+	if s.B <= 0 || eps <= 0 {
+		// No switching cost (or degenerate ε): the decay term vanishes in the
+		// limit, so the constraint-free minimizer collapses to zero.
+		return 0
 	}
 	return math.Pow(1+s.C/eps, -at/s.B)*(prev+eps) - eps
 }

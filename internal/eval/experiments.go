@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -9,6 +10,17 @@ import (
 	"soral/internal/pricing"
 	"soral/internal/workload"
 )
+
+// ratio returns num/den with the denominator guarded. Offline optima and
+// trace means are strictly positive in every experiment, so a nonpositive
+// denominator signals a broken run; +Inf makes that visible in the table
+// instead of letting a NaN propagate silently.
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return num / den
+}
 
 // Logger receives progress lines from long experiments; nil discards them.
 type Logger func(format string, args ...interface{})
@@ -102,7 +114,7 @@ func Fig4(scale Scale, log Logger) (*Table, error) {
 				peak = v
 			}
 		}
-		mean := sum / float64(len(series))
+		mean := ratio(sum, float64(len(series)))
 		phases := workload.RampDownPhases(series)
 		long := 0
 		for _, p := range phases {
@@ -117,7 +129,7 @@ func Fig4(scale Scale, log Logger) (*Table, error) {
 		tbl.Rows = append(tbl.Rows, []string{
 			string(tr),
 			fmt.Sprintf("%d", len(series)),
-			fmt.Sprintf("%.2f", peak/mean),
+			fmt.Sprintf("%.2f", ratio(peak, mean)),
 			fmt.Sprintf("%.2f", frac),
 			fmt.Sprintf("%d", len(phases)),
 		})
@@ -165,12 +177,12 @@ func Fig5(scale Scale, log Logger) (*Table, error) {
 		}
 		offC := off.Cost.Total()
 		log.printf("fig5 %s b=%g: one-shot %.3f online %.3f", c.tr, c.b,
-			gr.Cost.Total()/offC, on.Cost.Total()/offC)
+			ratio(gr.Cost.Total(), offC), ratio(on.Cost.Total(), offC))
 		return []string{
 			string(c.tr),
 			fmt.Sprintf("%g", c.b),
-			fmt.Sprintf("%.3f", gr.Cost.Total()/offC),
-			fmt.Sprintf("%.3f", on.Cost.Total()/offC),
+			fmt.Sprintf("%.3f", ratio(gr.Cost.Total(), offC)),
+			fmt.Sprintf("%.3f", ratio(on.Cost.Total(), offC)),
 			fmt.Sprintf("%.1f", offC),
 		}, nil
 	})
@@ -271,8 +283,8 @@ func Fig6(scale Scale, log Logger) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			log.printf("fig6 %s b=%g eps=%g: ratio %.3f", c.tr, c.b, eps, on.Cost.Total()/offC)
-			row = append(row, fmt.Sprintf("%.3f", on.Cost.Total()/offC))
+			log.printf("fig6 %s b=%g eps=%g: ratio %.3f", c.tr, c.b, eps, ratio(on.Cost.Total(), offC))
+			row = append(row, fmt.Sprintf("%.3f", ratio(on.Cost.Total(), offC)))
 		}
 		return row, nil
 	})
@@ -325,12 +337,12 @@ func Fig7(scale Scale, log Logger) (*Table, error) {
 		}
 		offC := off.Cost.Total()
 		log.printf("fig7 k=%d: one-shot %.3f lcp-m %.3f online %.3f", k,
-			gr.Cost.Total()/offC, lcpm.Cost.Total()/offC, on.Cost.Total()/offC)
+			ratio(gr.Cost.Total(), offC), ratio(lcpm.Cost.Total(), offC), ratio(on.Cost.Total(), offC))
 		return []string{
 			fmt.Sprintf("%d", k),
-			fmt.Sprintf("%.3f", gr.Cost.Total()/offC),
-			fmt.Sprintf("%.3f", lcpm.Cost.Total()/offC),
-			fmt.Sprintf("%.3f", on.Cost.Total()/offC),
+			fmt.Sprintf("%.3f", ratio(gr.Cost.Total(), offC)),
+			fmt.Sprintf("%.3f", ratio(lcpm.Cost.Total(), offC)),
+			fmt.Sprintf("%.3f", ratio(on.Cost.Total(), offC)),
 			fmt.Sprintf("%.1f", offC),
 		}, nil
 	})
@@ -362,7 +374,7 @@ func predictiveSweep(scale Scale, windows []int, errRates []float64, log Logger)
 	if err != nil {
 		return nil, err
 	}
-	onRatio := on.Cost.Total() / offC
+	onRatio := ratio(on.Cost.Total(), offC)
 	for _, w := range windows {
 		for _, er := range errRates {
 			row := []string{fmt.Sprintf("%d", w), fmt.Sprintf("%.0f", er*100)}
@@ -371,8 +383,8 @@ func predictiveSweep(scale Scale, windows []int, errRates []float64, log Logger)
 				if err != nil {
 					return nil, err
 				}
-				log.printf("predictive %s w=%d err=%.0f%%: ratio %.3f", alg, w, er*100, run.Cost.Total()/offC)
-				row = append(row, fmt.Sprintf("%.3f", run.Cost.Total()/offC))
+				log.printf("predictive %s w=%d err=%.0f%%: ratio %.3f", alg, w, er*100, ratio(run.Cost.Total(), offC))
+				row = append(row, fmt.Sprintf("%.3f", ratio(run.Cost.Total(), offC)))
 			}
 			row = append(row, fmt.Sprintf("%.3f", onRatio))
 			tbl.Rows = append(tbl.Rows, row)
@@ -470,8 +482,8 @@ func AdversarialVShape() (*Table, error) {
 		}
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprintf("%g", b),
-			fmt.Sprintf("%.2f", s.Cost(s.RunGreedy())/offC),
-			fmt.Sprintf("%.2f", s.Cost(onX)/offC),
+			fmt.Sprintf("%.2f", ratio(s.Cost(s.RunGreedy()), offC)),
+			fmt.Sprintf("%.2f", ratio(s.Cost(onX), offC)),
 		})
 	}
 	return tbl, nil

@@ -55,10 +55,10 @@ type ScenarioSpec struct {
 }
 
 func (s ScenarioSpec) withDefaults() ScenarioSpec {
-	if s.PeakLoad == 0 {
+	if s.PeakLoad <= 0 {
 		s.PeakLoad = 40
 	}
-	if s.ElecScale == 0 {
+	if s.ElecScale <= 0 {
 		s.ElecScale = 0.01
 	}
 	if s.Trace == "" {

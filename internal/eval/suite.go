@@ -52,7 +52,7 @@ func DefaultObs() *obs.Scope { return defaultObs.Load() }
 
 // NewSuite prepares a suite with the given ε (0 selects the paper default).
 func NewSuite(s *Scenario, eps float64) *Suite {
-	if eps == 0 {
+	if eps <= 0 {
 		eps = 1e-2
 	}
 	opts := core.DefaultOptions()

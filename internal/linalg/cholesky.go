@@ -35,7 +35,7 @@ func NewCholesky(a *Dense, maxShift float64) (*Cholesky, error) {
 	}
 	n := a.Rows
 	shift := 0.0
-	for {
+	for attempt := 0; ; attempt++ {
 		l := NewDense(n, n)
 		ok := tryCholesky(a, l, shift)
 		if ok {
@@ -44,7 +44,7 @@ func NewCholesky(a *Dense, maxShift float64) (*Cholesky, error) {
 		if maxShift <= 0 {
 			return nil, ErrNotPositiveDefinite
 		}
-		if shift == 0 {
+		if attempt == 0 {
 			// Start from a scale-aware tiny shift.
 			scale := 0.0
 			for i := 0; i < n; i++ {
@@ -52,7 +52,7 @@ func NewCholesky(a *Dense, maxShift float64) (*Cholesky, error) {
 					scale = d
 				}
 			}
-			if scale == 0 {
+			if scale <= 0 {
 				scale = 1
 			}
 			shift = 1e-12 * scale
@@ -140,6 +140,7 @@ func (c *Cholesky) SolveInPlace(x []float64) {
 		for k := 0; k < i; k++ {
 			s -= row[k] * x[k]
 		}
+		//sorallint:ignore divguard L diagonal is positive by construction (tryCholesky rejects non-positive pivots)
 		x[i] = s / row[i]
 	}
 	// Backward substitution Lᵀ·x = y.
@@ -163,6 +164,7 @@ func (c *Cholesky) SolveLower(y, b []float64) {
 		for k := 0; k < i; k++ {
 			s -= row[k] * y[k]
 		}
+		//sorallint:ignore divguard L diagonal is positive by construction (tryCholesky rejects non-positive pivots)
 		y[i] = s / row[i]
 	}
 }

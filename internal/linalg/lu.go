@@ -40,7 +40,7 @@ func NewLU(a *Dense) (*LU, error) {
 				p = r
 			}
 		}
-		if maxAbs == 0 {
+		if maxAbs <= 0 {
 			return nil, ErrSingular
 		}
 		if p != col {
@@ -55,6 +55,7 @@ func NewLU(a *Dense) (*LU, error) {
 		for r := col + 1; r < n; r++ {
 			m := lu.At(r, col) * inv
 			lu.Set(r, col, m)
+			//sorallint:ignore floatcmp exact-zero sparsity fast path; any nonzero multiplier must update the row
 			if m == 0 {
 				continue
 			}
@@ -94,6 +95,7 @@ func (f *LU) Solve(x, b []float64) {
 		for k := i + 1; k < f.N; k++ {
 			s -= row[k] * tmp[k]
 		}
+		//sorallint:ignore divguard U diagonal is nonzero by construction (zero pivots rejected as ErrSingular)
 		tmp[i] = s / row[i]
 	}
 	copy(x, tmp)

@@ -80,6 +80,7 @@ func (m *Dense) MulVecTrans(dst, x []float64) {
 	}
 	for r := 0; r < m.Rows; r++ {
 		xr := x[r]
+		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 		if xr == 0 {
 			continue
 		}
@@ -101,6 +102,7 @@ func Mul(a, b *Dense) *Dense {
 		crow := c.Row(i)
 		for k := 0; k < a.Cols; k++ {
 			aik := arow[k]
+			//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 			if aik == 0 {
 				continue
 			}
@@ -153,11 +155,13 @@ func SymRankKUpdate(dst *Dense, a *Dense, d []float64) {
 	}
 	for r := 0; r < a.Rows; r++ {
 		w := d[r]
+		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 		if w == 0 {
 			continue
 		}
 		row := a.Row(r)
 		for i, vi := range row {
+			//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 			if vi == 0 {
 				continue
 			}

@@ -22,6 +22,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
+	//sorallint:ignore floatcmp exact-zero fast path: alpha = 0 means y is untouched bit-for-bit
 	if alpha == 0 {
 		return
 	}
@@ -42,6 +43,7 @@ func Norm2(x []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, v := range x {
+		//sorallint:ignore floatcmp exact-zero skip keeps the scaled-ssq update well-defined
 		if v == 0 {
 			continue
 		}

@@ -127,7 +127,7 @@ func maxDiag(m *linalg.Dense) float64 {
 			v = d
 		}
 	}
-	if v == 0 {
+	if v <= 0 {
 		return 1
 	}
 	return v
@@ -331,6 +331,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 			muAff += (x[i] + alphaPX*dxAff[i]) * (s[i] + alphaDS*dsAff[i])
 		}
 		muAff /= float64(n)
+		//sorallint:ignore divguard mu = xᵀs/n > 0 while iterating: x and s stay strictly positive interior points
 		sigma := math.Pow(muAff/mu, 3)
 		if sigma > 1 {
 			sigma = 1
@@ -402,6 +403,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 //	Δx = S⁻¹ rxs − D Δs
 func solveNewton(a *SparseMatrix, normal NormalSolver, d, rb, rc, rxs, x, s, rhsM, tmpN, dy, ds, dx []float64) {
 	for i := range tmpN {
+		//sorallint:ignore divguard interior-point invariant: s is strictly positive at every Newton solve
 		tmpN[i] = rxs[i]/s[i] + d[i]*rc[i]
 	}
 	a.MulVec(rhsM, tmpN)
@@ -414,6 +416,7 @@ func solveNewton(a *SparseMatrix, normal NormalSolver, d, rb, rc, rxs, x, s, rhs
 		ds[i] = -rc[i] - ds[i]
 	}
 	for i := range dx {
+		//sorallint:ignore divguard interior-point invariant: s is strictly positive at every Newton solve
 		dx[i] = rxs[i]/s[i] - d[i]*ds[i]
 	}
 }

@@ -145,7 +145,7 @@ func TestIPMMatchesSimplexOnRandomLPs(t *testing.T) {
 		if err != nil || ipm.Status != Optimal {
 			t.Fatalf("trial %d: ipm status %v err %v", trial, ipm.Status, err)
 		}
-		spx, err := SolveSimplex(p, 0)
+		spx, err := SolveSimplex(p, Options{})
 		if err != nil || spx.Status != Optimal {
 			t.Fatalf("trial %d: simplex status %v err %v", trial, spx.Status, err)
 		}
@@ -178,7 +178,7 @@ func TestSimplexKnownOptimum(t *testing.T) {
 	p.Hi[0] = 4
 	p.Hi[1] = 6
 	p.AddConstraint([]Entry{{0, 3}, {1, 2}}, LE, 18, "")
-	spx, err := SolveSimplex(p, 0)
+	spx, err := SolveSimplex(p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestSimplexKnownOptimum(t *testing.T) {
 func TestSimplexInfeasible(t *testing.T) {
 	p := NewProblem(1)
 	p.AddConstraint([]Entry{{0, 1}}, LE, -2, "")
-	spx, err := SolveSimplex(p, 0)
+	spx, err := SolveSimplex(p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestSimplexInfeasible(t *testing.T) {
 func TestSimplexUnbounded(t *testing.T) {
 	p := NewProblem(1)
 	p.C = []float64{-1}
-	spx, err := SolveSimplex(p, 0)
+	spx, err := SolveSimplex(p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

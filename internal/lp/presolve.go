@@ -46,6 +46,7 @@ func Presolve(p *Problem) (*Presolved, error) {
 	}
 	kept := 0
 	for i := 0; i < n; i++ {
+		//sorallint:ignore floatcmp exact bound equality is the fixed-variable encoding contract of Problem
 		if p.Lo[i] == p.Hi[i] {
 			ps.isFixed[i] = true
 			ps.fixedVal[i] = p.Lo[i]
@@ -67,6 +68,7 @@ func Presolve(p *Problem) (*Presolved, error) {
 		var es []Entry
 		rhs := con.RHS
 		for _, e := range con.Entries {
+			//sorallint:ignore floatcmp exact-zero sparsity skip; only true zeros may be dropped
 			if e.Val == 0 {
 				continue
 			}

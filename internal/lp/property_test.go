@@ -154,7 +154,7 @@ func TestQuickSimplexAgreesWithIPM(t *testing.T) {
 			}
 		}
 		ipm, err1 := Solve(p, Options{MaxIter: 80})
-		spx, err2 := SolveSimplex(p, 0)
+		spx, err2 := SolveSimplex(p, Options{})
 		if err1 != nil || err2 != nil {
 			continue
 		}

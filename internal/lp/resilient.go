@@ -101,7 +101,7 @@ func SolveResilient(p *Problem, opts Options) (*GeneralSolution, *resilience.Lad
 			if err := resilience.Interrupted(opts.Ctx, "lp.simplex", 0); err != nil {
 				return nil, err
 			}
-			sol, err := SolveSimplex(p, 0)
+			sol, err := SolveSimplex(p, Options{Ctx: opts.Ctx})
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +151,7 @@ func equilibrate(p *Problem) (*equilibrated, error) {
 				maxAbs = a
 			}
 		}
-		if maxAbs == 0 {
+		if maxAbs <= 0 {
 			rowScale[r] = 1
 		} else {
 			rowScale[r] = 1 / math.Sqrt(maxAbs)
@@ -167,7 +167,7 @@ func equilibrate(p *Problem) (*equilibrated, error) {
 	}
 	colScale := make([]float64, n)
 	for j := range colScale {
-		if colMax[j] == 0 {
+		if colMax[j] <= 0 {
 			colScale[j] = 1
 		} else {
 			colScale[j] = 1 / math.Sqrt(colMax[j])
@@ -195,6 +195,7 @@ func scaleBound(b, colScale float64) float64 {
 	if math.IsInf(b, 0) {
 		return b
 	}
+	//sorallint:ignore divguard colScale entries are 1 or 1/√max|A| by construction, strictly positive
 	return b / colScale
 }
 

@@ -3,15 +3,26 @@ package lp
 import (
 	"errors"
 	"math"
+
+	"soral/internal/resilience"
 )
+
+// simplexDefaultIter is the per-phase pivot budget when Options.MaxIter is
+// unset. The simplex cross-checker needs far more iterations than the
+// interior-point solver, so it keeps its own default rather than inheriting
+// the IPM's.
+const simplexDefaultIter = 20000
 
 // SimplexSolve solves a standard-form LP (min cᵀx, Ax=b, x≥0) with a dense
 // two-phase tableau simplex using Bland's rule. It is intended for small
 // cross-check instances only; the interior-point solver is the production
-// path.
-func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
+// path. Options.Ctx, when set, is checked at every pivot; Options.MaxIter
+// bounds the pivots per phase (default 20000). Tolerances are fixed — the
+// tableau method has its own pivoting thresholds.
+func SimplexSolve(std *Standard, opts Options) (*Solution, error) {
+	maxIter := opts.MaxIter
 	if maxIter <= 0 {
-		maxIter = 20000
+		maxIter = simplexDefaultIter
 	}
 	m := std.A.M
 	n := len(std.C)
@@ -45,6 +56,9 @@ func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
 
 	pivot := func(costs []float64, phase1 bool) (Status, error) {
 		for iter := 0; iter < maxIter; iter++ {
+			if cerr := resilience.Interrupted(opts.Ctx, "lp.simplex", iter); cerr != nil {
+				return NumericalFailure, cerr
+			}
 			// Reduced costs: c_j − c_Bᵀ B⁻¹ A_j, maintained implicitly by
 			// recomputing from the tableau (costs row eliminated on the fly).
 			// Build z_j = Σ_r costs[basis[r]] * tab[r][j].
@@ -57,6 +71,7 @@ func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
 				var z float64
 				for r := 0; r < m; r++ {
 					cb := costs[basis[r]]
+					//sorallint:ignore floatcmp exact-zero sparsity fast path; only true zeros skip the multiply
 					if cb != 0 {
 						z += cb * tab[r][j]
 					}
@@ -96,6 +111,7 @@ func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
 					continue
 				}
 				f := tab[r][enter]
+				//sorallint:ignore floatcmp exact-zero sparsity fast path; a zero multiplier leaves the row untouched
 				if f == 0 {
 					continue
 				}
@@ -146,6 +162,7 @@ func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
 						continue
 					}
 					f := tab[r2][j]
+					//sorallint:ignore floatcmp exact-zero sparsity fast path; a zero multiplier leaves the row untouched
 					if f == 0 {
 						continue
 					}
@@ -188,12 +205,13 @@ func SimplexSolve(std *Standard, maxIter int) (*Solution, error) {
 }
 
 // SolveSimplex solves a general-form problem with the simplex cross-checker.
-func SolveSimplex(p *Problem, maxIter int) (*GeneralSolution, error) {
+// Cancellation and the pivot budget arrive through opts (Ctx, MaxIter).
+func SolveSimplex(p *Problem, opts Options) (*GeneralSolution, error) {
 	std, err := p.ToStandard()
 	if err != nil {
 		return nil, err
 	}
-	sol, err := SimplexSolve(std, maxIter)
+	sol, err := SimplexSolve(std, opts)
 	if err != nil {
 		return nil, err
 	}

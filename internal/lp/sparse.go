@@ -33,6 +33,7 @@ func (a *SparseMatrix) Append(r, c int, v float64) {
 	if r < 0 || r >= a.M || c < 0 || c >= a.N {
 		panic(fmt.Sprintf("lp: Append(%d,%d) out of %dx%d", r, c, a.M, a.N))
 	}
+	//sorallint:ignore floatcmp exact-zero entries are dropped from the sparse structure by contract
 	if v == 0 {
 		return
 	}
@@ -98,6 +99,7 @@ func (a *SparseMatrix) MulVecTrans(dst, x []float64) {
 	}
 	for r, row := range a.Rows {
 		xr := x[r]
+		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 		if xr == 0 {
 			continue
 		}
@@ -137,6 +139,7 @@ func (a *SparseMatrix) AssembleNormal(dst *linalg.Dense, d []float64) {
 	// Column-wise outer-product accumulation.
 	for c, col := range a.Cols() {
 		w := d[c]
+		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 		if w == 0 || len(col) == 0 {
 			continue
 		}

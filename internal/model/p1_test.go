@@ -138,7 +138,7 @@ func TestP1IPMMatchesSimplex(t *testing.T) {
 		if err != nil || ipm.Status != lp.Optimal {
 			t.Fatalf("trial %d: ipm %v %v", trial, ipm.Status, err)
 		}
-		spx, err := lp.SolveSimplex(l.Prob, 0)
+		spx, err := lp.SolveSimplex(l.Prob, lp.Options{})
 		if err != nil || spx.Status != lp.Optimal {
 			t.Fatalf("trial %d: simplex %v %v", trial, spx.Status, err)
 		}

@@ -45,6 +45,9 @@ func ScaleInstance(n *Network, in *Inputs, sigma float64) (*Network, *Inputs) {
 // UnscaleDecisions maps decisions of a sigma-scaled instance back to the
 // original instance (divides every allocation by sigma), in place.
 func UnscaleDecisions(seq []*Decision, sigma float64) {
+	if sigma <= 0 {
+		return // a nonpositive scale never produced the scaled instance; nothing to invert
+	}
 	inv := 1 / sigma
 	for _, d := range seq {
 		for p := range d.X {

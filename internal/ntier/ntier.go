@@ -289,6 +289,9 @@ func (s *System) resourcePrice(in *Inputs, t, r int) float64 {
 // the largest number of same-class resources an adversary can force to churn
 // (the top-tier cloud count, matching |I| at N = 2).
 func (s *System) CompetitiveRatio(eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1) // the guarantee diverges as ε → 0⁺; nonpositive ε is that limit
+	}
 	n := s.Topo.NumTiers()
 	q := float64(len(s.Topo.Clouds[n-1]))
 	// One max-term per tier of clouds and one for the links, generalizing

@@ -174,10 +174,14 @@ func SolveSlot(s *System, in *Inputs, t int, prev *Decision, params Params, opts
 		}
 	}
 	for r := 0; r < s.NumResources(); r++ {
+		//sorallint:ignore floatcmp a zero reconfiguration price disables the penalty group; the skip is exact by contract
 		if s.ResReconf[r] == 0 || len(members[r]) == 0 {
 			continue
 		}
 		eta := math.Log(1 + s.ResCap[r]/params.Eps)
+		if eta <= 0 {
+			continue // zero-capacity resource: there is no allocation to penalize
+		}
 		obj.Groups = append(obj.Groups, convex.EntGroup{
 			Members: members[r],
 			Coef:    s.ResReconf[r] / eta,
@@ -377,7 +381,7 @@ func RunGreedy(s *System, in *Inputs, opts lp.Options) ([]*Decision, error) {
 		}
 		sol, err := lp.Solve(prob, opts)
 		if err != nil || sol.Status != lp.Optimal {
-			sol, err = lp.SolveSimplex(prob, 0)
+			sol, err = lp.SolveSimplex(prob, lp.Options{Ctx: opts.Ctx})
 			if err != nil {
 				return nil, fmt.Errorf("ntier: greedy slot %d: %w", t, err)
 			}

@@ -106,6 +106,7 @@ func (be *Backend) Factorize(d []float64) error {
 	maxDiag := 0.0
 	for c, col := range be.a.Cols() {
 		w := d[c]
+		//sorallint:ignore floatcmp exact-zero sparsity fast path; zero-weight columns contribute nothing to the normal matrix
 		if w == 0 || len(col) == 0 {
 			continue
 		}
@@ -135,7 +136,7 @@ func (be *Backend) Factorize(d []float64) error {
 			}
 		}
 	}
-	if maxDiag == 0 {
+	if maxDiag <= 0 {
 		maxDiag = 1
 	}
 	fact, err := linalg.NewBlockTriChol(be.mat, 1e-4*maxDiag+1e-10)

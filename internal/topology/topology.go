@@ -130,6 +130,7 @@ func KNearest(tier1, tier2 []Site, k int) ([][]int, error) {
 			ds[i] = distIdx{Haversine(s1, s2), i}
 		}
 		sort.Slice(ds, func(a, b int) bool {
+			//sorallint:ignore floatcmp exact tie-break keeps the sort strict-weak; an epsilon band would make ordering intransitive
 			if ds[a].d != ds[b].d {
 				return ds[a].d < ds[b].d
 			}
@@ -154,6 +155,9 @@ func Provision(numTier2 int, sla [][]int, peaks []float64, floor float64) (capT2
 	capT2 = make([]float64, numTier2)
 	for j, set := range sla {
 		k := float64(len(set))
+		if k <= 0 {
+			continue // a tier-1 site with no SLA set contributes no capacity
+		}
 		for _, i := range set {
 			capT2[i] += 1.25 / k * peaks[j]
 		}

@@ -115,7 +115,7 @@ func Normalize(xs []float64, peak float64) {
 			m = v
 		}
 	}
-	if m == 0 {
+	if m <= 0 {
 		return
 	}
 	f := peak / m
