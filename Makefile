@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race obs-race check bench
+.PHONY: build test vet lint race obs-race kernels-race check bench
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,18 @@ race:
 obs-race:
 	$(GO) test -race -count=2 ./internal/obs/...
 
+# The parallel structured kernels and their callers (linalg worker pools,
+# lp workspaces, staircase block assembly, AFHC phase fan-out) run twice
+# under the race detector: the determinism tests in these packages spawn
+# goroutine counts above GOMAXPROCS, which is where partition bugs surface.
+kernels-race:
+	$(GO) test -race -shuffle=on -count=2 ./internal/linalg/... ./internal/lp/... ./internal/staircase/... ./internal/control/...
+
 # The gate used before merging: static checks (vet plus the sorallint
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
-# paths), plus the focused telemetry race pass.
-check: vet lint race obs-race
+# paths), plus the focused telemetry and parallel-kernel race passes.
+check: vet lint race obs-race kernels-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -8,18 +8,22 @@
 //	soralbench -exp fig4 -series trace.csv   # dump raw demand traces
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
-// plus lint (not part of all): per-package sorallint wall time, for tracking
-// the cost of the static-analysis gate alongside the solver benchmarks.
-// lint must run from inside the module source tree.
+// plus two that are not part of all: lint (per-package sorallint wall time,
+// for tracking the cost of the static-analysis gate alongside the solver
+// benchmarks; must run from inside the module source tree) and kernels
+// (serial-vs-parallel timings of the structured linear-algebra kernels with a
+// bit-identity check, written as BENCH_kernels.json under -json).
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -48,6 +52,12 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the eval fan-outs (parallelRows stops launching rows and
+	// returns the context error) instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	eval.SetDefaultContext(ctx)
 
 	scale, err := eval.ScaleByName(*scaleFlag)
 	if err != nil {
@@ -112,6 +122,12 @@ func main() {
 		lintRes = res
 		return lintTable(res), nil
 	}
+	var kernelRep *eval.KernelReport
+	exps["kernels"] = func() (*eval.Table, error) {
+		tbl, rep, err := eval.Kernels(log)
+		kernelRep = rep
+		return tbl, err
+	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 
 	var selected []string
@@ -164,12 +180,20 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		if *jsonDir != "" {
-			var lint *analysis.Result
-			if name == "lint" {
-				lint = lintRes
-			}
-			if err := writeBenchJSON(*jsonDir, name, elapsed, before, reg.Snapshot(), lint); err != nil {
-				fatal(err)
+			if name == "kernels" {
+				// The kernels experiment has its own richer schema: per-cell
+				// ns/op, speedup, and bit-identity rather than solver counters.
+				if err := writeKernelsJSON(*jsonDir, kernelRep); err != nil {
+					fatal(err)
+				}
+			} else {
+				var lint *analysis.Result
+				if name == "lint" {
+					lint = lintRes
+				}
+				if err := writeBenchJSON(*jsonDir, name, elapsed, before, reg.Snapshot(), lint); err != nil {
+					fatal(err)
+				}
 			}
 		}
 		if err := eval.Render(os.Stdout, tbl); err != nil {
@@ -293,6 +317,17 @@ func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.S
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(raw, '\n'), 0o644)
+}
+
+func writeKernelsJSON(dir string, rep *eval.KernelReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_kernels.json"), append(raw, '\n'), 0o644)
 }
 
 func writeTraces(scale eval.Scale, path string) error {

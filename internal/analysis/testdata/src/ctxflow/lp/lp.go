@@ -2,10 +2,12 @@ package lp
 
 import "context"
 
-// Options mirrors the real solver options: Ctx carries cancellation.
+// Options mirrors the real solver options: Ctx carries cancellation and
+// Workers bounds the parallel kernels.
 type Options struct {
-	Tol float64
-	Ctx context.Context
+	Tol     float64
+	Ctx     context.Context
+	Workers int
 }
 
 // Bare has no context route at all.
@@ -48,6 +50,34 @@ type Fact struct{}
 
 // Solve on a factorization is an inner kernel, not an entry point.
 func (f *Fact) Solve(x, b []float64) {}
+
+// A worker-count knob does not substitute for a context: a parallel entry
+// point must still be cancelable.
+func SolveParallel(p *Problem, workers int) error { // want `ctxflow: exported solver entry point SolveParallel accepts no context.Context`
+	return nil
+}
+
+// The parallel entry point routed through Options is fine: Options.Ctx
+// reaches the fan-out alongside Options.Workers.
+func SolveParallelOpts(p *Problem, opts Options) error {
+	return nil
+}
+
+// Minting a root context inside a worker goroutine severs cancellation just
+// as thoroughly as doing it inline; the analyzer sees through the closure.
+func fanOut(opts Options, n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			ctx := context.Background() // want `ctxflow: context.Background severs the caller's cancellation`
+			_ = ctx
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
 
 func fresh() context.Context {
 	return context.Background() // want `ctxflow: context.Background severs the caller's cancellation`

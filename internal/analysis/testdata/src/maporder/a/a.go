@@ -60,3 +60,41 @@ func emitPerKey(sc *obs.Scope, m map[string]float64) {
 		sc.Counter(k) // want `maporder: telemetry emission inside map iteration`
 	}
 }
+
+// Building a parallel worklist straight from map iteration hands the workers
+// (and any downstream order-sensitive reduction) a randomized order.
+func fanOutWorklist(m map[string]float64) []float64 {
+	var work []float64
+	for _, v := range m {
+		work = append(work, v) // want `maporder: append to "work" inside map iteration records map order`
+	}
+	return work
+}
+
+// Collecting only the keys — even under a filter — is the sort-keys idiom:
+// the worklist is sorted before the fan-out, so the distribution is fixed.
+func shardedWorklist(m map[string]int) []string {
+	var work []string
+	for k, v := range m {
+		if v > 0 {
+			work = append(work, k)
+		}
+	}
+	sort.Strings(work)
+	return work
+}
+
+// The analyzer sees through worker closures: telemetry from goroutines
+// launched per map entry still records the iteration order.
+func emitAsync(sc *obs.Scope, m map[string]float64) {
+	done := make(chan struct{}, len(m))
+	for k := range m {
+		go func(k string) {
+			sc.Counter(k) // want `maporder: telemetry emission inside map iteration`
+			done <- struct{}{}
+		}(k)
+	}
+	for range m {
+		<-done
+	}
+}

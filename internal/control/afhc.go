@@ -2,7 +2,10 @@ package control
 
 import (
 	"fmt"
+	"sync"
 
+	"soral/internal/linalg"
+	"soral/internal/lp"
 	"soral/internal/model"
 	"soral/internal/predict"
 )
@@ -24,13 +27,41 @@ func AFHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 	span := c.span("afhc")
 	defer span.End()
 	T := c.In.T
+	// The w phase-shifted FHC copies never read each other's decisions, so
+	// they run concurrently, bounded by the LP worker knob (Workers == 1
+	// forces the serial order; the per-phase results are identical either
+	// way because the phases share no mutable state). Each phase gets its
+	// own Config copy with a private LP workspace — a Workspace must not be
+	// shared across concurrent solves, and a per-phase one also lets every
+	// re-planning window of the phase reuse the same buffers.
 	copies := make([][]*model.Decision, w)
-	for phi := 0; phi < w; phi++ {
-		seq, err := fhcPhase(c, oracle, w, phi)
+	errs := make([]error, w)
+	workers := linalg.ResolveWorkers(c.LPOpts.Workers)
+	if workers > w {
+		workers = w
+	}
+	if workers <= 1 {
+		for phi := 0; phi < w; phi++ {
+			copies[phi], errs[phi] = fhcPhase(c.phaseConfig(), oracle, w, phi)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for phi := 0; phi < w; phi++ {
+			wg.Add(1)
+			go func(phi int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				copies[phi], errs[phi] = fhcPhase(c.phaseConfig(), oracle, w, phi)
+			}(phi)
+		}
+		wg.Wait()
+	}
+	for phi, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("control: AFHC phase %d: %w", phi, err)
 		}
-		copies[phi] = seq
 	}
 	out := make([]*model.Decision, 0, T)
 	prev := model.NewZeroDecision(c.Net)
@@ -54,6 +85,15 @@ func AFHC(c *Config, oracle *predict.Oracle, w int) ([]*model.Decision, error) {
 		prev = applied
 	}
 	return out, nil
+}
+
+// phaseConfig returns a Config copy safe for one concurrent AFHC phase: the
+// LP workspace is private to the phase, everything else is shared read-only
+// (the obs sink is goroutine-safe by the Config.Obs contract).
+func (c *Config) phaseConfig() *Config {
+	pc := *c
+	pc.LPOpts.Work = lp.NewWorkspace()
+	return &pc
 }
 
 // fhcPhase runs one phase-shifted FHC copy: the first block covers slots

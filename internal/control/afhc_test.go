@@ -85,3 +85,39 @@ func TestAFHCValidation(t *testing.T) {
 		t.Fatal("AFHC w=0 accepted")
 	}
 }
+
+// TestAFHCWorkersBitIdentical runs the phase fan-out serial and concurrent
+// and demands identical decisions: each phase solves an independent,
+// deterministic sequence of LPs with a private workspace, so the concurrent
+// schedule must not be observable in the output (DESIGN.md §8).
+func TestAFHCWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(195))
+	n := model.RandomNetwork(rng, 2, 3, 2, 30)
+	in := model.RandomInputs(rng, n, 8)
+	oracle := predict.NewOracle(n, in, 0, 1)
+
+	serialCfg := cfgFor(n, in)
+	serialCfg.LPOpts.Workers = 1
+	want, err := AFHC(serialCfg, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4} {
+		cfg := cfgFor(n, in)
+		cfg.LPOpts.Workers = w
+		got, err := AFHC(cfg, oracle, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d decisions vs serial %d", w, len(got), len(want))
+		}
+		for s := range want {
+			for p := range want[s].X {
+				if got[s].X[p] != want[s].X[p] || got[s].Y[p] != want[s].Y[p] {
+					t.Fatalf("workers=%d: slot %d pair %d diverged from serial", w, s, p)
+				}
+			}
+		}
+	}
+}

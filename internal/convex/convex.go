@@ -62,6 +62,17 @@ type Options struct {
 	// stage, squared decrement, accepted step size). A nil scope costs one
 	// branch per iteration.
 	Obs *obs.Scope
+
+	// Workers bounds the goroutines of the Newton-system Cholesky
+	// factorization, matching lp.Options.Workers semantics (≤ 0 means
+	// GOMAXPROCS, 1 means serial). Results are bit-identical for every
+	// worker count (DESIGN.md §8).
+	Workers int
+
+	// Work, when non-nil, supplies reusable solver buffers so repeated
+	// solves of same-shaped problems allocate nothing per Newton iteration
+	// (see Workspace). A workspace must not be shared by concurrent solves.
+	Work *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -162,12 +173,17 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 		}
 	}
 
-	grad := make([]float64, n)
-	fullGrad := make([]float64, n)
-	slack := make([]float64, m)
-	dx := make([]float64, n)
-	xTrial := make([]float64, n)
-	hess := linalg.NewDense(n, n)
+	ws := opts.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(n, m)
+	grad := ws.grad[:n]
+	fullGrad := ws.fullGrad[:n]
+	slack := ws.slack[:m]
+	dx := ws.dx[:n]
+	xTrial := ws.xTrial[:n]
+	hess := ws.hess
 
 	res = &Result{}
 	// The fault plan can cap the total Newton budget to force an
@@ -227,12 +243,12 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 					}
 				}
 			}
-			var chol *linalg.Cholesky
+			chol := ws.chol
 			var cherr error
 			if opts.Fault.FactorizationShouldFail(iter) {
 				cherr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
 			} else {
-				chol, cherr = linalg.NewCholesky(hess, 1e-6*maxAbsDiag(hess)+1e-12)
+				cherr = chol.RefactorizeWorkers(hess, 1e-6*maxAbsDiag(hess)+1e-12, opts.Workers)
 			}
 			if cherr != nil {
 				return nil, &resilience.SolveError{

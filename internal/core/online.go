@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"soral/internal/convex"
+	"soral/internal/lp"
 	"soral/internal/model"
 	"soral/internal/obs"
 	"soral/internal/resilience"
@@ -22,6 +23,12 @@ type Options struct {
 	// ladder-rung and solver-iteration events, and fills the Duration and
 	// Iterations fields of each SlotReport. Nil costs one branch per call.
 	Obs *obs.Scope
+
+	// LPWork, when non-nil, supplies reusable LP buffers to the degradation
+	// path's repair solves (see lp.Workspace). Online threads one across the
+	// whole run automatically; set it only when driving SolveP2Resilient
+	// directly. Not safe for concurrent solves.
+	LPWork *lp.Workspace
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -41,6 +48,13 @@ type Online struct {
 	prev   *model.Decision
 	t      int
 	report Report
+
+	// Per-run solver workspaces, carried across slots so the slot loop
+	// allocates no solver buffers after the first decision. They are lazily
+	// created in Step and only used when the caller's Options do not already
+	// carry their own.
+	work   *convex.Workspace
+	lpWork *lp.Workspace
 }
 
 // NewOnline prepares a run over the given inputs starting from the all-zero
@@ -81,6 +95,18 @@ func (o *Online) Step() (*model.Decision, error) {
 	itersBefore := slotScope.CounterValue(obs.MetricSolverIters)
 	stepOpts := o.Opts
 	stepOpts.Obs = slotScope
+	if stepOpts.Solver.Work == nil {
+		if o.work == nil {
+			o.work = convex.NewWorkspace()
+		}
+		stepOpts.Solver.Work = o.work
+	}
+	if stepOpts.LPWork == nil {
+		if o.lpWork == nil {
+			o.lpWork = lp.NewWorkspace()
+		}
+		stepOpts.LPWork = o.lpWork
+	}
 	dec, ladder, err := SolveP2Resilient(o.Net, o.In, o.t, o.prev, stepOpts)
 	sr := SlotReport{Slot: o.t, Ladder: ladder}
 	switch {

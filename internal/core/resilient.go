@@ -144,7 +144,13 @@ func carryForward(n *model.Network, in *model.Inputs, t int, prev *model.Decisio
 	if ok, _ := prev.FeasibleAt(n, in.Workload[t], 1e-7); ok {
 		return prev.Clone(), DegradeCarry, nil
 	}
-	lpOpts := lp.Options{Ctx: opts.Solver.Ctx, Obs: opts.Obs}
+	lpWorkers := opts.Solver.Workers
+	if lpWorkers < 0 {
+		// convex treats negative as GOMAXPROCS; lp validates it away. The
+		// degradation path must not fail on a config quirk, so normalize.
+		lpWorkers = 0
+	}
+	lpOpts := lp.Options{Ctx: opts.Solver.Ctx, Obs: opts.Obs, Work: opts.LPWork, Workers: lpWorkers}
 	if l, err := model.BuildP1(n, in.Window(t, 1), prev, nil); err == nil {
 		l.LowerBoundPlan(prev)
 		if sol, _, err := lp.SolveResilient(l.Prob, lpOpts); err == nil {

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"soral/internal/core"
 	"soral/internal/pricing"
@@ -156,7 +158,7 @@ func Fig5(scale Scale, log Logger) (*Table, error) {
 			combos = append(combos, combo{tr, b})
 		}
 	}
-	rows, err := parallelRows(combos, func(c combo) ([]string, error) {
+	rows, err := parallelRows(DefaultContext(), combos, func(c combo) ([]string, error) {
 		scen, err := Build(scale.spec(c.tr, 1, c.b, scale.horizon(c.tr)))
 		if err != nil {
 			return nil, err
@@ -193,20 +195,62 @@ func Fig5(scale Scale, log Logger) (*Table, error) {
 	return tbl, nil
 }
 
+// defaultCtx holds the process-wide context picked up by the concurrent
+// experiment fan-outs, so a harness can cancel a long sweep (Ctrl-C in
+// soralbench) without threading a parameter through every Fig signature.
+var defaultCtx atomic.Pointer[context.Context]
+
+// SetDefaultContext installs the context honored by every subsequently
+// started experiment fan-out. Call before running experiments.
+func SetDefaultContext(ctx context.Context) {
+	if ctx == nil {
+		defaultCtx.Store(nil)
+		return
+	}
+	defaultCtx.Store(&ctx)
+}
+
+// DefaultContext returns the installed context, or context.Background().
+func DefaultContext() context.Context {
+	if p := defaultCtx.Load(); p != nil {
+		return *p
+	}
+	return context.Background()
+}
+
 // parallelRows maps each item to a table row concurrently (bounded by
-// GOMAXPROCS), preserving the input order.
-func parallelRows[T any](items []T, f func(T) ([]string, error)) ([][]string, error) {
+// GOMAXPROCS), preserving the input order. Items already running are
+// finished, but no new item is launched once one has failed or ctx is
+// canceled: a sweep whose first combo fails no longer burns the remaining
+// solver hours to report the same error, and cancellation stops the fan-out
+// at the next launch slot. The first error in item order is returned
+// (cancellation surfaces as ctx.Err() when no item failed earlier).
+func parallelRows[T any](ctx context.Context, items []T, f func(T) ([]string, error)) ([][]string, error) {
 	rows := make([][]string, len(items))
 	errs := make([]error, len(items))
+	var failed atomic.Bool
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
+	var ctxErr error
 	for i := range items {
+		sem <- struct{}{} // bound launches; also where a full fleet is awaited
+		if failed.Load() {
+			<-sem
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			<-sem
+			break
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			rows[i], errs[i] = f(items[i])
+			if errs[i] != nil {
+				failed.Store(true)
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -214,6 +258,9 @@ func parallelRows[T any](items []T, f func(T) ([]string, error)) ([][]string, er
 		if err != nil {
 			return nil, err
 		}
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return rows, nil
 }
@@ -265,7 +312,7 @@ func Fig6(scale Scale, log Logger) (*Table, error) {
 			combos = append(combos, combo{tr, b})
 		}
 	}
-	blocks, err := parallelRows(combos, func(c combo) ([]string, error) {
+	blocks, err := parallelRows(DefaultContext(), combos, func(c combo) ([]string, error) {
 		scen, err := Build(scale.spec(c.tr, 1, c.b, scale.horizon(c.tr)))
 		if err != nil {
 			return nil, err
@@ -311,7 +358,7 @@ func Fig7(scale Scale, log Logger) (*Table, error) {
 	for k := 1; k <= 4 && k <= scale.NumTier2; k++ {
 		ks = append(ks, k)
 	}
-	rows, err := parallelRows(ks, func(k int) ([]string, error) {
+	rows, err := parallelRows(DefaultContext(), ks, func(k int) ([]string, error) {
 		scen, err := Build(scale.spec(TraceWikipedia, k, 1000, scale.TLCPM))
 		if err != nil {
 			return nil, err

@@ -117,56 +117,131 @@ func (m *BlockTriDiag) MulVec(dst, x []float64) {
 
 // BlockTriChol is the block Cholesky factorization of a symmetric positive
 // definite block-tridiagonal matrix: M = L·Lᵀ with L block lower bidiagonal.
+// The zero BlockTriChol is a valid workspace: Refactorize fills it and
+// reuses every internal buffer (per-block factors, coupling blocks, Schur
+// scratch, solve scratch) across calls with the same block structure.
 type BlockTriChol struct {
 	factors []*Cholesky // per-block lower-triangular factors L_t
 	offdiag []*Dense    // F_t = E_t · L_{t−1}⁻ᵀ, t = 1..T−1 (indexed t−1)
 	offsets []int
+
+	schur   []*Dense  // reusable per-block Schur complement workspaces
+	scratch []float64 // per-solve coupling scratch (max block size)
 }
 
 // NewBlockTriChol factorizes M. maxShift controls per-block diagonal
 // regularization exactly as in NewCholesky.
 func NewBlockTriChol(m *BlockTriDiag, maxShift float64) (*BlockTriChol, error) {
-	if err := m.Validate(); err != nil {
+	f := &BlockTriChol{}
+	if err := f.RefactorizeWorkers(m, maxShift, 1); err != nil {
 		return nil, err
+	}
+	return f, nil
+}
+
+// Refactorize factorizes M into the receiver, reusing its buffers when the
+// block structure matches the previous call. On error the factor contents
+// are undefined and must not be used for solves.
+func (f *BlockTriChol) Refactorize(m *BlockTriDiag, maxShift float64) error {
+	return f.RefactorizeWorkers(m, maxShift, 1)
+}
+
+// RefactorizeWorkers is Refactorize with the per-block kernels — the F_t
+// coupling solves, the Schur complement updates S_t = D_t − F_t·F_tᵀ, and
+// the dense block factorizations — run on `workers` goroutines. The block
+// recurrence itself is inherently sequential (block t needs L_{t−1}), so
+// parallelism lives inside each block step; results are bit-identical to
+// serial for every worker count because every output row of every kernel is
+// owned by one worker and computed in serial order.
+func (f *BlockTriChol) RefactorizeWorkers(m *BlockTriDiag, maxShift float64, workers int) error {
+	if err := m.Validate(); err != nil {
+		return err
 	}
 	T := len(m.Diag)
 	if T == 0 {
-		return nil, errors.New("linalg: empty block-tridiagonal matrix")
+		return errors.New("linalg: empty block-tridiagonal matrix")
 	}
-	f := &BlockTriChol{
-		factors: make([]*Cholesky, T),
-		offdiag: make([]*Dense, T-1),
-		offsets: m.Offsets(),
+	if len(f.factors) != T {
+		f.factors = make([]*Cholesky, T)
+		f.offdiag = make([]*Dense, T-1)
+		f.schur = make([]*Dense, T)
+	}
+	f.offsets = m.Offsets()
+	maxBlock := 0
+	for _, d := range m.Diag {
+		if d.Rows > maxBlock {
+			maxBlock = d.Rows
+		}
+	}
+	if len(f.scratch) < maxBlock {
+		f.scratch = make([]float64, maxBlock)
 	}
 	var prev *Cholesky
 	for t := 0; t < T; t++ {
-		s := m.Diag[t].Clone()
-		var ft *Dense
+		d := m.Diag[t]
+		s := f.schur[t]
+		if s == nil || s.Rows != d.Rows || s.Cols != d.Cols {
+			s = NewDense(d.Rows, d.Cols)
+			f.schur[t] = s
+		}
+		copy(s.Data, d.Data)
 		if t > 0 {
 			e := m.Sub[t-1]
-			// F_t = E_t · L_{t−1}⁻ᵀ: solve L_{t−1}·(F_t row)ᵀ = (E_t row)ᵀ per row.
-			ft = NewDense(e.Rows, e.Cols)
-			for r := 0; r < e.Rows; r++ {
-				prev.SolveLower(ft.Row(r), e.Row(r))
+			ft := f.offdiag[t-1]
+			if ft == nil || ft.Rows != e.Rows || ft.Cols != e.Cols {
+				ft = NewDense(e.Rows, e.Cols)
+				f.offdiag[t-1] = ft
 			}
-			// S_t = D_t − F_t·F_tᵀ.
-			for i := 0; i < ft.Rows; i++ {
-				ri := ft.Row(i)
-				srow := s.Row(i)
-				for j := 0; j < ft.Rows; j++ {
-					srow[j] -= Dot(ri, ft.Row(j))
-				}
+			// F_t = E_t · L_{t−1}⁻ᵀ: solve L_{t−1}·(F_t row)ᵀ = (E_t row)ᵀ
+			// per row; the rows are independent. The serial collapse calls
+			// the kernels directly — closure literals would be heap-allocated
+			// even on the collapsed path, and Refactorize sits inside the
+			// solvers' zero-allocation loop (see EffectiveWorkers).
+			if EffectiveWorkers(workers, e.Rows) == 1 {
+				blockCouplingSolve(ft, e, prev, 0, e.Rows)
+			} else {
+				lp := prev
+				ParallelRanges(workers, e.Rows, func(lo, hi int) {
+					blockCouplingSolve(ft, e, lp, lo, hi)
+				})
 			}
-			f.offdiag[t-1] = ft
+			// S_t = D_t − F_t·F_tᵀ, row ranges independent.
+			if EffectiveWorkers(workers, ft.Rows) == 1 {
+				blockSchurUpdate(s, ft, 0, ft.Rows)
+			} else {
+				ParallelRanges(workers, ft.Rows, func(lo, hi int) {
+					blockSchurUpdate(s, ft, lo, hi)
+				})
+			}
 		}
-		c, err := NewCholesky(s, maxShift)
-		if err != nil {
-			return nil, fmt.Errorf("linalg: block %d: %w", t, err)
+		if f.factors[t] == nil {
+			f.factors[t] = &Cholesky{}
 		}
-		f.factors[t] = c
-		prev = c
+		if err := f.factors[t].RefactorizeWorkers(s, maxShift, workers); err != nil {
+			return fmt.Errorf("linalg: block %d: %w", t, err)
+		}
+		prev = f.factors[t]
 	}
-	return f, nil
+	return nil
+}
+
+// blockCouplingSolve fills rows [lo, hi) of F = E·L⁻ᵀ by forward-substituting
+// each row of E against the previous block's factor.
+func blockCouplingSolve(ft, e *Dense, prev *Cholesky, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		prev.SolveLower(ft.Row(r), e.Row(r))
+	}
+}
+
+// blockSchurUpdate applies rows [lo, hi) of S −= F·Fᵀ.
+func blockSchurUpdate(s, ft *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ri := ft.Row(i)
+		srow := s.Row(i)
+		for j := 0; j < ft.Rows; j++ {
+			srow[j] -= Dot(ri, ft.Row(j))
+		}
+	}
 }
 
 // Solve solves M·x = b, writing into x (which may alias b).
@@ -186,7 +261,7 @@ func (f *BlockTriChol) Solve(x, b []float64) {
 		if t > 0 {
 			ft := f.offdiag[t-1]
 			prev := x[off[t-1]:off[t]]
-			tmp := make([]float64, len(xt))
+			tmp := f.scratch[:len(xt)]
 			ft.MulVec(tmp, prev)
 			SubTo(xt, xt, tmp)
 		}
@@ -198,7 +273,7 @@ func (f *BlockTriChol) Solve(x, b []float64) {
 		if t < T-1 {
 			ft := f.offdiag[t]
 			next := x[off[t+1]:off[t+2]]
-			tmp := make([]float64, len(xt))
+			tmp := f.scratch[:len(xt)]
 			ft.MulVecTrans(tmp, next)
 			SubTo(xt, xt, tmp)
 		}

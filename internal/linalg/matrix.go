@@ -92,26 +92,34 @@ func (m *Dense) MulVecTrans(dst, x []float64) {
 }
 
 // Mul returns A·B as a new matrix.
-func Mul(a, b *Dense) *Dense {
+func Mul(a, b *Dense) *Dense { return MulWorkers(a, b, 1) }
+
+// MulWorkers is Mul on `workers` goroutines. The rows of the product are
+// partitioned into fixed contiguous ranges (ParallelRanges); every output
+// row is computed by exactly one worker with the same statement order as the
+// serial loop, so the result is bit-identical for every worker count.
+func MulWorkers(a, b *Dense, workers int) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul dims %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewDense(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := arow[k]
-			//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
-			if aik == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range crow {
-				crow[j] += aik * brow[j]
+	ParallelRanges(workers, a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k := 0; k < a.Cols; k++ {
+				aik := arow[k]
+				//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
+				if aik == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j := range crow {
+					crow[j] += aik * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return c
 }
 
@@ -150,28 +158,42 @@ func Eye(n int) *Dense {
 // weight vector d of length m. dst must be n×n. Only the full matrix is
 // written (not just a triangle) so dst can be used directly by Cholesky.
 func SymRankKUpdate(dst *Dense, a *Dense, d []float64) {
+	SymRankKUpdateWorkers(dst, a, d, 1)
+}
+
+// SymRankKUpdateWorkers is SymRankKUpdate on `workers` goroutines. The
+// output rows of dst (columns of A) are partitioned into fixed contiguous
+// ranges; each worker walks every row of A in ascending order and
+// accumulates only into its own dst rows, so every dst element receives its
+// contributions in exactly the serial order — the parallel result is
+// bit-identical to the serial one. Writes are disjoint by construction; the
+// rows of A are only read.
+func SymRankKUpdateWorkers(dst *Dense, a *Dense, d []float64, workers int) {
 	if len(d) != a.Rows || dst.Rows != a.Cols || dst.Cols != a.Cols {
 		panic("linalg: SymRankKUpdate dimension mismatch")
 	}
-	for r := 0; r < a.Rows; r++ {
-		w := d[r]
-		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
-		if w == 0 {
-			continue
-		}
-		row := a.Row(r)
-		for i, vi := range row {
+	ParallelRanges(workers, a.Cols, func(lo, hi int) {
+		for r := 0; r < a.Rows; r++ {
+			w := d[r]
 			//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
-			if vi == 0 {
+			if w == 0 {
 				continue
 			}
-			wi := w * vi
-			drow := dst.Row(i)
-			for j, vj := range row {
-				drow[j] += wi * vj
+			row := a.Row(r)
+			for i := lo; i < hi; i++ {
+				vi := row[i]
+				//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
+				if vi == 0 {
+					continue
+				}
+				wi := w * vi
+				drow := dst.Row(i)
+				for j, vj := range row {
+					drow[j] += wi * vj
+				}
 			}
 		}
-	}
+	})
 }
 
 // String renders the matrix for debugging.

@@ -1,0 +1,277 @@
+package linalg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testWorkerCounts are deliberately odd/uneven so partitions don't line up
+// with the sizes under test; explicit counts above GOMAXPROCS are honored
+// (see boundWorkers), so a single-processor machine still runs the real
+// multi-goroutine decomposition.
+var testWorkerCounts = []int{2, 3, 4, 7}
+
+func TestParallelRangesPartition(t *testing.T) {
+	for _, workers := range append([]int{0, 1}, testWorkerCounts...) {
+		for _, n := range []int{0, 1, 7, 8, 16, 63, 64, 100} {
+			seen := make([]int, n)
+			ParallelRanges(workers, n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad range [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++ // each index owned by exactly one range: no race
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelStridedPartition(t *testing.T) {
+	for _, workers := range append([]int{0, 1}, testWorkerCounts...) {
+		for _, n := range []int{0, 1, 7, 8, 16, 63, 64, 100} {
+			seen := make([]int, n)
+			ParallelStrided(workers, n, func(start, stride int) {
+				for i := start; i < n; i += stride {
+					seen[i]++ // strided classes are disjoint: no race
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// bitEqual reports exact bit-level equality, the determinism contract of
+// DESIGN.md §8 (almostEq would hide a reassociated reduction).
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		m, k, n := 1+rng.Intn(60), 1+rng.Intn(60), 1+rng.Intn(60)
+		a, b := randMatrix(rng, m, k), randMatrix(rng, k, n)
+		want := MulWorkers(a, b, 1)
+		for _, w := range testWorkerCounts {
+			got := MulWorkers(a, b, w)
+			if !bitEqual(got.Data, want.Data) {
+				t.Fatalf("%dx%dx%d workers=%d: parallel Mul diverged from serial", m, k, n, w)
+			}
+		}
+	}
+}
+
+func TestSymRankKUpdateWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		m, n := 1+rng.Intn(60), 1+rng.Intn(60)
+		a := randMatrix(rng, m, n)
+		d := make([]float64, m)
+		for i := range d {
+			d[i] = rng.Float64() + 0.5
+		}
+		want := NewDense(n, n)
+		SymRankKUpdateWorkers(want, a, d, 1)
+		for _, w := range testWorkerCounts {
+			got := NewDense(n, n)
+			SymRankKUpdateWorkers(got, a, d, w)
+			if !bitEqual(got.Data, want.Data) {
+				t.Fatalf("%dx%d workers=%d: parallel SymRankKUpdate diverged from serial", m, n, w)
+			}
+		}
+	}
+}
+
+// TestCholeskyWorkersBitIdentical pins the two determinism claims of the
+// blocked factorization at once: every worker count reproduces the serial
+// blocked result bit-for-bit, and the blocked result itself reproduces the
+// reference unblocked column algorithm bit-for-bit (sizes straddle
+// cholBlockSize so multi-panel paths are exercised).
+func TestCholeskyWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 8, cholBlockSize - 1, cholBlockSize, cholBlockSize + 1, 2*cholBlockSize + 5, 150} {
+		a := randSPD(rng, n)
+		serial, err := NewCholeskyWorkers(a, 0, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		oracle := NewDense(n, n)
+		if !tryCholeskyUnblocked(a, oracle, 0) {
+			t.Fatalf("n=%d: unblocked oracle failed on SPD input", n)
+		}
+		for i := 0; i < n; i++ { // compare the lower triangle the oracle fills
+			for j := 0; j <= i; j++ {
+				if serial.L.At(i, j) != oracle.At(i, j) {
+					t.Fatalf("n=%d: blocked L[%d,%d]=%v differs from unblocked %v",
+						n, i, j, serial.L.At(i, j), oracle.At(i, j))
+				}
+			}
+		}
+		for _, w := range testWorkerCounts {
+			par, err := NewCholeskyWorkers(a, 0, w)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			if !bitEqual(par.L.Data, serial.L.Data) {
+				t.Fatalf("n=%d workers=%d: parallel Cholesky diverged from serial", n, w)
+			}
+		}
+	}
+}
+
+func TestCholeskyWorkersShiftRetryBitIdentical(t *testing.T) {
+	// An indefinite matrix forces the shift-retry loop; the retries must stay
+	// deterministic across worker counts too.
+	rng := rand.New(rand.NewSource(44))
+	n := cholBlockSize + 9
+	a := randSPD(rng, n)
+	a.AddDiag(-3) // push some pivots negative
+	serial := &Cholesky{}
+	if err := serial.RefactorizeWorkers(a, 1e6, 1); err != nil {
+		t.Fatalf("serial shifted factorization failed: %v", err)
+	}
+	if serial.Shift == 0 {
+		t.Fatalf("test input unexpectedly positive definite; shift retry not exercised")
+	}
+	for _, w := range testWorkerCounts {
+		par := &Cholesky{}
+		if err := par.RefactorizeWorkers(a, 1e6, w); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if par.Shift != serial.Shift {
+			t.Fatalf("workers=%d: shift %v differs from serial %v", w, par.Shift, serial.Shift)
+		}
+		if !bitEqual(par.L.Data, serial.L.Data) {
+			t.Fatalf("workers=%d: shifted parallel Cholesky diverged from serial", w)
+		}
+	}
+}
+
+func TestBlockTriCholWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	sizes := []int{17, 30, 9, 24, 40}
+	m := randBlockTriSPD(rng, sizes)
+	serial := &BlockTriChol{}
+	if err := serial.RefactorizeWorkers(m, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rhs := randVec(rng, m.Dim())
+	want := make([]float64, len(rhs))
+	serial.Solve(want, rhs)
+	for _, w := range testWorkerCounts {
+		par := &BlockTriChol{}
+		if err := par.RefactorizeWorkers(m, 0, w); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for t2, f := range par.factors {
+			if !bitEqual(f.L.Data, serial.factors[t2].L.Data) {
+				t.Fatalf("workers=%d: block %d factor diverged from serial", w, t2)
+			}
+		}
+		got := make([]float64, len(rhs))
+		par.Solve(got, rhs)
+		if !bitEqual(got, want) {
+			t.Fatalf("workers=%d: parallel BlockTriChol solve diverged from serial", w)
+		}
+	}
+}
+
+// benchSizes matches the kernels experiment in internal/eval (soralbench
+// -exp kernels); keep the two in sync so bench and experiment are comparable.
+var benchSizes = []int{64, 256, 1024}
+
+func benchWorkerSettings() []struct {
+	name string
+	w    int
+} {
+	settings := []struct {
+		name string
+		w    int
+	}{{"serial", 1}}
+	if ResolveWorkers(0) > 1 {
+		settings = append(settings, struct {
+			name string
+			w    int
+		}{"gomaxprocs", 0})
+	}
+	return settings
+}
+
+func BenchmarkSymRankKUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range benchSizes {
+		a := randMatrix(rng, n/2, n)
+		d := make([]float64, n/2)
+		for i := range d {
+			d[i] = rng.Float64() + 0.5
+		}
+		dst := NewDense(n, n)
+		for _, s := range benchWorkerSettings() {
+			b.Run(fmt.Sprintf("n=%d/%s", n, s.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					dst.Zero()
+					SymRankKUpdateWorkers(dst, a, d, s.w)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	rng := rand.New(rand.NewSource(52))
+	for _, n := range benchSizes {
+		a := randSPD(rng, n)
+		c := &Cholesky{}
+		for _, s := range benchWorkerSettings() {
+			b.Run(fmt.Sprintf("n=%d/%s", n, s.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := c.RefactorizeWorkers(a, 0, s.w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBlockTriCholFactorize(b *testing.B) {
+	rng := rand.New(rand.NewSource(53))
+	for _, n := range benchSizes {
+		const T = 8
+		sizes := make([]int, T)
+		for t := range sizes {
+			sizes[t] = n / T
+		}
+		m := randBlockTriSPD(rng, sizes)
+		f := &BlockTriChol{}
+		for _, s := range benchWorkerSettings() {
+			b.Run(fmt.Sprintf("n=%d/%s", n, s.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := f.RefactorizeWorkers(m, 0, s.w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

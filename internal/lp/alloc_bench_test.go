@@ -1,0 +1,26 @@
+package lp
+
+import "testing"
+
+// BenchmarkSolveStandardWorkspaceAllocs tracks the end-to-end cost and
+// allocation count of a reused-workspace solve (run with -benchmem; the
+// steady state is 1 alloc/op — the Solution header).
+func BenchmarkSolveStandardWorkspaceAllocs(b *testing.B) {
+	std, err := chainProblem(40).ToStandard()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := NewWorkspace()
+	normal := NewDenseNormal(std.A)
+	opts := Options{Work: ws}
+	if _, err := SolveStandard(std, normal, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveStandard(std, normal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -83,7 +83,11 @@ func SolveStandardCertified(std *Standard, normal NormalSolver, opts Options) (*
 	if sol.Status != Optimal {
 		return sol, nil
 	}
-	certTol := opts.withDefaults().Tol * 100
+	defaulted, err := opts.withDefaults()
+	if err != nil {
+		return sol, err
+	}
+	certTol := defaulted.Tol * 100
 	if certTol < 1e-6 {
 		certTol = 1e-6
 	}

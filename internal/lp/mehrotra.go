@@ -61,16 +61,36 @@ type Options struct {
 	// (residuals, gap) and attributes CPU samples to phase=lp-mehrotra. A nil
 	// scope costs one branch per iteration.
 	Obs *obs.Scope
+
+	// Workers bounds the goroutines the parallel linear-algebra kernels
+	// (normal-equation assembly, blocked Cholesky) may fan out to. 0 means
+	// GOMAXPROCS, 1 means fully serial; negative values are rejected by
+	// validation. Results are bit-identical for every worker count
+	// (DESIGN.md §8).
+	Workers int
+
+	// Work, when non-nil, supplies reusable solver buffers so repeated
+	// solves of same-shaped problems allocate nothing per iteration. The
+	// returned Solution's X/Y/S alias the workspace and are only valid
+	// until the next solve with the same workspace (see Workspace). A
+	// workspace must not be shared by concurrent solves.
+	Work *Workspace
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.Workers < 0 {
+		return o, fmt.Errorf("lp: Options.Workers %d is negative (0 means GOMAXPROCS, 1 means serial)", o.Workers)
+	}
+	if o.Workers == 0 {
+		o.Workers = linalg.ResolveWorkers(0)
+	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-8
 	}
 	if o.MaxIter <= 0 {
 		o.MaxIter = 100
 	}
-	return o
+	return o, nil
 }
 
 // Solution is the result of a standard-form solve.
@@ -98,25 +118,39 @@ type NormalSolver interface {
 }
 
 // DenseNormal assembles A·diag(d)·Aᵀ densely and factorizes with Cholesky.
+// The assembled matrix and the Cholesky factor buffers are reused across
+// Factorize calls, so a backend kept alive across solves (via Workspace)
+// allocates nothing after its first factorization.
 type DenseNormal struct {
 	A    *SparseMatrix
 	mat  *linalg.Dense
 	chol *linalg.Cholesky
+
+	// Workers bounds the goroutines of the assembly and factorization
+	// kernels (0 means GOMAXPROCS, as in Options.Workers).
+	Workers int
+
+	// valid reports whether chol holds a usable factorization; a failed
+	// Refactorize leaves the factor buffers in an undefined state.
+	valid bool
 }
 
 // NewDenseNormal creates the default dense backend for A.
 func NewDenseNormal(a *SparseMatrix) *DenseNormal {
-	return &DenseNormal{A: a, mat: linalg.NewDense(a.M, a.M)}
+	return &DenseNormal{A: a, mat: linalg.NewDense(a.M, a.M), chol: &linalg.Cholesky{}}
 }
 
 // Factorize implements NormalSolver.
 func (dn *DenseNormal) Factorize(d []float64) error {
-	dn.A.AssembleNormal(dn.mat, d)
-	c, err := linalg.NewCholesky(dn.mat, 1e-4*maxDiag(dn.mat)+1e-10)
-	if err != nil {
+	dn.A.AssembleNormalWorkers(dn.mat, d, dn.Workers)
+	if dn.chol == nil {
+		dn.chol = &linalg.Cholesky{}
+	}
+	dn.valid = false
+	if err := dn.chol.RefactorizeWorkers(dn.mat, 1e-4*maxDiag(dn.mat)+1e-10, dn.Workers); err != nil {
 		return err
 	}
-	dn.chol = c
+	dn.valid = true
 	return nil
 }
 
@@ -140,7 +174,7 @@ func (dn *DenseNormal) Solve(x, b []float64) { dn.chol.Solve(x, b) }
 // normal matrix (see linalg.Cholesky.ConditionEstimate). Returns 0 before
 // the first factorization.
 func (dn *DenseNormal) ConditionEstimate() float64 {
-	if dn.chol == nil {
+	if dn.chol == nil || !dn.valid {
 		return 0
 	}
 	return dn.chol.ConditionEstimate()
@@ -168,7 +202,10 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 			err = resilience.FromPanic("lp.mehrotra", r)
 		}
 	}()
-	opts = opts.withDefaults()
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	a := std.A
 	n := len(std.C)
 	m := a.M
@@ -192,28 +229,41 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		return sol, nil
 	}
 
-	x := make([]float64, n)
-	s := make([]float64, n)
-	y := make([]float64, m)
+	// Every vector of the solve lives in a workspace; with a caller-supplied
+	// one (Options.Work) the loop below performs zero per-iteration slice
+	// allocations, and repeated same-shape solves allocate nothing at all.
+	ws := opts.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(m, n)
+	x := ws.x[:n]
+	s := ws.s[:n]
+	y := ws.y[:m]
+
+	opts.Obs.SetGauge(obs.MetricWorkers, float64(opts.Workers))
 
 	// Starting point (simplified Mehrotra heuristic): factor with d = 1.
-	ones := make([]float64, n)
+	ones := ws.ones[:n]
 	linalg.Fill(ones, 1)
-	if err := normal.Factorize(ones); err != nil {
+	factSpan := opts.Obs.StartSpan("lp.factorize")
+	ferr0 := normal.Factorize(ones)
+	factSpan.End()
+	if err := ferr0; err != nil {
 		return &Solution{Status: NumericalFailure}, &resilience.SolveError{
 			Stage: "lp.mehrotra", Class: resilience.ClassFactorization,
 			Err: fmt.Errorf("initial factorization: %w", err),
 		}
 	}
 	// x̃ = Aᵀ(AAᵀ)⁻¹ b
-	tmpM := make([]float64, m)
+	tmpM := ws.tmpM[:m]
 	normal.Solve(tmpM, b)
 	a.MulVecTrans(x, tmpM)
 	// ỹ = (AAᵀ)⁻¹ A c ; s̃ = c − Aᵀỹ
-	ac := make([]float64, m)
+	ac := ws.ac[:m]
 	a.MulVec(ac, c)
 	normal.Solve(y, ac)
-	aty := make([]float64, n)
+	aty := ws.aty[:n]
 	a.MulVecTrans(aty, y)
 	for i := range s {
 		s[i] = c[i] - aty[i]
@@ -224,17 +274,17 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 	bNorm := 1 + linalg.NormInf(b)
 	cNorm := 1 + linalg.NormInf(c)
 
-	rb := make([]float64, m)   // Ax − b
-	rc := make([]float64, n)   // Aᵀy + s − c
-	rxs := make([]float64, n)  // complementarity rhs
-	dvec := make([]float64, n) // x/s
-	rhsM := make([]float64, m)
-	dy := make([]float64, m)
-	ds := make([]float64, n)
-	dx := make([]float64, n)
-	dxAff := make([]float64, n)
-	dsAff := make([]float64, n)
-	tmpN := make([]float64, n)
+	rb := ws.rb[:m]     // Ax − b
+	rc := ws.rc[:n]     // Aᵀy + s − c
+	rxs := ws.rxs[:n]   // complementarity rhs
+	dvec := ws.dvec[:n] // x/s
+	rhsM := ws.rhsM[:m]
+	dy := ws.dy[:m]
+	ds := ws.ds[:n]
+	dx := ws.dx[:n]
+	dxAff := ws.dxAff[:n]
+	dsAff := ws.dsAff[:n]
+	tmpN := ws.tmpN[:n]
 
 	// residualsAt refreshes rb/rc and returns the normalized convergence
 	// measures of the current iterate.
@@ -305,7 +355,9 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		if opts.Fault.FactorizationShouldFail(iter) {
 			ferr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
 		} else {
+			sp := opts.Obs.StartSpan("lp.factorize")
 			ferr = normal.Factorize(dvec)
+			sp.End()
 		}
 		if ferr != nil {
 			sol.Status = NumericalFailure
@@ -463,7 +515,18 @@ func Solve(p *Problem, opts Options) (*GeneralSolution, error) {
 	if err != nil {
 		return nil, err
 	}
-	normal := NewDenseNormal(std.A)
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var normal NormalSolver
+	if opts.Work != nil {
+		normal = opts.Work.normalFor(std.A, opts.Workers)
+	} else {
+		dn := NewDenseNormal(std.A)
+		dn.Workers = opts.Workers
+		normal = dn
+	}
 	var sol *Solution
 	opts.Obs.Phase(opts.Ctx, "lp-mehrotra", func() {
 		sol, err = SolveStandard(std, normal, opts)

@@ -212,9 +212,18 @@ func TestSimplexUnbounded(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	o := Options{}.withDefaults()
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.Tol != 1e-8 || o.MaxIter != 100 {
 		t.Fatalf("defaults = %+v", o)
+	}
+	if o.Workers < 1 {
+		t.Fatalf("Workers = %d, want GOMAXPROCS-resolved ≥ 1", o.Workers)
+	}
+	if _, err := (Options{Workers: -1}).withDefaults(); err == nil {
+		t.Fatal("negative Workers accepted")
 	}
 }
 

@@ -82,8 +82,11 @@ func SolveResilient(p *Problem, opts Options) (*GeneralSolution, *resilience.Lad
 			return eq.recover(p, sol), nil
 		}},
 		{Name: RungLooseTol, Run: func() (*GeneralSolution, error) {
-			loose := opts
-			loose.Tol = math.Max(loose.withDefaults().Tol*1e3, 1e-6)
+			loose, err := opts.withDefaults()
+			if err != nil {
+				return nil, err
+			}
+			loose.Tol = math.Max(loose.Tol*1e3, 1e-6)
 			return ipmRung(RungLooseTol, loose)
 		}},
 		{Name: RungAcceptLimit, Run: func() (*GeneralSolution, error) {

@@ -132,20 +132,56 @@ func (a *SparseMatrix) ToDense() *linalg.Dense {
 // AssembleNormal accumulates A·diag(d)·Aᵀ into the dense matrix dst
 // (which must be M×M and is zeroed first).
 func (a *SparseMatrix) AssembleNormal(dst *linalg.Dense, d []float64) {
+	a.AssembleNormalWorkers(dst, d, 1)
+}
+
+// AssembleNormalWorkers is AssembleNormal on `workers` goroutines (≤ 0 means
+// GOMAXPROCS). The rows of dst are partitioned into fixed contiguous ranges;
+// each worker scans the full column view but accumulates only into its own
+// rows, in exactly the serial (column, i, j) order. Every dst element is
+// therefore written by one goroutine with the serial floating-point operation
+// sequence, making the result bit-identical for every worker count
+// (DESIGN.md §8). The redundant column scans cost O(nnz) per worker — noise
+// next to the O(nnz·rows-per-column) accumulation they guard.
+func (a *SparseMatrix) AssembleNormalWorkers(dst *linalg.Dense, d []float64, workers int) {
 	if dst.Rows != a.M || dst.Cols != a.M || len(d) != a.N {
 		panic("lp: AssembleNormal dimension mismatch")
 	}
-	dst.Zero()
-	// Column-wise outer-product accumulation.
-	for c, col := range a.Cols() {
+	cols := a.Cols() // build the lazy column view before fanning out
+	if linalg.EffectiveWorkers(workers, a.M) == 1 {
+		// Direct call: the solver's zero-allocation contract (Options.Work)
+		// forbids the closure literal the parallel branch allocates.
+		a.assembleNormalRows(dst, d, cols, 0, a.M)
+		return
+	}
+	linalg.ParallelRanges(workers, a.M, func(lo, hi int) {
+		a.assembleNormalRows(dst, d, cols, lo, hi)
+	})
+}
+
+// assembleNormalRows accumulates the rows [lo, hi) of A·diag(d)·Aᵀ into dst:
+// column-wise outer products, restricted to owned rows so concurrent range
+// calls never write the same element and every element sees its terms in
+// ascending column order exactly like the serial loop.
+func (a *SparseMatrix) assembleNormalRows(dst *linalg.Dense, d []float64, cols [][]Entry, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		row := dst.Row(r)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for c, col := range cols {
 		w := d[c]
 		//sorallint:ignore floatcmp exact-zero sparsity fast path; skipping only true zeros is lossless
 		if w == 0 || len(col) == 0 {
 			continue
 		}
 		for i := 0; i < len(col); i++ {
-			vi := col[i].Val * w
 			ri := col[i].Index
+			if ri < lo || ri >= hi {
+				continue
+			}
+			vi := col[i].Val * w
 			row := dst.Row(ri)
 			for j := 0; j < len(col); j++ {
 				row[col[j].Index] += vi * col[j].Val

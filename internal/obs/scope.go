@@ -12,6 +12,12 @@ const (
 	// (via Scope.Iteration). Ladder rungs and slot spans report their
 	// iteration budgets as deltas of this counter.
 	MetricSolverIters = "solver.iterations"
+
+	// MetricWorkers is the gauge holding the resolved worker count of the
+	// most recent solve: the number of goroutines the parallel linalg
+	// kernels (normal-equation assembly, blocked Cholesky, block-tridiagonal
+	// factorization) may fan out to. 1 means fully serial.
+	MetricWorkers = "solver.workers"
 )
 
 // Scope is a nil-safe handle onto the telemetry core. The nil *Scope is the

@@ -1,0 +1,107 @@
+package staircase
+
+import (
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+	"soral/internal/model"
+)
+
+// buildBackend converts a P1 layout to standard form and wires up a Backend
+// exactly as Solve does, so the assembly kernel can be driven directly.
+func buildBackend(t *testing.T, l *model.Layout) (*lp.Standard, *Backend) {
+	t.Helper()
+	std, err := l.Prob.ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBlock := make([]int, std.A.M)
+	for r, origin := range std.RowOrigin {
+		if origin >= 0 {
+			rowBlock[r] = l.SlotOfCons[origin]
+		} else {
+			rowBlock[r] = l.SlotOfVar[-1-origin]
+		}
+	}
+	be, err := NewBackend(std, rowBlock, l.W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return std, be
+}
+
+// TestFactorizeWorkersBitIdentical asserts the per-block assembly is
+// bit-identical across worker counts: block ownership plus ascending
+// (column, i, j) order make the parallel pass reproduce the serial one
+// exactly (DESIGN.md §8).
+func TestFactorizeWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	n := model.RandomNetwork(rng, 2, 3, 2, 10)
+	in := model.RandomInputs(rng, n, 6)
+	l, err := model.BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, serial := buildBackend(t, l)
+	d := make([]float64, std.A.N)
+	for i := range d {
+		d[i] = rng.Float64() + 0.1
+	}
+	d[0] = 0 // exercise the zero-weight column fast path
+	serial.SetWorkers(1)
+	if err := serial.Factorize(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 4, 7} {
+		_, par := buildBackend(t, l)
+		par.SetWorkers(w)
+		if err := par.Factorize(d); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for b := range serial.mat.Diag {
+			for i, v := range serial.mat.Diag[b].Data {
+				if par.mat.Diag[b].Data[i] != v {
+					t.Fatalf("workers=%d: Diag[%d] diverged from serial at %d", w, b, i)
+				}
+			}
+		}
+		for b := range serial.mat.Sub {
+			for i, v := range serial.mat.Sub[b].Data {
+				if par.mat.Sub[b].Data[i] != v {
+					t.Fatalf("workers=%d: Sub[%d] diverged from serial at %d", w, b, i)
+				}
+			}
+		}
+	}
+}
+
+// TestStaircaseSolveWorkersBitIdentical runs the full structured pipeline
+// serial and parallel and demands identical iterates end to end.
+func TestStaircaseSolveWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	n := model.RandomNetwork(rng, 2, 2, 2, 10)
+	in := model.RandomInputs(rng, n, 5)
+	l, err := model.BuildP1(n, in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{Workers: 1})
+	if err != nil || serial.Status != lp.Optimal {
+		t.Fatalf("serial: %v %v", serial, err)
+	}
+	for _, w := range []int{2, 4} {
+		par, err := Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{Workers: w})
+		if err != nil || par.Status != lp.Optimal {
+			t.Fatalf("workers=%d: %v %v", w, par, err)
+		}
+		if par.Iters != serial.Iters {
+			t.Fatalf("workers=%d: %d iterations vs serial %d", w, par.Iters, serial.Iters)
+		}
+		for i := range serial.X {
+			if par.X[i] != serial.X[i] {
+				t.Fatalf("workers=%d: X[%d]=%v differs from serial %v", w, i, par.X[i], serial.X[i])
+			}
+		}
+	}
+}

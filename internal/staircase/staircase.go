@@ -22,7 +22,9 @@ import (
 )
 
 // Backend implements lp.NormalSolver for a standard-form matrix whose rows
-// are partitioned into consecutive time blocks.
+// are partitioned into consecutive time blocks. The block-tridiagonal matrix
+// and its factorization are workspaces reused across Factorize calls, so the
+// per-iteration cost of a long Mehrotra solve allocates nothing.
 type Backend struct {
 	a        *lp.SparseMatrix
 	rowBlock []int // block of every row
@@ -30,10 +32,23 @@ type Backend struct {
 	offsets  []int // starting flat index of each block (in permuted order)
 	posInBlk []int // position of every row within its block
 
+	// colsOfBlk[b] lists, in ascending order, the columns with at least one
+	// entry in block b. A column coupling two adjacent blocks appears in
+	// both lists; each appearance contributes only the products whose row
+	// lives in that block, so every product is assembled exactly once.
+	colsOfBlk [][]int
+
+	workers int // kernel fan-out; ≤ 0 means GOMAXPROCS (see SetWorkers)
+
 	mat     *linalg.BlockTriDiag
 	fact    *linalg.BlockTriChol
 	permRHS []float64
 }
+
+// SetWorkers bounds the goroutines of the assembly and factorization
+// kernels, matching lp.Options.Workers semantics (0 means GOMAXPROCS,
+// 1 means serial). Results are bit-identical for every worker count.
+func (be *Backend) SetWorkers(w int) { be.workers = w }
 
 // NewBackend validates the partition and prepares the workspace. rowBlock
 // must assign every row of std.A a block in [0, numBlocks); every column of
@@ -58,7 +73,10 @@ func NewBackend(std *lp.Standard, rowBlock []int, numBlocks int) (*Backend, erro
 			return nil, fmt.Errorf("staircase: block %d is empty", b)
 		}
 	}
-	// Validate the adjacency property per column.
+	// Validate the adjacency property per column and record, per block, the
+	// columns touching it (ascending, since c ascends) for block-owned
+	// parallel assembly in Factorize.
+	colsOfBlk := make([][]int, numBlocks)
 	for c, col := range a.Cols() {
 		lo, hi := numBlocks, -1
 		for _, e := range col {
@@ -70,18 +88,26 @@ func NewBackend(std *lp.Standard, rowBlock []int, numBlocks int) (*Backend, erro
 				hi = b
 			}
 		}
-		if hi >= 0 && hi-lo > 1 {
+		if hi < 0 {
+			continue
+		}
+		if hi-lo > 1 {
 			return nil, fmt.Errorf("staircase: column %d spans blocks %d..%d (non-adjacent)", c, lo, hi)
+		}
+		colsOfBlk[lo] = append(colsOfBlk[lo], c)
+		if hi != lo {
+			colsOfBlk[hi] = append(colsOfBlk[hi], c)
 		}
 	}
 	be := &Backend{
-		a:        a,
-		rowBlock: rowBlock,
-		sizes:    sizes,
-		offsets:  make([]int, numBlocks+1),
-		posInBlk: make([]int, a.M),
-		mat:      linalg.NewBlockTriDiag(sizes),
-		permRHS:  make([]float64, a.M),
+		a:         a,
+		rowBlock:  rowBlock,
+		sizes:     sizes,
+		offsets:   make([]int, numBlocks+1),
+		posInBlk:  make([]int, a.M),
+		colsOfBlk: colsOfBlk,
+		mat:       linalg.NewBlockTriDiag(sizes),
+		permRHS:   make([]float64, a.M),
 	}
 	for b := 0; b < numBlocks; b++ {
 		be.offsets[b+1] = be.offsets[b] + sizes[b]
@@ -96,55 +122,83 @@ func NewBackend(std *lp.Standard, rowBlock []int, numBlocks int) (*Backend, erro
 
 // Factorize implements lp.NormalSolver: assemble A·diag(d)·Aᵀ into the
 // block-tridiagonal structure and factorize it.
+//
+// Assembly fans the blocks out across workers (SetWorkers): worker ownership
+// follows the row block, so every matrix element of Diag[b] and Sub[b−1] is
+// written only by the goroutine owning block b, in the same ascending
+// (column, i, j) order as a serial pass — the assembled matrix is
+// bit-identical for every worker count (DESIGN.md §8).
 func (be *Backend) Factorize(d []float64) error {
-	for _, blk := range be.mat.Diag {
-		blk.Zero()
-	}
-	for _, blk := range be.mat.Sub {
-		blk.Zero()
+	cols := be.a.Cols() // build the lazy column view before fanning out
+	if linalg.EffectiveWorkers(be.workers, len(be.sizes)) == 1 {
+		// Direct call: Factorize runs once per IPM iteration inside the
+		// solver's zero-allocation loop, and the parallel branch's closure
+		// literal is heap-allocated even when it would collapse to serial.
+		be.assembleBlocks(d, cols, 0, len(be.sizes))
+	} else {
+		linalg.ParallelRanges(be.workers, len(be.sizes), func(blo, bhi int) {
+			be.assembleBlocks(d, cols, blo, bhi)
+		})
 	}
 	maxDiag := 0.0
-	for c, col := range be.a.Cols() {
-		w := d[c]
-		//sorallint:ignore floatcmp exact-zero sparsity fast path; zero-weight columns contribute nothing to the normal matrix
-		if w == 0 || len(col) == 0 {
-			continue
-		}
-		for i := 0; i < len(col); i++ {
-			ri := col[i].Index
-			bi := be.rowBlock[ri]
-			pi := be.posInBlk[ri]
-			vi := col[i].Val * w
-			for j := 0; j < len(col); j++ {
-				rj := col[j].Index
-				bj := be.rowBlock[rj]
-				pj := be.posInBlk[rj]
-				prod := vi * col[j].Val
-				switch {
-				case bi == bj:
-					be.mat.Diag[bi].Add(pi, pj, prod)
-					if ri == rj {
-						if v := math.Abs(be.mat.Diag[bi].At(pi, pi)); v > maxDiag {
-							maxDiag = v
-						}
-					}
-				case bi == bj+1:
-					be.mat.Sub[bj].Add(pi, pj, prod)
-				// bi+1 == bj handled by the symmetric (j,i) pass.
-				default:
-				}
+	for _, blk := range be.mat.Diag {
+		for i := 0; i < blk.Rows; i++ {
+			if v := math.Abs(blk.At(i, i)); v > maxDiag {
+				maxDiag = v
 			}
 		}
 	}
 	if maxDiag <= 0 {
 		maxDiag = 1
 	}
-	fact, err := linalg.NewBlockTriChol(be.mat, 1e-4*maxDiag+1e-10)
-	if err != nil {
-		return err
+	if be.fact == nil {
+		be.fact = &linalg.BlockTriChol{}
 	}
-	be.fact = fact
-	return nil
+	return be.fact.RefactorizeWorkers(be.mat, 1e-4*maxDiag+1e-10, be.workers)
+}
+
+// assembleBlocks assembles blocks [blo, bhi) of the block-tridiagonal normal
+// matrix: every element of Diag[b] and Sub[b−1] is written only by the call
+// owning block b, in the same ascending (column, i, j) order as a serial
+// pass over all blocks.
+func (be *Backend) assembleBlocks(d []float64, cols [][]lp.Entry, blo, bhi int) {
+	for b := blo; b < bhi; b++ {
+		be.mat.Diag[b].Zero()
+		if b > 0 {
+			be.mat.Sub[b-1].Zero()
+		}
+		for _, c := range be.colsOfBlk[b] {
+			w := d[c]
+			//sorallint:ignore floatcmp exact-zero sparsity fast path; zero-weight columns contribute nothing to the normal matrix
+			if w == 0 {
+				continue
+			}
+			col := cols[c]
+			for i := 0; i < len(col); i++ {
+				ri := col[i].Index
+				if be.rowBlock[ri] != b {
+					continue
+				}
+				pi := be.posInBlk[ri]
+				vi := col[i].Val * w
+				for j := 0; j < len(col); j++ {
+					rj := col[j].Index
+					bj := be.rowBlock[rj]
+					pj := be.posInBlk[rj]
+					prod := vi * col[j].Val
+					switch {
+					case bj == b:
+						be.mat.Diag[b].Add(pi, pj, prod)
+					case bj == b-1:
+						be.mat.Sub[b-1].Add(pi, pj, prod)
+					// bj == b+1 is assembled by block b+1's own pass
+					// (the symmetric (j,i) products land in Sub[b]).
+					default:
+					}
+				}
+			}
+		}
+	}
 }
 
 // Solve implements lp.NormalSolver.
@@ -183,6 +237,7 @@ func Solve(p *lp.Problem, slotOfCons, slotOfVar []int, numBlocks int, opts lp.Op
 	if err != nil {
 		return nil, err
 	}
+	be.SetWorkers(opts.Workers)
 	sol, err := lp.SolveStandard(std, be, opts)
 	if err != nil {
 		return nil, err
