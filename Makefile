@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race obs-race kernels-race check bench
+.PHONY: build test vet lint race obs-race obs-serve kernels-race check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,14 @@ race:
 obs-race:
 	$(GO) test -race -count=2 ./internal/obs/...
 
+# The flight-recorder surfaces: the journal sink is written from the solve
+# path while the /runs feed streams it to subscribers, and replay re-runs a
+# recorded config concurrently with validation. Shuffled double runs under
+# the race detector cover the serve handlers, the feed's drop-oldest ring,
+# and the record/replay round trip.
+obs-serve:
+	$(GO) test -race -shuffle=on -count=2 ./internal/obs/... ./internal/resilience/... ./internal/eval/...
+
 # The parallel structured kernels and their callers (linalg worker pools,
 # lp workspaces, staircase block assembly, AFHC phase fan-out) run twice
 # under the race detector: the determinism tests in these packages spawn
@@ -39,7 +47,14 @@ kernels-race:
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
 # paths), plus the focused telemetry and parallel-kernel race passes.
-check: vet lint race obs-race kernels-race
+check: vet lint race obs-race obs-serve kernels-race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# Smoke test for the regression differ: a snapshot compared against itself
+# must report zero regressions and exit 0. Catches schema drift between the
+# bench writers and the compare loader before a real baseline comparison
+# depends on them.
+bench-compare:
+	$(GO) run ./cmd/soralbench -compare results/BENCH_kernels.json results/BENCH_kernels.json

@@ -7,6 +7,9 @@
 //
 //	soral -config scenario.json
 //	soral -config scenario.json -alg rrhc -window 4 -err 0.15
+//	soral -journal run.jsonl                 # flight-record the run
+//	soral -replay run.jsonl                  # verify it replays bit-identically
+//	soral -serve 127.0.0.1:9090              # live /metrics /healthz /runs
 //
 // A config file looks like:
 //
@@ -20,16 +23,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"runtime/pprof"
 
 	"soral/internal/core"
 	"soral/internal/eval"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/journal"
+	"soral/internal/resilience"
 	"soral/internal/workload"
 )
 
@@ -70,8 +78,22 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
+
+		journalOut = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
+		replayFile = flag.String("replay", "", "replay a recorded journal and verify bit-identical decisions (exits 1 on divergence)")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address (e.g. 127.0.0.1:9090) until interrupted")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the solve (checked at every solver iteration) and, when
+	// serving, ends the linger phase.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *replayFile != "" {
+		replay(ctx, *replayFile)
+		return
+	}
 
 	cfg := defaultConfig()
 	if *cfgPath != "" {
@@ -96,49 +118,12 @@ func main() {
 		cfg.Eps = *eps
 	}
 
-	var scen *eval.Scenario
-	if *instance != "" {
-		f, err := os.Open(*instance)
-		if err != nil {
-			fatal(err)
-		}
-		net, in, err := model.ReadInstance(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		scen = &eval.Scenario{Net: net, In: in}
-	} else {
-		spec := eval.ScenarioSpec{
-			NumTier2: cfg.NumTier2, NumTier1: cfg.NumTier1, K: cfg.K, T: cfg.T,
-			Trace: eval.Trace(cfg.Trace), Seed: cfg.Seed, ReconfWeight: cfg.ReconfWeight,
-		}
-		if *traceFile != "" {
-			f, err := os.Open(*traceFile)
-			if err != nil {
-				fatal(err)
-			}
-			trace, err := workload.LoadCSV(f)
-			f.Close()
-			if err != nil {
-				fatal(err)
-			}
-			spec.CustomTrace = trace
-			if cfg.T > len(trace) {
-				spec.T = len(trace)
-			}
-		}
-		var err error
-		scen, err = eval.Build(spec)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	suite := eval.NewSuite(scen, cfg.Eps)
-
+	// Telemetry registry: needed for file dumps, the verbose summary, and the
+	// /metrics endpoint.
+	serving := *serveAddr != ""
 	var reg *obs.Registry
 	var traceSink *obs.JSONLSink
-	if *traceOut != "" || *metricsOut != "" || *verbose {
+	if *traceOut != "" || *metricsOut != "" || *verbose || serving {
 		reg = obs.NewRegistry()
 		var sink obs.Sink
 		if *traceOut != "" {
@@ -150,8 +135,54 @@ func main() {
 			traceSink = obs.NewJSONLSink(f)
 			sink = traceSink
 		}
-		suite.WithObs(obs.NewScope(reg, sink))
+		eval.SetDefaultObs(obs.NewScope(reg, sink))
 	}
+
+	// Flight recorder: a durable file via -journal, a live feed via -serve,
+	// or both teed through one writer.
+	var jw *journal.Writer
+	var feed *journal.Feed
+	if *journalOut != "" || serving {
+		var jfile *os.File
+		if *journalOut != "" {
+			f, err := os.Create(*journalOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			jfile = f
+		}
+		if serving {
+			feed = journal.NewFeed(0)
+		}
+		if jfile != nil {
+			jw = journal.NewWriter(jfile)
+		} else {
+			jw = journal.NewWriter(nil)
+		}
+		jw.Attach(feed)
+	}
+
+	var health *resilience.Health
+	var srv *obs.Server
+	if serving {
+		health = resilience.NewHealth()
+		eval.SetDefaultHealth(health)
+		var err error
+		srv, err = obs.Serve(ctx, *serveAddr, obs.ServeOptions{
+			Registry: reg,
+			Health: func() (bool, any) {
+				s := health.Snapshot()
+				return s.Healthy(), s
+			},
+			Runs: feed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving:          http://%s/metrics /healthz /runs\n", srv.Addr())
+	}
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -164,24 +195,74 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	runCfg := eval.RunConfig{
+		Algorithm:    cfg.Algorithm,
+		Eps:          cfg.Eps,
+		Window:       cfg.Window,
+		PredictError: cfg.PredictError,
+		PredictSeed:  cfg.Seed + 101,
+	}
+
 	var run *eval.Run
+	var scen *eval.Scenario
 	var err error
-	switch cfg.Algorithm {
-	case "online":
-		run, err = suite.Online()
-	case "greedy", "one-shot":
-		run, err = suite.Greedy()
-	case "offline":
-		run, err = suite.Offline()
-	case "lcpm", "lcp-m":
-		run, err = suite.LCPM()
-	case "fhc", "rhc", "afhc", "rfhc", "rrhc":
-		run, err = suite.Predictive(cfg.Algorithm, cfg.Window, cfg.PredictError, cfg.Seed+101)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", cfg.Algorithm))
+	if *instance != "" {
+		// External instances carry no scenario spec, so the journal gets a
+		// header without an embedded config: auditable, not replayable.
+		f, oerr := os.Open(*instance)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		net, in, oerr := model.ReadInstance(f)
+		f.Close()
+		if oerr != nil {
+			fatal(oerr)
+		}
+		scen = &eval.Scenario{Net: net, In: in}
+		suite := eval.NewSuite(scen, cfg.Eps).WithJournal(jw)
+		suite.Cfg.CoreOpts.Solver.Ctx = ctx
+		jw.Begin(journal.Header{
+			Algorithm:  cfg.Algorithm,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    runtime.GOMAXPROCS(0),
+		})
+		run, err = suite.RunConfigured(runCfg)
+		if err == nil {
+			jw.End(journal.Footer{TotalCost: run.Cost.Total()})
+		}
+	} else {
+		spec := eval.ScenarioSpec{
+			NumTier2: cfg.NumTier2, NumTier1: cfg.NumTier1, K: cfg.K, T: cfg.T,
+			Trace: eval.Trace(cfg.Trace), Seed: cfg.Seed, ReconfWeight: cfg.ReconfWeight,
+		}
+		if *traceFile != "" {
+			f, oerr := os.Open(*traceFile)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			trace, oerr := workload.LoadCSV(f)
+			f.Close()
+			if oerr != nil {
+				fatal(oerr)
+			}
+			spec.CustomTrace = trace
+			if cfg.T > len(trace) {
+				spec.T = len(trace)
+			}
+		}
+		runCfg.Spec = spec
+		run, scen, err = eval.Record(ctx, runCfg, jw)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if jw != nil {
+		if jerr := jw.Err(); jerr != nil {
+			fatal(fmt.Errorf("writing journal: %w", jerr))
+		}
+		if *journalOut != "" {
+			fmt.Fprintf(os.Stderr, "journal:          %s\n", *journalOut)
+		}
 	}
 
 	writeDecisions(scen, run)
@@ -252,6 +333,40 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace:            %s\n", *traceOut)
 	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "serving:          run finished; Ctrl-C to exit\n")
+		<-ctx.Done()
+		<-srv.Done()
+	}
+}
+
+// replay re-runs a recorded journal and verifies every slot's decision
+// digest; divergence exits 1 so CI can gate on determinism.
+func replay(ctx context.Context, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	j, err := journal.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eval.Replay(ctx, j)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "replay:           %s, %d recorded slots\n", res.Algorithm, res.Slots)
+	if res.Clean() {
+		fmt.Fprintf(os.Stderr, "replay:           bit-identical\n")
+		return
+	}
+	for _, m := range res.Mismatches {
+		fmt.Fprintf(os.Stderr, "replay: slot %d %s digest diverged: got %s want %s\n",
+			m.Slot, m.Field, m.Got, m.Want)
+	}
+	os.Exit(1)
 }
 
 func writeDecisions(scen *eval.Scenario, run *eval.Run) {

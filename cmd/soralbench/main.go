@@ -6,6 +6,14 @@
 //	soralbench -exp fig5 -scale small
 //	soralbench -exp all -scale medium -csv out/
 //	soralbench -exp fig4 -series trace.csv   # dump raw demand traces
+//	soralbench -compare old.json new.json    # regression-diff two snapshots
+//	soralbench -serve 127.0.0.1:9090 ...     # live /metrics /healthz /runs
+//
+// With -compare the two BENCH_<name>.json snapshots are paired by
+// experiment name and diffed per metric; the process exits 0 when clean, 1
+// on a statistically significant regression (see EXPERIMENTS.md for the
+// sign-test/min-of-K rule and the -threshold knob), and 2 on a usage or
+// parse error.
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
 // plus two that are not part of all: lint (per-package sorallint wall time,
@@ -25,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -32,6 +41,8 @@ import (
 	"soral/internal/analysis"
 	"soral/internal/eval"
 	"soral/internal/obs"
+	"soral/internal/obs/journal"
+	"soral/internal/resilience"
 	"soral/internal/workload"
 )
 
@@ -50,8 +61,17 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a JSONL telemetry trace to this file")
 		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
+
+		compareRun = flag.Bool("compare", false, "diff two BENCH_<name>.json snapshots (old new); exit 1 on regression")
+		threshold  = flag.Float64("threshold", 0, "relative worsening τ that fails -compare (default 0.20)")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address while experiments run")
 	)
 	flag.Parse()
+
+	if *compareRun {
+		compareMain(flag.Args(), *threshold)
+		return
+	}
 
 	// Ctrl-C cancels the eval fan-outs (parallelRows stops launching rows and
 	// returns the context error) instead of killing mid-write.
@@ -66,9 +86,10 @@ func main() {
 
 	// One registry for the whole process: experiments build their own Suites
 	// internally, so the scope is installed as the eval-package default.
+	serving := *serveAddr != ""
 	var reg *obs.Registry
 	var traceSink *obs.JSONLSink
-	if *jsonDir != "" || *traceOut != "" || *metricsOut != "" {
+	if *jsonDir != "" || *traceOut != "" || *metricsOut != "" || serving {
 		reg = obs.NewRegistry()
 		var sink obs.Sink
 		if *traceOut != "" {
@@ -81,6 +102,34 @@ func main() {
 			sink = traceSink
 		}
 		eval.SetDefaultObs(obs.NewScope(reg, sink))
+	}
+	var srv *obs.Server
+	if serving {
+		// One journal window spans the whole bench process: every suite the
+		// experiments build streams its slot records into /runs (slot indices
+		// restart per run — the stream is a live tail, not a single-run
+		// journal file), and /healthz aggregates degradation across all of
+		// them.
+		health := resilience.NewHealth()
+		eval.SetDefaultHealth(health)
+		feed := journal.NewFeed(0)
+		jw := journal.NewWriter(nil).Attach(feed)
+		jw.Begin(journal.Header{Algorithm: "bench", GoMaxProcs: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0)})
+		eval.SetDefaultJournal(jw)
+		defer jw.End(journal.Footer{})
+		var err error
+		srv, err = obs.Serve(ctx, *serveAddr, obs.ServeOptions{
+			Registry: reg,
+			Health: func() (bool, any) {
+				s := health.Snapshot()
+				return s.Healthy(), s
+			},
+			Runs: feed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "# serving http://%s/metrics /healthz /runs\n", srv.Addr())
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -236,6 +285,43 @@ func main() {
 		if err := traceSink.Err(); err != nil {
 			fatal(fmt.Errorf("writing trace %s: %w", *traceOut, err))
 		}
+	}
+	if srv != nil {
+		fmt.Fprintln(os.Stderr, "# experiments finished; serving until interrupted (Ctrl-C to exit)")
+		<-ctx.Done()
+		<-srv.Done()
+	}
+}
+
+// compareMain implements -compare: load two BENCH snapshots, diff them, and
+// exit 0 (clean), 1 (regression), or 2 (usage/parse error).
+func compareMain(args []string, threshold float64) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "soralbench: -compare needs exactly two files: old.json new.json")
+		os.Exit(2)
+	}
+	load := func(path string) []eval.BenchEntry {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soralbench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		entries, err := eval.LoadBench(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soralbench: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return entries
+	}
+	oldE, newE := load(args[0]), load(args[1])
+	diff := eval.Compare(oldE, newE, eval.CompareOptions{Threshold: threshold})
+	if err := diff.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soralbench:", err)
+		os.Exit(2)
+	}
+	if diff.Regressed() {
+		os.Exit(1)
 	}
 }
 

@@ -12,6 +12,19 @@ var solverPackages = map[string]bool{
 	"lp": true, "convex": true, "admm": true, "core": true, "control": true,
 }
 
+// servicePackages are the observability packages whose long-running exported
+// entry points (Serve*, Replay*, Record*) must take a context: an exposition
+// server or a journal replay with no cancellation route cannot be shut down.
+// Unlike solver packages they may mint root contexts — eval.DefaultContext
+// and the server's shutdown grace period legitimately start from Background.
+var servicePackages = map[string]bool{
+	"obs": true, "eval": true, "journal": true,
+}
+
+// serviceEntryPrefixes are the exported-name prefixes the service rule
+// covers.
+var serviceEntryPrefixes = []string{"Serve", "Replay", "Record"}
+
 // CtxFlow enforces context plumbing through the solver stack. An exported
 // entry point (a function whose name starts with "Solve", or that takes a
 // solver Options/Config parameter) must accept a context.Context — either
@@ -21,13 +34,15 @@ var solverPackages = map[string]bool{
 // fresh context severs the caller's cancellation instead of propagating it.
 var CtxFlow = &Analyzer{
 	Name:      "ctxflow",
-	Doc:       "solver entry points must accept and propagate context.Context",
+	Doc:       "solver and service entry points must accept and propagate context.Context",
 	SkipTests: true,
 	Run:       runCtxFlow,
 }
 
 func runCtxFlow(pass *Pass) {
-	if !solverPackages[lastSegment(pass.Pkg.Path)] {
+	pkg := lastSegment(pass.Pkg.Path)
+	solver, service := solverPackages[pkg], servicePackages[pkg]
+	if !solver && !service {
 		return
 	}
 	info := pass.Info()
@@ -44,13 +59,24 @@ func runCtxFlow(pass *Pass) {
 				continue
 			}
 			sig := fn.Type().(*types.Signature)
-			if !isEntryPoint(fd.Name.Name, sig) {
-				continue
+			switch {
+			case solver && isEntryPoint(fd.Name.Name, sig):
+				if !acceptsContext(sig) {
+					pass.Reportf(fd.Name.Pos(),
+						"exported solver entry point %s accepts no context.Context (directly or via an Options/Config ctx field); cancellation cannot reach the solve loop", fd.Name.Name)
+				}
+			case service && isServiceEntryPoint(fd.Name.Name):
+				if !acceptsContext(sig) {
+					pass.Reportf(fd.Name.Pos(),
+						"exported service entry point %s accepts no context.Context; the server/replay cannot be shut down", fd.Name.Name)
+				}
 			}
-			if !acceptsContext(sig) {
-				pass.Reportf(fd.Name.Pos(),
-					"exported solver entry point %s accepts no context.Context (directly or via an Options/Config ctx field); cancellation cannot reach the solve loop", fd.Name.Name)
-			}
+		}
+		if !solver {
+			// Service packages may mint root contexts (eval.DefaultContext,
+			// the server's shutdown grace period); only solver packages are
+			// held to strict propagation.
+			continue
 		}
 		// Propagation: a solver package must never mint its own root context.
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -67,6 +93,17 @@ func runCtxFlow(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// isServiceEntryPoint reports whether an exported function name falls under
+// the service rule (Serve*, Replay*, Record*).
+func isServiceEntryPoint(name string) bool {
+	for _, p := range serviceEntryPrefixes {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
 }
 
 // isEntryPoint decides whether an exported function is a solver entry

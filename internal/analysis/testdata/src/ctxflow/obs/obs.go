@@ -1,0 +1,57 @@
+// Package obs mirrors the real observability package: its long-running
+// exported entry points (Serve*, Replay*, Record*) must take a context so
+// the server or replay can be shut down, but unlike solver packages it may
+// mint root contexts (the shutdown grace period legitimately starts from
+// Background).
+package obs
+
+import "context"
+
+type Options struct{}
+
+func Serve(addr string, o Options) error { // want `ctxflow: exported service entry point Serve accepts no context.Context`
+	return nil
+}
+
+func ServeMetrics(ctx context.Context, addr string) error {
+	_ = ctx
+	return nil
+}
+
+func Replay(data []byte) error { // want `ctxflow: exported service entry point Replay accepts no context.Context`
+	return nil
+}
+
+func ReplayJournal(ctx context.Context, data []byte) error {
+	_ = ctx
+	return nil
+}
+
+func Record(name string) error { // want `ctxflow: exported service entry point Record accepts no context.Context`
+	return nil
+}
+
+func RecordRun(ctx context.Context, name string) error {
+	_ = ctx
+	return nil
+}
+
+// Other exported names are outside the service rule: a snapshot accessor
+// needs no cancellation route.
+func Snapshot() map[string]float64 { return nil }
+
+// Unexported helpers are exempt whatever their name.
+func serveLoop(addr string) error { return nil }
+
+// Methods are exempt: the rule targets package-level entry points.
+type Server struct{}
+
+func (s *Server) Serve() error { return nil }
+
+// A service package may mint a root context — the post-cancel shutdown
+// grace period has no live parent to inherit from.
+func shutdownGrace() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 2)
+	_ = cancel
+	return ctx
+}

@@ -7,6 +7,8 @@ import (
 	"soral/internal/lp"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/journal"
+	"soral/internal/resilience"
 	"soral/internal/staircase"
 )
 
@@ -28,6 +30,17 @@ type Config struct {
 	// solves (unless those Options already carry their own scope). The sink
 	// must be goroutine-safe: LCP-M's prefix solves emit concurrently.
 	Obs *obs.Scope
+
+	// Journal, when non-nil, is threaded into the core solves so the online
+	// pipeline flight-records every committed slot (unless CoreOpts already
+	// carries its own writer). Controllers that commit slots outside
+	// core.Online (the predictive family) are journaled post-hoc by the
+	// evaluation harness instead.
+	Journal *journal.Writer
+
+	// Health, when non-nil, is threaded into the core solves so /healthz
+	// reflects the online pipeline's degradation state.
+	Health *resilience.Health
 }
 
 func (c *Config) denseLimit() int {
@@ -46,11 +59,18 @@ func (c *Config) lpOpts() lp.Options {
 	return o
 }
 
-// coreOpts returns the core options with the config's scope injected.
+// coreOpts returns the core options with the config's telemetry, journal,
+// and health sinks injected.
 func (c *Config) coreOpts() core.Options {
 	o := c.CoreOpts
 	if o.Obs == nil {
 		o.Obs = c.Obs
+	}
+	if o.Journal == nil {
+		o.Journal = c.Journal
+	}
+	if o.Health == nil {
+		o.Health = c.Health
 	}
 	return o
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+	"soral/internal/obs/journal"
+	"soral/internal/resilience"
+)
+
+// TestOnlineJournalsEverySlot runs the online algorithm with a flight
+// recorder attached and checks that the journal parses, covers every slot,
+// and that its digests and objective terms reconcile with the decisions and
+// the accountant — the invariants replay relies on.
+func TestOnlineJournalsEverySlot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := model.RandomNetwork(rng, 3, 3, 2, 20)
+	in := model.RandomInputs(rng, n, 8)
+
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+	health := resilience.NewHealth()
+	opts := DefaultOptions()
+	opts.Journal = w
+	opts.Health = health
+
+	w.Begin(journal.Header{Algorithm: "online", ConfigDigest: journal.DigestBytes([]byte("test")), Seed: 7})
+	seq, rep, err := RunOnlineReport(n, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.End(journal.Footer{})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatalf("journal does not parse: %v", err)
+	}
+	if len(j.Slots) != in.T || j.Footer == nil || j.Footer.Slots != in.T {
+		t.Fatalf("journal has %d slots (footer %+v), want %d", len(j.Slots), j.Footer, in.T)
+	}
+
+	acct := model.Accountant{Net: n, In: in}
+	prev := model.NewZeroDecision(n)
+	for ts, rec := range j.Slots {
+		if rec.Slot != ts {
+			t.Fatalf("record %d has slot %d", ts, rec.Slot)
+		}
+		if want := journal.Digest(in.Workload[ts], in.PriceT2[ts]); rec.InputsDigest != want {
+			t.Fatalf("slot %d inputs digest = %s, want %s", ts, rec.InputsDigest, want)
+		}
+		d := seq[ts]
+		if want := journal.Digest(d.X, d.Y, d.Z); rec.DecisionDigest != want {
+			t.Fatalf("slot %d decision digest = %s, want %s", ts, rec.DecisionDigest, want)
+		}
+		cost := acct.SlotCost(ts, prev, d)
+		if rec.AllocCost != cost.Allocation() || rec.ReconfCost != cost.Reconfiguration() {
+			t.Fatalf("slot %d costs = (%g, %g), want (%g, %g)",
+				ts, rec.AllocCost, rec.ReconfCost, cost.Allocation(), cost.Reconfiguration())
+		}
+		if rec.Status != rep.Slots[ts].Status.String() {
+			t.Fatalf("slot %d status = %q, report says %q", ts, rec.Status, rep.Slots[ts].Status)
+		}
+		prev = d
+	}
+
+	hs := health.Snapshot()
+	if hs.Slots != in.T || !hs.Healthy() || hs.LastSlot != in.T-1 {
+		t.Fatalf("health snapshot = %+v, want %d healthy slots ending at %d", hs, in.T, in.T-1)
+	}
+}
+
+// TestOnlineJournalRecordsDegradation forces the whole ladder to fail so the
+// first slot carries forward, then checks both sinks report it: the journal
+// record is marked degraded with the carry tactic as its rung, and the
+// health tracker flips to the degraded state /healthz answers 503 from.
+func TestOnlineJournalRecordsDegradation(t *testing.T) {
+	n := oneByOne(t, 5, 5, 1)
+	in := inputsFor([]float64{4, 3}, []float64{1, 1})
+
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+	health := resilience.NewHealth()
+	opts := DefaultOptions()
+	opts.Journal = w
+	opts.Health = health
+	opts.Solver.Fault = &resilience.FaultPlan{InjectNaN: true, InjectNaNAt: 0}
+
+	w.Begin(journal.Header{Algorithm: "online", ConfigDigest: journal.DigestBytes([]byte("test")), Seed: 1})
+	o, err := NewOnline(n, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Step(); err != nil {
+		t.Fatalf("degraded slot must not abort: %v", err)
+	}
+
+	if hs := health.Snapshot(); hs.Healthy() || hs.ConsecutiveDegraded != 1 {
+		t.Fatalf("health after degraded slot = %+v, want degraded streak of 1", hs)
+	}
+
+	w.End(journal.Footer{})
+	j, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := j.Slots[0]
+	if rec.Status != journal.StatusDegraded {
+		t.Fatalf("journal status = %q, want %q", rec.Status, journal.StatusDegraded)
+	}
+	if rec.Rung == "" {
+		t.Fatal("degraded record is missing its carry tactic rung")
+	}
+	if j.Footer.Degraded != 1 {
+		t.Fatalf("footer degraded = %d, want 1", j.Footer.Degraded)
+	}
+}

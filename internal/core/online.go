@@ -7,6 +7,7 @@ import (
 	"soral/internal/lp"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/journal"
 	"soral/internal/resilience"
 )
 
@@ -29,6 +30,16 @@ type Options struct {
 	// whole run automatically; set it only when driving SolveP2Resilient
 	// directly. Not safe for concurrent solves.
 	LPWork *lp.Workspace
+
+	// Journal, when non-nil, receives one flight-recorder record per
+	// committed slot (input/decision digests, objective terms, resilience
+	// outcome, duration/iterations). The caller writes the run header and
+	// footer; Online.Step writes only slot records. Nil disables journaling.
+	Journal *journal.Writer
+
+	// Health, when non-nil, tracks the run's degradation state for the
+	// /healthz exposition endpoint. Nil disables tracking.
+	Health *resilience.Health
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -137,9 +148,34 @@ func (o *Online) Step() (*model.Decision, error) {
 	sr.Duration = span.End()
 	sr.Iterations = int(slotScope.CounterValue(obs.MetricSolverIters) - itersBefore)
 	o.report.Slots = append(o.report.Slots, sr)
+	o.recordCommit(dec, sr)
 	o.prev = dec
 	o.t++
 	return dec, nil
+}
+
+// recordCommit feeds the flight recorder and the health tracker at the
+// moment slot sr.Slot commits decision dec (o.prev still holds the previous
+// slot's decision). Both sinks are nil-safe, so the disabled path costs two
+// branches.
+func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
+	o.Opts.Health.RecordSlot(sr.Slot, sr.Status.String())
+	if o.Opts.Journal == nil {
+		return
+	}
+	acct := model.Accountant{Net: o.Net, In: o.In}
+	cost := acct.SlotCost(sr.Slot, o.prev, dec)
+	o.Opts.Journal.Slot(journal.SlotRecord{
+		Slot:           sr.Slot,
+		InputsDigest:   journal.Digest(o.In.Workload[sr.Slot], o.In.PriceT2[sr.Slot]),
+		DecisionDigest: journal.Digest(dec.X, dec.Y, dec.Z),
+		AllocCost:      cost.Allocation(),
+		ReconfCost:     cost.Reconfiguration(),
+		Status:         sr.Status.String(),
+		Rung:           sr.Rung,
+		DurNS:          sr.Duration.Nanoseconds(),
+		Iters:          sr.Iterations,
+	})
 }
 
 // Run executes the remaining slots and returns all decisions made.

@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func kernelEntries(scale float64, bitIdentical bool) []BenchEntry {
+	names := []string{"cholesky/n=64/w=1", "symrankk/n=64/w=1", "assemble/n=64/w=1", "blocktri/n=64/w=1"}
+	base := []float64{45511, 72420, 2867, 9832}
+	out := make([]BenchEntry, len(names))
+	for i := range names {
+		bi := bitIdentical
+		out[i] = BenchEntry{
+			Name: names[i],
+			Metrics: map[string]float64{
+				"ns_per_op": base[i] * scale,
+				"speedup":   1.7,
+			},
+			BitIdentical: &bi,
+		}
+	}
+	return out
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	old := kernelEntries(1, true)
+	diff := Compare(old, kernelEntries(1, true), CompareOptions{})
+	if diff.Regressed() {
+		var sb strings.Builder
+		_ = diff.WriteText(&sb)
+		t.Fatalf("identical snapshots regressed:\n%s", sb.String())
+	}
+	for _, f := range diff.Families {
+		if f.Worse != 0 || f.Median != 0 {
+			t.Fatalf("identical snapshot family %+v has nonzero drift", f)
+		}
+	}
+}
+
+func TestCompareUniformSlowdownFails(t *testing.T) {
+	diff := Compare(kernelEntries(1, true), kernelEntries(2, true), CompareOptions{})
+	if !diff.Regressed() {
+		t.Fatal("2x slowdown across every kernel did not regress")
+	}
+	var hit *FamilyVerdict
+	for i := range diff.Families {
+		if diff.Families[i].Metric == "ns_per_op" {
+			hit = &diff.Families[i]
+		}
+	}
+	if hit == nil || !hit.Regressed {
+		t.Fatalf("ns_per_op family not flagged: %+v", diff.Families)
+	}
+	if hit.Rule != "sign-test" && hit.Rule != "min-of-k" {
+		t.Fatalf("rule = %q, want sign-test or min-of-k", hit.Rule)
+	}
+}
+
+func TestCompareNoiseBelowHalfThresholdPasses(t *testing.T) {
+	// A uniform 5% drift is below τ/2 = 10%: the sign test's median gate and
+	// min-of-K's floor both hold it back.
+	diff := Compare(kernelEntries(1, true), kernelEntries(1.05, true), CompareOptions{})
+	if diff.Regressed() {
+		t.Fatal("5% drift regressed at the default 20% threshold")
+	}
+	// Tightening τ to 8% makes the same drift a regression.
+	diff = Compare(kernelEntries(1, true), kernelEntries(1.05, true), CompareOptions{Threshold: 0.08})
+	if !diff.Regressed() {
+		t.Fatal("5% drift passed at an 8% threshold")
+	}
+}
+
+func TestCompareBitIdentityBreakIsUnconditional(t *testing.T) {
+	// Timings improve, but a kernel lost bit identity: still a regression.
+	diff := Compare(kernelEntries(1, true), kernelEntries(0.5, false), CompareOptions{})
+	if !diff.Regressed() {
+		t.Fatal("bit-identity break did not regress")
+	}
+	if len(diff.BitBreaks) != 4 {
+		t.Fatalf("bit breaks = %v, want all four cells", diff.BitBreaks)
+	}
+}
+
+func TestCompareSingleEntryNeedsFullThreshold(t *testing.T) {
+	mk := func(ns float64) []BenchEntry {
+		return []BenchEntry{{Name: "fig5", Metrics: map[string]float64{"ns_per_op": ns}}}
+	}
+	if Compare(mk(100), mk(115), CompareOptions{}).Regressed() {
+		t.Fatal("15% single-entry drift regressed below τ")
+	}
+	if !Compare(mk(100), mk(130), CompareOptions{}).Regressed() {
+		t.Fatal("30% single-entry drift passed")
+	}
+}
+
+func TestCompareSpeedupDirection(t *testing.T) {
+	mk := func(sp float64) []BenchEntry {
+		out := make([]BenchEntry, 3)
+		for i, n := range []string{"a", "b", "c"} {
+			out[i] = BenchEntry{Name: n, Metrics: map[string]float64{"speedup": sp}}
+		}
+		return out
+	}
+	// Speedup dropping from 2.0 to 1.5 is a 25% worsening.
+	if !Compare(mk(2.0), mk(1.5), CompareOptions{}).Regressed() {
+		t.Fatal("parallel speedup collapse passed")
+	}
+	// Speedup rising is an improvement, not a regression.
+	if Compare(mk(1.5), mk(2.0), CompareOptions{}).Regressed() {
+		t.Fatal("speedup improvement regressed")
+	}
+}
+
+func TestCompareUnpairedEntriesReportedNotFailed(t *testing.T) {
+	old := []BenchEntry{{Name: "gone", Metrics: map[string]float64{"ns_per_op": 1}}}
+	newE := []BenchEntry{{Name: "fresh", Metrics: map[string]float64{"ns_per_op": 1}}}
+	diff := Compare(old, newE, CompareOptions{})
+	if diff.Regressed() {
+		t.Fatal("coverage change alone regressed")
+	}
+	if len(diff.OnlyOld) != 1 || diff.OnlyOld[0] != "gone" {
+		t.Fatalf("OnlyOld = %v", diff.OnlyOld)
+	}
+	if len(diff.OnlyNew) != 1 || diff.OnlyNew[0] != "fresh" {
+		t.Fatalf("OnlyNew = %v", diff.OnlyNew)
+	}
+}
+
+func TestBinomTailExact(t *testing.T) {
+	cases := []struct {
+		n, w int
+		want float64
+	}{
+		{5, 5, 1.0 / 32},
+		{5, 0, 1},
+		{4, 4, 1.0 / 16},
+		{10, 9, 11.0 / 1024}, // C(10,9)+C(10,10) = 11
+		{1, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := binomTail(c.n, c.w); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("binomTail(%d,%d) = %g, want %g", c.n, c.w, got, c.want)
+		}
+	}
+}
+
+func TestLoadBenchBothSchemas(t *testing.T) {
+	kernels := `{"cores":4,"gomaxprocs":4,"results":[
+		{"kernel":"cholesky","n":64,"workers":2,"iters":10,"ns_per_op":100,"speedup":1.5,"bit_identical":true}]}`
+	entries, err := LoadBench(strings.NewReader(kernels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "cholesky/n=64/w=2" {
+		t.Fatalf("kernel entries = %+v", entries)
+	}
+	if entries[0].BitIdentical == nil || !*entries[0].BitIdentical {
+		t.Fatalf("bit_identical not carried: %+v", entries[0])
+	}
+
+	exp := `{"name":"fig5","iters":1,"ns_per_op":1234,
+		"solver_iterations":{"lp.mehrotra.iterations":50},"total_solver_iterations":70}`
+	entries, err = LoadBench(strings.NewReader(exp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name != "fig5" {
+		t.Fatalf("experiment entries = %+v", entries)
+	}
+	m := entries[0].Metrics
+	if m["ns_per_op"] != 1234 || m["total_solver_iterations"] != 70 || m["solver_iterations.lp.mehrotra.iterations"] != 50 {
+		t.Fatalf("metrics = %v", m)
+	}
+
+	if _, err := LoadBench(strings.NewReader(`{"neither":true}`)); err == nil {
+		t.Fatal("schema-less JSON accepted")
+	}
+}

@@ -1,0 +1,213 @@
+package eval
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"soral/internal/linalg"
+	"soral/internal/model"
+	"soral/internal/obs/journal"
+	"soral/internal/resilience"
+)
+
+// RunConfig is the canonical, replayable description of one run: scenario
+// spec, algorithm, and every knob that shapes the decisions. Journal headers
+// embed its JSON encoding; Replay unmarshals it back and re-runs it, so any
+// field affecting a decision must live here (DESIGN.md §9).
+type RunConfig struct {
+	Spec      ScenarioSpec `json:"spec"`
+	Algorithm string       `json:"algorithm"`
+	// Eps is the regularization parameter ε = ε′ (0 selects the paper
+	// default 10⁻²).
+	Eps float64 `json:"eps,omitempty"`
+	// Window, PredictError, and PredictSeed configure the predictive
+	// controllers and are ignored by the rest.
+	Window       int     `json:"window,omitempty"`
+	PredictError float64 `json:"predict_error,omitempty"`
+	PredictSeed  int64   `json:"predict_seed,omitempty"`
+}
+
+// canonical normalizes the config so its JSON encoding (and hence the
+// journal's config digest) does not depend on which zero-valued knobs the
+// caller spelled out.
+func (c RunConfig) canonical() RunConfig {
+	c.Spec = c.Spec.withDefaults()
+	if c.Eps <= 0 {
+		c.Eps = 1e-2
+	}
+	return c
+}
+
+// RunConfigured dispatches one algorithm run by name. It is the single
+// switch shared by cmd/soral, the flight recorder, and replay.
+func (s *Suite) RunConfigured(cfg RunConfig) (*Run, error) {
+	switch cfg.Algorithm {
+	case "online":
+		return s.Online()
+	case "greedy", "one-shot":
+		return s.Greedy()
+	case "offline":
+		return s.Offline()
+	case "lcpm", "lcp-m":
+		return s.LCPM()
+	case "fhc", "rhc", "afhc", "rfhc", "rrhc":
+		return s.Predictive(cfg.Algorithm, cfg.Window, cfg.PredictError, cfg.PredictSeed)
+	default:
+		return nil, fmt.Errorf("eval: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+// WithJournal attaches a flight-recorder writer to the suite's runs (nil
+// detaches). The online pipeline journals at commit time inside core; every
+// other algorithm is journaled post-hoc by account.
+func (s *Suite) WithJournal(w *journal.Writer) *Suite {
+	s.Cfg.Journal = w
+	return s
+}
+
+// WithHealth attaches a degradation tracker to the suite's runs (nil
+// detaches).
+func (s *Suite) WithHealth(h *resilience.Health) *Suite {
+	s.Cfg.Health = h
+	return s
+}
+
+// Record builds the scenario for cfg, runs it with the flight recorder
+// attached, and writes the full journal (header, per-slot records, footer).
+// On a run error the journal is left footerless — the mark of a run that
+// died mid-flight — and the error is returned. The caller owns flushing and
+// closing the writer's underlying file. A nil writer degrades Record to a
+// plain configured run (every journal method no-ops).
+func Record(ctx context.Context, cfg RunConfig, w *journal.Writer) (*Run, *Scenario, error) {
+	cfg = cfg.canonical()
+	scen, err := Build(cfg.Spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite := NewSuite(scen, cfg.Eps).WithJournal(w)
+	suite.Cfg.CoreOpts.Solver.Ctx = ctx
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: encoding run config: %w", err)
+	}
+	w.Begin(journal.Header{
+		Algorithm:    cfg.Algorithm,
+		ConfigDigest: journal.DigestBytes(raw),
+		Config:       raw,
+		Seed:         cfg.Spec.Seed,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      linalg.ResolveWorkers(suite.Cfg.CoreOpts.Solver.Workers),
+	})
+	start := time.Now()
+	run, err := suite.RunConfigured(cfg)
+	if err != nil {
+		return nil, scen, err
+	}
+	footer := journal.Footer{
+		TotalCost: run.Cost.Total(),
+		DurNS:     time.Since(start).Nanoseconds(),
+	}
+	if run.Report != nil {
+		footer.TotalIters = run.Report.TotalIterations()
+	}
+	w.End(footer)
+	return run, scen, w.Err()
+}
+
+// SlotMismatch is one replay divergence: a recorded digest the re-run did
+// not reproduce.
+type SlotMismatch struct {
+	Slot  int    `json:"slot"`
+	Field string `json:"field"` // "inputs" or "decision"
+	Got   string `json:"got"`
+	Want  string `json:"want"` // the recorded digest
+}
+
+// ReplayResult is the verdict of replaying a journal against a fresh run.
+type ReplayResult struct {
+	Algorithm  string         `json:"algorithm"`
+	Slots      int            `json:"slots"` // recorded slots compared
+	Mismatches []SlotMismatch `json:"mismatches,omitempty"`
+}
+
+// Clean reports whether every recorded digest was reproduced bit-identically.
+func (r *ReplayResult) Clean() bool { return len(r.Mismatches) == 0 }
+
+// Replay re-runs a recorded journal from its embedded config and verifies
+// the re-run reproduces every recorded slot digest bit-for-bit: inputs
+// digests check that the scenario rebuild is faithful, decision digests
+// check the determinism contract of DESIGN.md §8 (decisions must not depend
+// on GOMAXPROCS, worker count, or the recording machine). A footerless
+// journal replays its recorded prefix.
+func Replay(ctx context.Context, j *journal.Journal) (*ReplayResult, error) {
+	if !j.Replayable() {
+		return nil, fmt.Errorf("eval: journal embeds no config (recorded with an external instance?)")
+	}
+	var cfg RunConfig
+	if err := json.Unmarshal(j.Header.Config, &cfg); err != nil {
+		return nil, fmt.Errorf("eval: decoding journal config: %w", err)
+	}
+	cfg = cfg.canonical()
+	scen, err := Build(cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("eval: rebuilding scenario: %w", err)
+	}
+	suite := NewSuite(scen, cfg.Eps).WithJournal(nil).WithHealth(nil)
+	suite.Cfg.CoreOpts.Solver.Ctx = ctx
+	run, err := suite.RunConfigured(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: re-running %s: %w", cfg.Algorithm, err)
+	}
+	res := &ReplayResult{Algorithm: cfg.Algorithm, Slots: len(j.Slots)}
+	for _, rec := range j.Slots {
+		t := rec.Slot
+		if t < 0 || t >= scen.In.T {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{
+				Slot: t, Field: "inputs", Got: "slot outside rebuilt horizon", Want: rec.InputsDigest,
+			})
+			continue
+		}
+		if got := journal.Digest(scen.In.Workload[t], scen.In.PriceT2[t]); got != rec.InputsDigest {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{Slot: t, Field: "inputs", Got: got, Want: rec.InputsDigest})
+		}
+		if t >= len(run.Decisions) {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{
+				Slot: t, Field: "decision", Got: "re-run decided fewer slots", Want: rec.DecisionDigest,
+			})
+			continue
+		}
+		d := run.Decisions[t]
+		if got := journal.Digest(d.X, d.Y, d.Z); got != rec.DecisionDigest {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{Slot: t, Field: "decision", Got: got, Want: rec.DecisionDigest})
+		}
+	}
+	return res, nil
+}
+
+// journalPostHoc writes slot records for algorithms that decide outside
+// core.Online (offline, one-shot, LCP-M, the predictive family): digests and
+// objective terms are exact, durations and iteration counts are not
+// attributable per slot and stay zero.
+func (s *Suite) journalPostHoc(seq []*model.Decision) {
+	w := s.Cfg.Journal
+	if w == nil {
+		return
+	}
+	acct := model.Accountant{Net: s.Scen.Net, In: s.Scen.In}
+	prev := model.NewZeroDecision(s.Scen.Net)
+	for t, d := range seq {
+		cost := acct.SlotCost(t, prev, d)
+		w.Slot(journal.SlotRecord{
+			Slot:           t,
+			InputsDigest:   journal.Digest(s.Scen.In.Workload[t], s.Scen.In.PriceT2[t]),
+			DecisionDigest: journal.Digest(d.X, d.Y, d.Z),
+			AllocCost:      cost.Allocation(),
+			ReconfCost:     cost.Reconfiguration(),
+			Status:         journal.StatusOK,
+		})
+		prev = d
+	}
+}

@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"soral/internal/obs/journal"
+)
+
+func replaySpec() ScenarioSpec {
+	return ScenarioSpec{NumTier2: 2, NumTier1: 3, K: 1, T: 6, Trace: TraceWikipedia, Seed: 3, ReconfWeight: 10}
+}
+
+// TestRecordReplayRoundTrip is the tentpole acceptance check: a recorded run
+// replays bit-identically from nothing but its own journal.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	for _, alg := range []string{"online", "greedy", "rfhc"} {
+		cfg := RunConfig{Spec: replaySpec(), Algorithm: alg, Window: 2, PredictSeed: 11}
+		var buf bytes.Buffer
+		w := journal.NewWriter(&buf)
+		run, _, err := Record(context.Background(), cfg, w)
+		if err != nil {
+			t.Fatalf("%s: record: %v", alg, err)
+		}
+		j, err := journal.Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: recorded journal invalid: %v", alg, err)
+		}
+		if !j.Replayable() {
+			t.Fatalf("%s: recorded journal not replayable", alg)
+		}
+		if len(j.Slots) != cfg.Spec.T {
+			t.Fatalf("%s: journal has %d slots, want %d", alg, len(j.Slots), cfg.Spec.T)
+		}
+		if j.Footer == nil || j.Footer.TotalCost != run.Cost.Total() {
+			t.Fatalf("%s: footer %+v does not carry the run objective %g", alg, j.Footer, run.Cost.Total())
+		}
+		res, err := Replay(context.Background(), j)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", alg, err)
+		}
+		if !res.Clean() {
+			t.Fatalf("%s: replay diverged: %+v", alg, res.Mismatches)
+		}
+		if res.Slots != cfg.Spec.T {
+			t.Fatalf("%s: replay compared %d slots, want %d", alg, res.Slots, cfg.Spec.T)
+		}
+	}
+}
+
+// TestReplayDetectsTamper flips one digest in a recorded journal and checks
+// replay reports exactly that slot.
+func TestReplayDetectsTamper(t *testing.T) {
+	cfg := RunConfig{Spec: replaySpec(), Algorithm: "online"}
+	var buf bytes.Buffer
+	if _, _, err := Record(context.Background(), cfg, journal.NewWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Slots[2].DecisionDigest = journal.Digest([]float64{42})
+	res, err := Replay(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean() {
+		t.Fatal("tampered digest replayed clean")
+	}
+	if len(res.Mismatches) != 1 || res.Mismatches[0].Slot != 2 || res.Mismatches[0].Field != "decision" {
+		t.Fatalf("mismatches = %+v, want one decision mismatch at slot 2", res.Mismatches)
+	}
+}
+
+func TestReplayRejectsConfiglessJournal(t *testing.T) {
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+	w.Begin(journal.Header{Algorithm: "online"})
+	w.End(journal.Footer{})
+	j, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(context.Background(), j); err == nil || !strings.Contains(err.Error(), "no config") {
+		t.Fatalf("err = %v, want not-replayable", err)
+	}
+}
+
+// TestRecordCancellation: a canceled context aborts the run and leaves the
+// journal footerless — the reader must still accept the prefix.
+func TestRecordCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := RunConfig{Spec: replaySpec(), Algorithm: "online"}
+	var buf bytes.Buffer
+	if _, _, err := Record(ctx, cfg, journal.NewWriter(&buf)); err == nil {
+		t.Fatal("canceled record did not error")
+	}
+	j, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatalf("mid-flight journal rejected: %v", err)
+	}
+	if j.Footer != nil {
+		t.Fatal("aborted run wrote a footer")
+	}
+}
+
+// TestConfigDigestCanonical: spelling out default knobs or leaving them zero
+// must yield the same embedded config, so journal digests pair up across
+// sloppy and explicit invocations.
+func TestConfigDigestCanonical(t *testing.T) {
+	implicit := RunConfig{Spec: ScenarioSpec{NumTier2: 2, NumTier1: 3, K: 1, T: 4}, Algorithm: "online"}
+	explicit := implicit
+	explicit.Eps = 1e-2
+	explicit.Spec.Trace = TraceWikipedia
+	explicit.Spec.Seed = 1
+	explicit.Spec.PeakLoad = 40
+	explicit.Spec.ElecScale = 0.01
+
+	record := func(cfg RunConfig) string {
+		var buf bytes.Buffer
+		if _, _, err := Record(context.Background(), cfg, journal.NewWriter(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		j, err := journal.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.Header.ConfigDigest
+	}
+	if a, b := record(implicit), record(explicit); a != b {
+		t.Fatalf("config digest differs between implicit (%s) and explicit (%s) defaults", a, b)
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"soral/internal/core"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/journal"
 	"soral/internal/predict"
+	"soral/internal/resilience"
 )
 
 // Run is the outcome of one algorithm on one scenario.
@@ -50,6 +52,29 @@ func SetDefaultObs(sc *obs.Scope) { defaultObs.Store(sc) }
 // DefaultObs returns the process-wide scope (nil when unset).
 func DefaultObs() *obs.Scope { return defaultObs.Load() }
 
+// defaultJournal and defaultHealth mirror defaultObs for the flight recorder
+// and the /healthz tracker: harnesses whose suites are built internally (the
+// experiment functions) still stream slot records and degradation state to a
+// serving process.
+var (
+	defaultJournal atomic.Pointer[journal.Writer]
+	defaultHealth  atomic.Pointer[resilience.Health]
+)
+
+// SetDefaultJournal installs the journal writer every subsequently-built
+// Suite picks up. Pass nil to clear it.
+func SetDefaultJournal(w *journal.Writer) { defaultJournal.Store(w) }
+
+// DefaultJournal returns the process-wide journal writer (nil when unset).
+func DefaultJournal() *journal.Writer { return defaultJournal.Load() }
+
+// SetDefaultHealth installs the degradation tracker every subsequently-built
+// Suite picks up. Pass nil to clear it.
+func SetDefaultHealth(h *resilience.Health) { defaultHealth.Store(h) }
+
+// DefaultHealth returns the process-wide tracker (nil when unset).
+func DefaultHealth() *resilience.Health { return defaultHealth.Load() }
+
 // NewSuite prepares a suite with the given ε (0 selects the paper default).
 func NewSuite(s *Scenario, eps float64) *Suite {
 	if eps <= 0 {
@@ -69,6 +94,12 @@ func NewSuite(s *Scenario, eps float64) *Suite {
 	if sc := DefaultObs(); sc != nil {
 		suite.WithObs(sc)
 	}
+	if w := DefaultJournal(); w != nil {
+		suite.WithJournal(w)
+	}
+	if h := DefaultHealth(); h != nil {
+		suite.WithHealth(h)
+	}
 	return suite
 }
 
@@ -81,6 +112,11 @@ func (s *Suite) WithObs(sc *obs.Scope) *Suite {
 }
 
 func (s *Suite) account(name string, seq []*model.Decision, start time.Time) *Run {
+	if name != "online" {
+		// The online pipeline journals at commit time inside core; everyone
+		// else gets exact post-hoc records here.
+		s.journalPostHoc(seq)
+	}
 	acct := &model.Accountant{Net: s.Scen.Net, In: s.Scen.In}
 	return &Run{
 		Algorithm: name,

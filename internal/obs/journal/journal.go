@@ -1,0 +1,137 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+)
+
+// Record kinds (the "kind" field of every journal line).
+const (
+	// KindHeader opens a journal: one per run, always the first line.
+	KindHeader = "header"
+	// KindSlot records one committed time-slot decision.
+	KindSlot = "slot"
+	// KindFooter closes a journal: one per finished run, always the last
+	// line. A journal without a footer records a run that died mid-flight.
+	KindFooter = "footer"
+)
+
+// Version is the journal schema version written into every header. Readers
+// accept only versions they know; bump it on any breaking schema change.
+const Version = 1
+
+// Slot statuses, mirroring core's SlotStatus taxonomy.
+const (
+	StatusOK        = "ok"
+	StatusRecovered = "recovered"
+	StatusDegraded  = "degraded"
+)
+
+// Header is the run preamble: everything needed to attribute and replay the
+// run. Field names and order are the schema (golden-pinned).
+type Header struct {
+	Kind    string `json:"kind"` // always KindHeader
+	Version int    `json:"v"`
+	// Algorithm is the run's algorithm identity (online, offline, rfhc, ...).
+	Algorithm string `json:"algorithm"`
+	// ConfigDigest is DigestBytes of the canonical Config JSON ("" when no
+	// config was embedded).
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Config is the canonical run configuration (eval.RunConfig JSON). A
+	// journal without it is auditable but not replayable.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Seed is the scenario seed (0 when unknown, e.g. external instances).
+	Seed int64 `json:"seed,omitempty"`
+	// GoMaxProcs and Workers pin the parallel envelope of the run. The
+	// decision digests must nevertheless be independent of both (the
+	// determinism contract of DESIGN.md §8) — replay verifies exactly that.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	// TimeNS is the wall-clock start time in Unix nanoseconds.
+	TimeNS int64 `json:"t_ns"`
+}
+
+// SlotRecord is one committed slot: the audit trail for "why this plan".
+type SlotRecord struct {
+	Kind string `json:"kind"` // always KindSlot
+	Slot int    `json:"slot"`
+	// InputsDigest fingerprints the realized slot inputs (workload row and
+	// operating-price row) and DecisionDigest the committed decision vector
+	// (X, Y, Z float64 bit patterns); see Digest.
+	InputsDigest   string `json:"inputs_digest"`
+	DecisionDigest string `json:"decision_digest"`
+	// AllocCost and ReconfCost are the slot's objective terms: operating
+	// (allocation) cost and reconfiguration cost charged at commit.
+	AllocCost  float64 `json:"alloc_cost"`
+	ReconfCost float64 `json:"reconf_cost"`
+	// Status is ok|recovered|degraded; Rung names the fallback-ladder rung
+	// or degradation tactic that produced the decision (empty for a clean
+	// primary solve).
+	Status string `json:"status"`
+	Rung   string `json:"rung,omitempty"`
+	// DurNS is the slot's wall time and Iters its solver-iteration
+	// consumption, reconciled with the trace's core.slot span (zero when the
+	// run carried no obs scope or the record was written post-hoc).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	Iters int   `json:"iters,omitempty"`
+	// TimeNS is the record's wall-clock emission time in Unix nanoseconds.
+	TimeNS int64 `json:"t_ns"`
+}
+
+// Footer is the run postamble: totals a reader can reconcile against the
+// slot lines.
+type Footer struct {
+	Kind      string `json:"kind"` // always KindFooter
+	Slots     int    `json:"slots"`
+	Recovered int    `json:"recovered"`
+	Degraded  int    `json:"degraded"`
+	// TotalCost is the run objective (allocation plus reconfiguration over
+	// the horizon); TotalIters the run's solver-iteration total.
+	TotalCost  float64 `json:"total_cost"`
+	TotalIters int     `json:"total_iters,omitempty"`
+	// DurNS is the whole run's wall time.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// TimeNS is the wall-clock end time in Unix nanoseconds.
+	TimeNS int64 `json:"t_ns"`
+}
+
+// Journal is a fully parsed and validated journal file.
+type Journal struct {
+	Header Header
+	Slots  []SlotRecord
+	// Footer is nil when the run died before writing one.
+	Footer *Footer
+}
+
+// Replayable reports whether the journal embeds the configuration needed to
+// re-run it.
+func (j *Journal) Replayable() bool { return len(j.Header.Config) > 0 }
+
+// Digest fingerprints groups of float64 slices: each group is hashed as its
+// length followed by the IEEE-754 bit pattern of every element, all
+// little-endian, so the digest is identical across platforms and runs
+// exactly when the values are bit-identical. A nil group hashes like an
+// empty one. The result is "sha256:" plus the hex digest.
+func Digest(groups ...[]float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, g := range groups {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(g)))
+		h.Write(buf[:])
+		for _, v := range g {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestBytes fingerprints a byte blob (e.g. a canonical config JSON) with
+// the same self-describing "sha256:" prefix as Digest.
+func DigestBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

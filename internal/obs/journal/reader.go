@@ -1,0 +1,125 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+)
+
+// maxLine bounds one journal line; headers embed configs, which can carry
+// custom traces, so the ceiling is generous.
+const maxLine = 16 << 20
+
+var digestRe = regexp.MustCompile(`^sha256:[0-9a-f]{64}$`)
+
+// Read parses and validates a journal: exactly one header first, slot
+// records in strictly increasing slot order, digests well-formed, statuses
+// from the known taxonomy, and at most one footer, last, whose counts
+// reconcile with the slot lines. A missing footer is not an error (the run
+// died mid-flight); every other violation is.
+func Read(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	j := &Journal{}
+	line := 0
+	seenHeader := false
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("journal: line %d: not a JSON record: %w", line, err)
+		}
+		if j.Footer != nil {
+			return nil, fmt.Errorf("journal: line %d: %q record after the footer", line, kind.Kind)
+		}
+		switch kind.Kind {
+		case KindHeader:
+			if seenHeader {
+				return nil, fmt.Errorf("journal: line %d: second header", line)
+			}
+			if err := json.Unmarshal(raw, &j.Header); err != nil {
+				return nil, fmt.Errorf("journal: line %d: bad header: %w", line, err)
+			}
+			if j.Header.Version != Version {
+				return nil, fmt.Errorf("journal: line %d: schema version %d (reader supports %d)", line, j.Header.Version, Version)
+			}
+			if j.Header.Algorithm == "" {
+				return nil, fmt.Errorf("journal: line %d: header names no algorithm", line)
+			}
+			if j.Header.ConfigDigest != "" {
+				if !digestRe.MatchString(j.Header.ConfigDigest) {
+					return nil, fmt.Errorf("journal: line %d: malformed config digest %q", line, j.Header.ConfigDigest)
+				}
+				if len(j.Header.Config) > 0 && DigestBytes(j.Header.Config) != j.Header.ConfigDigest {
+					return nil, fmt.Errorf("journal: line %d: embedded config does not match its digest", line)
+				}
+			}
+			seenHeader = true
+		case KindSlot:
+			if !seenHeader {
+				return nil, fmt.Errorf("journal: line %d: slot record before the header", line)
+			}
+			var rec SlotRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("journal: line %d: bad slot record: %w", line, err)
+			}
+			if n := len(j.Slots); n > 0 && rec.Slot <= j.Slots[n-1].Slot {
+				return nil, fmt.Errorf("journal: line %d: slot %d after slot %d (must be strictly increasing)", line, rec.Slot, j.Slots[n-1].Slot)
+			}
+			if !digestRe.MatchString(rec.InputsDigest) {
+				return nil, fmt.Errorf("journal: line %d: malformed inputs digest %q", line, rec.InputsDigest)
+			}
+			if !digestRe.MatchString(rec.DecisionDigest) {
+				return nil, fmt.Errorf("journal: line %d: malformed decision digest %q", line, rec.DecisionDigest)
+			}
+			switch rec.Status {
+			case StatusOK, StatusRecovered, StatusDegraded:
+			default:
+				return nil, fmt.Errorf("journal: line %d: unknown slot status %q", line, rec.Status)
+			}
+			j.Slots = append(j.Slots, rec)
+		case KindFooter:
+			if !seenHeader {
+				return nil, fmt.Errorf("journal: line %d: footer before the header", line)
+			}
+			var f Footer
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, fmt.Errorf("journal: line %d: bad footer: %w", line, err)
+			}
+			if f.Slots != len(j.Slots) {
+				return nil, fmt.Errorf("journal: line %d: footer claims %d slots, journal has %d", line, f.Slots, len(j.Slots))
+			}
+			var rec, deg int
+			for _, s := range j.Slots {
+				switch s.Status {
+				case StatusRecovered:
+					rec++
+				case StatusDegraded:
+					deg++
+				}
+			}
+			if f.Recovered != rec || f.Degraded != deg {
+				return nil, fmt.Errorf("journal: line %d: footer counts %d recovered/%d degraded, slots say %d/%d",
+					line, f.Recovered, f.Degraded, rec, deg)
+			}
+			j.Footer = &f
+		default:
+			return nil, fmt.Errorf("journal: line %d: unknown record kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if !seenHeader {
+		return nil, fmt.Errorf("journal: no header record")
+	}
+	return j, nil
+}

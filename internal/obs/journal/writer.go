@@ -1,0 +1,269 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Writer appends journal records as JSONL. All methods serialize on one
+// mutex and each record reaches the underlying io.Writer in a single Write
+// call, so a writer shared by parallel solver goroutines (Workers > 1)
+// never interleaves or tears lines. The first error — a write failure or a
+// protocol misuse (slot before header, two headers, record after footer) —
+// is latched and all subsequent records are dropped; check Err after the
+// run. The nil *Writer is the disabled state: every method is a no-op, so
+// instrumented code records unconditionally.
+type Writer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	feed   *Feed
+	now    func() time.Time
+	err    error
+	opened bool
+	closed bool
+
+	// Status tallies, used to fill footer fields the caller leaves zero.
+	slots     int
+	recovered int
+	degraded  int
+}
+
+// NewWriter wraps w in a journal writer. A nil w journals to the feed (or
+// nowhere) only, which is how a live /runs stream without a durable file is
+// set up.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, now: time.Now}
+}
+
+// Attach tees every written line into the feed (for live /runs streaming).
+// Call before Begin.
+func (w *Writer) Attach(f *Feed) *Writer {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	w.feed = f
+	w.mu.Unlock()
+	return w
+}
+
+// SetClock replaces the writer's wall clock. For deterministic tests only;
+// call it before Begin.
+func (w *Writer) SetClock(now func() time.Time) {
+	if w == nil || now == nil {
+		return
+	}
+	w.mu.Lock()
+	w.now = now
+	w.mu.Unlock()
+}
+
+// write marshals one record to a single line. Caller holds w.mu.
+func (w *Writer) write(rec any) {
+	if w.err != nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		w.err = err
+		return
+	}
+	line = append(line, '\n')
+	if w.w != nil {
+		if _, err := w.w.Write(line); err != nil {
+			w.err = err
+			return
+		}
+	}
+	if w.feed != nil {
+		w.feed.Publish(line)
+	}
+}
+
+// Begin writes the run header. The writer stamps Kind, Version, and TimeNS.
+func (w *Writer) Begin(h Header) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil && (w.opened || w.closed) {
+		w.err = fmt.Errorf("journal: Begin called twice")
+		return
+	}
+	w.opened = true
+	h.Kind = KindHeader
+	h.Version = Version
+	h.TimeNS = w.now().UnixNano()
+	w.write(h)
+}
+
+// Slot appends one slot record. The writer stamps Kind and TimeNS.
+func (w *Writer) Slot(r SlotRecord) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil && (!w.opened || w.closed) {
+		w.err = fmt.Errorf("journal: Slot outside a Begin/End window")
+		return
+	}
+	w.slots++
+	switch r.Status {
+	case StatusRecovered:
+		w.recovered++
+	case StatusDegraded:
+		w.degraded++
+	}
+	r.Kind = KindSlot
+	r.TimeNS = w.now().UnixNano()
+	w.write(r)
+}
+
+// End writes the run footer and closes the journal. The writer stamps Kind
+// and TimeNS and fills Slots, Recovered, and Degraded from its own tallies
+// when the caller leaves them zero, so footers always reconcile with the
+// slot records the reader checks them against.
+func (w *Writer) End(f Footer) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil && (!w.opened || w.closed) {
+		w.err = fmt.Errorf("journal: End outside a Begin window")
+		return
+	}
+	w.closed = true
+	f.Kind = KindFooter
+	if f.Slots == 0 {
+		f.Slots = w.slots
+	}
+	if f.Recovered == 0 {
+		f.Recovered = w.recovered
+	}
+	if f.Degraded == 0 {
+		f.Degraded = w.degraded
+	}
+	f.TimeNS = w.now().UnixNano()
+	w.write(f)
+	if w.feed != nil {
+		w.feed.Close()
+	}
+}
+
+// Err returns the latched first error, if any.
+func (w *Writer) Err() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// feedBuffer bounds a subscriber's unread backlog; a consumer that falls
+// further behind than this loses the oldest unread lines (the durable file,
+// not the live stream, is the record).
+const feedBuffer = 256
+
+// Feed broadcasts journal lines to live subscribers (the /runs endpoint)
+// and retains the most recent lines so a late subscriber sees the run so
+// far. It is safe for concurrent publishers and subscribers.
+type Feed struct {
+	mu     sync.Mutex
+	recent [][]byte
+	next   int
+	cap    int
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+// NewFeed returns a feed retaining up to capacity recent lines (default
+// 4096 when capacity <= 0).
+func NewFeed(capacity int) *Feed {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Feed{cap: capacity, subs: map[chan []byte]struct{}{}}
+}
+
+// Publish broadcasts one line (retaining a copy). Slow subscribers drop
+// their oldest unread line rather than block the publisher: the solver's
+// slot loop must never wait on a stalled HTTP client.
+func (f *Feed) Publish(line []byte) {
+	cp := append([]byte(nil), line...)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	if len(f.recent) < f.cap {
+		f.recent = append(f.recent, cp)
+	} else {
+		f.recent[f.next] = cp
+		f.next = (f.next + 1) % f.cap
+	}
+	for ch := range f.subs {
+		select {
+		case ch <- cp:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- cp:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe returns the retained lines so far, a channel of subsequent
+// lines (closed when the feed closes), and a cancel function the subscriber
+// must call when done.
+func (f *Feed) Subscribe() (recent [][]byte, ch <-chan []byte, cancel func()) {
+	c := make(chan []byte, feedBuffer)
+	f.mu.Lock()
+	recent = make([][]byte, 0, len(f.recent))
+	recent = append(recent, f.recent[f.next:]...)
+	recent = append(recent, f.recent[:f.next]...)
+	if f.closed {
+		close(c)
+	} else {
+		f.subs[c] = struct{}{}
+	}
+	f.mu.Unlock()
+	var once sync.Once
+	cancel = func() {
+		once.Do(func() {
+			f.mu.Lock()
+			if _, ok := f.subs[c]; ok {
+				delete(f.subs, c)
+				close(c)
+			}
+			f.mu.Unlock()
+		})
+	}
+	return recent, c, cancel
+}
+
+// Close marks the run finished: every subscriber channel is closed and
+// subsequent publishes are dropped. Closing twice is harmless.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for ch := range f.subs {
+		close(ch)
+		delete(f.subs, ch)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exposed metric; internal dotted names map to
+// "soral_" plus the underscored name ("lp.mehrotra.iterations" →
+// "soral_lp_mehrotra_iterations").
+const promPrefix = "soral_"
+
+// promName sanitizes an internal metric name into the Prometheus name
+// charset [a-zA-Z0-9_:]; every other rune (the registry uses dots) becomes
+// an underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a HELP text per the Prometheus text format: backslash
+// and newline.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat formats a sample value; Prometheus accepts Go's shortest
+// round-trip form.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// histogramHelp is the quantile-semantics caveat attached to every exposed
+// histogram: the reservoir overwrites ring-style at histogramCap
+// observations, so the quantiles are a recent-window estimate while
+// count/sum/min/max stay exact (pinned by TestHistogramReservoirOverflow).
+var histogramHelp = fmt.Sprintf(
+	"count/sum/min/max are exact over the whole run; quantiles are nearest-rank over the most recent %d observations (ring reservoir).",
+	histogramCap)
+
+// WritePrometheus encodes a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters, then gauges, then histograms
+// as summaries with p50/p95/p99 quantile samples plus _sum/_count and _min/
+// _max companions, each group sorted by name so the output is byte-stable
+// for equal snapshots (golden-pinned by TestPrometheusGolden).
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Counter %s.\n# TYPE %s counter\n%s %d\n",
+			pn, promEscape(name), pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Gauge %s.\n# TYPE %s gauge\n%s %s\n",
+			pn, promEscape(name), pn, pn, promFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Histogram %s: %s\n# TYPE %s summary\n",
+			pn, promEscape(name), promEscape(histogramHelp), pn); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", pn, q.label, promFloat(q.v)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n# TYPE %s_max gauge\n%s_max %s\n",
+			pn, pn, promFloat(h.Min), pn, pn, promFloat(h.Max)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a registry with fixed contents so the exposition
+// bytes are stable.
+func promRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Add("solver.iterations", 42)
+	reg.Add("ladder.rungs", 3)
+	reg.SetGauge("solver.workers", 4)
+	reg.SetGauge("weird-name с юникодом", 1.5)
+	for i := 1; i <= 10; i++ {
+		reg.Observe("span.core.slot.seconds", float64(i)/1000)
+	}
+	return reg
+}
+
+// TestPrometheusGolden pins the /metrics wire format: metric naming and
+// sanitization, HELP escaping, stable ordering, and the histogram summary
+// lines (quantiles, _sum/_count, _min/_max). Regenerate with
+// `go test ./internal/obs -run PrometheusGolden -update` after intentional
+// format changes — scrapers parse these lines.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "prom.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden format.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusStableAcrossSnapshots re-encodes the same logical registry
+// twice and requires identical bytes (map iteration must never leak into
+// the wire format).
+func TestPrometheusStableAcrossSnapshots(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := promRegistry()
+	if err := WritePrometheus(&a, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two snapshots of the same registry encoded differently")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"lp.mehrotra.iterations": "soral_lp_mehrotra_iterations",
+		"span.core.slot.seconds": "soral_span_core_slot_seconds",
+		"weird-name с юникодом":  "soral_weird_name___________",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHistogramHelpDocumentsWindow pins that the exposed HELP
+// text states the reservoir-window quantile semantics, so a scrape consumer
+// is never misled into reading p99 as a whole-run quantile.
+func TestPrometheusHistogramHelpDocumentsWindow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "most recent 2048 observations") {
+		t.Errorf("histogram HELP text does not document the %d-observation window:\n%s", histogramCap, out)
+	}
+	if !strings.Contains(out, "count/sum/min/max are exact") {
+		t.Error("histogram HELP text does not state which fields are exact")
+	}
+}

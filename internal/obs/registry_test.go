@@ -68,6 +68,57 @@ func TestRegistryHistogramBounded(t *testing.T) {
 	}
 }
 
+// TestHistogramReservoirOverflow pins the documented histogram semantics on
+// reservoir overflow (the 2048-cap ring overwrites oldest-first):
+// count/sum/min/max stay exact over every observation ever made, while the
+// quantiles are nearest-rank estimates over exactly the most recent
+// histogramCap observations. The /metrics HELP text states the same
+// contract (TestPrometheusHistogramHelpDocumentsWindow).
+func TestHistogramReservoirOverflow(t *testing.T) {
+	r := NewRegistry()
+	n := histogramCap + 952 // 3000 observations: 0, 1, ..., 2999
+	for i := 0; i < n; i++ {
+		r.Observe("h", float64(i))
+	}
+	st := r.Snapshot().Histograms["h"]
+
+	// Exact over the whole run, unaffected by the overflow.
+	if st.Count != int64(n) {
+		t.Fatalf("count = %d, want %d (exact)", st.Count, n)
+	}
+	if want := float64(n*(n-1)) / 2; st.Sum != want {
+		t.Fatalf("sum = %g, want %g (exact)", st.Sum, want)
+	}
+	if st.Min != 0 || st.Max != float64(n-1) {
+		t.Fatalf("min,max = %g,%g, want 0,%d (exact)", st.Min, st.Max, n-1)
+	}
+
+	// Recent-window estimates: the reservoir holds exactly the last
+	// histogramCap observations [952, 2999], so the nearest-rank quantiles
+	// are offset + ceil(q*cap) - 1.
+	first := n - histogramCap
+	rank := func(q float64) float64 {
+		// ceil(q*2048) via rounding: exact for q=0.5 (1024) and matches
+		// ceil for 0.95 (1945.6→1946) and 0.99 (2027.52→2028).
+		idx := int(float64(histogramCap)*q+0.5) - 1
+		return float64(first + idx)
+	}
+	if want := rank(0.50); st.P50 != want {
+		t.Fatalf("p50 = %g, want %g (window [%d,%d])", st.P50, want, first, n-1)
+	}
+	if want := rank(0.95); st.P95 != want {
+		t.Fatalf("p95 = %g, want %g", st.P95, want)
+	}
+	if want := rank(0.99); st.P99 != want {
+		t.Fatalf("p99 = %g, want %g", st.P99, want)
+	}
+	// The whole-run p50 would be 1499.5-ish; the window estimate must sit
+	// far above it, or the window semantics silently changed.
+	if st.P50 < float64(first) {
+		t.Fatalf("p50 = %g includes evicted observations (window starts at %d)", st.P50, first)
+	}
+}
+
 func TestRegistryWriteText(t *testing.T) {
 	r := NewRegistry()
 	r.Add("z.count", 1)

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"soral/internal/obs/journal"
+)
+
+type fakeHealth struct {
+	State    string `json:"state"`
+	Degraded int    `json:"degraded"`
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reg := promRegistry()
+	healthy := true
+	srv, err := Serve(ctx, "127.0.0.1:0", ServeOptions{
+		Registry: reg,
+		Health: func() (bool, any) {
+			return healthy, fakeHealth{State: map[bool]string{true: "ok", false: "degraded"}[healthy], Degraded: 1}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	code, body, ctype := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, "soral_solver_iterations 42") ||
+		!strings.Contains(body, `soral_span_core_slot_seconds{quantile="0.5"}`) {
+		t.Errorf("/metrics body missing expected lines:\n%s", body)
+	}
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"state":"ok"`) {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	healthy = false
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"state":"degraded"`) {
+		t.Fatalf("degraded /healthz = %d %q, want 503 + degraded", code, body)
+	}
+
+	// /runs with no feed answers 404.
+	code, _, _ = get(t, base+"/runs")
+	if code != http.StatusNotFound {
+		t.Fatalf("/runs without a feed = %d, want 404", code)
+	}
+
+	cancel()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down on ctx cancel")
+	}
+}
+
+// TestServeRunsStreams exercises the live journal tail: a subscriber sees
+// the retained prefix immediately and subsequently appended slot records as
+// they commit, and the stream ends when the journal closes.
+func TestServeRunsStreams(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	feed := journal.NewFeed(0)
+	jw := journal.NewWriter(nil).Attach(feed)
+	jw.Begin(journal.Header{Algorithm: "online", GoMaxProcs: 1, Workers: 1})
+	dig := journal.Digest([]float64{1})
+	jw.Slot(journal.SlotRecord{Slot: 0, InputsDigest: dig, DecisionDigest: dig, Status: journal.StatusOK})
+
+	srv, err := Serve(ctx, "127.0.0.1:0", ServeOptions{Runs: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + srv.Addr() + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("/runs content-type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := make(chan string, 16)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	next := func(what string) string {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream ended while waiting for %s", what)
+			}
+			return l
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		panic("unreachable")
+	}
+
+	var kind struct {
+		Kind string `json:"kind"`
+		Slot int    `json:"slot"`
+	}
+	if err := json.Unmarshal([]byte(next("header")), &kind); err != nil || kind.Kind != journal.KindHeader {
+		t.Fatalf("first streamed line = %v / %+v, want header", err, kind)
+	}
+	if err := json.Unmarshal([]byte(next("retained slot")), &kind); err != nil || kind.Kind != journal.KindSlot || kind.Slot != 0 {
+		t.Fatalf("second streamed line = %v / %+v, want slot 0", err, kind)
+	}
+
+	// Records appended while the client is connected arrive live.
+	for i := 1; i <= 3; i++ {
+		jw.Slot(journal.SlotRecord{Slot: i, InputsDigest: dig, DecisionDigest: dig, Status: journal.StatusOK})
+		if err := json.Unmarshal([]byte(next(fmt.Sprintf("live slot %d", i))), &kind); err != nil || kind.Slot != i {
+			t.Fatalf("live record %d = %v / %+v", i, err, kind)
+		}
+	}
+
+	// Closing the journal ends the stream cleanly.
+	jw.End(journal.Footer{})
+	if err := json.Unmarshal([]byte(next("footer")), &kind); err != nil || kind.Kind != journal.KindFooter {
+		t.Fatalf("footer line = %v / %+v", err, kind)
+	}
+	select {
+	case _, open := <-lines:
+		if open {
+			t.Fatal("stream kept going after the footer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after journal close")
+	}
+	if err := jw.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRejectsTakenPort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a, err := Serve(ctx, "127.0.0.1:0", ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown(context.Background())
+	if _, err := Serve(ctx, a.Addr(), ServeOptions{}); err == nil {
+		t.Fatal("second bind on the same address succeeded")
+	}
+}

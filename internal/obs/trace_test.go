@@ -2,9 +2,12 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -55,6 +58,57 @@ func TestTraceGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("trace drifted from golden schema.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONLSinkConcurrentNoTornLines hammers one trace sink from many
+// solver-like goroutines (the Workers>1 regime: parallel kernels, ADMM
+// workers, LCP-M prefix solves all emit into one sink) and asserts the
+// JSONL output has no interleaved or torn lines: every line parses on its
+// own and every emitted event is present exactly once. Run under -race
+// (the obs-serve make target does).
+func TestJSONLSinkConcurrentNoTornLines(t *testing.T) {
+	const workers, perWorker = 16, 200
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sc := NewScope(NewRegistry(), sink)
+
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slot := sc.Solver("online").Slot(g)
+			for i := 0; i < perWorker; i++ {
+				slot.Iteration("lp.mehrotra", g*perWorker+i, IterStats{Primal: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != workers*perWorker {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*perWorker)
+	}
+	seen := make(map[int]bool, len(lines))
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d torn or interleaved: %v\n%s", i+1, err, line)
+		}
+		if e.Kind != KindIter || e.Name != "lp.mehrotra" {
+			t.Fatalf("line %d decoded to unexpected event %+v", i+1, e)
+		}
+		if seen[e.Iter] {
+			t.Fatalf("iteration %d emitted twice", e.Iter)
+		}
+		seen[e.Iter] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("saw %d distinct iterations, want %d", len(seen), workers*perWorker)
 	}
 }
 
