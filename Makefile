@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race obs-race obs-serve kernels-race check bench bench-compare
+.PHONY: build test vet lint race obs-race obs-serve kernels-race chaos check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,20 @@ obs-serve:
 kernels-race:
 	$(GO) test -race -shuffle=on -count=2 ./internal/linalg/... ./internal/lp/... ./internal/staircase/... ./internal/control/...
 
+# The chaos harness drives the seeded crash/recovery fault schedules
+# (process kills, torn writes, transient solver faults) and asserts every
+# recovery path is bit-identical to the uninterrupted run; it runs under the
+# race detector because recovery interleaves the resume solve loop with the
+# journal writer and the supervisor's retry bookkeeping. See DESIGN.md §10.
+chaos:
+	$(GO) run -race ./cmd/soralbench -exp chaos
+
 # The gate used before merging: static checks (vet plus the sorallint
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
-# paths), plus the focused telemetry and parallel-kernel race passes.
-check: vet lint race obs-race obs-serve kernels-race
+# paths), plus the focused telemetry and parallel-kernel race passes and the
+# crash/recovery chaos schedules.
+check: vet lint race obs-race obs-serve kernels-race chaos
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -58,3 +67,4 @@ bench:
 # depends on them.
 bench-compare:
 	$(GO) run ./cmd/soralbench -compare results/BENCH_kernels.json results/BENCH_kernels.json
+	$(GO) run ./cmd/soralbench -compare results/BENCH_chaos.json results/BENCH_chaos.json

@@ -8,7 +8,9 @@
 //	soral -config scenario.json
 //	soral -config scenario.json -alg rrhc -window 4 -err 0.15
 //	soral -journal run.jsonl                 # flight-record the run
+//	soral -journal run.jsonl -fsync every    # ... with per-record durability
 //	soral -replay run.jsonl                  # verify it replays bit-identically
+//	soral -resume run.jsonl                  # recover a crashed run and finish it
 //	soral -serve 127.0.0.1:9090              # live /metrics /healthz /runs
 //
 // A config file looks like:
@@ -79,11 +81,18 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
 
-		journalOut = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
-		replayFile = flag.String("replay", "", "replay a recorded journal and verify bit-identical decisions (exits 1 on divergence)")
-		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address (e.g. 127.0.0.1:9090) until interrupted")
+		journalOut  = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
+		fsyncSpec   = flag.String("fsync", "commit", "journal durability policy: none|commit|every|N (fsync per N records)")
+		replayFile  = flag.String("replay", "", "replay a recorded journal and verify bit-identical decisions (exits 1 on divergence)")
+		resumePath  = flag.String("resume", "", "recover an interrupted journal in place and resume the run from its last durable slot")
+		serveAddr   = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address (e.g. 127.0.0.1:9090) until interrupted")
 	)
 	flag.Parse()
+
+	fsync, err := journal.ParseSyncPolicy(*fsyncSpec)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Ctrl-C cancels the solve (checked at every solver iteration) and, when
 	// serving, ends the linger phase.
@@ -92,6 +101,10 @@ func main() {
 
 	if *replayFile != "" {
 		replay(ctx, *replayFile)
+		return
+	}
+	if *resumePath != "" {
+		resume(ctx, *resumePath, fsync)
 		return
 	}
 
@@ -138,8 +151,16 @@ func main() {
 		eval.SetDefaultObs(obs.NewScope(reg, sink))
 	}
 
+	var health *resilience.Health
+	if serving {
+		health = resilience.NewHealth()
+		eval.SetDefaultHealth(health)
+	}
+
 	// Flight recorder: a durable file via -journal, a live feed via -serve,
-	// or both teed through one writer.
+	// or both teed through one writer. A write or fsync failure flips
+	// /healthz to 503: a controller that cannot persist its commitments must
+	// not look healthy.
 	var jw *journal.Writer
 	var feed *journal.Feed
 	if *journalOut != "" || serving {
@@ -156,18 +177,19 @@ func main() {
 			feed = journal.NewFeed(0)
 		}
 		if jfile != nil {
-			jw = journal.NewWriter(jfile)
+			jw = journal.NewWriter(jfile).WithSync(jfile, fsync)
 		} else {
 			jw = journal.NewWriter(nil)
 		}
 		jw.Attach(feed)
+		jw.OnError(func(err error) {
+			health.Fail("journal", err)
+			fmt.Fprintln(os.Stderr, "soral: journal:", err)
+		})
 	}
 
-	var health *resilience.Health
 	var srv *obs.Server
 	if serving {
-		health = resilience.NewHealth()
-		eval.SetDefaultHealth(health)
 		var err error
 		srv, err = obs.Serve(ctx, *serveAddr, obs.ServeOptions{
 			Registry: reg,
@@ -205,7 +227,6 @@ func main() {
 
 	var run *eval.Run
 	var scen *eval.Scenario
-	var err error
 	if *instance != "" {
 		// External instances carry no scenario spec, so the journal gets a
 		// header without an embedded config: auditable, not replayable.
@@ -367,6 +388,46 @@ func replay(ctx context.Context, path string) {
 			m.Slot, m.Field, m.Got, m.Want)
 	}
 	os.Exit(1)
+}
+
+// resume recovers an interrupted journal in place (truncating a torn tail)
+// and finishes the run, appending the remaining slots to the same file under
+// the given durability policy.
+func resume(ctx context.Context, path string, fsync journal.SyncPolicy) {
+	j, info, err := journal.RecoverFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if info.Torn {
+		fmt.Fprintf(os.Stderr, "recover:          torn tail at line %d truncated (%d bytes dropped)\n",
+			info.TornLine, info.DroppedBytes)
+	}
+	fmt.Fprintf(os.Stderr, "recover:          last durable slot %d\n", info.LastSlot)
+	if info.Complete {
+		fmt.Fprintf(os.Stderr, "resume:           journal is complete (footer present); nothing to do\n")
+		return
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := journal.ResumeWriter(f, j).WithSync(f, fsync).OnError(func(err error) {
+		fmt.Fprintln(os.Stderr, "soral: journal:", err)
+	})
+	res, err := eval.Resume(ctx, j, w)
+	if err != nil {
+		fatal(err)
+	}
+	if res.CaughtUp > 0 {
+		fmt.Fprintf(os.Stderr, "resume:           re-verified %d recorded slots past the last checkpoint\n", res.CaughtUp)
+	}
+	fmt.Fprintf(os.Stderr, "resume:           %s finished from slot %d (%d slots decided)\n",
+		res.Algorithm, res.StartSlot, res.Resumed)
+	fmt.Fprintf(os.Stderr, "total cost:       %.2f\n", res.TotalCost)
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func writeDecisions(scen *eval.Scenario, run *eval.Run) {

@@ -16,11 +16,14 @@
 // parse error.
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
-// plus two that are not part of all: lint (per-package sorallint wall time,
+// plus three that are not part of all: lint (per-package sorallint wall time,
 // for tracking the cost of the static-analysis gate alongside the solver
-// benchmarks; must run from inside the module source tree) and kernels
+// benchmarks; must run from inside the module source tree), kernels
 // (serial-vs-parallel timings of the structured linear-algebra kernels with a
-// bit-identity check, written as BENCH_kernels.json under -json).
+// bit-identity check, written as BENCH_kernels.json under -json), and chaos
+// (seeded deterministic crash/recovery fault schedules — process kills, torn
+// writes, transient solver faults — each asserting the recovered run is
+// bit-identical to the uninterrupted one; written as BENCH_chaos.json).
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
@@ -48,7 +51,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -177,6 +180,12 @@ func main() {
 		kernelRep = rep
 		return tbl, err
 	}
+	var chaosRep *eval.ChaosReport
+	exps["chaos"] = func() (*eval.Table, error) {
+		tbl, rep, err := eval.ChaosCtx(ctx, log)
+		chaosRep = rep
+		return tbl, err
+	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 
 	var selected []string
@@ -229,13 +238,20 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		if *jsonDir != "" {
-			if name == "kernels" {
+			switch name {
+			case "kernels":
 				// The kernels experiment has its own richer schema: per-cell
 				// ns/op, speedup, and bit-identity rather than solver counters.
 				if err := writeKernelsJSON(*jsonDir, kernelRep); err != nil {
 					fatal(err)
 				}
-			} else {
+			case "chaos":
+				// Likewise chaos: per-schedule recovery timings with the
+				// bit-identity verdict -compare gates on.
+				if err := writeChaosJSON(*jsonDir, chaosRep); err != nil {
+					fatal(err)
+				}
+			default:
 				var lint *analysis.Result
 				if name == "lint" {
 					lint = lintRes
@@ -414,6 +430,17 @@ func writeKernelsJSON(dir string, rep *eval.KernelReport) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_kernels.json"), append(raw, '\n'), 0o644)
+}
+
+func writeChaosJSON(dir string, rep *eval.ChaosReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_chaos.json"), append(raw, '\n'), 0o644)
 }
 
 func writeTraces(scale eval.Scale, path string) error {

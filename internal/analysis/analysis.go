@@ -9,7 +9,7 @@
 // concurrency invariants the paper's guarantees rest on: no raw float
 // equality, no unguarded float division, no order-dependent map iteration,
 // context propagation through solver entry points, nil-safe *obs.Scope use,
-// and no dropped factorization/solve errors.
+// no dropped factorization/solve errors, and no bare time.Sleep retry loops.
 //
 // cmd/sorallint is the command-line driver; cmd/soralbench reuses the same
 // entry points to track analysis cost alongside solver benchmarks.
@@ -112,6 +112,7 @@ func Analyzers() []*Analyzer {
 		FloatCmp,
 		MapOrder,
 		ScopeNil,
+		SleepRetry,
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
 	return all

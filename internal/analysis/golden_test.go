@@ -115,11 +115,13 @@ func TestCtxFlowGolden(t *testing.T)  { runGolden(t, "ctxflow") }
 func TestScopeNilGolden(t *testing.T) { runGolden(t, "scopenil") }
 func TestErrDropGolden(t *testing.T)  { runGolden(t, "errdrop") }
 
+func TestSleepRetryGolden(t *testing.T) { runGolden(t, "sleepretry") }
+
 // TestRegistry pins the registry: sorted, unique, documented.
 func TestRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 6 {
-		t.Fatalf("registry has %d analyzers, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("registry has %d analyzers, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for i, a := range all {

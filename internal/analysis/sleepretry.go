@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SleepRetry flags bare time.Sleep calls inside for-loop bodies. A sleep in a
+// loop is almost always a retry/poll delay, and a bare one has none of the
+// properties the resilience layer needs: it cannot be interrupted by a
+// context, it has no jitter (a fleet of retriers thunders in lockstep), and
+// it is not reproducible under the chaos harness's deterministic schedules.
+// resilience.Backoff.Sleep provides all three — bounded decorrelated jitter,
+// ctx-interruptible waiting, and seeded determinism.
+//
+// Function literals nested inside a loop are not scanned against the
+// enclosing loop: a callback defined in a loop body is not the loop
+// retrying. A retry loop inside such a literal is still caught, because
+// every for statement anchors its own scan.
+var SleepRetry = &Analyzer{
+	Name:      "sleepretry",
+	Doc:       "retry loops must use resilience.Backoff.Sleep, not bare time.Sleep (uninterruptible, unjittered, nondeterministic)",
+	SkipTests: true,
+	Run:       runSleepRetry,
+}
+
+func runSleepRetry(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			// Scan this loop's body, stopping at nested function literals;
+			// nested loops re-anchor their own scan (duplicate findings on
+			// the same call dedup downstream).
+			ast.Inspect(body, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+					pass.Reportf(call.Pos(),
+						"bare time.Sleep in a retry loop is uninterruptible and unjittered; use resilience.Backoff.Sleep(ctx, attempt)")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

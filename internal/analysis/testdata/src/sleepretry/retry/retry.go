@@ -1,0 +1,70 @@
+package retry
+
+import (
+	"context"
+	stdtime "time"
+	"time"
+)
+
+func connect() error { return nil }
+
+// A classic bare-sleep retry loop: flagged.
+func pollUntilReady() {
+	for i := 0; i < 5; i++ {
+		if connect() == nil {
+			return
+		}
+		time.Sleep(100 * time.Millisecond) // want `sleepretry: bare time.Sleep in a retry loop`
+	}
+}
+
+// Range loops count too.
+func drain(items []int) {
+	for range items {
+		time.Sleep(time.Millisecond) // want `sleepretry: bare time.Sleep in a retry loop`
+	}
+}
+
+// An aliased import does not hide the call: resolution is by type, not text.
+func aliased() {
+	for {
+		stdtime.Sleep(time.Second) // want `sleepretry: bare time.Sleep in a retry loop`
+	}
+}
+
+// A sleep outside any loop is a plain delay, not a retry: allowed.
+func warmup() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// A callback defined inside a loop is not the loop retrying: allowed.
+func callbacks(fns *[]func()) {
+	for i := 0; i < 3; i++ {
+		*fns = append(*fns, func() {
+			time.Sleep(time.Millisecond)
+		})
+	}
+}
+
+// A retry loop inside a function literal anchors its own scan: flagged.
+func nestedRetry() func() {
+	return func() {
+		for {
+			time.Sleep(time.Second) // want `sleepretry: bare time.Sleep in a retry loop`
+		}
+	}
+}
+
+// The interruptible replacement shape (timer + select) is what the rule
+// steers toward; it is not flagged.
+func interruptible(ctx context.Context) {
+	for i := 0; ; i++ {
+		t := time.NewTimer(time.Duration(i) * time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+}

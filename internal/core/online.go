@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"soral/internal/convex"
@@ -40,6 +41,14 @@ type Options struct {
 	// Health, when non-nil, tracks the run's degradation state for the
 	// /healthz exposition endpoint. Nil disables tracking.
 	Health *resilience.Health
+
+	// Supervisor, when non-nil, runs each slot's solve under a per-attempt
+	// deadline with bounded jittered retry and a run-wide restart budget
+	// (see resilience.Supervisor). It sits above the fallback ladder: the
+	// ladder swaps tactics within one attempt, the supervisor re-attempts
+	// the whole solve, and carry-forward degradation remains the last
+	// resort. Nil supervises nothing.
+	Supervisor *resilience.Supervisor
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -83,6 +92,27 @@ func NewOnline(n *model.Network, in *model.Inputs, opts Options) (*Online, error
 // Prev returns the decision of the previous slot (the algorithm's state).
 func (o *Online) Prev() *model.Decision { return o.prev }
 
+// Restore primes the run mid-horizon: the next Step decides slot t and prev
+// is the committed decision of slot t-1 (recovered from a journal state
+// checkpoint). The online algorithm's whole restartable state is (t, prev) —
+// the regularized subproblem and its warm start depend only on the realized
+// inputs and the previous decision — so a restored run reproduces an
+// uninterrupted one bit-for-bit.
+func (o *Online) Restore(t int, prev *model.Decision) error {
+	if t < 0 || t > o.In.T {
+		return fmt.Errorf("core: restore slot %d outside horizon [0,%d]", t, o.In.T)
+	}
+	if prev == nil {
+		return fmt.Errorf("core: restore needs the previous decision")
+	}
+	if err := prev.Validate(o.Net); err != nil {
+		return fmt.Errorf("core: restored state invalid: %w", err)
+	}
+	o.t = t
+	o.prev = prev
+	return nil
+}
+
 // Slot returns the index of the next slot to be decided.
 func (o *Online) Slot() int { return o.t }
 
@@ -118,7 +148,20 @@ func (o *Online) Step() (*model.Decision, error) {
 		}
 		stepOpts.LPWork = o.lpWork
 	}
-	dec, ladder, err := SolveP2Resilient(o.Net, o.In, o.t, o.prev, stepOpts)
+	var dec *model.Decision
+	var ladder *resilience.LadderReport
+	var err error
+	if sup := o.Opts.Supervisor; sup != nil {
+		err = sup.Do(stepOpts.Solver.Ctx, o.t, func(ctx context.Context) error {
+			supOpts := stepOpts
+			supOpts.Solver.Ctx = ctx
+			var serr error
+			dec, ladder, serr = SolveP2Resilient(o.Net, o.In, o.t, o.prev, supOpts)
+			return serr
+		})
+	} else {
+		dec, ladder, err = SolveP2Resilient(o.Net, o.In, o.t, o.prev, stepOpts)
+	}
 	sr := SlotReport{Slot: o.t, Ladder: ladder}
 	switch {
 	case err == nil:
@@ -165,16 +208,24 @@ func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 	}
 	acct := model.Accountant{Net: o.Net, In: o.In}
 	cost := acct.SlotCost(sr.Slot, o.prev, dec)
+	decisionDigest := journal.Digest(dec.X, dec.Y, dec.Z)
 	o.Opts.Journal.Slot(journal.SlotRecord{
 		Slot:           sr.Slot,
 		InputsDigest:   journal.Digest(o.In.Workload[sr.Slot], o.In.PriceT2[sr.Slot]),
-		DecisionDigest: journal.Digest(dec.X, dec.Y, dec.Z),
+		DecisionDigest: decisionDigest,
 		AllocCost:      cost.Allocation(),
 		ReconfCost:     cost.Reconfiguration(),
 		Status:         sr.Status.String(),
 		Rung:           sr.Rung,
 		DurNS:          sr.Duration.Nanoseconds(),
 		Iters:          sr.Iterations,
+	})
+	// Checkpoint the restartable state right behind the slot it commits, so
+	// a crashed run resumes from here instead of re-solving its prefix
+	// (Online.Restore reverses this record).
+	o.Opts.Journal.State(journal.StateRecord{
+		Slot: sr.Slot, X: dec.X, Y: dec.Y, Z: dec.Z,
+		DecisionDigest: decisionDigest,
 	})
 }
 

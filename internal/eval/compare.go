@@ -10,18 +10,19 @@ import (
 )
 
 // BenchEntry is one named benchmark with its numeric metrics, the common
-// shape both BENCH_<name>.json schemas (the per-experiment benchResult and
-// the kernels report) flatten into for diffing.
+// shape every BENCH_<name>.json schema (the per-experiment benchResult, the
+// kernels report, and the chaos report) flattens into for diffing.
 type BenchEntry struct {
 	Name    string
 	Metrics map[string]float64
-	// BitIdentical is non-nil for kernel cells, which carry a
-	// serial-vs-parallel bit-identity verdict.
+	// BitIdentical is non-nil for kernel cells and chaos schedules, which
+	// carry a bit-identity verdict (serial-vs-parallel for kernels,
+	// recovered-vs-uninterrupted for chaos).
 	BitIdentical *bool
 }
 
-// benchFile mirrors the union of the two BENCH JSON schemas closely enough
-// to sniff which one a file is.
+// benchFile mirrors the union of the BENCH JSON schemas closely enough to
+// sniff which one a file is.
 type benchFile struct {
 	// benchResult fields (per-experiment files).
 	Name                  string           `json:"name"`
@@ -31,21 +32,24 @@ type benchFile struct {
 	LintPackages          map[string]int64 `json:"lint_packages"`
 	LintLoadNs            int64            `json:"lint_load_ns"`
 
-	// Kernel-report fields (BENCH_kernels.json).
+	// Report fields shared by BENCH_kernels.json (Kernel non-empty) and
+	// BENCH_chaos.json (Schedule non-empty).
 	Results []struct {
 		Kernel       string  `json:"kernel"`
 		N            int     `json:"n"`
 		Workers      int     `json:"workers"`
+		Schedule     string  `json:"schedule"`
 		NsPerOp      int64   `json:"ns_per_op"`
 		Speedup      float64 `json:"speedup"`
 		BitIdentical bool    `json:"bit_identical"`
 	} `json:"results"`
 }
 
-// LoadBench parses one BENCH_<name>.json file (either schema) into the flat
+// LoadBench parses one BENCH_<name>.json file (any schema) into the flat
 // entry list Compare consumes. A kernels report yields one entry per
-// (kernel, n, workers) cell; a per-experiment file yields one entry whose
-// metrics include the per-stage solver-iteration counters.
+// (kernel, n, workers) cell; a chaos report yields one entry per fault
+// schedule; a per-experiment file yields one entry whose metrics include the
+// per-stage solver-iteration counters.
 func LoadBench(r io.Reader) ([]BenchEntry, error) {
 	var f benchFile
 	dec := json.NewDecoder(r)
@@ -56,14 +60,20 @@ func LoadBench(r io.Reader) ([]BenchEntry, error) {
 		out := make([]BenchEntry, 0, len(f.Results))
 		for _, c := range f.Results {
 			c := c
-			out = append(out, BenchEntry{
-				Name: fmt.Sprintf("%s/n=%d/w=%d", c.Kernel, c.N, c.Workers),
-				Metrics: map[string]float64{
-					"ns_per_op": float64(c.NsPerOp),
-					"speedup":   c.Speedup,
-				},
+			e := BenchEntry{
+				Metrics:      map[string]float64{"ns_per_op": float64(c.NsPerOp)},
 				BitIdentical: &c.BitIdentical,
-			})
+			}
+			if c.Schedule != "" {
+				// A chaos schedule: the name keys the recovery path, the only
+				// timing is the recovery wall time, and the bit-identity
+				// verdict is the metric that matters.
+				e.Name = "chaos/" + c.Schedule
+			} else {
+				e.Name = fmt.Sprintf("%s/n=%d/w=%d", c.Kernel, c.N, c.Workers)
+				e.Metrics["speedup"] = c.Speedup
+			}
+			out = append(out, e)
 		}
 		return out, nil
 	}

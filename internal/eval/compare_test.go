@@ -174,6 +174,27 @@ func TestLoadBenchBothSchemas(t *testing.T) {
 		t.Fatalf("metrics = %v", m)
 	}
 
+	chaos := `{"seed":42,"slots":8,"results":[
+		{"schedule":"kill/slot-3","kind":"kill","slots":8,"resumed_from":4,"ns_per_op":5000,"bit_identical":true},
+		{"schedule":"torn/footer","kind":"torn","slots":8,"resumed_from":8,"ns_per_op":800,"bit_identical":false}]}`
+	entries, err = LoadBench(strings.NewReader(chaos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "chaos/kill/slot-3" || entries[1].Name != "chaos/torn/footer" {
+		t.Fatalf("chaos entries = %+v", entries)
+	}
+	if entries[0].Metrics["ns_per_op"] != 5000 {
+		t.Fatalf("chaos metrics = %v", entries[0].Metrics)
+	}
+	if _, ok := entries[0].Metrics["speedup"]; ok {
+		t.Fatal("chaos entry grew a kernel-only speedup metric")
+	}
+	if entries[0].BitIdentical == nil || !*entries[0].BitIdentical ||
+		entries[1].BitIdentical == nil || *entries[1].BitIdentical {
+		t.Fatalf("chaos bit_identical not carried: %+v", entries)
+	}
+
 	if _, err := LoadBench(strings.NewReader(`{"neither":true}`)); err == nil {
 		t.Fatal("schema-less JSON accepted")
 	}

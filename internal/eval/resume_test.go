@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soral/internal/obs/journal"
+)
+
+func resumeSpec() RunConfig {
+	return RunConfig{
+		Spec:      ScenarioSpec{NumTier2: 2, NumTier1: 3, K: 1, T: 6, Trace: TraceWikipedia, Seed: 11, ReconfWeight: 10},
+		Algorithm: "online",
+	}
+}
+
+// recordTo runs cfg with the flight recorder into path and returns the bytes.
+func recordTo(t *testing.T, cfg RunConfig, path string) []byte {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := journal.NewWriter(f)
+	if _, _, err := Record(context.Background(), cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// resumeFile recovers path in place and resumes the run, appending to the
+// same file. It returns the resume result.
+func resumeFile(t *testing.T, path string, opts ResumeOptions) *ResumeResult {
+	t.Helper()
+	j, _, err := journal.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := journal.ResumeWriter(f, j).WithSync(f, journal.SyncOnCommit())
+	res, err := ResumeWith(context.Background(), j, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// digestsOf extracts the per-slot decision digests of a journal file.
+func digestsOf(t *testing.T, b []byte) []string {
+	t.Helper()
+	j, err := journal.Read(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(j.Slots))
+	for i, s := range j.Slots {
+		out[i] = s.DecisionDigest
+	}
+	return out
+}
+
+// TestResumeBitIdentical is the recovery acceptance check: a run crashed at
+// an arbitrary kill point and resumed from disk commits exactly the decisions
+// the uninterrupted run committed.
+func TestResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	ref := recordTo(t, resumeSpec(), filepath.Join(dir, "ref.jsonl"))
+	want := digestsOf(t, ref)
+
+	// Kill points: after each record boundary and torn mid-record.
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	for cut := 1; cut < len(lines); cut++ {
+		prefix := bytes.Join(lines[:cut], nil)
+		for _, torn := range []bool{false, true} {
+			b := prefix
+			if torn {
+				// Tear into the next record to simulate a mid-write crash.
+				b = append(append([]byte{}, prefix...), lines[cut][:len(lines[cut])/2]...)
+			}
+			path := filepath.Join(dir, "crash.jsonl")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			res := resumeFile(t, path, ResumeOptions{})
+			whole, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := digestsOf(t, whole)
+			if len(got) != len(want) {
+				t.Fatalf("cut %d torn=%v: resumed run decided %d slots, want %d", cut, torn, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("cut %d torn=%v: slot %d digest %s, want %s (res %+v)", cut, torn, i, got[i], want[i], res)
+				}
+			}
+			full, err := journal.Read(bytes.NewReader(whole))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Footer == nil {
+				t.Fatalf("cut %d torn=%v: resumed journal has no footer", cut, torn)
+			}
+		}
+	}
+}
+
+func TestResumeCrashBeforeFirstSlot(t *testing.T) {
+	dir := t.TempDir()
+	ref := recordTo(t, resumeSpec(), filepath.Join(dir, "ref.jsonl"))
+	want := digestsOf(t, ref)
+	// Keep only the header line: the run died before slot 0 committed.
+	nl := bytes.IndexByte(ref, '\n')
+	path := filepath.Join(dir, "hdr.jsonl")
+	if err := os.WriteFile(path, ref[:nl+1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := resumeFile(t, path, ResumeOptions{})
+	if res.StartSlot != 0 || res.CaughtUp != 0 || res.Resumed != len(want) {
+		t.Fatalf("header-only resume = %+v, want full horizon from slot 0", res)
+	}
+	whole, _ := os.ReadFile(path)
+	got := digestsOf(t, whole)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d digest diverged after from-scratch resume", i)
+		}
+	}
+}
+
+func TestResumeCrashAtFooter(t *testing.T) {
+	dir := t.TempDir()
+	ref := recordTo(t, resumeSpec(), filepath.Join(dir, "ref.jsonl"))
+	want := digestsOf(t, ref)
+	// Tear the footer mid-record: every slot is durable, only the seal died.
+	path := filepath.Join(dir, "foot.jsonl")
+	if err := os.WriteFile(path, ref[:len(ref)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := resumeFile(t, path, ResumeOptions{})
+	if res.Resumed != 0 || res.CaughtUp != 0 {
+		t.Fatalf("footer-only resume re-decided slots: %+v", res)
+	}
+	whole, _ := os.ReadFile(path)
+	full, err := journal.Read(bytes.NewReader(whole))
+	if err != nil || full.Footer == nil {
+		t.Fatalf("resealed journal invalid: %v", err)
+	}
+	if got := digestsOf(t, whole); len(got) != len(want) {
+		t.Fatalf("reseal changed slot count: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestResumeAlreadyCompleteIsNoOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "done.jsonl")
+	before := recordTo(t, resumeSpec(), path)
+	res := resumeFile(t, path, ResumeOptions{})
+	if !res.AlreadyComplete {
+		t.Fatalf("complete journal not detected: %+v", res)
+	}
+	after, _ := os.ReadFile(path)
+	if !bytes.Equal(before, after) {
+		t.Fatal("double-resume modified a complete journal")
+	}
+}
+
+func TestResumeUnderWorkers(t *testing.T) {
+	dir := t.TempDir()
+	ref := recordTo(t, resumeSpec(), filepath.Join(dir, "ref.jsonl"))
+	want := digestsOf(t, ref)
+	lines := bytes.SplitAfter(ref, []byte("\n"))
+	path := filepath.Join(dir, "w.jsonl")
+	// Keep header + first slot/state pair, resume with a parallel solver.
+	if err := os.WriteFile(path, bytes.Join(lines[:3], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumeFile(t, path, ResumeOptions{Workers: 4})
+	whole, _ := os.ReadFile(path)
+	got := digestsOf(t, whole)
+	if len(got) != len(want) {
+		t.Fatalf("decided %d slots, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d digest diverged under Workers=4", i)
+		}
+	}
+}
+
+func TestResumeRejectsNonOnline(t *testing.T) {
+	dir := t.TempDir()
+	cfg := resumeSpec()
+	cfg.Algorithm = "greedy"
+	path := filepath.Join(dir, "greedy.jsonl")
+	b := recordTo(t, cfg, path)
+	// Drop the footer so the journal looks interrupted.
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if err := os.WriteFile(path, bytes.Join(lines[:len(lines)-2], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := journal.RecoverFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Resume(context.Background(), j, nil)
+	var nr *NotResumableError
+	if !errors.As(err, &nr) || !strings.Contains(err.Error(), "greedy") {
+		t.Fatalf("err = %v, want NotResumableError naming the algorithm", err)
+	}
+}

@@ -1,10 +1,14 @@
 package journal
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
 	"math"
 )
 
@@ -14,6 +18,10 @@ const (
 	KindHeader = "header"
 	// KindSlot records one committed time-slot decision.
 	KindSlot = "slot"
+	// KindState checkpoints the run's restartable state (the committed
+	// decision vectors) so a crashed run can resume without re-solving its
+	// whole prefix. Always written after the slot record it checkpoints.
+	KindState = "state"
 	// KindFooter closes a journal: one per finished run, always the last
 	// line. A journal without a footer records a run that died mid-flight.
 	KindFooter = "footer"
@@ -21,7 +29,9 @@ const (
 
 // Version is the journal schema version written into every header. Readers
 // accept only versions they know; bump it on any breaking schema change.
-const Version = 1
+// Version 2 added the per-record crc field and state records; version-1
+// journals are still readable (their records carry no checksums to verify).
+const Version = 2
 
 // Slot statuses, mirroring core's SlotStatus taxonomy.
 const (
@@ -52,6 +62,10 @@ type Header struct {
 	Workers    int `json:"workers"`
 	// TimeNS is the wall-clock start time in Unix nanoseconds.
 	TimeNS int64 `json:"t_ns"`
+	// CRC is the record checksum ("crc32c:" + 8 hex digits), computed over
+	// the marshaled record without this field. Always the last JSON key; the
+	// writer stamps it and the reader verifies it (version ≥ 2).
+	CRC string `json:"crc,omitempty"`
 }
 
 // SlotRecord is one committed slot: the audit trail for "why this plan".
@@ -79,6 +93,29 @@ type SlotRecord struct {
 	Iters int   `json:"iters,omitempty"`
 	// TimeNS is the record's wall-clock emission time in Unix nanoseconds.
 	TimeNS int64 `json:"t_ns"`
+	// CRC is the record checksum; see Header.CRC.
+	CRC string `json:"crc,omitempty"`
+}
+
+// StateRecord checkpoints the online algorithm's restartable state right
+// after slot Slot committed: the decision vectors the next slot's subproblem
+// is built from (x_prev). JSON encodes float64 exactly (shortest round-trip
+// form), so a resumed run restarts from bit-identical state.
+type StateRecord struct {
+	Kind string `json:"kind"` // always KindState
+	// Slot is the slot whose committed decision this checkpoints; it must
+	// match the immediately preceding slot record.
+	Slot int       `json:"slot"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+	Z    []float64 `json:"z"`
+	// DecisionDigest repeats the slot record's digest so the reader can
+	// verify the vectors reconstruct the committed decision exactly.
+	DecisionDigest string `json:"decision_digest"`
+	// TimeNS is the record's wall-clock emission time in Unix nanoseconds.
+	TimeNS int64 `json:"t_ns"`
+	// CRC is the record checksum; see Header.CRC.
+	CRC string `json:"crc,omitempty"`
 }
 
 // Footer is the run postamble: totals a reader can reconcile against the
@@ -96,12 +133,17 @@ type Footer struct {
 	DurNS int64 `json:"dur_ns,omitempty"`
 	// TimeNS is the wall-clock end time in Unix nanoseconds.
 	TimeNS int64 `json:"t_ns"`
+	// CRC is the record checksum; see Header.CRC.
+	CRC string `json:"crc,omitempty"`
 }
 
 // Journal is a fully parsed and validated journal file.
 type Journal struct {
 	Header Header
 	Slots  []SlotRecord
+	// LastState is the most recent state checkpoint (nil when the journal
+	// carries none, e.g. version-1 files or post-hoc recordings).
+	LastState *StateRecord
 	// Footer is nil when the run died before writing one.
 	Footer *Footer
 }
@@ -109,6 +151,41 @@ type Journal struct {
 // Replayable reports whether the journal embeds the configuration needed to
 // re-run it.
 func (j *Journal) Replayable() bool { return len(j.Header.Config) > 0 }
+
+// LastSlot returns the index of the last recorded slot, or -1 when no slot
+// committed before the journal ended.
+func (j *Journal) LastSlot() int {
+	if len(j.Slots) == 0 {
+		return -1
+	}
+	return j.Slots[len(j.Slots)-1].Slot
+}
+
+// ErrTornTail is the sentinel wrapped by TornTailError, so callers can test
+// for a torn tail with errors.Is without caring about the diagnostics.
+var ErrTornTail = errors.New("journal: torn tail")
+
+// TornTailError reports a journal whose final record is incomplete or fails
+// its checksum — the signature of a process that died mid-write. The valid
+// prefix is intact: LastGoodSlot is the last durable slot (-1 when no slot
+// survived) and Recover truncates the tail and returns that prefix.
+type TornTailError struct {
+	// LastGoodSlot is the last slot index whose record is fully durable.
+	LastGoodSlot int
+	// Line is the 1-based line number of the torn record.
+	Line int
+	// Cause is what invalidated the tail (JSON parse failure or checksum
+	// mismatch).
+	Cause error
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("journal: torn tail at line %d (last durable slot %d): %v",
+		e.Line, e.LastGoodSlot, e.Cause)
+}
+
+// Unwrap makes errors.Is(err, ErrTornTail) work.
+func (e *TornTailError) Unwrap() error { return ErrTornTail }
 
 // Digest fingerprints groups of float64 slices: each group is hashed as its
 // length followed by the IEEE-754 bit pattern of every element, all
@@ -134,4 +211,40 @@ func Digest(groups ...[]float64) string {
 func DigestBytes(b []byte) string {
 	sum := sha256.Sum256(b)
 	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// crcPrefix self-describes the per-record checksum algorithm (CRC32 with the
+// Castagnoli polynomial, the WAL-standard choice with hardware support).
+const crcPrefix = "crc32c:"
+
+// Checksum computes the record checksum over payload: "crc32c:" plus eight
+// hex digits of CRC32C(payload). The payload is the marshaled record without
+// its crc field — exactly the line bytes that precede `,"crc":"..."}` with a
+// closing brace restored.
+func Checksum(payload []byte) string {
+	return fmt.Sprintf("%s%08x", crcPrefix, crc32.Checksum(payload, castagnoli))
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcMarker is the byte sequence that separates a record's payload from its
+// checksum field. The writer declares CRC as the last struct field, so the
+// final occurrence on a line is always the record's own checksum.
+var crcMarker = []byte(`,"crc":"`)
+
+// verifyLine checks a raw journal line against the checksum it carries. The
+// crc field must be the line's last JSON key (the writer guarantees it); the
+// payload is everything before the marker with the closing brace restored.
+func verifyLine(raw []byte, crc string) error {
+	i := bytes.LastIndex(raw, crcMarker)
+	if i < 0 {
+		return fmt.Errorf("record carries crc %q but the line has no crc field", crc)
+	}
+	payload := make([]byte, i+1)
+	copy(payload, raw[:i])
+	payload[i] = '}'
+	if got := Checksum(payload); got != crc {
+		return fmt.Errorf("checksum mismatch: line sums to %s, record claims %s", got, crc)
+	}
+	return nil
 }

@@ -60,16 +60,21 @@ func TestJournalGolden(t *testing.T) {
 		ReconfCost:     3.25,
 		Status:         StatusOK,
 	})
+	stateX, stateY, stateZ := []float64{4, 5}, []float64{0.25}, []float64{1.5, 0}
 	w.Slot(SlotRecord{
 		Slot:           1,
 		InputsDigest:   sampleDigest(3),
-		DecisionDigest: sampleDigest(4),
+		DecisionDigest: Digest(stateX, stateY, stateZ),
 		AllocCost:      11,
 		ReconfCost:     0.5,
 		Status:         StatusDegraded,
 		Rung:           "carry-forward",
 		DurNS:          2500000,
 		Iters:          17,
+	})
+	w.State(StateRecord{
+		Slot: 1, X: stateX, Y: stateY, Z: stateZ,
+		DecisionDigest: Digest(stateX, stateY, stateZ),
 	})
 	w.End(Footer{Degraded: 1, TotalCost: 27.25, TotalIters: 40, DurNS: 5000000})
 	if err := w.Err(); err != nil {
@@ -100,6 +105,9 @@ func TestJournalGolden(t *testing.T) {
 	}
 	if j.Header.Algorithm != "online" || len(j.Slots) != 2 || j.Footer == nil {
 		t.Fatalf("golden journal parsed wrong: %+v", j)
+	}
+	if j.LastState == nil || j.LastState.Slot != 1 {
+		t.Fatalf("golden journal lost its state checkpoint: %+v", j.LastState)
 	}
 	if !j.Replayable() {
 		t.Error("golden journal embeds a config but reports not replayable")
@@ -170,6 +178,26 @@ func validJournal(slots ...SlotRecord) []byte {
 	return buf.Bytes()
 }
 
+// restamp recomputes every line's crc after a test mangled its content, so
+// the reader's semantic validation (not the checksum) is what trips.
+func restamp(b []byte) []byte {
+	var out []byte
+	for _, line := range bytes.SplitAfter(b, []byte("\n")) {
+		content := bytes.TrimSuffix(line, []byte("\n"))
+		if i := bytes.LastIndex(content, crcMarker); i >= 0 {
+			payload := append(append([]byte{}, content[:i]...), '}')
+			content = append(append([]byte{}, content[:i]...), crcMarker...)
+			content = append(content, Checksum(payload)...)
+			content = append(content, '"', '}')
+		}
+		out = append(out, content...)
+		if bytes.HasSuffix(line, []byte("\n")) {
+			out = append(out, '\n')
+		}
+	}
+	return out
+}
+
 func TestReaderRejectsMalformed(t *testing.T) {
 	ok := SlotRecord{Slot: 0, InputsDigest: sampleDigest(1), DecisionDigest: sampleDigest(2), Status: StatusOK}
 	cases := []struct {
@@ -183,14 +211,17 @@ func TestReaderRejectsMalformed(t *testing.T) {
 			return bytes.Join([][]byte{lines[1], lines[0], lines[2]}, nil)
 		}, "before the header"},
 		{"bad digest", func(b []byte) []byte {
-			return bytes.Replace(b, []byte("sha256:"), []byte("md5:xx"), 1)
+			return restamp(bytes.Replace(b, []byte("sha256:"), []byte("md5:xx"), 1))
 		}, "malformed"},
 		{"bad status", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`"status":"ok"`), []byte(`"status":"mystery"`), 1)
+			return restamp(bytes.Replace(b, []byte(`"status":"ok"`), []byte(`"status":"mystery"`), 1))
 		}, "unknown slot status"},
 		{"footer miscount", func(b []byte) []byte {
-			return bytes.Replace(b, []byte(`"kind":"footer","slots":1`), []byte(`"kind":"footer","slots":9`), 1)
+			return restamp(bytes.Replace(b, []byte(`"kind":"footer","slots":1`), []byte(`"kind":"footer","slots":9`), 1))
 		}, "footer claims"},
+		{"checksum mismatch mid-file", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"alloc_cost"`), []byte(`"aIloc_cost"`), 1)
+		}, "checksum mismatch"},
 		{"record after footer", func(b []byte) []byte {
 			lines := bytes.SplitAfter(b, []byte("\n"))
 			return append(b, lines[1]...)

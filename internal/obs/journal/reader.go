@@ -2,9 +2,12 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"regexp"
 )
 
@@ -14,112 +17,286 @@ const maxLine = 16 << 20
 
 var digestRe = regexp.MustCompile(`^sha256:[0-9a-f]{64}$`)
 
+// corruptError marks a structural failure — bytes that cannot be what the
+// writer produced (unparseable JSON, a failed or missing checksum). At the
+// tail of a file it is the signature of a torn write; anywhere else it is
+// mid-file corruption.
+type corruptError struct{ cause error }
+
+func (e *corruptError) Error() string { return e.cause.Error() }
+func (e *corruptError) Unwrap() error { return e.cause }
+
 // Read parses and validates a journal: exactly one header first, slot
-// records in strictly increasing slot order, digests well-formed, statuses
-// from the known taxonomy, and at most one footer, last, whose counts
-// reconcile with the slot lines. A missing footer is not an error (the run
-// died mid-flight); every other violation is.
+// records in strictly increasing slot order, state checkpoints matching the
+// slot they follow, digests well-formed, checksums verified (version ≥ 2),
+// statuses from the known taxonomy, and at most one footer, last, whose
+// counts reconcile with the slot lines. A missing footer is not an error
+// (the run died mid-flight between records); a structurally invalid final
+// record is reported as a *TornTailError (the run died mid-write), and any
+// other violation is a plain error.
 func Read(r io.Reader) (*Journal, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	j := &Journal{}
+	j, _, err := scan(r, false)
+	return j, err
+}
+
+// RecoverInfo describes what Recover found and (for RecoverFile) repaired.
+type RecoverInfo struct {
+	// Torn reports whether a torn tail was detected and dropped.
+	Torn bool
+	// TornLine is the 1-based line number of the dropped record (0 when the
+	// file was clean).
+	TornLine int
+	// GoodBytes is the length of the valid prefix; RecoverFile truncates the
+	// file to exactly this size.
+	GoodBytes int64
+	// DroppedBytes counts the bytes past the valid prefix.
+	DroppedBytes int64
+	// MissingNewline reports a final record that is valid and fully
+	// checksummed but lost its line terminator; RecoverFile restores it.
+	MissingNewline bool
+	// LastSlot is the last durable slot index (-1 when none committed).
+	LastSlot int
+	// Complete reports whether the journal carries a footer — a finished
+	// run with nothing to resume.
+	Complete bool
+}
+
+// Recover reads a journal tolerating a torn tail: the valid prefix is
+// parsed and returned together with what was dropped. Mid-file corruption —
+// an invalid record with valid data after it — is still rejected: that is
+// not the signature of a crash mid-write, and silently skipping records
+// would forge the audit trail.
+func Recover(r io.Reader) (*Journal, *RecoverInfo, error) {
+	return scan(r, true)
+}
+
+// RecoverFile recovers the journal at path and makes the file itself ready
+// for a resumed run: a torn tail is truncated away and a missing final
+// newline restored, so the file ends exactly at the last durable record.
+func RecoverFile(path string) (*Journal, *RecoverInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, info, err := Recover(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.Torn || info.MissingNewline {
+		fw, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer fw.Close()
+		if err := fw.Truncate(info.GoodBytes); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if info.MissingNewline {
+			if _, err := fw.WriteAt([]byte{'\n'}, info.GoodBytes); err != nil {
+				return nil, nil, fmt.Errorf("journal: restoring final newline: %w", err)
+			}
+			info.GoodBytes++
+			info.MissingNewline = false
+		}
+		if err := fw.Sync(); err != nil {
+			return nil, nil, fmt.Errorf("journal: syncing recovered file: %w", err)
+		}
+	}
+	return j, info, nil
+}
+
+// scanState threads the validation state through the record-at-a-time adds.
+type scanState struct {
+	j          *Journal
+	seenHeader bool
+	crcNeeded  bool
+}
+
+// scan drives the line loop shared by Read and Recover.
+func scan(r io.Reader, tolerate bool) (*Journal, *RecoverInfo, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	st := &scanState{j: &Journal{}}
+	info := &RecoverInfo{LastSlot: -1}
 	line := 0
-	seenHeader := false
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, fmt.Errorf("journal: %w", rerr)
+		}
 		if len(raw) == 0 {
+			break // clean EOF at a record boundary
+		}
+		line++
+		terminated := raw[len(raw)-1] == '\n'
+		content := raw
+		if terminated {
+			content = raw[:len(raw)-1]
+		}
+		if len(content) == 0 {
+			info.GoodBytes += int64(len(raw))
+			if rerr == io.EOF {
+				break
+			}
 			continue
 		}
-		var kind struct {
-			Kind string `json:"kind"`
+		if len(content) > maxLine {
+			return nil, nil, fmt.Errorf("journal: line %d exceeds %d bytes", line, maxLine)
 		}
-		if err := json.Unmarshal(raw, &kind); err != nil {
-			return nil, fmt.Errorf("journal: line %d: not a JSON record: %w", line, err)
+		verr := st.add(content, line)
+		if verr == nil && !terminated {
+			// The record is complete and checksummed; only its newline was
+			// lost. The prefix including it is durable.
+			info.GoodBytes += int64(len(content))
+			info.MissingNewline = true
+			break
 		}
-		if j.Footer != nil {
-			return nil, fmt.Errorf("journal: line %d: %q record after the footer", line, kind.Kind)
+		if verr != nil {
+			var ce *corruptError
+			structural := errors.As(verr, &ce)
+			rest, _ := io.ReadAll(br)
+			more := len(bytes.TrimSpace(rest)) > 0
+			if structural && !more {
+				tte := &TornTailError{LastGoodSlot: st.j.LastSlot(), Line: line, Cause: ce.cause}
+				if !tolerate {
+					return nil, nil, tte
+				}
+				info.Torn = true
+				info.TornLine = line
+				info.DroppedBytes = int64(len(raw) + len(rest))
+				break
+			}
+			return nil, nil, fmt.Errorf("journal: line %d: %w", line, verr)
 		}
-		switch kind.Kind {
-		case KindHeader:
-			if seenHeader {
-				return nil, fmt.Errorf("journal: line %d: second header", line)
+		info.GoodBytes += int64(len(raw))
+		if rerr == io.EOF {
+			break
+		}
+	}
+	if !st.seenHeader {
+		return nil, nil, fmt.Errorf("journal: no header record survived")
+	}
+	info.LastSlot = st.j.LastSlot()
+	info.Complete = st.j.Footer != nil
+	return st.j, info, nil
+}
+
+// add validates and applies one record line.
+func (st *scanState) add(raw []byte, line int) error {
+	j := st.j
+	var kind struct {
+		Kind string `json:"kind"`
+		CRC  string `json:"crc"`
+	}
+	if err := json.Unmarshal(raw, &kind); err != nil {
+		return &corruptError{fmt.Errorf("not a JSON record: %w", err)}
+	}
+	if kind.CRC != "" {
+		if err := verifyLine(raw, kind.CRC); err != nil {
+			return &corruptError{err}
+		}
+	} else if st.crcNeeded {
+		return fmt.Errorf("version %d record carries no crc field", Version)
+	}
+	if j.Footer != nil {
+		return fmt.Errorf("%q record after the footer", kind.Kind)
+	}
+	switch kind.Kind {
+	case KindHeader:
+		if st.seenHeader {
+			return fmt.Errorf("second header")
+		}
+		if err := json.Unmarshal(raw, &j.Header); err != nil {
+			return fmt.Errorf("bad header: %w", err)
+		}
+		if j.Header.Version < 1 || j.Header.Version > Version {
+			return fmt.Errorf("schema version %d (reader supports 1..%d)", j.Header.Version, Version)
+		}
+		st.crcNeeded = j.Header.Version >= 2
+		if st.crcNeeded && kind.CRC == "" {
+			return fmt.Errorf("version %d header carries no crc field", j.Header.Version)
+		}
+		if j.Header.Algorithm == "" {
+			return fmt.Errorf("header names no algorithm")
+		}
+		if j.Header.ConfigDigest != "" {
+			if !digestRe.MatchString(j.Header.ConfigDigest) {
+				return fmt.Errorf("malformed config digest %q", j.Header.ConfigDigest)
 			}
-			if err := json.Unmarshal(raw, &j.Header); err != nil {
-				return nil, fmt.Errorf("journal: line %d: bad header: %w", line, err)
+			if len(j.Header.Config) > 0 && DigestBytes(j.Header.Config) != j.Header.ConfigDigest {
+				return fmt.Errorf("embedded config does not match its digest")
 			}
-			if j.Header.Version != Version {
-				return nil, fmt.Errorf("journal: line %d: schema version %d (reader supports %d)", line, j.Header.Version, Version)
-			}
-			if j.Header.Algorithm == "" {
-				return nil, fmt.Errorf("journal: line %d: header names no algorithm", line)
-			}
-			if j.Header.ConfigDigest != "" {
-				if !digestRe.MatchString(j.Header.ConfigDigest) {
-					return nil, fmt.Errorf("journal: line %d: malformed config digest %q", line, j.Header.ConfigDigest)
-				}
-				if len(j.Header.Config) > 0 && DigestBytes(j.Header.Config) != j.Header.ConfigDigest {
-					return nil, fmt.Errorf("journal: line %d: embedded config does not match its digest", line)
-				}
-			}
-			seenHeader = true
-		case KindSlot:
-			if !seenHeader {
-				return nil, fmt.Errorf("journal: line %d: slot record before the header", line)
-			}
-			var rec SlotRecord
-			if err := json.Unmarshal(raw, &rec); err != nil {
-				return nil, fmt.Errorf("journal: line %d: bad slot record: %w", line, err)
-			}
-			if n := len(j.Slots); n > 0 && rec.Slot <= j.Slots[n-1].Slot {
-				return nil, fmt.Errorf("journal: line %d: slot %d after slot %d (must be strictly increasing)", line, rec.Slot, j.Slots[n-1].Slot)
-			}
-			if !digestRe.MatchString(rec.InputsDigest) {
-				return nil, fmt.Errorf("journal: line %d: malformed inputs digest %q", line, rec.InputsDigest)
-			}
-			if !digestRe.MatchString(rec.DecisionDigest) {
-				return nil, fmt.Errorf("journal: line %d: malformed decision digest %q", line, rec.DecisionDigest)
-			}
-			switch rec.Status {
-			case StatusOK, StatusRecovered, StatusDegraded:
-			default:
-				return nil, fmt.Errorf("journal: line %d: unknown slot status %q", line, rec.Status)
-			}
-			j.Slots = append(j.Slots, rec)
-		case KindFooter:
-			if !seenHeader {
-				return nil, fmt.Errorf("journal: line %d: footer before the header", line)
-			}
-			var f Footer
-			if err := json.Unmarshal(raw, &f); err != nil {
-				return nil, fmt.Errorf("journal: line %d: bad footer: %w", line, err)
-			}
-			if f.Slots != len(j.Slots) {
-				return nil, fmt.Errorf("journal: line %d: footer claims %d slots, journal has %d", line, f.Slots, len(j.Slots))
-			}
-			var rec, deg int
-			for _, s := range j.Slots {
-				switch s.Status {
-				case StatusRecovered:
-					rec++
-				case StatusDegraded:
-					deg++
-				}
-			}
-			if f.Recovered != rec || f.Degraded != deg {
-				return nil, fmt.Errorf("journal: line %d: footer counts %d recovered/%d degraded, slots say %d/%d",
-					line, f.Recovered, f.Degraded, rec, deg)
-			}
-			j.Footer = &f
+		}
+		st.seenHeader = true
+	case KindSlot:
+		if !st.seenHeader {
+			return fmt.Errorf("slot record before the header")
+		}
+		var rec SlotRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("bad slot record: %w", err)
+		}
+		if n := len(j.Slots); n > 0 && rec.Slot <= j.Slots[n-1].Slot {
+			return fmt.Errorf("slot %d after slot %d (must be strictly increasing)", rec.Slot, j.Slots[n-1].Slot)
+		}
+		if !digestRe.MatchString(rec.InputsDigest) {
+			return fmt.Errorf("malformed inputs digest %q", rec.InputsDigest)
+		}
+		if !digestRe.MatchString(rec.DecisionDigest) {
+			return fmt.Errorf("malformed decision digest %q", rec.DecisionDigest)
+		}
+		switch rec.Status {
+		case StatusOK, StatusRecovered, StatusDegraded:
 		default:
-			return nil, fmt.Errorf("journal: line %d: unknown record kind %q", line, kind.Kind)
+			return fmt.Errorf("unknown slot status %q", rec.Status)
 		}
+		j.Slots = append(j.Slots, rec)
+	case KindState:
+		if !st.seenHeader {
+			return fmt.Errorf("state record before the header")
+		}
+		var rec StateRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("bad state record: %w", err)
+		}
+		n := len(j.Slots)
+		if n == 0 || j.Slots[n-1].Slot != rec.Slot {
+			return fmt.Errorf("state checkpoint for slot %d does not follow that slot's record", rec.Slot)
+		}
+		if Digest(rec.X, rec.Y, rec.Z) != rec.DecisionDigest {
+			return fmt.Errorf("state vectors for slot %d do not hash to their digest", rec.Slot)
+		}
+		if rec.DecisionDigest != j.Slots[n-1].DecisionDigest {
+			return fmt.Errorf("state checkpoint for slot %d does not match the committed decision", rec.Slot)
+		}
+		j.LastState = &rec
+	case KindFooter:
+		if !st.seenHeader {
+			return fmt.Errorf("footer before the header")
+		}
+		var f Footer
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("bad footer: %w", err)
+		}
+		if f.Slots != len(j.Slots) {
+			return fmt.Errorf("footer claims %d slots, journal has %d", f.Slots, len(j.Slots))
+		}
+		var rec, deg int
+		for _, s := range j.Slots {
+			switch s.Status {
+			case StatusRecovered:
+				rec++
+			case StatusDegraded:
+				deg++
+			}
+		}
+		if f.Recovered != rec || f.Degraded != deg {
+			return fmt.Errorf("footer counts %d recovered/%d degraded, slots say %d/%d",
+				f.Recovered, f.Degraded, rec, deg)
+		}
+		j.Footer = &f
+	default:
+		return fmt.Errorf("unknown record kind %q", kind.Kind)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	if !seenHeader {
-		return nil, fmt.Errorf("journal: no header record")
-	}
-	return j, nil
+	return nil
 }

@@ -4,18 +4,70 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 )
 
-// Writer appends journal records as JSONL. All methods serialize on one
+// Syncer is the durability hook of a journal writer: anything with a Sync
+// method (an *os.File) can be flushed to stable storage according to the
+// writer's SyncPolicy.
+type Syncer interface {
+	Sync() error
+}
+
+// SyncPolicy says when the writer fsyncs the underlying file. The zero value
+// never syncs (the pre-durability behavior: buffered writes, OS-scheduled
+// flushes).
+type SyncPolicy struct {
+	// Every fsyncs after every Nth record (1 = after every record, 0 =
+	// disabled). The footer always syncs regardless, so a finished run is
+	// durable the moment End returns.
+	Every int
+	// OnCommit fsyncs after every slot, state, and footer record — the
+	// commit points of the online run. The header may sit in the page cache
+	// until the first slot commits, but no committed decision is ever lost.
+	OnCommit bool
+}
+
+// SyncEveryRecord returns the strictest policy: one fsync per record.
+func SyncEveryRecord() SyncPolicy { return SyncPolicy{Every: 1} }
+
+// SyncOnCommit returns the default durable policy: fsync at commit points.
+func SyncOnCommit() SyncPolicy { return SyncPolicy{OnCommit: true} }
+
+// SyncEveryN returns the batched policy: one fsync per n records (plus the
+// footer). A crash can lose at most the last n-1 records.
+func SyncEveryN(n int) SyncPolicy { return SyncPolicy{Every: n} }
+
+// ParseSyncPolicy maps the CLI spelling of a policy — "none", "commit",
+// "every", or a positive integer N — to the policy itself.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none":
+		return SyncPolicy{}, nil
+	case "commit":
+		return SyncOnCommit(), nil
+	case "every":
+		return SyncEveryRecord(), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return SyncPolicy{}, fmt.Errorf("journal: fsync policy %q (want none|commit|every|N)", s)
+	}
+	return SyncEveryN(n), nil
+}
+
+// Writer appends journal records as JSONL, each line carrying a trailing
+// crc32c checksum over the rest of the record. All methods serialize on one
 // mutex and each record reaches the underlying io.Writer in a single Write
 // call, so a writer shared by parallel solver goroutines (Workers > 1)
-// never interleaves or tears lines. The first error — a write failure or a
-// protocol misuse (slot before header, two headers, record after footer) —
-// is latched and all subsequent records are dropped; check Err after the
-// run. The nil *Writer is the disabled state: every method is a no-op, so
-// instrumented code records unconditionally.
+// never interleaves or tears lines. The first error — a write or sync
+// failure or a protocol misuse (slot before header, two headers, record
+// after footer) — is latched, reported through the OnError hook, and all
+// subsequent records are dropped; check Err after the run. The nil *Writer
+// is the disabled state: every method is a no-op, so instrumented code
+// records unconditionally.
 type Writer struct {
 	mu     sync.Mutex
 	w      io.Writer
@@ -24,6 +76,11 @@ type Writer struct {
 	err    error
 	opened bool
 	closed bool
+
+	syncer    Syncer
+	policy    SyncPolicy
+	sinceSync int
+	onError   func(error)
 
 	// Status tallies, used to fill footer fields the caller leaves zero.
 	slots     int
@@ -38,6 +95,24 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: w, now: time.Now}
 }
 
+// ResumeWriter wraps w (a recovered journal file opened for append) in a
+// writer that continues the run recorded in j: the header is already on
+// disk, so Begin must not be called again, and the footer tallies start from
+// the recovered prefix so End reconciles over the whole file.
+func ResumeWriter(w io.Writer, j *Journal) *Writer {
+	rw := &Writer{w: w, now: time.Now, opened: true}
+	rw.slots = len(j.Slots)
+	for _, s := range j.Slots {
+		switch s.Status {
+		case StatusRecovered:
+			rw.recovered++
+		case StatusDegraded:
+			rw.degraded++
+		}
+	}
+	return rw
+}
+
 // Attach tees every written line into the feed (for live /runs streaming).
 // Call before Begin.
 func (w *Writer) Attach(f *Feed) *Writer {
@@ -46,6 +121,32 @@ func (w *Writer) Attach(f *Feed) *Writer {
 	}
 	w.mu.Lock()
 	w.feed = f
+	w.mu.Unlock()
+	return w
+}
+
+// WithSync arms the durability policy: s (usually the journal's *os.File) is
+// synced according to p. Call before Begin.
+func (w *Writer) WithSync(s Syncer, p SyncPolicy) *Writer {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	w.syncer = s
+	w.policy = p
+	w.mu.Unlock()
+	return w
+}
+
+// OnError installs a hook invoked once with the first latched error (write
+// failure, sync failure, or protocol misuse). The /healthz wiring uses it to
+// flip the endpoint to 503 when the disk under the journal fails.
+func (w *Writer) OnError(fn func(error)) *Writer {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	w.onError = fn
 	w.mu.Unlock()
 	return w
 }
@@ -61,25 +162,67 @@ func (w *Writer) SetClock(now func() time.Time) {
 	w.mu.Unlock()
 }
 
-// write marshals one record to a single line. Caller holds w.mu.
-func (w *Writer) write(rec any) {
+// latch records the writer's first error and fires the hook. Caller holds
+// w.mu.
+func (w *Writer) latch(err error) {
+	if w.err != nil || err == nil {
+		return
+	}
+	w.err = err
+	if w.onError != nil {
+		w.onError(err)
+	}
+}
+
+// write marshals one record to a single line, appending the crc field over
+// the marshaled payload. Caller holds w.mu; rec's CRC field must be empty so
+// it is omitted from the payload.
+func (w *Writer) write(rec any, commit bool) {
 	if w.err != nil {
 		return
 	}
-	line, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
-		w.err = err
+		w.latch(err)
 		return
 	}
-	line = append(line, '\n')
+	crc := Checksum(payload)
+	line := make([]byte, 0, len(payload)+len(crcMarker)+len(crc)+3)
+	line = append(line, payload[:len(payload)-1]...)
+	line = append(line, crcMarker...)
+	line = append(line, crc...)
+	line = append(line, '"', '}', '\n')
 	if w.w != nil {
 		if _, err := w.w.Write(line); err != nil {
-			w.err = err
+			w.latch(err)
 			return
 		}
+		w.maybeSync(commit)
 	}
 	if w.feed != nil {
 		w.feed.Publish(line)
+	}
+}
+
+// maybeSync applies the sync policy after one record reached the underlying
+// writer. Caller holds w.mu.
+func (w *Writer) maybeSync(commit bool) {
+	if w.syncer == nil || w.err != nil {
+		return
+	}
+	due := commit && w.policy.OnCommit
+	if w.policy.Every > 0 {
+		w.sinceSync++
+		if w.sinceSync >= w.policy.Every {
+			due = true
+		}
+	}
+	if !due {
+		return
+	}
+	w.sinceSync = 0
+	if err := w.syncer.Sync(); err != nil {
+		w.latch(fmt.Errorf("journal: fsync: %w", err))
 	}
 }
 
@@ -91,14 +234,15 @@ func (w *Writer) Begin(h Header) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err == nil && (w.opened || w.closed) {
-		w.err = fmt.Errorf("journal: Begin called twice")
+		w.latch(fmt.Errorf("journal: Begin called twice"))
 		return
 	}
 	w.opened = true
 	h.Kind = KindHeader
 	h.Version = Version
 	h.TimeNS = w.now().UnixNano()
-	w.write(h)
+	h.CRC = ""
+	w.write(h, false)
 }
 
 // Slot appends one slot record. The writer stamps Kind and TimeNS.
@@ -109,7 +253,7 @@ func (w *Writer) Slot(r SlotRecord) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err == nil && (!w.opened || w.closed) {
-		w.err = fmt.Errorf("journal: Slot outside a Begin/End window")
+		w.latch(fmt.Errorf("journal: Slot outside a Begin/End window"))
 		return
 	}
 	w.slots++
@@ -121,13 +265,34 @@ func (w *Writer) Slot(r SlotRecord) {
 	}
 	r.Kind = KindSlot
 	r.TimeNS = w.now().UnixNano()
-	w.write(r)
+	r.CRC = ""
+	w.write(r, true)
+}
+
+// State appends one state checkpoint. The writer stamps Kind and TimeNS; the
+// caller supplies the slot index, decision vectors, and digest (core writes
+// one right after each committed slot's record).
+func (w *Writer) State(r StateRecord) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil && (!w.opened || w.closed) {
+		w.latch(fmt.Errorf("journal: State outside a Begin/End window"))
+		return
+	}
+	r.Kind = KindState
+	r.TimeNS = w.now().UnixNano()
+	r.CRC = ""
+	w.write(r, true)
 }
 
 // End writes the run footer and closes the journal. The writer stamps Kind
 // and TimeNS and fills Slots, Recovered, and Degraded from its own tallies
 // when the caller leaves them zero, so footers always reconcile with the
-// slot records the reader checks them against.
+// slot records the reader checks them against. The footer is always synced
+// when a syncer is armed: a finished run is durable before End returns.
 func (w *Writer) End(f Footer) {
 	if w == nil {
 		return
@@ -135,7 +300,7 @@ func (w *Writer) End(f Footer) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err == nil && (!w.opened || w.closed) {
-		w.err = fmt.Errorf("journal: End outside a Begin window")
+		w.latch(fmt.Errorf("journal: End outside a Begin window"))
 		return
 	}
 	w.closed = true
@@ -150,10 +315,45 @@ func (w *Writer) End(f Footer) {
 		f.Degraded = w.degraded
 	}
 	f.TimeNS = w.now().UnixNano()
-	w.write(f)
+	f.CRC = ""
+	if w.syncer != nil && w.policy == (SyncPolicy{}) {
+		// Even the never-sync policy makes the completed run durable.
+		w.policy = SyncOnCommit()
+	}
+	w.write(f, true)
+	if w.syncer != nil && w.err == nil && w.sinceSync != 0 {
+		// An every-N policy can leave the footer off-stride; sync it anyway.
+		w.sinceSync = 0
+		if err := w.syncer.Sync(); err != nil {
+			w.latch(fmt.Errorf("journal: fsync: %w", err))
+		}
+	}
 	if w.feed != nil {
 		w.feed.Close()
 	}
+}
+
+// Sync flushes the underlying file to stable storage now, regardless of
+// policy. A failure latches like any write error.
+func (w *Writer) Sync() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.syncer != nil && w.err == nil {
+		if err := w.syncer.Sync(); err != nil {
+			w.latch(fmt.Errorf("journal: fsync: %w", err))
+		}
+	}
+	return w.err
+}
+
+// Close syncs and returns the writer's final error state. It does not close
+// the underlying file (the caller owns it), but after Close every latched
+// flush failure is visible — a journal whose Close returns nil is durable.
+func (w *Writer) Close() error {
+	return w.Sync()
 }
 
 // Err returns the latched first error, if any.

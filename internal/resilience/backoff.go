@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff computes deterministic decorrelated-jitter retry delays. The k-th
+// delay is drawn from [Base, min(Cap, Base·3^k)] using a seeded hash of k, so
+// a fleet of retriers with distinct seeds spreads out (no thundering herd)
+// while any single (Seed, k) pair always yields the same delay — chaos
+// schedules replay exactly.
+//
+// The zero value is a usable policy: 10ms base, 2s cap, seed 0.
+type Backoff struct {
+	// Base is the minimum delay (default 10ms when zero).
+	Base time.Duration
+	// Cap bounds every delay (default 2s when zero).
+	Cap time.Duration
+	// Seed decorrelates independent retriers.
+	Seed uint64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base <= 0 {
+		return 10 * time.Millisecond
+	}
+	return b.Base
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap <= 0 {
+		return 2 * time.Second
+	}
+	return b.Cap
+}
+
+// Delay returns the k-th retry delay (k counts from 0).
+func (b Backoff) Delay(k int) time.Duration {
+	base, cap := b.base(), b.cap()
+	// Expand the window by 3× per attempt (the AWS decorrelated-jitter
+	// growth rate), saturating at the cap.
+	hi := base
+	for i := 0; i < k; i++ {
+		hi *= 3
+		if hi >= cap || hi <= 0 { // <= 0 catches overflow
+			hi = cap
+			break
+		}
+	}
+	if hi <= base {
+		return base
+	}
+	u := hash01(b.Seed, uint64(k))
+	return base + time.Duration(u*float64(hi-base))
+}
+
+// Sleep waits out the k-th retry delay, returning early with ctx.Err() when
+// the context is canceled first. It is the bounded, jittered, interruptible
+// replacement for a bare time.Sleep in a retry loop (the sleepretry lint rule
+// points here). A nil ctx never interrupts.
+func (b Backoff) Sleep(ctx context.Context, k int) error {
+	t := time.NewTimer(b.Delay(k))
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}

@@ -15,6 +15,7 @@ type Health struct {
 	lastSlot       int
 	lastStatus     string
 	consecDegraded int
+	failures       []string
 }
 
 // NewHealth returns an empty tracker.
@@ -50,6 +51,20 @@ func (h *Health) RecordSlot(slot int, status string) {
 	h.mu.Unlock()
 }
 
+// Fail marks a component permanently unhealthy — a failing disk under the
+// journal, an exhausted restart budget. Unlike a degraded slot, which clears
+// when the next slot solves, a failure sticks: the probe answers 503 until
+// the process is replaced, because a controller that can no longer persist
+// or supervise its commitments must not look healthy to its orchestrator.
+func (h *Health) Fail(component string, err error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.failures = append(h.failures, component+": "+err.Error())
+	h.mu.Unlock()
+}
+
 // HealthSnapshot is a point-in-time copy of the tracker, shaped for the
 // /healthz JSON body.
 type HealthSnapshot struct {
@@ -67,11 +82,20 @@ type HealthSnapshot struct {
 	// ConsecutiveDegraded counts the current run of carried-forward slots;
 	// nonzero exactly when State is "degraded".
 	ConsecutiveDegraded int `json:"consecutive_degraded"`
+	// Failures lists permanent component failures (journal disk, supervisor
+	// budget); any entry forces State "failed" and a 503 probe.
+	Failures []string `json:"failures,omitempty"`
 }
 
+// HealthFailed is the State of a tracker with a permanent component failure.
+const HealthFailed = "failed"
+
 // Healthy reports whether a probe should answer 200: the run is healthy
-// unless it is currently inside a degraded streak.
-func (s HealthSnapshot) Healthy() bool { return s.State != HealthDegraded }
+// unless it is currently inside a degraded streak or a component failed
+// permanently.
+func (s HealthSnapshot) Healthy() bool {
+	return s.State != HealthDegraded && s.State != HealthFailed
+}
 
 // Snapshot copies the tracker's current state. On a nil tracker it returns
 // the idle snapshot.
@@ -95,6 +119,10 @@ func (h *Health) Snapshot() HealthSnapshot {
 		if h.consecDegraded > 0 {
 			s.State = HealthDegraded
 		}
+	}
+	if len(h.failures) > 0 {
+		s.State = HealthFailed
+		s.Failures = append([]string(nil), h.failures...)
 	}
 	return s
 }

@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBudgetExhausted is wrapped by Supervisor.Do when the run-wide restart
+// budget is spent: the slot's last solve failure is also in the chain, so
+// IsSolveFailure still routes the caller onto the degradation ladder.
+var ErrBudgetExhausted = errors.New("resilience: supervisor restart budget exhausted")
+
+// SupervisorOptions tunes a slot-loop supervisor.
+type SupervisorOptions struct {
+	// SlotTimeout bounds one attempt's wall time (0 = no per-slot deadline).
+	// The deadline is applied per attempt, not per slot: a retry gets a
+	// fresh budget.
+	SlotTimeout time.Duration
+	// MaxRetries is how many times one slot's solve is re-attempted after a
+	// transient failure before the error is surfaced (default 2 when zero;
+	// negative disables retry).
+	MaxRetries int
+	// RestartBudget caps the total number of retries across the whole run
+	// (0 = unlimited). When it runs dry, Do stops retrying, marks the health
+	// tracker failed, and surfaces ErrBudgetExhausted — the caller's
+	// degradation ladder takes over from there.
+	RestartBudget int
+	// Backoff spaces the retries (zero value = 10ms..2s decorrelated jitter).
+	Backoff Backoff
+	// Health, when non-nil, is failed permanently when the restart budget
+	// exhausts, flipping /healthz to 503.
+	Health *Health
+}
+
+// Supervisor runs each slot's solve under a deadline with bounded, jittered
+// retry, spending from a run-wide restart budget. It supervises transient
+// faults *above* the fallback ladder: the ladder swaps tactics within one
+// attempt, the supervisor re-attempts the whole solve when even the ladder
+// failed, and the degradation path (carry-forward) remains the caller's last
+// resort when the supervisor gives up. Safe for concurrent Do calls.
+type Supervisor struct {
+	opts    SupervisorOptions
+	spent   atomic.Int64
+	retries atomic.Int64
+	tripped atomic.Bool
+}
+
+// NewSupervisor returns a supervisor with the given options.
+func NewSupervisor(opts SupervisorOptions) *Supervisor {
+	return &Supervisor{opts: opts}
+}
+
+// Retries reports the total retries performed so far.
+func (s *Supervisor) Retries() int { return int(s.retries.Load()) }
+
+// BudgetExhausted reports whether the run-wide restart budget has tripped.
+func (s *Supervisor) BudgetExhausted() bool { return s.tripped.Load() }
+
+func (s *Supervisor) maxRetries() int {
+	if s.opts.MaxRetries == 0 {
+		return 2
+	}
+	if s.opts.MaxRetries < 0 {
+		return 0
+	}
+	return s.opts.MaxRetries
+}
+
+// spend consumes one unit of the run-wide restart budget, reporting whether
+// the retry may proceed.
+func (s *Supervisor) spend() bool {
+	if s.opts.RestartBudget <= 0 {
+		s.retries.Add(1)
+		return true
+	}
+	if s.spent.Add(1) > int64(s.opts.RestartBudget) {
+		return false
+	}
+	s.retries.Add(1)
+	return true
+}
+
+// trip marks the budget exhausted (once) and fails the health tracker.
+func (s *Supervisor) trip(slot int, cause error) {
+	if s.tripped.CompareAndSwap(false, true) {
+		s.opts.Health.Fail("supervisor",
+			fmt.Errorf("restart budget (%d) exhausted at slot %d: %v", s.opts.RestartBudget, slot, cause))
+	}
+}
+
+// Do runs one slot's solve attempt-by-attempt. fn receives the attempt
+// context (the parent bounded by SlotTimeout when set) and is re-run after a
+// transient solve failure — never after a cancellation, a non-solver error,
+// or once the run-wide budget is dry. The nil *Supervisor runs fn once with
+// the parent context unchanged, so callers invoke it unconditionally.
+func (s *Supervisor) Do(ctx context.Context, slot int, fn func(ctx context.Context) error) error {
+	if s == nil {
+		return fn(ctx)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
+		if s.opts.SlotTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, s.opts.SlotTimeout)
+		}
+		err = fn(attemptCtx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		// A parent cancellation (as opposed to one attempt's deadline) ends
+		// the run; retrying against a canceled context cannot succeed.
+		if ctx.Err() != nil || !IsSolveFailure(err) {
+			return err
+		}
+		if IsCanceled(err) && s.opts.SlotTimeout <= 0 {
+			return err
+		}
+		if attempt >= s.maxRetries() {
+			return err
+		}
+		if !s.spend() {
+			s.trip(slot, err)
+			return fmt.Errorf("%w (slot %d): %w", ErrBudgetExhausted, slot, err)
+		}
+		if serr := s.opts.Backoff.Sleep(ctx, attempt); serr != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 7}
+	for k := 0; k < 12; k++ {
+		d1, d2 := b.Delay(k), b.Delay(k)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", k, d1, d2)
+		}
+		if d1 < b.Base || d1 > b.Cap {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v]", k, d1, b.Base, b.Cap)
+		}
+	}
+	other := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Seed: 8}
+	diverged := false
+	for k := 1; k < 12; k++ {
+		if b.Delay(k) != other.Delay(k) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds never decorrelate")
+	}
+	var zero Backoff
+	if d := zero.Delay(0); d <= 0 || d > 2*time.Second {
+		t.Fatalf("zero-value Delay(0) = %v", d)
+	}
+}
+
+func TestBackoffSleepHonorsCancel(t *testing.T) {
+	b := Backoff{Base: time.Minute, Cap: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx, 3); err == nil {
+		t.Fatal("Sleep on a canceled context returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep did not return promptly on cancellation")
+	}
+}
+
+func transient() error {
+	return &SolveError{Stage: "test", Class: ClassFactorization, Err: errors.New("boom")}
+}
+
+func fastBackoff() Backoff { return Backoff{Base: time.Microsecond, Cap: 10 * time.Microsecond} }
+
+func TestSupervisorRetriesTransientFailures(t *testing.T) {
+	s := NewSupervisor(SupervisorOptions{MaxRetries: 3, Backoff: fastBackoff()})
+	calls := 0
+	err := s.Do(context.Background(), 0, func(context.Context) error {
+		calls++
+		if calls <= 2 {
+			return transient()
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want nil after 3", err, calls)
+	}
+	if s.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", s.Retries())
+	}
+}
+
+func TestSupervisorDoesNotRetryModelErrors(t *testing.T) {
+	s := NewSupervisor(SupervisorOptions{Backoff: fastBackoff()})
+	calls := 0
+	plain := errors.New("malformed instance")
+	err := s.Do(context.Background(), 0, func(context.Context) error {
+		calls++
+		return plain
+	})
+	if !errors.Is(err, plain) || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want the model error after 1", err, calls)
+	}
+}
+
+func TestSupervisorBudgetTripsHealth(t *testing.T) {
+	h := NewHealth()
+	s := NewSupervisor(SupervisorOptions{MaxRetries: 5, RestartBudget: 2, Backoff: fastBackoff(), Health: h})
+	err := s.Do(context.Background(), 4, func(context.Context) error { return transient() })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if !IsSolveFailure(err) {
+		t.Fatal("budget error must still carry the solve failure for the degradation ladder")
+	}
+	if !s.BudgetExhausted() {
+		t.Fatal("BudgetExhausted() = false after trip")
+	}
+	snap := h.Snapshot()
+	if snap.Healthy() || snap.State != HealthFailed || len(snap.Failures) != 1 {
+		t.Fatalf("health after budget trip = %+v, want failed with one failure", snap)
+	}
+	// Further slots fail fast without re-tripping.
+	err = s.Do(context.Background(), 5, func(context.Context) error { return transient() })
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("post-trip err = %v, want ErrBudgetExhausted", err)
+	}
+	if n := len(h.Snapshot().Failures); n != 1 {
+		t.Fatalf("trip recorded %d failures, want 1 (latched)", n)
+	}
+}
+
+func TestSupervisorPerAttemptDeadline(t *testing.T) {
+	s := NewSupervisor(SupervisorOptions{
+		SlotTimeout: 5 * time.Millisecond, MaxRetries: 2, Backoff: fastBackoff(),
+	})
+	calls := 0
+	err := s.Do(context.Background(), 0, func(ctx context.Context) error {
+		calls++
+		if calls == 1 {
+			<-ctx.Done() // simulate a hung solve; the attempt deadline frees it
+			return &SolveError{Stage: "test", Class: ClassCanceled, Err: ctx.Err()}
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err = %v after %d calls, want nil after a fresh attempt", err, calls)
+	}
+}
+
+func TestSupervisorStopsOnParentCancel(t *testing.T) {
+	s := NewSupervisor(SupervisorOptions{MaxRetries: 10, Backoff: fastBackoff()})
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := s.Do(ctx, 0, func(context.Context) error {
+		calls++
+		cancel()
+		return transient()
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err = %v after %d calls, want the failure after 1 (no retry against a dead context)", err, calls)
+	}
+}
+
+func TestNilSupervisorRunsOnce(t *testing.T) {
+	var s *Supervisor
+	calls := 0
+	if err := s.Do(context.Background(), 0, func(context.Context) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("nil supervisor: err = %v, calls = %d", err, calls)
+	}
+}
