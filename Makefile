@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race obs-race obs-serve kernels-race chaos check bench bench-compare
+.PHONY: build test vet lint race obs-race obs-serve kernels-race chaos latency check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -51,12 +51,20 @@ kernels-race:
 chaos:
 	$(GO) run -race ./cmd/soralbench -exp chaos
 
+# The latency experiment drives the span → log-bucketed-histogram → report
+# pipeline end to end (assemble/factorize/solve/commit phases over repeated
+# online runs) under the race detector: the histograms are recorded from the
+# solver's worker goroutines while the slot loop reads counters, which is
+# exactly the interleaving the atomic record path must survive.
+latency:
+	$(GO) run -race ./cmd/soralbench -exp latency -q
+
 # The gate used before merging: static checks (vet plus the sorallint
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
 # paths), plus the focused telemetry and parallel-kernel race passes and the
 # crash/recovery chaos schedules.
-check: vet lint race obs-race obs-serve kernels-race chaos
+check: vet lint race obs-race obs-serve kernels-race chaos latency
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -68,3 +76,4 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/soralbench -compare results/BENCH_kernels.json results/BENCH_kernels.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_chaos.json results/BENCH_chaos.json
+	$(GO) run ./cmd/soralbench -compare results/BENCH_latency.json results/BENCH_latency.json

@@ -12,6 +12,7 @@
 //	soral -replay run.jsonl                  # verify it replays bit-identically
 //	soral -resume run.jsonl                  # recover a crashed run and finish it
 //	soral -serve 127.0.0.1:9090              # live /metrics /healthz /runs
+//	soral -trace-event trace.json            # Chrome trace-event JSON (Perfetto)
 //
 // A config file looks like:
 //
@@ -77,15 +78,16 @@ func main() {
 		decOut    = flag.String("decisions", "", "write the decision sequence as JSON to this file")
 
 		traceOut   = flag.String("trace", "", "write a JSONL telemetry trace to this file")
+		traceEvent = flag.String("trace-event", "", "write a Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev) to this file")
 		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
 
-		journalOut  = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
-		fsyncSpec   = flag.String("fsync", "commit", "journal durability policy: none|commit|every|N (fsync per N records)")
-		replayFile  = flag.String("replay", "", "replay a recorded journal and verify bit-identical decisions (exits 1 on divergence)")
-		resumePath  = flag.String("resume", "", "recover an interrupted journal in place and resume the run from its last durable slot")
-		serveAddr   = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address (e.g. 127.0.0.1:9090) until interrupted")
+		journalOut = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
+		fsyncSpec  = flag.String("fsync", "commit", "journal durability policy: none|commit|every|N (fsync per N records)")
+		replayFile = flag.String("replay", "", "replay a recorded journal and verify bit-identical decisions (exits 1 on divergence)")
+		resumePath = flag.String("resume", "", "recover an interrupted journal in place and resume the run from its last durable slot")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address (e.g. 127.0.0.1:9090) until interrupted")
 	)
 	flag.Parse()
 
@@ -136,7 +138,8 @@ func main() {
 	serving := *serveAddr != ""
 	var reg *obs.Registry
 	var traceSink *obs.JSONLSink
-	if *traceOut != "" || *metricsOut != "" || *verbose || serving {
+	var eventBuf *obs.BufferSink
+	if *traceOut != "" || *traceEvent != "" || *metricsOut != "" || *verbose || serving {
 		reg = obs.NewRegistry()
 		var sink obs.Sink
 		if *traceOut != "" {
@@ -147,6 +150,13 @@ func main() {
 			defer f.Close()
 			traceSink = obs.NewJSONLSink(f)
 			sink = traceSink
+		}
+		if *traceEvent != "" {
+			// The trace-event export needs the whole run in memory (spans are
+			// rebased against the earliest timestamp); buffer alongside
+			// whatever JSONL sink is active.
+			eventBuf = &obs.BufferSink{}
+			sink = obs.Tee(sink, eventBuf)
 		}
 		eval.SetDefaultObs(obs.NewScope(reg, sink))
 	}
@@ -354,6 +364,20 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace:            %s\n", *traceOut)
 	}
+	if eventBuf != nil {
+		f, err := os.Create(*traceEvent)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteTraceEvents(f, eventBuf.Events()); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("writing trace-event %s: %w", *traceEvent, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace-event:      %s\n", *traceEvent)
+	}
 
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "serving:          run finished; Ctrl-C to exit\n")
@@ -384,7 +408,7 @@ func replay(ctx context.Context, path string) {
 		return
 	}
 	for _, m := range res.Mismatches {
-		fmt.Fprintf(os.Stderr, "replay: slot %d %s digest diverged: got %s want %s\n",
+		fmt.Fprintf(os.Stderr, "replay: slot %d %s diverged: got %s want %s\n",
 			m.Slot, m.Field, m.Got, m.Want)
 	}
 	os.Exit(1)

@@ -16,14 +16,16 @@
 // parse error.
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
-// plus three that are not part of all: lint (per-package sorallint wall time,
+// plus four that are not part of all: lint (per-package sorallint wall time,
 // for tracking the cost of the static-analysis gate alongside the solver
 // benchmarks; must run from inside the module source tree), kernels
 // (serial-vs-parallel timings of the structured linear-algebra kernels with a
-// bit-identity check, written as BENCH_kernels.json under -json), and chaos
+// bit-identity check, written as BENCH_kernels.json under -json), chaos
 // (seeded deterministic crash/recovery fault schedules — process kills, torn
 // writes, transient solver faults — each asserting the recovered run is
-// bit-identical to the uninterrupted one; written as BENCH_chaos.json).
+// bit-identical to the uninterrupted one; written as BENCH_chaos.json), and
+// latency (per-phase p50/p99/p999 of the online pipeline from the
+// log-bucketed latency histograms, written as BENCH_latency.json).
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
@@ -43,6 +45,7 @@ import (
 
 	"soral/internal/analysis"
 	"soral/internal/eval"
+	"soral/internal/linalg"
 	"soral/internal/obs"
 	"soral/internal/obs/journal"
 	"soral/internal/resilience"
@@ -51,7 +54,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|latency|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -186,6 +189,12 @@ func main() {
 		chaosRep = rep
 		return tbl, err
 	}
+	var latencyRep *eval.LatencyReport
+	exps["latency"] = func() (*eval.Table, error) {
+		tbl, rep, err := eval.Latency(log)
+		latencyRep = rep
+		return tbl, err
+	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 
 	var selected []string
@@ -249,6 +258,12 @@ func main() {
 				// Likewise chaos: per-schedule recovery timings with the
 				// bit-identity verdict -compare gates on.
 				if err := writeChaosJSON(*jsonDir, chaosRep); err != nil {
+					fatal(err)
+				}
+			case "latency":
+				// And latency: per-phase tail quantiles from the log-bucketed
+				// histograms the core spans feed.
+				if err := writeLatencyJSON(*jsonDir, latencyRep); err != nil {
 					fatal(err)
 				}
 			default:
@@ -316,21 +331,29 @@ func compareMain(args []string, threshold float64) {
 		fmt.Fprintln(os.Stderr, "soralbench: -compare needs exactly two files: old.json new.json")
 		os.Exit(2)
 	}
-	load := func(path string) []eval.BenchEntry {
+	load := func(path string) ([]eval.BenchEntry, eval.BenchEnv) {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "soralbench:", err)
 			os.Exit(2)
 		}
 		defer f.Close()
-		entries, err := eval.LoadBench(f)
+		entries, env, err := eval.LoadBenchEnv(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "soralbench: %s: %v\n", path, err)
 			os.Exit(2)
 		}
-		return entries
+		return entries, env
 	}
-	oldE, newE := load(args[0]), load(args[1])
+	oldE, oldEnv := load(args[0])
+	newE, newEnv := load(args[1])
+	if !oldEnv.Comparable(newEnv) {
+		// Different parallel envelopes shift timings and quantiles for
+		// machine reasons, not code reasons: warn, never fail.
+		fmt.Fprintf(os.Stderr,
+			"soralbench: warning: snapshots recorded under different envelopes (old %d cores/GOMAXPROCS %d, new %d cores/GOMAXPROCS %d); timing deltas may reflect the machine, not the code\n",
+			oldEnv.Cores, oldEnv.GoMaxProcs, newEnv.Cores, newEnv.GoMaxProcs)
+	}
 	diff := eval.Compare(oldE, newE, eval.CompareOptions{Threshold: threshold})
 	if err := diff.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "soralbench:", err)
@@ -348,6 +371,10 @@ type benchResult struct {
 	Name    string `json:"name"`
 	Iters   int    `json:"iters"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// Machine envelope: -compare warns when two snapshots disagree on it.
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
 	// SolverIterations maps each per-stage iteration counter (e.g.
 	// "lp.mehrotra.iterations") to its delta over this experiment.
 	SolverIterations map[string]int64 `json:"solver_iterations"`
@@ -391,6 +418,9 @@ func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.S
 		Name:             name,
 		Iters:            1,
 		NsPerOp:          elapsed.Nanoseconds(),
+		Cores:            runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Workers:          linalg.ResolveWorkers(0),
 		SolverIterations: map[string]int64{},
 		TotalSolverIterations: after.Counters[obs.MetricSolverIters] -
 			before.Counters[obs.MetricSolverIters],
@@ -441,6 +471,17 @@ func writeChaosJSON(dir string, rep *eval.ChaosReport) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_chaos.json"), append(raw, '\n'), 0o644)
+}
+
+func writeLatencyJSON(dir string, rep *eval.LatencyReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_latency.json"), append(raw, '\n'), 0o644)
 }
 
 func writeTraces(scale eval.Scale, path string) error {

@@ -111,6 +111,7 @@ func Analyzers() []*Analyzer {
 		ErrDrop,
 		FloatCmp,
 		MapOrder,
+		MetricName,
 		ScopeNil,
 		SleepRetry,
 	}

@@ -245,11 +245,13 @@ func Solve(p *Problem, x0 []float64, opts Options) (res *Result, err error) {
 			}
 			chol := ws.chol
 			var cherr error
+			fspan := opts.Obs.StartSpan("convex.factorize")
 			if opts.Fault.FactorizationShouldFail(iter) {
 				cherr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
 			} else {
 				cherr = chol.RefactorizeWorkers(hess, 1e-6*maxAbsDiag(hess)+1e-12, opts.Workers)
 			}
+			fspan.End()
 			if cherr != nil {
 				return nil, &resilience.SolveError{
 					Stage: "convex.barrier", Class: resilience.ClassFactorization,

@@ -8,6 +8,7 @@ import (
 	"soral/internal/lp"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/attr"
 	"soral/internal/obs/journal"
 	"soral/internal/resilience"
 )
@@ -75,6 +76,11 @@ type Online struct {
 	// carry their own.
 	work   *convex.Workspace
 	lpWork *lp.Workspace
+
+	// tracker attributes each committed slot's cost (per component, per
+	// cloud) and accumulates the run's regret and competitive-ratio
+	// estimates; lazily created at the first commit that records anywhere.
+	tracker *attr.Tracker
 }
 
 // NewOnline prepares a run over the given inputs starting from the all-zero
@@ -151,6 +157,7 @@ func (o *Online) Step() (*model.Decision, error) {
 	var dec *model.Decision
 	var ladder *resilience.LadderReport
 	var err error
+	solveSpan := slotScope.StartSpan("core.solve")
 	if sup := o.Opts.Supervisor; sup != nil {
 		err = sup.Do(stepOpts.Solver.Ctx, o.t, func(ctx context.Context) error {
 			supOpts := stepOpts
@@ -162,6 +169,7 @@ func (o *Online) Step() (*model.Decision, error) {
 	} else {
 		dec, ladder, err = SolveP2Resilient(o.Net, o.In, o.t, o.prev, stepOpts)
 	}
+	solveSpan.End()
 	sr := SlotReport{Slot: o.t, Ladder: ladder}
 	switch {
 	case err == nil:
@@ -197,28 +205,43 @@ func (o *Online) Step() (*model.Decision, error) {
 	return dec, nil
 }
 
-// recordCommit feeds the flight recorder and the health tracker at the
-// moment slot sr.Slot commits decision dec (o.prev still holds the previous
-// slot's decision). Both sinks are nil-safe, so the disabled path costs two
-// branches.
+// recordCommit feeds the flight recorder, the health tracker, and the cost
+// attribution at the moment slot sr.Slot commits decision dec (o.prev still
+// holds the previous slot's decision). All sinks are nil-safe, so the fully
+// disabled path costs a few branches.
 func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 	o.Opts.Health.RecordSlot(sr.Slot, sr.Status.String())
+	if o.Opts.Journal == nil && o.Opts.Obs == nil {
+		return
+	}
+	commitSpan := o.Opts.Obs.Slot(sr.Slot).StartSpan("core.commit")
+	defer commitSpan.End()
+	if o.tracker == nil {
+		o.tracker = attr.NewTracker(o.Net, o.In)
+	}
+	sa := o.tracker.Slot(sr.Slot, o.prev, dec)
+	sum := o.tracker.Snapshot()
+	sc := o.Opts.Obs
+	sc.SetGauge("attr.cum_cost", sum.CumCost)
+	sc.SetGauge("attr.cum_lower_bound", sum.CumLowerBound)
+	sc.SetGauge("attr.regret", sum.Regret)
+	sc.SetGauge("attr.competitive_ratio", sum.CompetitiveRatio)
+	sc.SetGauge("attr.slot_slack", sa.Slack)
 	if o.Opts.Journal == nil {
 		return
 	}
-	acct := model.Accountant{Net: o.Net, In: o.In}
-	cost := acct.SlotCost(sr.Slot, o.prev, dec)
 	decisionDigest := journal.Digest(dec.X, dec.Y, dec.Z)
 	o.Opts.Journal.Slot(journal.SlotRecord{
 		Slot:           sr.Slot,
 		InputsDigest:   journal.Digest(o.In.Workload[sr.Slot], o.In.PriceT2[sr.Slot]),
 		DecisionDigest: decisionDigest,
-		AllocCost:      cost.Allocation(),
-		ReconfCost:     cost.Reconfiguration(),
+		AllocCost:      sa.Breakdown.Allocation(),
+		ReconfCost:     sa.Breakdown.Reconfiguration(),
 		Status:         sr.Status.String(),
 		Rung:           sr.Rung,
 		DurNS:          sr.Duration.Nanoseconds(),
 		Iters:          sr.Iterations,
+		Attr:           JournalAttr(sa),
 	})
 	// Checkpoint the restartable state right behind the slot it commits, so
 	// a crashed run resumes from here instead of re-solving its prefix
@@ -227,6 +250,33 @@ func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 		Slot: sr.Slot, X: dec.X, Y: dec.Y, Z: dec.Z,
 		DecisionDigest: decisionDigest,
 	})
+}
+
+// PrimeAttribution seeds the run's attribution tracker from a journaled
+// prefix (slot count, cumulative cost, cumulative operating lower bound), so
+// a resumed run's regret and competitive-ratio gauges continue from where
+// the crashed run stopped instead of restarting at zero.
+func (o *Online) PrimeAttribution(slots int, cumCost, cumLowerBound float64) {
+	if o.tracker == nil {
+		o.tracker = attr.NewTracker(o.Net, o.In)
+	}
+	o.tracker.Prime(slots, cumCost, cumLowerBound)
+}
+
+// JournalAttr converts a slot attribution into its journal record form.
+func JournalAttr(sa attr.SlotAttribution) *journal.CostAttr {
+	return &journal.CostAttr{
+		AllocT2:   sa.Breakdown.AllocT2,
+		AllocNet:  sa.Breakdown.AllocNet,
+		AllocT1:   sa.Breakdown.AllocT1,
+		ReconfT2:  sa.Breakdown.ReconfT2,
+		ReconfNet: sa.Breakdown.ReconfNet,
+		ReconfT1:  sa.Breakdown.ReconfT1,
+		PerTier2:  sa.PerTier2,
+		PerTier1:  sa.PerTier1,
+		Slack:     sa.Slack,
+		OperLB:    sa.OperLB,
+	}
 }
 
 // Run executes the remaining slots and returns all decisions made.

@@ -67,11 +67,14 @@ const feasTol = 1e-4
 // errors are returned directly with a nil report: a malformed instance must
 // not be retried.
 func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Decision, opts Options) (*model.Decision, *resilience.LadderReport, error) {
+	asm := opts.Obs.StartSpan("core.assemble")
 	p2, err := BuildP2(n, in, t, prev, opts.Params)
 	if err != nil {
+		asm.End()
 		return nil, nil, err
 	}
 	x0 := p2.warmStart(in, t)
+	asm.End()
 
 	attempt := func(solverOpts convex.Options, start []float64) (*model.Decision, error) {
 		if solverOpts.Obs == nil {

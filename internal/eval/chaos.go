@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"soral/internal/core"
+	"soral/internal/linalg"
 	"soral/internal/obs/journal"
 	"soral/internal/resilience"
 )
@@ -46,9 +48,14 @@ type ChaosResult struct {
 // fault schedules plus one record per schedule. Every schedule is a pure
 // function of Seed, so a report regenerates identically on any machine.
 type ChaosReport struct {
-	Seed    uint64        `json:"seed"`
-	Slots   int           `json:"slots"`
-	Results []ChaosResult `json:"results"`
+	Seed  uint64 `json:"seed"`
+	Slots int    `json:"slots"`
+	// Machine envelope: recovery wall times depend on the core count, so
+	// -compare warns when two snapshots disagree here.
+	Cores      int           `json:"cores"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Results    []ChaosResult `json:"results"`
 }
 
 // chaosSeed drives every derived quantity of the chaos experiment: the kill
@@ -218,7 +225,11 @@ func Chaos(log Logger) (*Table, *ChaosReport, error) {
 // ChaosCtx is Chaos with cancellation.
 func ChaosCtx(ctx context.Context, log Logger) (*Table, *ChaosReport, error) {
 	cfg := chaosSpec().canonical()
-	rep := &ChaosReport{Seed: chaosSeed, Slots: cfg.Spec.T}
+	rep := &ChaosReport{
+		Seed: chaosSeed, Slots: cfg.Spec.T,
+		Cores: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers: linalg.ResolveWorkers(0),
+	}
 
 	dir, err := os.MkdirTemp("", "soral-chaos-*")
 	if err != nil {

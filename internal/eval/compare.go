@@ -21,6 +21,25 @@ type BenchEntry struct {
 	BitIdentical *bool
 }
 
+// BenchEnv is the machine envelope a BENCH snapshot was recorded under.
+// Latency quantiles and kernel speedups shift with the core count, so
+// -compare warns (never fails) when two snapshots disagree here.
+type BenchEnv struct {
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+}
+
+// Comparable reports whether the two envelopes describe the same parallel
+// envelope; an unrecorded envelope (zero Cores, pre-metadata snapshot) is
+// never flagged.
+func (e BenchEnv) Comparable(o BenchEnv) bool {
+	if e.Cores == 0 || o.Cores == 0 {
+		return true
+	}
+	return e.Cores == o.Cores && e.GoMaxProcs == o.GoMaxProcs
+}
+
 // benchFile mirrors the union of the BENCH JSON schemas closely enough to
 // sniff which one a file is.
 type benchFile struct {
@@ -32,34 +51,66 @@ type benchFile struct {
 	LintPackages          map[string]int64 `json:"lint_packages"`
 	LintLoadNs            int64            `json:"lint_load_ns"`
 
-	// Report fields shared by BENCH_kernels.json (Kernel non-empty) and
-	// BENCH_chaos.json (Schedule non-empty).
+	// Machine-envelope metadata (every schema).
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+
+	// Report fields shared by BENCH_kernels.json (Kernel non-empty),
+	// BENCH_chaos.json (Schedule non-empty), and BENCH_latency.json (Phase
+	// non-empty).
 	Results []struct {
 		Kernel       string  `json:"kernel"`
 		N            int     `json:"n"`
 		Workers      int     `json:"workers"`
 		Schedule     string  `json:"schedule"`
+		Phase        string  `json:"phase"`
 		NsPerOp      int64   `json:"ns_per_op"`
 		Speedup      float64 `json:"speedup"`
 		BitIdentical bool    `json:"bit_identical"`
+		P50Ns        int64   `json:"p50_ns"`
+		P99Ns        int64   `json:"p99_ns"`
+		P999Ns       int64   `json:"p999_ns"`
 	} `json:"results"`
 }
 
 // LoadBench parses one BENCH_<name>.json file (any schema) into the flat
 // entry list Compare consumes. A kernels report yields one entry per
 // (kernel, n, workers) cell; a chaos report yields one entry per fault
-// schedule; a per-experiment file yields one entry whose metrics include the
-// per-stage solver-iteration counters.
+// schedule; a latency report yields one entry per pipeline phase; a
+// per-experiment file yields one entry whose metrics include the per-stage
+// solver-iteration counters.
 func LoadBench(r io.Reader) ([]BenchEntry, error) {
+	entries, _, err := LoadBenchEnv(r)
+	return entries, err
+}
+
+// LoadBenchEnv is LoadBench plus the machine envelope the snapshot was
+// recorded under (the zero BenchEnv for pre-metadata snapshots).
+func LoadBenchEnv(r io.Reader) ([]BenchEntry, BenchEnv, error) {
 	var f benchFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("eval: parsing bench file: %w", err)
+		return nil, BenchEnv{}, fmt.Errorf("eval: parsing bench file: %w", err)
 	}
+	env := BenchEnv{Cores: f.Cores, GoMaxProcs: f.GoMaxProcs, Workers: f.Workers}
 	if len(f.Results) > 0 {
 		out := make([]BenchEntry, 0, len(f.Results))
 		for _, c := range f.Results {
 			c := c
+			if c.Phase != "" {
+				// A latency phase: quantiles are the metrics; the sample
+				// count is coverage, not a regression axis, and stays out.
+				out = append(out, BenchEntry{
+					Name: "latency/" + c.Phase,
+					Metrics: map[string]float64{
+						"p50_ns":  float64(c.P50Ns),
+						"p99_ns":  float64(c.P99Ns),
+						"p999_ns": float64(c.P999Ns),
+					},
+				})
+				continue
+			}
 			e := BenchEntry{
 				Metrics:      map[string]float64{"ns_per_op": float64(c.NsPerOp)},
 				BitIdentical: &c.BitIdentical,
@@ -75,10 +126,10 @@ func LoadBench(r io.Reader) ([]BenchEntry, error) {
 			}
 			out = append(out, e)
 		}
-		return out, nil
+		return out, env, nil
 	}
 	if f.Name == "" {
-		return nil, fmt.Errorf("eval: bench file matches neither schema (no name, no results)")
+		return nil, BenchEnv{}, fmt.Errorf("eval: bench file matches neither schema (no name, no results)")
 	}
 	e := BenchEntry{Name: f.Name, Metrics: map[string]float64{
 		"ns_per_op": float64(f.NsPerOp),
@@ -95,7 +146,7 @@ func LoadBench(r io.Reader) ([]BenchEntry, error) {
 	if f.LintLoadNs != 0 {
 		e.Metrics["lint_load_ns"] = float64(f.LintLoadNs)
 	}
-	return []BenchEntry{e}, nil
+	return []BenchEntry{e}, env, nil
 }
 
 // CompareOptions tunes the regression verdict.

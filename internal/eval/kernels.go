@@ -35,6 +35,7 @@ type KernelBench struct {
 type KernelReport struct {
 	Cores      int           `json:"cores"`
 	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
 	Results    []KernelBench `json:"results"`
 }
 
@@ -219,6 +220,7 @@ func Kernels(log Logger) (*Table, *KernelReport, error) {
 	rep := &KernelReport{
 		Cores:      runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    linalg.ResolveWorkers(0),
 	}
 	workerSettings := []int{1}
 	if full := linalg.ResolveWorkers(0); full > 1 {

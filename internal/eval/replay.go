@@ -4,11 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"reflect"
 	"runtime"
 	"time"
 
+	"soral/internal/core"
 	"soral/internal/linalg"
 	"soral/internal/model"
+	"soral/internal/obs/attr"
 	"soral/internal/obs/journal"
 	"soral/internal/resilience"
 )
@@ -117,13 +121,18 @@ func Record(ctx context.Context, cfg RunConfig, w *journal.Writer) (*Run, *Scena
 	return run, scen, w.Err()
 }
 
-// SlotMismatch is one replay divergence: a recorded digest the re-run did
-// not reproduce.
+// SlotMismatch is one replay divergence: a recorded digest or cost the
+// re-run did not reproduce. Field is "inputs" or "decision" for digest
+// mismatches, "attr" when the re-run's per-slot cost attribution is not
+// bit-identical to the recorded one, "attr-sum" when a record's attribution
+// components do not sum to its alloc+reconf cost, and "objective" (Slot -1)
+// when the journal footer's total does not reconcile with the sum of the
+// per-slot records.
 type SlotMismatch struct {
 	Slot  int    `json:"slot"`
-	Field string `json:"field"` // "inputs" or "decision"
+	Field string `json:"field"`
 	Got   string `json:"got"`
-	Want  string `json:"want"` // the recorded digest
+	Want  string `json:"want"` // the recorded digest or value
 }
 
 // ReplayResult is the verdict of replaying a journal against a fresh run.
@@ -183,8 +192,61 @@ func Replay(ctx context.Context, j *journal.Journal) (*ReplayResult, error) {
 		if got := journal.Digest(d.X, d.Y, d.Z); got != rec.DecisionDigest {
 			res.Mismatches = append(res.Mismatches, SlotMismatch{Slot: t, Field: "decision", Got: got, Want: rec.DecisionDigest})
 		}
+		if rec.Attr == nil {
+			continue // pre-attr journal (soral-journal/2 without the extension)
+		}
+		// Attribution must replay bit-identically: it is a pure function of
+		// (network, inputs, prev, decision), all of which the digest checks
+		// above pinned. JSON round-trips float64 exactly, so DeepEqual over
+		// the decoded record is an exact comparison.
+		prev := model.NewZeroDecision(scen.Net)
+		if t > 0 && t-1 < len(run.Decisions) {
+			prev = run.Decisions[t-1]
+		}
+		got := core.JournalAttr(attr.Attribute(scen.Net, scen.In, t, prev, d))
+		if !reflect.DeepEqual(got, rec.Attr) {
+			gb, _ := json.Marshal(got)
+			wb, _ := json.Marshal(rec.Attr)
+			res.Mismatches = append(res.Mismatches, SlotMismatch{Slot: t, Field: "attr", Got: string(gb), Want: string(wb)})
+		}
+		// The six components partition the slot objective; drift between the
+		// attribution and the recorded alloc/reconf costs is a bug even when
+		// both replayed cleanly against themselves.
+		sum := rec.Attr.AllocT2 + rec.Attr.AllocNet + rec.Attr.AllocT1 +
+			rec.Attr.ReconfT2 + rec.Attr.ReconfNet + rec.Attr.ReconfT1
+		if total := rec.AllocCost + rec.ReconfCost; !reconciles(sum, total) {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{
+				Slot: t, Field: "attr-sum",
+				Got:  fmt.Sprintf("%.17g", sum),
+				Want: fmt.Sprintf("%.17g", total),
+			})
+		}
+	}
+	// A sealed journal's footer objective must reconcile with the sum of its
+	// per-slot records (only meaningful when the journal holds the full
+	// horizon; a compacted or torn prefix legitimately sums to less).
+	if j.Footer != nil && len(j.Slots) == scen.In.T {
+		var sum float64
+		for _, rec := range j.Slots {
+			sum += rec.AllocCost + rec.ReconfCost
+		}
+		if !reconciles(sum, j.Footer.TotalCost) {
+			res.Mismatches = append(res.Mismatches, SlotMismatch{
+				Slot: -1, Field: "objective",
+				Got:  fmt.Sprintf("%.17g", sum),
+				Want: fmt.Sprintf("%.17g", j.Footer.TotalCost),
+			})
+		}
 	}
 	return res, nil
+}
+
+// reconciles reports whether two objective values agree to within a 1e-9
+// relative tolerance (absolute near zero) — the slack allowed for summing
+// the same float64 terms in a different order.
+func reconciles(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
 }
 
 // journalPostHoc writes slot records for algorithms that decide outside
@@ -196,16 +258,16 @@ func (s *Suite) journalPostHoc(seq []*model.Decision) {
 	if w == nil {
 		return
 	}
-	acct := model.Accountant{Net: s.Scen.Net, In: s.Scen.In}
 	prev := model.NewZeroDecision(s.Scen.Net)
 	for t, d := range seq {
-		cost := acct.SlotCost(t, prev, d)
+		sa := attr.Attribute(s.Scen.Net, s.Scen.In, t, prev, d)
 		w.Slot(journal.SlotRecord{
 			Slot:           t,
 			InputsDigest:   journal.Digest(s.Scen.In.Workload[t], s.Scen.In.PriceT2[t]),
 			DecisionDigest: journal.Digest(d.X, d.Y, d.Z),
-			AllocCost:      cost.Allocation(),
-			ReconfCost:     cost.Reconfiguration(),
+			AllocCost:      sa.Breakdown.Allocation(),
+			ReconfCost:     sa.Breakdown.Reconfiguration(),
+			Attr:           core.JournalAttr(sa),
 			Status:         journal.StatusOK,
 		})
 		prev = d

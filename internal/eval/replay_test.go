@@ -75,6 +75,64 @@ func TestReplayDetectsTamper(t *testing.T) {
 	}
 }
 
+// TestReplayReconcilesAttribution tampers with the recorded cost attribution
+// and the footer objective; replay must flag each with its own field while
+// the decisions themselves still verify.
+func TestReplayReconcilesAttribution(t *testing.T) {
+	cfg := RunConfig{Spec: replaySpec(), Algorithm: "online"}
+	var buf bytes.Buffer
+	if _, _, err := Record(context.Background(), cfg, journal.NewWriter(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	read := func() *journal.Journal {
+		t.Helper()
+		j, err := journal.Read(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	fields := func(j *journal.Journal) []string {
+		t.Helper()
+		res, err := Replay(context.Background(), j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fs []string
+		for _, m := range res.Mismatches {
+			fs = append(fs, m.Field)
+		}
+		return fs
+	}
+
+	if j := read(); j.Slots[1].Attr == nil {
+		t.Fatal("recorded journal carries no attribution; nothing to reconcile")
+	}
+
+	// A perturbed component no longer matches the recomputed attribution and
+	// no longer sums to the recorded alloc+reconf totals.
+	j := read()
+	j.Slots[1].Attr.AllocT2 += 0.5
+	fs := fields(j)
+	if len(fs) != 2 || fs[0] != "attr" || fs[1] != "attr-sum" {
+		t.Fatalf("tampered attr component: fields = %v, want [attr attr-sum]", fs)
+	}
+
+	// A tampered footer objective must be caught by the footer-vs-slot-sum
+	// reconciliation, attributed to the pseudo-slot -1.
+	j = read()
+	j.Footer.TotalCost += 1
+	res, err := Replay(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 1 || res.Mismatches[0].Field != "objective" || res.Mismatches[0].Slot != -1 {
+		t.Fatalf("tampered footer: mismatches = %+v, want one objective mismatch at slot -1", res.Mismatches)
+	}
+}
+
 func TestReplayRejectsConfiglessJournal(t *testing.T) {
 	var buf bytes.Buffer
 	w := journal.NewWriter(&buf)

@@ -8,6 +8,7 @@ import (
 
 	"soral/internal/core"
 	"soral/internal/model"
+	"soral/internal/obs/attr"
 	"soral/internal/obs/journal"
 )
 
@@ -125,6 +126,17 @@ func ResumeWith(ctx context.Context, j *journal.Journal, w *journal.Writer, opts
 		}
 		res.CaughtUp++
 	}
+
+	// Prime the attribution tracker with the recorded prefix so the resumed
+	// tail's regret and competitive-ratio gauges continue from whole-run
+	// totals rather than restarting at zero. The lower bound is recomputed
+	// (it is a pure function of the inputs) so pre-attr journals prime too.
+	var primeCost, primeLB float64
+	for _, rec := range j.Slots {
+		primeCost += rec.AllocCost + rec.ReconfCost
+		primeLB += attr.OperatingLowerBound(scen.Net, scen.In, rec.Slot)
+	}
+	o.PrimeAttribution(res.StartSlot, primeCost, primeLB)
 
 	// From here every commit is new: attach the resumed writer and finish
 	// the horizon, accumulating the tail's cost as it commits.

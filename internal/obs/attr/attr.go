@@ -1,0 +1,202 @@
+// Package attr decomposes the online objective slot by slot: operating cost
+// versus smoothing/switching cost per paper component (F2 tier-2 compute,
+// F12 network, F1 tier-1), broken down per tier-2 cloud and per tier-1
+// client group, together with the worst constraint-violation slack of the
+// committed decision. A Tracker additionally accumulates a running
+// online-versus-offline regret and a live competitive-ratio estimate
+// against a per-slot operating-cost lower bound that needs no offline
+// solve.
+//
+// Every quantity is a deterministic function of (slot, prev, cur) computed
+// with fixed iteration order, so replayed runs reproduce attributions
+// bit-identically — the property the journal reconciliation check and
+// `soral -replay` assert.
+package attr
+
+import (
+	"sync"
+
+	"soral/internal/model"
+)
+
+// SlotAttribution is the full cost decomposition of one committed slot.
+type SlotAttribution struct {
+	// Slot is the 0-based slot index.
+	Slot int
+
+	// Breakdown splits the slot's objective contribution into the paper's
+	// six components (three allocation, three reconfiguration).
+	Breakdown model.CostBreakdown
+
+	// PerTier2[i] is the cost attributed to tier-2 cloud i: its compute
+	// allocation a_it·x over incident pairs plus its reconfiguration charge
+	// b_i·[Δ]⁺. Sums with PerTier1 to Breakdown.Total().
+	PerTier2 []float64
+
+	// PerTier1[j] is the cost attributed to tier-1 cloud / client group j:
+	// network allocation and reconfiguration on its incident links plus its
+	// tier-1 compute and reconfiguration terms.
+	PerTier1 []float64
+
+	// Slack is the worst constraint violation of the committed decision at
+	// this slot (0 when feasible): coverage shortfall, capacity excess, or
+	// negativity, whichever is largest.
+	Slack float64
+
+	// OperLB is the capacity-ignoring operating-cost lower bound for this
+	// slot: Σ_j λ_jt · min over j's pairs of the per-unit operating price.
+	// Any feasible decision — including the offline optimum — pays at least
+	// this much at slot t, and reconfiguration charges are nonnegative, so
+	// the running sum of OperLB lower-bounds the offline optimum.
+	OperLB float64
+}
+
+// Attribute computes the slot-t attribution of decision cur following prev
+// (prev is the all-zero decision at t = 0). It is a pure function of its
+// arguments with deterministic iteration order.
+func Attribute(net *model.Network, in *model.Inputs, t int, prev, cur *model.Decision) SlotAttribution {
+	a := SlotAttribution{
+		Slot:     t,
+		PerTier2: make([]float64, net.NumTier2),
+		PerTier1: make([]float64, net.NumTier1),
+	}
+	acct := model.Accountant{Net: net, In: in}
+	a.Breakdown = acct.SlotCost(t, prev, cur)
+
+	// Per-cloud split. Convention: tier-2 clouds carry their compute terms
+	// (allocation a_it·x and reconfiguration b_i·[Δ]⁺); tier-1 clouds carry
+	// everything on their incident links (network allocation c·y and
+	// reconfiguration d·[Δy]⁺) plus their own tier-1 terms. Every objective
+	// term lands on exactly one cloud, so the split sums to the total.
+	for p, pr := range net.Pairs {
+		a.PerTier2[pr.I] += in.PriceT2[t][pr.I] * cur.X[p]
+		a.PerTier1[pr.J] += net.PriceNet[p] * cur.Y[p]
+		if d := cur.Y[p] - prev.Y[p]; d > 0 {
+			a.PerTier1[pr.J] += net.ReconfNet[p] * d
+		}
+		if net.Tier1 {
+			a.PerTier1[pr.J] += in.PriceT1[t][pr.J] * cur.Z[p]
+		}
+	}
+	for i := 0; i < net.NumTier2; i++ {
+		if d := cur.GroupSumT2(net, i) - prev.GroupSumT2(net, i); d > 0 {
+			a.PerTier2[i] += net.ReconfT2[i] * d
+		}
+	}
+	if net.Tier1 {
+		for j := 0; j < net.NumTier1; j++ {
+			if d := cur.GroupSumT1(net, j) - prev.GroupSumT1(net, j); d > 0 {
+				a.PerTier1[j] += net.ReconfT1[j] * d
+			}
+		}
+	}
+
+	if _, worst := cur.FeasibleAt(net, in.Workload[t], 0); worst > 0 {
+		a.Slack = worst
+	}
+	a.OperLB = OperatingLowerBound(net, in, t)
+	return a
+}
+
+// OperatingLowerBound returns the slot-t operating-cost floor: each group
+// j's demand λ_jt must be covered by min(x,y(,z)) over its pairs, and each
+// covered unit on pair p costs at least a_it + c_p (+ e_jt), so charging
+// every unit the cheapest incident pair's price lower-bounds any feasible
+// decision's operating cost. Capacities only shrink the feasible set and
+// reconfiguration charges are nonnegative, so summing over slots bounds the
+// offline optimum from below.
+func OperatingLowerBound(net *model.Network, in *model.Inputs, t int) float64 {
+	var lb float64
+	for j := 0; j < net.NumTier1; j++ {
+		lam := in.Workload[t][j]
+		if lam <= 0 {
+			continue
+		}
+		best := 0.0
+		first := true
+		for _, p := range net.PairsOfJ(j) {
+			unit := in.PriceT2[t][net.Pairs[p].I] + net.PriceNet[p]
+			if net.Tier1 {
+				unit += in.PriceT1[t][j]
+			}
+			if first || unit < best {
+				best, first = unit, false
+			}
+		}
+		if !first {
+			lb += lam * best
+		}
+	}
+	return lb
+}
+
+// Summary is a point-in-time view of a Tracker's cumulative accounting.
+type Summary struct {
+	// Slots is the number of slots accumulated so far.
+	Slots int
+	// CumCost is the online algorithm's cumulative objective.
+	CumCost float64
+	// CumLowerBound is the cumulative operating lower bound (a floor on the
+	// offline optimum over the same prefix).
+	CumLowerBound float64
+	// Regret is CumCost − CumLowerBound: an upper bound on the true regret
+	// against the offline optimum.
+	Regret float64
+	// CompetitiveRatio is CumCost / CumLowerBound (0 until the bound is
+	// positive): an upper bound on the true competitive ratio so far.
+	CompetitiveRatio float64
+}
+
+// Tracker accumulates per-slot attributions into running regret and
+// competitive-ratio estimates. Safe for concurrent use.
+type Tracker struct {
+	net *model.Network
+	in  *model.Inputs
+
+	mu    sync.Mutex
+	slots int
+	cum   float64
+	cumLB float64
+}
+
+// NewTracker builds a tracker over one scenario's network and inputs.
+func NewTracker(net *model.Network, in *model.Inputs) *Tracker {
+	return &Tracker{net: net, in: in}
+}
+
+// Slot attributes one committed slot and folds it into the running totals.
+func (tr *Tracker) Slot(t int, prev, cur *model.Decision) SlotAttribution {
+	a := Attribute(tr.net, tr.in, t, prev, cur)
+	tr.mu.Lock()
+	tr.slots++
+	tr.cum += a.Breakdown.Total()
+	tr.cumLB += a.OperLB
+	tr.mu.Unlock()
+	return a
+}
+
+// Prime seeds the cumulative state from a journaled prefix, so a resumed
+// run's regret and ratio continue from where the crashed run stopped.
+func (tr *Tracker) Prime(slots int, cumCost, cumLowerBound float64) {
+	tr.mu.Lock()
+	tr.slots = slots
+	tr.cum = cumCost
+	tr.cumLB = cumLowerBound
+	tr.mu.Unlock()
+}
+
+// Snapshot returns the cumulative accounting so far.
+func (tr *Tracker) Snapshot() Summary {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	s := Summary{
+		Slots:         tr.slots,
+		CumCost:       tr.cum,
+		CumLowerBound: tr.cumLB,
+		Regret:        tr.cum - tr.cumLB,
+	}
+	if tr.cumLB > 0 {
+		s.CompetitiveRatio = tr.cum / tr.cumLB
+	}
+	return s
+}

@@ -91,10 +91,42 @@ type SlotRecord struct {
 	// run carried no obs scope or the record was written post-hoc).
 	DurNS int64 `json:"dur_ns,omitempty"`
 	Iters int   `json:"iters,omitempty"`
+	// Attr is the slot's cost attribution (nil in journals recorded before
+	// the field existed — a compatible soral-journal/2 extension; the crc
+	// field stays the last JSON key).
+	Attr *CostAttr `json:"attr,omitempty"`
 	// TimeNS is the record's wall-clock emission time in Unix nanoseconds.
 	TimeNS int64 `json:"t_ns"`
 	// CRC is the record checksum; see Header.CRC.
 	CRC string `json:"crc,omitempty"`
+}
+
+// CostAttr decomposes one slot's objective contribution. The six named
+// components sum to AllocCost + ReconfCost, and the per-cloud vectors are
+// an exact partition of the same total (within float round-trip, which JSON
+// preserves bit-exactly) — `soral -replay` asserts both reconciliations.
+type CostAttr struct {
+	// The paper's six objective components: tier-2 compute (F2), network
+	// (F12), and tier-1 compute (F1), split into allocation (operating) and
+	// reconfiguration (smoothing/switching) charges.
+	AllocT2   float64 `json:"alloc_t2"`
+	AllocNet  float64 `json:"alloc_net"`
+	AllocT1   float64 `json:"alloc_t1,omitempty"`
+	ReconfT2  float64 `json:"reconf_t2"`
+	ReconfNet float64 `json:"reconf_net"`
+	ReconfT1  float64 `json:"reconf_t1,omitempty"`
+	// PerTier2[i] / PerTier1[j] attribute the same total to individual
+	// tier-2 clouds and tier-1 client groups (see obs/attr for the split
+	// convention).
+	PerTier2 []float64 `json:"per_tier2,omitempty"`
+	PerTier1 []float64 `json:"per_tier1,omitempty"`
+	// Slack is the committed decision's worst constraint violation (0 when
+	// feasible).
+	Slack float64 `json:"slack,omitempty"`
+	// OperLB is the slot's capacity-ignoring operating-cost lower bound;
+	// its running sum floors the offline optimum, making regret and
+	// competitive-ratio estimates recomputable from the journal alone.
+	OperLB float64 `json:"oper_lb,omitempty"`
 }
 
 // StateRecord checkpoints the online algorithm's restartable state right

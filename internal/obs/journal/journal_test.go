@@ -59,6 +59,13 @@ func TestJournalGolden(t *testing.T) {
 		AllocCost:      12.5,
 		ReconfCost:     3.25,
 		Status:         StatusOK,
+		Attr: &CostAttr{
+			AllocT2: 8, AllocNet: 4.5,
+			ReconfT2: 3, ReconfNet: 0.25,
+			PerTier2: []float64{11},
+			PerTier1: []float64{4.75},
+			OperLB:   10.5,
+		},
 	})
 	stateX, stateY, stateZ := []float64{4, 5}, []float64{0.25}, []float64{1.5, 0}
 	w.Slot(SlotRecord{

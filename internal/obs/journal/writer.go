@@ -375,12 +375,13 @@ const feedBuffer = 256
 // and retains the most recent lines so a late subscriber sees the run so
 // far. It is safe for concurrent publishers and subscribers.
 type Feed struct {
-	mu     sync.Mutex
-	recent [][]byte
-	next   int
-	cap    int
-	subs   map[chan []byte]struct{}
-	closed bool
+	mu      sync.Mutex
+	recent  [][]byte
+	next    int
+	cap     int
+	subs    map[chan []byte]struct{}
+	closed  bool
+	dropped int64
 }
 
 // NewFeed returns a feed retaining up to capacity recent lines (default
@@ -414,14 +415,32 @@ func (f *Feed) Publish(line []byte) {
 		default:
 			select {
 			case <-ch:
+				f.dropped++
 			default:
 			}
 			select {
 			case ch <- cp:
 			default:
+				f.dropped++
 			}
 		}
 	}
+}
+
+// Dropped counts lines lost to slow subscribers since the feed was created
+// (each drop-oldest eviction and each undeliverable line counts once). The
+// /metrics exposition mirrors it so a stalled consumer is visible.
+func (f *Feed) Dropped() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Subscribers returns the number of live subscribers.
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
 }
 
 // Subscribe returns the retained lines so far, a channel of subsequent

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -48,6 +49,11 @@ var histogramHelp = fmt.Sprintf(
 	"count/sum/min/max are exact over the whole run; quantiles are nearest-rank over the most recent %d observations (ring reservoir).",
 	histogramCap)
 
+// latencyHelp explains the log-bucketed histogram semantics: buckets are
+// exact over the whole run, quantiles carry at most one bucket of relative
+// error, and only non-empty buckets are exposed.
+const latencyHelp = "log-bucketed (8 sub-buckets per octave, <=12.5% relative bucket width); counts exact over the whole run; only non-empty buckets exposed."
+
 // WritePrometheus encodes a registry snapshot in the Prometheus text
 // exposition format (version 0.0.4): counters, then gauges, then histograms
 // as summaries with p50/p95/p99 quantile samples plus _sum/_count and _min/
@@ -90,6 +96,43 @@ func WritePrometheus(w io.Writer, snap Snapshot) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n# TYPE %s_max gauge\n%s_max %s\n",
 			pn, pn, promFloat(h.Min), pn, pn, promFloat(h.Max)); err != nil {
 			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Latencies) {
+		l := snap.Latencies[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s Latency histogram %s: %s\n# TYPE %s histogram\n",
+			pn, promEscape(name), promEscape(latencyHelp), pn); err != nil {
+			return err
+		}
+		wroteInf := false
+		for _, b := range l.Buckets {
+			le := promFloat(b.Upper)
+			if math.IsInf(b.Upper, 1) {
+				le = "+Inf"
+				wroteInf = true
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.CumCount); err != nil {
+				return err
+			}
+		}
+		if !wroteInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, l.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, promFloat(l.Sum), pn, l.Count); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			suffix string
+			v      float64
+		}{{"p50", l.P50}, {"p99", l.P99}, {"p999", l.P999}} {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %s\n",
+				pn, q.suffix, pn, q.suffix, promFloat(q.v)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -2,8 +2,10 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -18,6 +20,7 @@ func promRegistry() *Registry {
 	reg.SetGauge("weird-name с юникодом", 1.5)
 	for i := 1; i <= 10; i++ {
 		reg.Observe("span.core.slot.seconds", float64(i)/1000)
+		reg.RecordLatency("latency.core.slot.seconds", float64(i)/1000)
 	}
 	return reg
 }
@@ -77,6 +80,61 @@ func TestPromNameSanitization(t *testing.T) {
 	for in, want := range cases {
 		if got := promName(in); got != want {
 			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusLatencyBuckets checks the bucketed-histogram exposition
+// structurally (beyond the byte-for-byte golden): TYPE histogram, strictly
+// increasing le bounds, monotone cumulative counts ending at a "+Inf"
+// bucket equal to _count, and p50/p99/p999 gauge companions.
+func TestPrometheusLatencyBuckets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE soral_latency_core_slot_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	var les []float64
+	var cums []int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "soral_latency_core_slot_seconds_bucket{le=\"") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "soral_latency_core_slot_seconds_bucket{le=\"")
+		q := strings.Index(rest, "\"")
+		leStr, cntStr := rest[:q], strings.TrimSpace(rest[q+2:])
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			v, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", leStr, err)
+			}
+			le = v
+		}
+		cnt, err := strconv.ParseInt(cntStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count %q: %v", cntStr, err)
+		}
+		les = append(les, le)
+		cums = append(cums, cnt)
+	}
+	if len(les) < 2 {
+		t.Fatalf("expected multiple bucket lines, got %d:\n%s", len(les), out)
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] || cums[i] < cums[i-1] {
+			t.Fatalf("buckets not monotone at %d: le=%v cum=%v", i, les, cums)
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) || cums[len(cums)-1] != 10 {
+		t.Fatalf("last bucket must be le=+Inf with count 10: le=%v cum=%v", les, cums)
+	}
+	for _, suffix := range []string{"_p50", "_p99", "_p999"} {
+		if !strings.Contains(out, "soral_latency_core_slot_seconds"+suffix+" ") {
+			t.Errorf("missing quantile gauge %s", suffix)
 		}
 	}
 }

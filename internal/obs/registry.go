@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"soral/internal/obs/hist"
 )
 
 // histogramCap bounds the per-histogram observation reservoir. Once full,
@@ -23,6 +25,7 @@ type Registry struct {
 	counters map[string]*atomic.Int64
 	gauges   map[string]*atomic.Uint64 // float64 bits
 	hists    map[string]*histogram
+	lats     map[string]*hist.Hist
 }
 
 // NewRegistry returns an empty registry.
@@ -31,6 +34,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*atomic.Int64{},
 		gauges:   map[string]*atomic.Uint64{},
 		hists:    map[string]*histogram{},
+		lats:     map[string]*hist.Hist{},
 	}
 }
 
@@ -52,6 +56,11 @@ func (r *Registry) counter(name string) *atomic.Int64 {
 
 // Add increments the named counter by delta (creating it at zero first).
 func (r *Registry) Add(name string, delta int64) { r.counter(name).Add(delta) }
+
+// SetCounter stores an absolute value into the named counter: for sources
+// that maintain their own monotone count (a feed's drop counter) and are
+// mirrored into the registry at scrape time.
+func (r *Registry) SetCounter(name string, v int64) { r.counter(name).Store(v) }
 
 // Counter returns the current value of the named counter (0 if never used).
 func (r *Registry) Counter(name string) int64 {
@@ -115,6 +124,33 @@ func (r *Registry) histogram(name string) *histogram {
 // Observe records one value into the named bounded histogram.
 func (r *Registry) Observe(name string, v float64) { r.histogram(name).observe(v) }
 
+// LatencyHist returns (creating if needed) the named log-bucketed latency
+// histogram. Hot paths may cache the returned handle; its Record method is
+// lock-free and allocation-free.
+func (r *Registry) LatencyHist(name string) *hist.Hist {
+	r.mu.RLock()
+	h := r.lats[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.lats[name]; h == nil {
+		h = hist.New()
+		r.lats[name] = h
+	}
+	return h
+}
+
+// RecordLatency records one observation (seconds) into the named
+// log-bucketed latency histogram. Unlike Observe's bounded reservoir, the
+// latency histogram's quantiles cover every observation of the run and
+// resolve tail quantiles (p999) to bucket precision.
+func (r *Registry) RecordLatency(name string, seconds float64) {
+	r.LatencyHist(name).Record(seconds)
+}
+
 // HistogramStats summarizes one bounded histogram. Count and Sum are exact
 // over every observation; the quantiles are computed from the bounded
 // reservoir (the most recent histogramCap observations).
@@ -129,6 +165,10 @@ type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramStats
+	// Latencies summarizes the log-bucketed latency histograms: exact
+	// count/sum/min/max, bucket-precision p50/p99/p999, and the non-empty
+	// cumulative buckets for exposition.
+	Latencies map[string]hist.Stats
 }
 
 // Snapshot copies the registry's current state. It is safe to call
@@ -147,12 +187,17 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lats := make(map[string]*hist.Hist, len(r.lats))
+	for k, v := range r.lats {
+		lats[k] = v
+	}
 	r.mu.RUnlock()
 
 	snap := Snapshot{
 		Counters:   make(map[string]int64, len(counters)),
 		Gauges:     make(map[string]float64, len(gauges)),
 		Histograms: make(map[string]HistogramStats, len(hists)),
+		Latencies:  make(map[string]hist.Stats, len(lats)),
 	}
 	for k, v := range counters {
 		snap.Counters[k] = v.Load()
@@ -162,6 +207,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range hists {
 		snap.Histograms[k] = v.stats()
+	}
+	for k, v := range lats {
+		snap.Latencies[k] = v.Snapshot()
 	}
 	return snap
 }
@@ -184,6 +232,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 		h := snap.Histograms[name]
 		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%g min=%g max=%g p50=%g p95=%g p99=%g\n",
 			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Latencies) {
+		l := snap.Latencies[name]
+		if _, err := fmt.Fprintf(w, "latency %s count=%d sum=%g min=%g max=%g p50=%g p99=%g p999=%g\n",
+			name, l.Count, l.Sum, l.Min, l.Max, l.P50, l.P99, l.P999); err != nil {
 			return err
 		}
 	}

@@ -121,6 +121,16 @@ func (s *Scope) Observe(name string, v float64) {
 	s.core.reg.Observe(name, v)
 }
 
+// RecordLatency records one observation (seconds) into a log-bucketed
+// latency histogram: exact count over the whole run, tail quantiles (p999)
+// at bucket precision, mergeable across registries.
+func (s *Scope) RecordLatency(name string, seconds float64) {
+	if s == nil || s.core.reg == nil {
+		return
+	}
+	s.core.reg.RecordLatency(name, seconds)
+}
+
 // emit stamps and forwards an event to the sink.
 func (s *Scope) emit(e Event) {
 	c := s.core
@@ -209,7 +219,11 @@ func (s *Scope) StartSpan(name string) Span {
 
 // End closes the span: it emits a KindSpanEnd event carrying the duration
 // and the solver iterations consumed inside the span, records the duration
-// into the "span.<name>.seconds" histogram, and returns the duration.
+// into the "span.<name>.seconds" summary histogram and the
+// "latency.<name>.seconds" log-bucketed latency histogram, and returns the
+// duration. The two namespaces never collide in the Prometheus exposition:
+// the summary carries recent-window p50/p95/p99, the latency histogram
+// whole-run buckets and p999.
 func (sp Span) End() time.Duration {
 	if sp.sc == nil {
 		return 0
@@ -219,5 +233,6 @@ func (sp Span) End() time.Duration {
 	sp.sc.emit(Event{Kind: KindSpanEnd, Name: sp.name,
 		DurNS: d.Nanoseconds(), Iters: int(iters)})
 	sp.sc.Observe("span."+sp.name+".seconds", d.Seconds())
+	sp.sc.RecordLatency("latency."+sp.name+".seconds", d.Seconds())
 	return d
 }

@@ -51,6 +51,13 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) (*Server, error)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The feed's backpressure state lives on the feed, not the registry;
+		// mirror it at scrape time so /metrics always reports the current
+		// drop count and subscriber fan-out.
+		if opts.Runs != nil {
+			opts.Registry.SetCounter("journal.feed.dropped_lines", opts.Runs.Dropped())
+			opts.Registry.SetGauge("journal.feed.subscribers", float64(opts.Runs.Subscribers()))
+		}
 		// Past the first byte there is no way to signal failure; a broken
 		// client connection is its own problem.
 		_ = WritePrometheus(w, opts.Registry.Snapshot())

@@ -171,6 +171,37 @@ func TestServeRunsStreams(t *testing.T) {
 	}
 }
 
+// TestServeFeedCounters covers the scrape-time mirrors: the feed's drop
+// counter and subscriber gauge appear on /metrics. (The human-readable 503
+// reason is rendered by resilience.HealthSnapshot and tested there; the
+// handler serializes whatever detail the Health func returns.)
+func TestServeFeedCounters(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reg := NewRegistry()
+	feed := journal.NewFeed(0)
+	srv, err := Serve(ctx, "127.0.0.1:0", ServeOptions{
+		Registry: reg,
+		Runs:     feed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	base := "http://" + srv.Addr()
+
+	_, _, cancelSub := feed.Subscribe()
+	defer cancelSub()
+	_, body, _ := get(t, base+"/metrics")
+	if !strings.Contains(body, "soral_journal_feed_dropped_lines 0") {
+		t.Errorf("/metrics missing feed drop counter:\n%s", body)
+	}
+	if !strings.Contains(body, "soral_journal_feed_subscribers 1") {
+		t.Errorf("/metrics missing subscriber gauge:\n%s", body)
+	}
+}
+
 func TestServeRejectsTakenPort(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// traceEventFixture drives a deterministic scope through a representative
+// slice of a run: a slot span containing iterations and ladder rungs, plus
+// an unscoped span.
+func traceEventFixture() []Event {
+	sink := NewBufferSink()
+	sc := NewScope(NewRegistry(), sink)
+	sc.SetClock(fixedClock())
+
+	run := sc.Solver("online").StartSpan("eval.run")
+	slot := sc.Solver("online").Slot(3)
+	span := slot.StartSpan("core.slot")
+	slot.Iteration("convex.newton", 1, IterStats{Stage: 1, Decrement: 0.25, Step: 1})
+	slot.Iteration("convex.newton", 2, IterStats{Gap: 5e-5, Primal: 1e-3, Dual: 2e-4})
+	slot.Rung("core.p2[t=3]", "warm-start", "numerical", 2*time.Millisecond, 7)
+	slot.Rung("core.p2[t=3]", "cold-start", "ok", 3*time.Millisecond, 9)
+	span.End()
+	run.End()
+	return sink.Events()
+}
+
+// TestTraceEventGolden pins the Chrome trace-event JSON export byte-for-
+// byte. Regenerate with `go test ./internal/obs -run TraceEventGolden
+// -update` after intentional format changes — the file must keep loading in
+// chrome://tracing and Perfetto.
+func TestTraceEventGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, traceEventFixture()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_event.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace-event export drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceEventStructure validates the export against the trace-event
+// format contract Perfetto relies on: a traceEvents array whose entries
+// carry valid phases, non-negative rebased timestamps, durations on every
+// complete event, and spans laid onto the track of their slot.
+func TestTraceEventStructure(t *testing.T) {
+	var buf bytes.Buffer
+	events := traceEventFixture()
+	if err := WriteTraceEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	var spans, rungs, iters int
+	minTs := math.Inf(1)
+	for _, te := range file.TraceEvents {
+		switch te.Ph {
+		case "M":
+			continue
+		case "X":
+			if te.Dur <= 0 {
+				t.Errorf("complete event %q has dur %g", te.Name, te.Dur)
+			}
+			switch {
+			case te.Args["status"] != nil:
+				rungs++
+			default:
+				spans++
+			}
+		case "i":
+			iters++
+		default:
+			t.Errorf("unknown phase %q", te.Ph)
+		}
+		if te.Ts < 0 {
+			t.Errorf("event %q has negative rebased ts %g", te.Name, te.Ts)
+		}
+		if te.Ts < minTs {
+			minTs = te.Ts
+		}
+		if te.Pid != tracePid {
+			t.Errorf("event %q on pid %d", te.Name, te.Pid)
+		}
+		if te.Name == "core.slot" && te.Tid != 4 {
+			t.Errorf("slot-3 span on tid %d, want 4", te.Tid)
+		}
+	}
+	if minTs != 0 {
+		t.Errorf("timestamps not rebased to zero: min ts %g", minTs)
+	}
+	if spans != 2 || rungs != 2 || iters != 2 {
+		t.Errorf("exported %d spans / %d rungs / %d iters, want 2/2/2", spans, rungs, iters)
+	}
+}
+
+// TestTraceEventEmpty: exporting no events still yields a loadable file.
+func TestTraceEventEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+	if _, ok := file["traceEvents"]; !ok {
+		t.Error("empty export lacks traceEvents key")
+	}
+}
+
+// TestTeeAndBufferSink: Tee fans out, skips nils, and collapses degenerate
+// cases; BufferSink keeps everything in order.
+func TestTeeAndBufferSink(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	one := NewBufferSink()
+	if got := Tee(nil, one); got != Sink(one) {
+		t.Error("Tee of one live sink should collapse to it")
+	}
+	two := NewBufferSink()
+	tee := Tee(one, two)
+	for i := 0; i < 3; i++ {
+		tee.Emit(Event{Seq: int64(i)})
+	}
+	if len(one.Events()) != 3 || len(two.Events()) != 3 {
+		t.Errorf("tee delivered %d/%d events", len(one.Events()), len(two.Events()))
+	}
+	for i, e := range two.Events() {
+		if e.Seq != int64(i) {
+			t.Errorf("event %d out of order: seq %d", i, e.Seq)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package resilience
 
-import "sync"
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
 
 // Health aggregates the run's degradation state for liveness probes: the
 // online pipeline records every committed slot's resilience outcome and the
@@ -85,6 +89,27 @@ type HealthSnapshot struct {
 	// Failures lists permanent component failures (journal disk, supervisor
 	// budget); any entry forces State "failed" and a 503 probe.
 	Failures []string `json:"failures,omitempty"`
+	// Reason is a human-readable sentence explaining an unhealthy probe
+	// (empty while healthy), so a 503 /healthz body can be read by a person
+	// before it is parsed by a machine.
+	Reason string `json:"reason,omitempty"`
+}
+
+// reason renders the unhealthy states as one sentence; healthy states yield
+// the empty string.
+func (s HealthSnapshot) reason() string {
+	switch s.State {
+	case HealthFailed:
+		return "permanent component failure: " + strings.Join(s.Failures, "; ")
+	case HealthDegraded:
+		plural := ""
+		if s.ConsecutiveDegraded != 1 {
+			plural = "s"
+		}
+		return fmt.Sprintf("slot %d was carried forward (%d consecutive degraded slot%s; the competitive guarantee does not cover carried-forward slots)",
+			s.LastSlot, s.ConsecutiveDegraded, plural)
+	}
+	return ""
 }
 
 // HealthFailed is the State of a tracker with a permanent component failure.
@@ -124,5 +149,6 @@ func (h *Health) Snapshot() HealthSnapshot {
 		s.State = HealthFailed
 		s.Failures = append([]string(nil), h.failures...)
 	}
+	s.Reason = s.reason()
 	return s
 }
