@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race obs-race obs-serve kernels-race chaos latency check bench bench-compare
+.PHONY: build test vet lint lint-self race obs-race obs-serve kernels-race chaos latency check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,21 @@ test:
 vet:
 	$(GO) vet -all ./...
 
-# Project-specific invariants (float comparisons, division guards, map-order
-# determinism, context plumbing, telemetry nil-safety, dropped kernel
-# errors). Exits nonzero on any finding; see DESIGN.md §7.
+# Project-specific invariants: the intraprocedural checks (float
+# comparisons, division guards, map-order determinism, context plumbing,
+# telemetry nil-safety, dropped kernel errors; DESIGN.md §7) plus the
+# interprocedural call-graph analyzers (hot-path allocation, lock
+# discipline, goroutine leaks, determinism taint; DESIGN.md §12).
+# -strict-suppress turns stale //sorallint:ignore directives into errors so
+# suppressions cannot outlive the findings they justified.
 lint:
-	$(GO) run ./cmd/sorallint ./...
+	$(GO) run ./cmd/sorallint -strict-suppress ./...
+
+# The linter linting itself: the analysis package is ordinary module code,
+# so the same invariants apply to it (and the run doubles as a smoke test
+# that the call-graph engine handles its own AST-heavy, closure-dense code).
+lint-self:
+	$(GO) run ./cmd/sorallint -strict-suppress ./internal/analysis/... ./cmd/sorallint
 
 # -shuffle=on randomizes test order so accidental inter-test coupling (the
 # dynamic cousin of the maporder lint) fails loudly instead of silently.
@@ -64,7 +74,7 @@ latency:
 # loop and the fault-injection trip counter are the concurrency-sensitive
 # paths), plus the focused telemetry and parallel-kernel race passes and the
 # crash/recovery chaos schedules.
-check: vet lint race obs-race obs-serve kernels-race chaos latency
+check: vet lint lint-self race obs-race obs-serve kernels-race chaos latency
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -77,3 +87,4 @@ bench-compare:
 	$(GO) run ./cmd/soralbench -compare results/BENCH_kernels.json results/BENCH_kernels.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_chaos.json results/BENCH_chaos.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_latency.json results/BENCH_latency.json
+	$(GO) run ./cmd/soralbench -compare results/BENCH_lint.json results/BENCH_lint.json

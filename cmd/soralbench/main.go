@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -386,6 +387,10 @@ type benchResult struct {
 	LintPackages map[string]int64 `json:"lint_packages,omitempty"`
 	// LintLoadNs is the one-off parse+type-check cost shared by all packages.
 	LintLoadNs int64 `json:"lint_load_ns,omitempty"`
+	// LintAnalyzers maps each analyzer to its wall time in nanoseconds summed
+	// over all packages, plus a "callgraph" entry for the shared call-graph
+	// and summary construction that the interprocedural analyzers amortize.
+	LintAnalyzers map[string]int64 `json:"lint_analyzers,omitempty"`
 	// LintFindings counts the surviving diagnostics across the module.
 	LintFindings int `json:"lint_findings,omitempty"`
 }
@@ -410,7 +415,32 @@ func lintTable(res *analysis.Result) *eval.Table {
 		fmt.Sprintf("%.2f", float64(res.LoadDuration.Nanoseconds())/1e6),
 		fmt.Sprintf("%d total", len(res.Diagnostics)),
 	})
+	if res.CallGraphDuration > 0 {
+		tbl.Rows = append(tbl.Rows, []string{
+			"(callgraph+summaries)", "",
+			fmt.Sprintf("%.2f", float64(res.CallGraphDuration.Nanoseconds())/1e6),
+			"",
+		})
+	}
+	for _, check := range sortedKeys(res.Analyzers) {
+		tbl.Rows = append(tbl.Rows, []string{
+			"(analyzer) " + check, "",
+			fmt.Sprintf("%.2f", float64(res.Analyzers[check].Nanoseconds())/1e6),
+			"",
+		})
+	}
 	return tbl
+}
+
+// sortedKeys returns the map's keys in alphabetical order so the table and
+// JSON output stay deterministic across runs.
+func sortedKeys(m map[string]time.Duration) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.Snapshot, lint *analysis.Result) error {
@@ -439,6 +469,13 @@ func writeBenchJSON(dir, name string, elapsed time.Duration, before, after obs.S
 			res.LintPackages[p.Path] = p.Duration.Nanoseconds()
 		}
 		res.LintLoadNs = lint.LoadDuration.Nanoseconds()
+		res.LintAnalyzers = map[string]int64{}
+		for check, d := range lint.Analyzers {
+			res.LintAnalyzers[check] = d.Nanoseconds()
+		}
+		if lint.CallGraphDuration > 0 {
+			res.LintAnalyzers["callgraph"] = lint.CallGraphDuration.Nanoseconds()
+		}
 		res.LintFindings = len(lint.Diagnostics)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {

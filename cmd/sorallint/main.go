@@ -1,25 +1,36 @@
-// Command sorallint runs the soral static-analysis suite: six project
+// Command sorallint runs the soral static-analysis suite: twelve project
 // analyzers enforcing the numerical, determinism, and concurrency
-// invariants of the solver stack (see internal/analysis and DESIGN.md §7).
+// invariants of the solver stack (see internal/analysis and DESIGN.md §7
+// and §12). Eight are per-package syntax/type checks; four — hotalloc,
+// lockorder, goroleak, nondet — are interprocedural, running over a
+// module-wide call graph with bottom-up function summaries.
 //
 // Usage:
 //
 //	sorallint ./...                 # analyze the whole module
 //	sorallint internal/lp           # report findings for one package dir
-//	sorallint -checks floatcmp,divguard ./...
-//	sorallint -unused ./...         # also flag stale //sorallint:ignore
+//	sorallint -checks floatcmp,hotalloc ./...
 //	sorallint -list                 # print the analyzer registry
-//	sorallint -timing ./...         # per-package analyzer wall time
+//	sorallint -timing ./...         # per-package and per-analyzer wall time
+//	sorallint -json ./...           # machine-readable findings + timings
+//	sorallint -baseline lint.json ./...        # hide accepted findings
+//	sorallint -write-baseline lint.json ./...  # accept current findings
+//	sorallint -strict-suppress ./...           # stale suppressions fail
 //
 // Findings can be suppressed with a justified directive on the offending
 // line or the line above:
 //
 //	//sorallint:ignore floatcmp comparing against the exact sentinel stored above
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load/type-check errors.
+// Directives that suppress nothing are always reported as warnings;
+// -strict-suppress turns them into failures.
+//
+// Exit status: 0 clean, 1 findings (or warnings under -strict-suppress),
+// 2 usage or load/type-check errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +41,36 @@ import (
 	"soral/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	Check    string `json:"check"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Severity string `json:"severity"`
+}
+
+// jsonReport is the full -json payload.
+type jsonReport struct {
+	Findings    []jsonFinding    `json:"findings"`
+	Errors      int              `json:"errors"`
+	Warnings    int              `json:"warnings"`
+	Baselined   int              `json:"baselined,omitempty"`
+	LoadNs      int64            `json:"load_ns"`
+	CallGraphNs int64            `json:"callgraph_ns"`
+	AnalyzerNs  map[string]int64 `json:"analyzer_ns"`
+}
+
 func main() {
 	var (
-		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-		unusedFlag = flag.Bool("unused", false, "also report //sorallint:ignore directives that suppress nothing")
-		listFlag   = flag.Bool("list", false, "list registered analyzers and exit")
-		timingFlag = flag.Bool("timing", false, "print per-package analyzer wall time to stderr")
+		checksFlag   = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		listFlag     = flag.Bool("list", false, "list registered analyzers and exit")
+		timingFlag   = flag.Bool("timing", false, "print per-package and per-analyzer wall time to stderr")
+		jsonFlag     = flag.Bool("json", false, "emit findings and timings as JSON on stdout")
+		baselineFlag = flag.String("baseline", "", "baseline file of accepted findings to hide")
+		writeFlag    = flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+		strictFlag   = flag.Bool("strict-suppress", false, "treat stale-suppression warnings as failures")
 	)
 	flag.Parse()
 
@@ -59,11 +94,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := analysis.Run(analysis.RunConfig{
-		Dir:          cwd,
-		Checks:       checks,
-		ReportUnused: *unusedFlag,
-	})
+	root, _, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Run(analysis.RunConfig{Dir: cwd, Checks: checks})
 	if err != nil {
 		fatal(err)
 	}
@@ -72,29 +107,120 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	findings := 0
+	var diags []analysis.Diagnostic
 	for _, pkg := range res.Packages {
-		if !keep(pkg.Path) {
-			continue
-		}
-		for _, d := range pkg.Diagnostics {
-			findings++
-			fmt.Println(relativize(cwd, d))
+		if keep(pkg.Path) {
+			diags = append(diags, pkg.Diagnostics...)
 		}
 	}
+
+	if *writeFlag != "" {
+		b := analysis.NewBaseline(root, diags)
+		if err := b.WriteBaseline(*writeFlag); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sorallint: wrote %d accepted finding(s) to %s\n", len(b.Findings), *writeFlag)
+		return
+	}
+
+	baselined := 0
+	if *baselineFlag != "" {
+		b, err := analysis.LoadBaseline(*baselineFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if stale := b.Stale(root, diags); len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "sorallint: %d baseline entr(ies) no longer match; prune %s:\n", len(stale), *baselineFlag)
+			for _, k := range stale {
+				fmt.Fprintf(os.Stderr, "#   %s\n", k)
+			}
+		}
+		diags, baselined = b.Apply(root, diags)
+	}
+
+	errors, warnings := 0, 0
+	for _, d := range diags {
+		if d.Severity == analysis.SeverityWarning {
+			warnings++
+		} else {
+			errors++
+		}
+	}
+
+	if *jsonFlag {
+		rep := jsonReport{
+			Findings:    make([]jsonFinding, 0, len(diags)),
+			Errors:      errors,
+			Warnings:    warnings,
+			Baselined:   baselined,
+			LoadNs:      res.LoadDuration.Nanoseconds(),
+			CallGraphNs: res.CallGraphDuration.Nanoseconds(),
+			AnalyzerNs:  make(map[string]int64, len(res.Analyzers)),
+		}
+		for name, d := range res.Analyzers {
+			rep.AnalyzerNs[name] = d.Nanoseconds()
+		}
+		for _, d := range diags {
+			sev := "error"
+			switch d.Severity {
+			case analysis.SeverityWarning:
+				sev = "warning"
+			case analysis.SeverityDirective:
+				sev = "directive"
+			}
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Check: d.Check, File: file, Line: d.Pos.Line, Column: d.Pos.Column,
+				Message: d.Message, Severity: sev,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			line := relativize(cwd, d)
+			if d.Severity == analysis.SeverityWarning {
+				line += " (warning)"
+			}
+			fmt.Println(line)
+		}
+	}
+
 	if *timingFlag {
 		pkgs := append([]analysis.PackageResult(nil), res.Packages...)
 		sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Duration > pkgs[j].Duration })
-		fmt.Fprintf(os.Stderr, "# load+typecheck %.3fs\n", res.LoadDuration.Seconds())
+		fmt.Fprintf(os.Stderr, "# load+typecheck %.3fs, callgraph+summaries %.3fms\n",
+			res.LoadDuration.Seconds(), float64(res.CallGraphDuration.Microseconds())/1000)
+		names := make([]string, 0, len(res.Analyzers))
+		for name := range res.Analyzers {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool { return res.Analyzers[names[i]] > res.Analyzers[names[j]] })
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "# %8.3fms %s\n", float64(res.Analyzers[name].Microseconds())/1000, name)
+		}
 		for _, p := range pkgs {
 			fmt.Fprintf(os.Stderr, "# %8.3fms %s (%d files)\n",
 				float64(p.Duration.Microseconds())/1000, p.Path, p.Files)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "sorallint: %d finding(s)\n", findings)
+
+	if baselined > 0 {
+		fmt.Fprintf(os.Stderr, "sorallint: %d finding(s) hidden by baseline\n", baselined)
+	}
+	fail := errors > 0 || (*strictFlag && warnings > 0)
+	if fail {
+		fmt.Fprintf(os.Stderr, "sorallint: %d finding(s), %d warning(s)\n", errors, warnings)
 		os.Exit(1)
+	}
+	if warnings > 0 {
+		fmt.Fprintf(os.Stderr, "sorallint: %d warning(s) (run with -strict-suppress to fail on them)\n", warnings)
 	}
 }
 

@@ -45,6 +45,10 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Prog is the whole loaded program; the interprocedural analyzers
+	// (hotalloc, lockorder, goroleak, nondet) reach the module call graph
+	// and summary store through Prog.Interp().
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -81,12 +85,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Severity classifies a diagnostic. Every analyzer finding is an error (the
-// gate exits nonzero); SeverityDirective marks problems with the suppression
-// directives themselves, which cannot be suppressed.
+// gate exits nonzero); SeverityWarning marks advisory findings — stale
+// suppression directives — which only fail the run under -strict-suppress;
+// SeverityDirective marks problems with the suppression directives
+// themselves, which cannot be suppressed.
 type Severity int
 
 const (
 	SeverityError Severity = iota
+	SeverityWarning
 	SeverityDirective
 )
 
@@ -110,8 +117,12 @@ func Analyzers() []*Analyzer {
 		DivGuard,
 		ErrDrop,
 		FloatCmp,
+		GoroLeak,
+		HotAlloc,
+		LockOrder,
 		MapOrder,
 		MetricName,
+		NonDet,
 		ScopeNil,
 		SleepRetry,
 	}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Baseline is a set of accepted pre-existing findings, keyed by
+// "check|file|message" with the file path relative to the module root so
+// the file survives checkouts at different absolute paths. The value is a
+// count: a key occurring N times in the baseline hides the first N
+// identical findings and no more, so a regression that duplicates an
+// accepted finding still fails the gate.
+//
+// Line numbers are deliberately not part of the key — a baseline pinned to
+// lines goes stale on every unrelated edit above the finding. The
+// check+file+message triple is stable under reflow and still tight enough
+// that a new finding of the same check in the same file with a different
+// message (different identifier, different lock class) is reported.
+type Baseline struct {
+	// Findings maps "check|file|message" to an accepted occurrence count.
+	Findings map[string]int `json:"findings"`
+}
+
+// baselineKey builds the lookup key for one diagnostic, relativizing the
+// filename against root.
+func baselineKey(root string, d Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return d.Check + "|" + file + "|" + d.Message
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: malformed baseline %s: %w", path, err)
+	}
+	if b.Findings == nil {
+		b.Findings = map[string]int{}
+	}
+	return &b, nil
+}
+
+// NewBaseline captures the given diagnostics as a baseline. Directive
+// problems and warnings are excluded: a baseline accepts old analyzer
+// findings, it must not grandfather broken or stale suppression
+// directives.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	b := &Baseline{Findings: map[string]int{}}
+	for _, d := range diags {
+		if d.Severity != SeverityError {
+			continue
+		}
+		b.Findings[baselineKey(root, d)]++
+	}
+	return b
+}
+
+// WriteBaseline serializes the baseline with stable key order.
+func (b *Baseline) WriteBaseline(path string) error {
+	// json.Marshal sorts map keys, so the output is deterministic as-is;
+	// indent it for reviewable diffs.
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply filters diags through the baseline: for each key, up to the
+// accepted count of matching error findings is dropped (in diagnostic sort
+// order, so the result is deterministic). It returns the surviving
+// diagnostics and the number suppressed by the baseline.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (kept []Diagnostic, suppressed int) {
+	remaining := make(map[string]int, len(b.Findings))
+	for k, v := range b.Findings {
+		remaining[k] = v
+	}
+	kept = make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			k := baselineKey(root, d)
+			if remaining[k] > 0 {
+				remaining[k]--
+				suppressed++
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}
+
+// Stale returns the baseline keys that matched nothing in the given run —
+// fixed findings whose entries should be pruned.
+func (b *Baseline) Stale(root string, diags []Diagnostic) []string {
+	seen := map[string]int{}
+	for _, d := range diags {
+		if d.Severity == SeverityError {
+			seen[baselineKey(root, d)]++
+		}
+	}
+	var stale []string
+	for k, v := range b.Findings {
+		if seen[k] < v {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/token"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func mkDiag(file string, line, col int, check, msg string, sev Severity) Diagnostic {
+	return Diagnostic{
+		Check:    check,
+		Pos:      token.Position{Filename: file, Line: line, Column: col},
+		Message:  msg,
+		Severity: sev,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		mkDiag(filepath.Join(root, "p", "a.go"), 10, 1, "hotalloc", "make allocates", SeverityError),
+		mkDiag(filepath.Join(root, "p", "a.go"), 20, 1, "hotalloc", "make allocates", SeverityError),
+		mkDiag(filepath.Join(root, "p", "b.go"), 5, 1, "nondet", "tainted", SeverityError),
+		mkDiag(filepath.Join(root, "p", "c.go"), 7, 1, "suppress", "stale directive", SeverityWarning),
+	}
+	b := NewBaseline(root, diags)
+	// Warnings are never grandfathered.
+	if got := len(b.Findings); got != 2 {
+		t.Fatalf("baseline has %d keys, want 2 (two errors share one key): %v", got, b.Findings)
+	}
+	if b.Findings["hotalloc|p/a.go|make allocates"] != 2 {
+		t.Errorf("duplicate finding should be counted twice: %v", b.Findings)
+	}
+
+	path := filepath.Join(root, "lint.json")
+	if err := b.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Findings) != len(b.Findings) {
+		t.Fatalf("round trip lost keys: %v vs %v", loaded.Findings, b.Findings)
+	}
+
+	kept, suppressed := loaded.Apply(root, diags)
+	if suppressed != 3 {
+		t.Errorf("Apply suppressed %d, want 3", suppressed)
+	}
+	if len(kept) != 1 || kept[0].Severity != SeverityWarning {
+		t.Errorf("Apply should keep only the warning, kept %v", kept)
+	}
+}
+
+func TestBaselineCountLimit(t *testing.T) {
+	root := t.TempDir()
+	one := mkDiag(filepath.Join(root, "a.go"), 3, 1, "hotalloc", "append allocates", SeverityError)
+	b := NewBaseline(root, []Diagnostic{one})
+
+	// A second identical finding exceeds the accepted count and survives.
+	two := one
+	two.Pos.Line = 9
+	kept, suppressed := b.Apply(root, []Diagnostic{one, two})
+	if suppressed != 1 || len(kept) != 1 {
+		t.Fatalf("count-limited Apply: suppressed %d kept %d, want 1 and 1", suppressed, len(kept))
+	}
+	if kept[0].Pos.Line != 9 {
+		t.Errorf("the surviving finding should be the later one in sort order, got line %d", kept[0].Pos.Line)
+	}
+}
+
+func TestBaselineStale(t *testing.T) {
+	root := t.TempDir()
+	fixed := mkDiag(filepath.Join(root, "a.go"), 3, 1, "lockorder", "double lock of x", SeverityError)
+	live := mkDiag(filepath.Join(root, "b.go"), 4, 1, "nondet", "tainted", SeverityError)
+	b := NewBaseline(root, []Diagnostic{fixed, live})
+
+	stale := b.Stale(root, []Diagnostic{live})
+	if len(stale) != 1 || stale[0] != "lockorder|a.go|double lock of x" {
+		t.Errorf("Stale = %v, want the fixed lockorder entry", stale)
+	}
+	if s := b.Stale(root, []Diagnostic{fixed, live}); len(s) != 0 {
+		t.Errorf("nothing should be stale when every entry matches, got %v", s)
+	}
+}
+
+// TestSortDiagnosticsShuffle pins the deterministic merged ordering: any
+// input permutation sorts to the same sequence, and exact duplicates
+// collapse.
+func TestSortDiagnosticsShuffle(t *testing.T) {
+	base := []Diagnostic{
+		mkDiag("a.go", 1, 1, "floatcmp", "m1", SeverityError),
+		mkDiag("a.go", 1, 2, "floatcmp", "m2", SeverityError),
+		mkDiag("a.go", 2, 1, "divguard", "m3", SeverityError),
+		mkDiag("a.go", 2, 1, "floatcmp", "m4", SeverityError),
+		mkDiag("a.go", 2, 1, "floatcmp", "m5", SeverityError),
+		mkDiag("b.go", 1, 1, "nondet", "m6", SeverityError),
+		mkDiag("b.go", 1, 1, "nondet", "m6", SeverityError), // duplicate
+	}
+	want := sortDiagnostics(append([]Diagnostic(nil), base...))
+	if len(want) != len(base)-1 {
+		t.Fatalf("duplicate not collapsed: %d results", len(want))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]Diagnostic(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got := sortDiagnostics(shuffled)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d differs: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

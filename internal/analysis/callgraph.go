@@ -1,0 +1,768 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide call graph the interprocedural analyzers
+// (hotalloc, lockorder, goroleak, nondet) reason over. Nodes are the bodies
+// of declared functions, methods, and function literals of the loaded
+// module; edges are resolved for static calls, method calls, interface
+// dispatch (restricted to module-declared interfaces, where the
+// implementation set is closed), and calls through function-valued
+// expressions (matched against every address-taken function of identical
+// signature). The graph is stdlib-only like the rest of the framework:
+// calls into the standard library are not nodes, and the few stdlib effects
+// the analyzers care about (time.Sleep blocks, time.Now is nondeterministic,
+// fmt allocates) are recognized by name at the call site instead.
+
+// hotpathDirective marks a function as a latency-envelope root: everything
+// statically reachable from it must stay allocation-free (see hotalloc).
+const hotpathDirective = "//soral:hotpath"
+
+// coldpathDirective exempts a function from hot-path reachability: the
+// function is deliberate, measured overhead outside the solve envelope
+// (e.g. flight-recorder emission). hotalloc neither scans it nor follows
+// its calls. Every use must justify itself in the function's doc comment.
+const coldpathDirective = "//soral:coldpath"
+
+// EdgeKind classifies how a call site was resolved.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call of a declared function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a call through a module-declared interface method,
+	// fanned out to every implementation in the module.
+	EdgeInterface
+	// EdgeDynamic is a call through a function-valued expression, fanned
+	// out to every address-taken function of identical signature.
+	EdgeDynamic
+	// EdgeClosure links a function to a literal it creates (the literal
+	// may run wherever the value flows, so reachability follows it).
+	EdgeClosure
+	// EdgeGo is a static or literal call spawned by a go statement.
+	EdgeGo
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeDynamic:
+		return "dynamic"
+	case EdgeClosure:
+		return "closure"
+	case EdgeGo:
+		return "go"
+	}
+	return "?"
+}
+
+// An Edge is one resolved call (or closure creation) site.
+type Edge struct {
+	Callee *Node
+	Site   token.Pos
+	Kind   EdgeKind
+	// Cold marks sites the hot-path walk must not follow: the call sits on
+	// a failure path (the enclosing block ends by returning a non-nil
+	// error or panicking), behind a lazy-init nil guard, or inside a
+	// deferred recover handler. Summaries still follow cold edges — a
+	// blocking call on an error path still blocks.
+	Cold bool
+}
+
+// A Node is one function body in the call graph.
+type Node struct {
+	// ID is a stable, human-readable identifier: "pkg.Func",
+	// "pkg.(Type).Method", or "<enclosing>.funcN" for literals. IDs order
+	// the graph deterministically.
+	ID   string
+	Pkg  *Package
+	File *ast.File
+
+	// Func is the declared object (nil for function literals).
+	Func *types.Func
+	// Decl is the declaration (nil for literals); Lit the literal (nil
+	// for declarations). Exactly one is set.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+
+	// Hot and Cold record the //soral:hotpath and //soral:coldpath
+	// directives on the declaration.
+	Hot  bool
+	Cold bool
+
+	// Calls lists the resolved outgoing edges in deterministic order.
+	Calls []Edge
+
+	// Spawns lists the go statements in this body with their resolved
+	// targets (nil Callee when the spawnee could not be resolved).
+	Spawns []GoSite
+
+	// AddressTaken is set when the function's value escapes a direct call
+	// (assigned, passed, stored): it becomes a candidate callee for every
+	// dynamic call of matching signature.
+	AddressTaken bool
+
+	scc int // SCC index; callees have lower-or-equal indices
+}
+
+// GoSite is one go statement.
+type GoSite struct {
+	Stmt   *ast.GoStmt
+	Callee *Node // nil when spawning an unresolvable or stdlib function
+}
+
+// Body returns the function body (nil for bodyless declarations).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// Sig returns the node's signature type.
+func (n *Node) Sig() *types.Signature {
+	if n.Func != nil {
+		return n.Func.Type().(*types.Signature)
+	}
+	if t, ok := n.Pkg.Info.TypeOf(n.Lit).(*types.Signature); ok {
+		return t
+	}
+	return nil
+}
+
+// Pos returns the declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// A CallGraph is the module-wide graph plus its SCC condensation.
+type CallGraph struct {
+	Prog  *Program
+	Nodes []*Node // sorted by ID
+
+	// SCCs lists the strongly connected components in callee-first
+	// (reverse topological) order: every edge leaving a component lands in
+	// an earlier one, so bottom-up summaries are a single forward pass.
+	SCCs [][]*Node
+
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+}
+
+// NodeOf resolves a declared function or method to its graph node.
+func (g *CallGraph) NodeOf(f *types.Func) *Node { return g.byFunc[f] }
+
+// NodeOfLit resolves a function literal to its graph node.
+func (g *CallGraph) NodeOfLit(l *ast.FuncLit) *Node { return g.byLit[l] }
+
+// Roots returns the //soral:hotpath-annotated nodes in ID order.
+func (g *CallGraph) Roots() []*Node {
+	var roots []*Node
+	for _, n := range g.Nodes {
+		if n.Hot {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// BuildCallGraph constructs the module call graph over a loaded program.
+func BuildCallGraph(pr *Program) *CallGraph {
+	g := &CallGraph{
+		Prog:   pr,
+		byFunc: map[*types.Func]*Node{},
+		byLit:  map[*ast.FuncLit]*Node{},
+	}
+	b := &graphBuilder{g: g}
+	for _, pkg := range pr.Packages {
+		b.collectNodes(pkg)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	b.collectImplementations()
+	for _, pkg := range pr.Packages {
+		b.markAddressTaken(pkg)
+	}
+	for _, n := range g.Nodes {
+		b.resolveCalls(n)
+	}
+	g.condense()
+	return g
+}
+
+type graphBuilder struct {
+	g *CallGraph
+	// impls maps a module-declared interface method (its *types.Func) to
+	// the concrete module methods that satisfy it.
+	impls map[*types.Func][]*Node
+	// takenBySig caches the address-taken nodes, matched by signature at
+	// dynamic call sites.
+	taken []*Node
+}
+
+// directiveLines returns the set of file lines carrying the given comment
+// directive, so both doc comments and standalone comments above a
+// declaration attach.
+func directiveLines(fset *token.FileSet, f *ast.File, directive string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// hasDirective reports whether decl is annotated: the directive appears in
+// its doc comment or on the line directly above the declaration.
+func hasDirective(fset *token.FileSet, lines map[int]bool, decl *ast.FuncDecl) bool {
+	if len(lines) == 0 {
+		return false
+	}
+	if decl.Doc != nil {
+		for l := fset.Position(decl.Doc.Pos()).Line; l <= fset.Position(decl.Doc.End()).Line; l++ {
+			if lines[l] {
+				return true
+			}
+		}
+	}
+	return lines[fset.Position(decl.Pos()).Line-1]
+}
+
+// collectNodes creates nodes for every declared function and literal of pkg.
+func (b *graphBuilder) collectNodes(pkg *Package) {
+	fset := b.g.Prog.Fset
+	for _, f := range pkg.Files {
+		if pkg.IsTest[f] {
+			continue // the hot path and its analyzers live in shipped code
+		}
+		hotLines := directiveLines(fset, f, hotpathDirective)
+		coldLines := directiveLines(fset, f, coldpathDirective)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{
+				ID:   declID(pkg, fd, obj),
+				Pkg:  pkg,
+				File: f,
+				Func: obj,
+				Decl: fd,
+				Hot:  hasDirective(fset, hotLines, fd),
+				Cold: hasDirective(fset, coldLines, fd),
+			}
+			b.g.Nodes = append(b.g.Nodes, n)
+			b.g.byFunc[obj] = n
+			b.collectLits(pkg, f, n, fd.Body)
+		}
+	}
+}
+
+// collectLits creates one node per function literal, nested literals
+// included, each identified relative to its enclosing declaration.
+func (b *graphBuilder) collectLits(pkg *Package, f *ast.File, encl *Node, body *ast.BlockStmt) {
+	fset := b.g.Prog.Fset
+	i := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		i++
+		pos := fset.Position(lit.Pos())
+		ln := &Node{
+			ID:   fmt.Sprintf("%s.func%d@%d", encl.ID, i, pos.Line),
+			Pkg:  pkg,
+			File: f,
+			Lit:  lit,
+		}
+		b.g.Nodes = append(b.g.Nodes, ln)
+		b.g.byLit[lit] = ln
+		return true // recurse: nested literals number depth-first
+	})
+}
+
+// declID builds the stable identifier of a declared function.
+func declID(pkg *Package, fd *ast.FuncDecl, obj *types.Func) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg.Path + "." + obj.Name()
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	recv := "?"
+	switch rt := t.(type) {
+	case *ast.Ident:
+		recv = rt.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := rt.X.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return pkg.Path + ".(" + recv + ")." + obj.Name()
+}
+
+// collectImplementations indexes, for every method of every module-declared
+// interface, the concrete module methods implementing it. Stdlib interfaces
+// (error, io.Writer, ...) are deliberately excluded: their implementation
+// set is open and fanning out over it would drown the graph in edges.
+func (b *graphBuilder) collectImplementations() {
+	b.impls = map[*types.Func][]*Node{}
+	var ifaces []*types.Interface
+	var ifaceObjs []*types.TypeName
+	var concrete []*types.Named
+	for _, pkg := range b.g.Prog.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if iface, ok := named.Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, iface)
+				ifaceObjs = append(ifaceObjs, tn)
+			} else {
+				concrete = append(concrete, named)
+			}
+		}
+	}
+	for i, iface := range ifaces {
+		_ = ifaceObjs[i]
+		for _, named := range concrete {
+			ptr := types.NewPointer(named)
+			if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+				continue
+			}
+			ms := types.NewMethodSet(ptr)
+			for m := 0; m < iface.NumMethods(); m++ {
+				im := iface.Method(m)
+				sel := ms.Lookup(im.Pkg(), im.Name())
+				if sel == nil {
+					continue
+				}
+				cf, ok := sel.Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				if node := b.g.byFunc[cf]; node != nil {
+					b.impls[im] = append(b.impls[im], node)
+				}
+			}
+		}
+	}
+	for _, nodes := range b.impls {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	}
+}
+
+// markAddressTaken records every function whose value escapes a direct call
+// position: it may be invoked through any function-typed variable of the
+// same signature.
+func (b *graphBuilder) markAddressTaken(pkg *Package) {
+	for _, f := range pkg.Files {
+		if pkg.IsTest[f] {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch e := n.(type) {
+			case *ast.Ident:
+				fn, ok := pkg.Info.Uses[e].(*types.Func)
+				if !ok {
+					return
+				}
+				node := b.g.byFunc[fn]
+				if node == nil || node.AddressTaken {
+					return
+				}
+				if !inCallPosition(e, stack) {
+					node.AddressTaken = true
+				}
+			case *ast.FuncLit:
+				node := b.g.byLit[e]
+				if node == nil || node.AddressTaken {
+					return
+				}
+				if !inCallPosition(e, stack) {
+					node.AddressTaken = true
+				}
+			}
+		})
+	}
+	b.taken = b.taken[:0]
+	for _, n := range b.g.Nodes {
+		if n.AddressTaken {
+			b.taken = append(b.taken, n)
+		}
+	}
+}
+
+// inCallPosition reports whether expr is exactly the callee of a call
+// expression (directly or through a selector/parens), i.e. the reference is
+// a plain invocation rather than a value use.
+func inCallPosition(expr ast.Expr, stack []ast.Node) bool {
+	e := ast.Expr(expr)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			e = p
+		case *ast.SelectorExpr:
+			if p.Sel != expr {
+				return false
+			}
+			e = p
+		case *ast.CallExpr:
+			return p.Fun == e
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// resolveCalls fills n.Calls and n.Spawns from the statements that belong
+// to n's own body — nested literal bodies are separate nodes and get their
+// own edges, linked from here by one EdgeClosure per literal.
+func (b *graphBuilder) resolveCalls(n *Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	var edges []Edge
+	walkStack(body, func(x ast.Node, stack []ast.Node) {
+		// Skip anything inside a nested literal: ownDepth guards by
+		// checking no FuncLit between body and x other than n.Lit itself.
+		if enclosedByNestedLit(body, stack) {
+			return
+		}
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			if ln := b.g.byLit[e]; ln != nil {
+				edges = append(edges, Edge{
+					Callee: ln, Site: e.Pos(), Kind: EdgeClosure,
+					Cold: coldSite(info, stack),
+				})
+			}
+		case *ast.GoStmt:
+			n.Spawns = append(n.Spawns, GoSite{Stmt: e, Callee: b.spawnTarget(info, e.Call)})
+		case *ast.CallExpr:
+			for _, edge := range b.resolveCall(n, info, e, stack) {
+				edges = append(edges, edge)
+			}
+		}
+	})
+	// go f(...) also creates call edges so reachability crosses spawns.
+	for _, gs := range n.Spawns {
+		if gs.Callee != nil {
+			edges = append(edges, Edge{Callee: gs.Callee, Site: gs.Stmt.Pos(), Kind: EdgeGo})
+		}
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].Callee.ID != edges[j].Callee.ID {
+			return edges[i].Callee.ID < edges[j].Callee.ID
+		}
+		return edges[i].Site < edges[j].Site
+	})
+	n.Calls = edges
+}
+
+// spawnTarget resolves the function a go statement runs.
+func (b *graphBuilder) spawnTarget(info *types.Info, call *ast.CallExpr) *Node {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return b.g.byLit[lit]
+	}
+	if f := calleeFunc(info, call); f != nil {
+		return b.g.byFunc[f]
+	}
+	return nil
+}
+
+// resolveCall resolves one call expression into zero or more edges.
+func (b *graphBuilder) resolveCall(n *Node, info *types.Info, call *ast.CallExpr, stack []ast.Node) []Edge {
+	cold := coldSite(info, stack)
+	// Immediately invoked literal: the closure edge already covers it.
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return nil
+	}
+	if f := calleeFunc(info, call); f != nil {
+		if target := b.g.byFunc[f]; target != nil {
+			return []Edge{{Callee: target, Site: call.Pos(), Kind: EdgeStatic, Cold: cold}}
+		}
+		// A declared function without a node: either stdlib or an
+		// interface method. Interface methods of module interfaces fan
+		// out to the collected implementations.
+		if impls := b.impls[f]; len(impls) > 0 {
+			out := make([]Edge, 0, len(impls))
+			for _, impl := range impls {
+				out = append(out, Edge{Callee: impl, Site: call.Pos(), Kind: EdgeInterface, Cold: cold})
+			}
+			return out
+		}
+		return nil
+	}
+	// Not a declared function: a call through a function-typed value
+	// (variable, field, parameter, method value). Fan out to every
+	// address-taken function of identical signature — but only while the
+	// candidate set stays small. Ubiquitous signatures like func() or
+	// func() error match dozens of unrelated functions, and edges to all of
+	// them are pure noise: the EdgeClosure from each literal's creator
+	// already keeps the real data flow reachable (creator → literal →
+	// callees), so an over-full dynamic set only manufactures false paths
+	// (e.g. wiring every callback combinator to every closure in the
+	// module).
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return nil // conversion or builtin
+	}
+	var out []Edge
+	for _, cand := range b.taken {
+		cs := cand.Sig()
+		if cs == nil || cs.Recv() != nil && cand.Lit == nil {
+			// Method candidates match through their bound-value signature,
+			// which is receiverless; compare without the receiver.
+			cs = types.NewSignatureType(nil, nil, nil, cs.Params(), cs.Results(), cs.Variadic())
+		}
+		if cs != nil && types.Identical(cs, sig) {
+			out = append(out, Edge{Callee: cand, Site: call.Pos(), Kind: EdgeDynamic, Cold: cold})
+			if len(out) > dynamicFanoutCap {
+				return nil
+			}
+		}
+	}
+	return out
+}
+
+// dynamicFanoutCap bounds the signature-match fallback: a function-valued
+// call whose signature matches more candidates than this gets no dynamic
+// edges at all, because the set is too imprecise to mean anything.
+const dynamicFanoutCap = 6
+
+// enclosedByNestedLit reports whether the innermost enclosing function
+// literal on the stack is *not* the node body being scanned — i.e. the
+// current AST node belongs to a nested literal's own graph node.
+func enclosedByNestedLit(body *ast.BlockStmt, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if lit, ok := stack[i].(*ast.FuncLit); ok {
+			return lit.Body != body
+		}
+	}
+	return false
+}
+
+// coldSite classifies a call/allocation site the hot-path walk may skip:
+//
+//   - failure path: an enclosing block (if/case body, not the function
+//     body itself) ends by returning a non-nil error or panicking — the
+//     hot invariant protects the steady-state path, and failure exits are
+//     allowed to allocate their diagnostics;
+//   - lazy init / growth: the site sits under `if x == nil { ... }` or a
+//     len/cap size comparison (`if len(buf) < n { buf = make(...) }`), the
+//     cold-start-then-reuse idiom of the workspace machinery (what
+//     AllocsPerRun measures warm is exactly the path with the guard not
+//     taken);
+//   - recover handler: the site is guarded by a recover() call (in the
+//     condition or the if's init statement) — panic recovery is never the
+//     steady state.
+func coldSite(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		case *ast.IfStmt:
+			if coldGuard(info, s.Cond) || initMentionsRecover(info, s.Init) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if blockFails(info, s) {
+				return true
+			}
+		case *ast.CaseClause:
+			if clauseFails(info, s.Body) {
+				return true
+			}
+		case *ast.CommClause:
+			// A select arm that exits with a typed error (the ctx.Done()
+			// cancellation case) is a failure path like any other.
+			if clauseFails(info, s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coldGuard recognizes a lazy-init or growth condition. A disjunction is a
+// cold guard when any disjunct is one: `if c.L == nil || c.L.Rows != n`
+// reallocates on first use or reshape, both off the steady-state path.
+func coldGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if ok && be.Op == token.LOR {
+		return coldGuard(info, be.X) || coldGuard(info, be.Y)
+	}
+	return isNilGuard(info, cond) || isGrowthGuard(info, cond) || mentionsRecover(info, cond)
+}
+
+// isNilGuard matches `x == nil` (possibly parenthesized).
+func isNilGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	return isNilIdent(info, be.X) || isNilIdent(info, be.Y)
+}
+
+// isGrowthGuard matches a capacity comparison with len() or cap() on either
+// side — `len(buf) < n`, `cap(w.x) != need` — the amortized-growth idiom:
+// the allocation under it runs only while the buffer is still growing to
+// the high-water mark, never in the steady state.
+func isGrowthGuard(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	return isLenCapCall(info, be.X) || isLenCapCall(info, be.Y)
+}
+
+func isLenCapCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && (isBuiltin(info, call, "len") || isBuiltin(info, call, "cap"))
+}
+
+// initMentionsRecover reports a recover() call in an if statement's init —
+// the canonical `if r := recover(); r != nil` handler shape.
+func initMentionsRecover(info *types.Info, s ast.Stmt) bool {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, r := range as.Rhs {
+		if mentionsRecover(info, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsRecover reports whether the expression calls recover().
+func mentionsRecover(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, "recover") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// blockFails reports whether the block's final statement exits with a
+// non-nil error or panics.
+func blockFails(info *types.Info, b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return clauseFails(info, b.List[len(b.List)-1:])
+}
+
+func clauseFails(info *types.Info, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		for _, r := range last.Results {
+			if implementsError(info.TypeOf(r)) && !isNilIdent(info, r) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok && isBuiltin(info, call, "panic") {
+			return true
+		}
+	}
+	return false
+}
+
+// condense runs Tarjan's algorithm, filling node SCC indices and the
+// callee-first component order.
+func (g *CallGraph) condense() {
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	next := 0
+
+	var strongConnect func(n *Node)
+	strongConnect = func(n *Node) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, e := range n.Calls {
+			m := e.Callee
+			if _, seen := index[m]; !seen {
+				strongConnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var comp []*Node
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i].ID < comp[j].ID })
+			for _, m := range comp {
+				m.scc = len(g.SCCs)
+			}
+			g.SCCs = append(g.SCCs, comp)
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadGraph loads the callgraph fixture and builds its graph + summaries.
+func loadGraph(t *testing.T) (*CallGraph, Summaries) {
+	t.Helper()
+	pr := loadFixture(t, "callgraph")
+	g := BuildCallGraph(pr)
+	return g, ComputeSummaries(g)
+}
+
+// nodeByID finds a node by its stable identifier.
+func nodeByID(t *testing.T, g *CallGraph, id string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	var ids []string
+	for _, n := range g.Nodes {
+		ids = append(ids, n.ID)
+	}
+	t.Fatalf("no node %q; have:\n  %s", id, strings.Join(ids, "\n  "))
+	return nil
+}
+
+// edgesTo filters a node's outgoing edges by callee ID.
+func edgesTo(n *Node, calleeID string) []Edge {
+	var out []Edge
+	for _, e := range n.Calls {
+		if e.Callee.ID == calleeID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g, _ := loadGraph(t)
+	d := nodeByID(t, g, "a.Dispatch")
+	var impls []string
+	for _, e := range d.Calls {
+		if e.Kind != EdgeInterface {
+			t.Errorf("Dispatch edge to %s has kind %s, want interface", e.Callee.ID, e.Kind)
+		}
+		impls = append(impls, e.Callee.ID)
+	}
+	want := []string{"a.(Fast).Run", "a.(Slow).Run"}
+	if len(impls) != len(want) || impls[0] != want[0] || impls[1] != want[1] {
+		t.Errorf("Dispatch fans out to %v, want %v", impls, want)
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g, _ := loadGraph(t)
+	mv := nodeByID(t, g, "a.MethodValue")
+	// g := f.Run; g() — the bound-value call resolves through the dynamic
+	// signature-match fallback to the address-taken method.
+	es := edgesTo(mv, "a.(Fast).Run")
+	if len(es) == 0 {
+		t.Fatalf("MethodValue has no edge to a.(Fast).Run; edges: %v", mv.Calls)
+	}
+	if es[0].Kind != EdgeDynamic {
+		t.Errorf("method-value call resolved as %s, want dynamic", es[0].Kind)
+	}
+	if !nodeByID(t, g, "a.(Fast).Run").AddressTaken {
+		t.Error("a.(Fast).Run should be address-taken (its value escapes in MethodValue)")
+	}
+}
+
+func TestCallGraphRecursionSCC(t *testing.T) {
+	g, sums := loadGraph(t)
+	even := nodeByID(t, g, "a.Even")
+	odd := nodeByID(t, g, "a.Odd")
+	if even.scc != odd.scc {
+		t.Errorf("Even (scc %d) and Odd (scc %d) should share one SCC", even.scc, odd.scc)
+	}
+	// Odd allocates directly; the SCC fixpoint must propagate the effect
+	// into Even's summary even though Even itself is clean.
+	for _, n := range []*Node{even, odd} {
+		s := sums[n]
+		if s == nil || !s.Allocates {
+			t.Errorf("%s summary should report Allocates through the recursion cycle", n.ID)
+		}
+	}
+}
+
+func TestCallGraphBlockingSummaryThroughInterface(t *testing.T) {
+	g, sums := loadGraph(t)
+	// (*Slow).Run sleeps; Dispatch reaches it through interface dispatch,
+	// so the blocking effect must flow bottom-up into Dispatch.
+	if s := sums[nodeByID(t, g, "a.(Slow).Run")]; s == nil || !s.Blocks {
+		t.Fatal("(Slow).Run summary should report Blocks (time.Sleep)")
+	}
+	if s := sums[nodeByID(t, g, "a.Dispatch")]; s == nil || !s.Blocks {
+		t.Error("Dispatch summary should inherit Blocks via interface dispatch")
+	}
+}
+
+func TestCallGraphSpawnsAndClosures(t *testing.T) {
+	g, _ := loadGraph(t)
+	sp := nodeByID(t, g, "a.Spawn")
+	if len(sp.Spawns) != 2 {
+		t.Fatalf("Spawn has %d go sites, want 2", len(sp.Spawns))
+	}
+	var targets []string
+	for _, gs := range sp.Spawns {
+		if gs.Callee == nil {
+			t.Fatal("Spawn has an unresolved go target")
+		}
+		targets = append(targets, gs.Callee.ID)
+	}
+	if targets[0] == targets[1] {
+		t.Errorf("both go sites resolved to %s", targets[0])
+	}
+	for _, id := range targets {
+		if id != "a.worker" && !strings.HasPrefix(id, "a.Spawn.func") {
+			t.Errorf("unexpected spawn target %s", id)
+		}
+	}
+
+	mc := nodeByID(t, g, "a.MakeCounter")
+	found := false
+	for _, e := range mc.Calls {
+		if e.Kind == EdgeClosure && strings.HasPrefix(e.Callee.ID, "a.MakeCounter.func") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MakeCounter has no closure edge to its literal; edges: %v", mc.Calls)
+	}
+}
+
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	// Two independent builds must produce identical node and edge order.
+	g1, _ := loadGraph(t)
+	g2, _ := loadGraph(t)
+	if len(g1.Nodes) != len(g2.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(g1.Nodes), len(g2.Nodes))
+	}
+	for i := range g1.Nodes {
+		a, b := g1.Nodes[i], g2.Nodes[i]
+		if a.ID != b.ID {
+			t.Fatalf("node %d: %s vs %s", i, a.ID, b.ID)
+		}
+		if len(a.Calls) != len(b.Calls) {
+			t.Fatalf("%s: edge counts differ", a.ID)
+		}
+		for j := range a.Calls {
+			if a.Calls[j].Callee.ID != b.Calls[j].Callee.ID || a.Calls[j].Kind != b.Calls[j].Kind {
+				t.Fatalf("%s edge %d differs between builds", a.ID, j)
+			}
+		}
+	}
+}

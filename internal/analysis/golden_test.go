@@ -80,9 +80,18 @@ func runGolden(t *testing.T, check string) {
 	}
 	pr := loadFixture(t, check)
 	wants := collectWants(t, pr)
+	known := map[string]bool{}
+	for _, reg := range Analyzers() {
+		known[reg.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pr.Packages {
-		diags = append(diags, AnalyzePackage(pr, pkg, []*Analyzer{a})...)
+		pkgDiags := AnalyzePackage(pr, pkg, []*Analyzer{a})
+		// Apply suppression directives like a production run, so fixtures
+		// can carry justified-ignore cases (which must produce no
+		// diagnostic and no want line).
+		dirs, _ := ParseDirectives(pr.Fset, pkg, known)
+		diags = append(diags, Suppress(pkgDiags, dirs)...)
 	}
 	for _, d := range diags {
 		text := fmt.Sprintf("%s: %s", d.Check, d.Message)
@@ -119,11 +128,16 @@ func TestSleepRetryGolden(t *testing.T) { runGolden(t, "sleepretry") }
 
 func TestMetricNameGolden(t *testing.T) { runGolden(t, "metricname") }
 
+func TestHotAllocGolden(t *testing.T)  { runGolden(t, "hotalloc") }
+func TestLockOrderGolden(t *testing.T) { runGolden(t, "lockorder") }
+func TestGoroLeakGolden(t *testing.T)  { runGolden(t, "goroleak") }
+func TestNonDetGolden(t *testing.T)    { runGolden(t, "nondet") }
+
 // TestRegistry pins the registry: sorted, unique, documented.
 func TestRegistry(t *testing.T) {
 	all := Analyzers()
-	if len(all) != 8 {
-		t.Fatalf("registry has %d analyzers, want 8", len(all))
+	if len(all) != 12 {
+		t.Fatalf("registry has %d analyzers, want 12", len(all))
 	}
 	seen := map[string]bool{}
 	for i, a := range all {

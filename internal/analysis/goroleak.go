@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutine spawns whose body can run forever with no
+// visible exit discipline. A long-lived daemon accumulates such goroutines
+// until the scheduler drowns; every spawn must either terminate or be
+// cancellable. A spawn is accepted when any of the recognized disciplines
+// is syntactically present in the spawned body (or the spawning function):
+//
+//   - a context: the body receives or captures a context.Context, or
+//     selects on a Done() channel;
+//   - a WaitGroup: the body calls wg.Done (typically deferred), pairing
+//     the spawn with a wg.Wait elsewhere;
+//   - an owned channel: the body ranges over, or receives from, a channel
+//     — closing the channel is then the shutdown signal.
+//
+// Only spawns whose body (transitively, through the call graph) contains
+// an unconditional `for {}` loop with no exit are reported: a goroutine
+// that provably terminates needs no cancellation.
+var GoroLeak = &Analyzer{
+	Name:      "goroleak",
+	Doc:       "spawned goroutines that can loop forever must have a ctx/Done, WaitGroup, or owned-channel exit",
+	SkipTests: true,
+	Run:       runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	reportForPackage(pass, goroLeakModule)
+}
+
+func goroLeakModule(in *Interp) []Diagnostic {
+	g := in.Graph
+	fset := g.Prog.Fset
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		for _, gs := range n.Spawns {
+			d := checkSpawn(in, n, gs, fset)
+			if d != nil {
+				diags = append(diags, *d)
+			}
+		}
+	}
+	return diags
+}
+
+// checkSpawn inspects one go statement.
+func checkSpawn(in *Interp, spawner *Node, gs GoSite, fset *token.FileSet) *Diagnostic {
+	target := gs.Callee
+	if target == nil {
+		return nil // dynamic spawn target outside the module; nothing to prove
+	}
+	if !loopsForeverTransitively(in, target, map[*Node]bool{}) {
+		return nil
+	}
+	if spawnHasExitDiscipline(in, spawner, gs) {
+		return nil
+	}
+	return &Diagnostic{
+		Check: "goroleak",
+		Pos:   fset.Position(gs.Stmt.Pos()),
+		Message: fmt.Sprintf(
+			"goroutine running %s loops forever with no exit discipline; give it a context/Done channel, a WaitGroup, or an owned channel to range over",
+			shortID(target)),
+		Severity: SeverityError,
+	}
+}
+
+// loopsForeverTransitively reports whether n, or any warm non-spawn callee,
+// contains an unconditional loop with no exit.
+func loopsForeverTransitively(in *Interp, n *Node, seen map[*Node]bool) bool {
+	if seen[n] {
+		return false
+	}
+	seen[n] = true
+	if s := in.Summaries[n]; s != nil && s.LoopsForever {
+		return true
+	}
+	for _, e := range n.Calls {
+		if e.Kind == EdgeGo || e.Cold {
+			continue
+		}
+		if loopsForeverTransitively(in, e.Callee, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnHasExitDiscipline looks for an accepted shutdown mechanism in the
+// spawned body or its immediate surroundings.
+func spawnHasExitDiscipline(in *Interp, spawner *Node, gs GoSite) bool {
+	info := spawner.Pkg.Info
+	target := gs.Callee
+
+	// Discipline 1: the spawnee (or the call site) handles a context.
+	if nodeTouchesContext(info, target) {
+		return true
+	}
+	for _, arg := range gs.Stmt.Call.Args {
+		if t := info.TypeOf(arg); t != nil && isContextType(t) {
+			return true
+		}
+	}
+
+	// Discipline 2/3: the spawned body calls a WaitGroup.Done, selects on a
+	// Done() channel, or receives from / ranges over a channel. For a
+	// FuncLit spawn, also scan the literal's own body even when the graph
+	// collapsed it.
+	bodies := []*ast.BlockStmt{}
+	if b := target.Body(); b != nil {
+		bodies = append(bodies, b)
+	}
+	if lit, ok := ast.Unparen(gs.Stmt.Call.Fun).(*ast.FuncLit); ok && (target.Lit == nil || target.Lit != lit) {
+		bodies = append(bodies, lit.Body)
+	}
+	tinfo := info
+	if target.Pkg != nil {
+		tinfo = target.Pkg.Info
+	}
+	for _, b := range bodies {
+		if bodyHasExitDiscipline(tinfo, b) {
+			return true
+		}
+	}
+	// One hop deep: a worker that immediately delegates (`go w.run()` where
+	// run ranges over w.jobs) is disciplined through its callee.
+	for _, e := range target.Calls {
+		if e.Kind == EdgeGo || e.Cold {
+			continue
+		}
+		cinfo := e.Callee.Pkg.Info
+		if nodeTouchesContext(cinfo, e.Callee) {
+			return true
+		}
+		if cb := e.Callee.Body(); cb != nil && bodyHasExitDiscipline(cinfo, cb) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeTouchesContext reports whether the function takes a context.Context
+// parameter or (for a literal) captures one.
+func nodeTouchesContext(info *types.Info, n *Node) bool {
+	sig := n.Sig()
+	if sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isContextType(sig.Params().At(i).Type()) {
+				return true
+			}
+		}
+	}
+	if n.Lit != nil {
+		tinfo := info
+		if n.Pkg != nil {
+			tinfo = n.Pkg.Info
+		}
+		for _, v := range capturedVars(tinfo, n.Lit) {
+			if isContextType(v.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyHasExitDiscipline scans a body (not nested lits) for WaitGroup.Done,
+// Done()-channel selects, channel receives, or channel ranges.
+func bodyHasExitDiscipline(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// wg.Done() on a sync.WaitGroup, or ctx.Done().
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if rt := info.TypeOf(sel.X); rt != nil {
+					if isNamed(rt, "sync", "WaitGroup") || isContextType(derefType(rt)) {
+						found = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true // receive: the sender closing the channel ends the loop
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

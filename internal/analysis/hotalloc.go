@@ -1,0 +1,302 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc statically pins what the AllocsPerRun benchmarks pin
+// dynamically: every function reachable from a //soral:hotpath-annotated
+// root (lp.SolveStandard, the Cholesky/block-tridiagonal/staircase kernels,
+// the hist record path — code executed once per IPM iteration or more) must
+// be free of allocation-inducing constructs — make/new, append growth,
+// heap-escaping composite literals, escaping capturing closures, fmt calls,
+// string<->[]byte conversions, and interface boxing into ...any variadics.
+//
+// Reachability follows the module call graph (static calls, module
+// interface dispatch, function-value calls, closures) but skips cold
+// sites: failure paths (blocks that exit with a non-nil typed error or
+// panic), lazy-init and growth guards (`if ws == nil`, `if len(buf) < n` —
+// exactly the paths a warm run never takes), recover handlers, and
+// functions annotated //soral:coldpath (deliberate, measured overhead such
+// as the goroutine fan-out of the parallel kernels; each use must justify
+// itself in its doc comment). Closures that provably stay on the stack —
+// defer wrappers, immediate invocations, locals only ever called — are not
+// flagged, mirroring escape analysis.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "no allocation-inducing constructs reachable from //soral:hotpath roots",
+	SkipTests: true,
+	Run:       runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	reportForPackage(pass, hotAllocModule)
+}
+
+// hotReach is one reachable function with its shortest hot chain.
+type hotReach struct {
+	node *Node
+	via  []*Node // path from a root, root first, this node last
+}
+
+// hotAllocModule computes the module-wide hotalloc findings: multi-source
+// BFS from the hot roots over warm edges, then a construct scan of every
+// reachable body.
+func hotAllocModule(in *Interp) []Diagnostic {
+	g := in.Graph
+	fset := g.Prog.Fset
+	var diags []Diagnostic
+
+	queue := make([]hotReach, 0, 8)
+	seen := map[*Node]bool{}
+	for _, root := range g.Roots() {
+		queue = append(queue, hotReach{node: root, via: []*Node{root}})
+		seen[root] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		diags = append(diags, scanHotBody(fset, cur)...)
+		for _, e := range cur.node.Calls {
+			if e.Cold || e.Kind == EdgeGo {
+				continue // failure/lazy-init paths and spawned work are not the hot lane
+			}
+			callee := e.Callee
+			if callee.Cold || seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			via := append(append([]*Node{}, cur.via...), callee)
+			queue = append(queue, hotReach{node: callee, via: via})
+		}
+	}
+	return diags
+}
+
+// chainLabel renders the reachability chain for a diagnostic: the root
+// alone for direct findings, "root via a → b" for deeper ones.
+func chainLabel(via []*Node) string {
+	root := shortID(via[0])
+	if len(via) <= 1 {
+		return "hot root " + root
+	}
+	hops := make([]string, 0, len(via)-1)
+	for _, n := range via[1 : len(via)-1] {
+		hops = append(hops, shortID(n))
+	}
+	if len(hops) == 0 {
+		return "hot root " + root
+	}
+	return fmt.Sprintf("hot root %s via %s", root, strings.Join(hops, " → "))
+}
+
+// shortID trims the module prefix off a node ID for readable diagnostics.
+func shortID(n *Node) string {
+	id := n.ID
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		id = id[i+1:]
+	}
+	return id
+}
+
+// scanHotBody reports every warm allocation-inducing construct in one
+// reachable body. Cold sites (failure paths, nil guards, recover handlers)
+// are exempt under the same rules the BFS uses for edges, so a function is
+// judged exactly on the statements a warm, error-free run executes.
+func scanHotBody(fset *token.FileSet, cur hotReach) []Diagnostic {
+	n := cur.node
+	body := n.Body()
+	if body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	chain := chainLabel(cur.via)
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string) {
+		diags = append(diags, Diagnostic{
+			Check:    "hotalloc",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf("%s in %s on the hot path (%s); hoist it into a workspace or move it off the hot lane", what, shortID(n), chain),
+			Severity: SeverityError,
+		})
+	}
+	walkStack(body, func(x ast.Node, stack []ast.Node) {
+		if enclosedByNestedLit(body, stack) {
+			return
+		}
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			if e == n.Lit {
+				return
+			}
+			if coldSite(info, stack) || stackAllocatedLit(info, body, e, stack) {
+				return
+			}
+			if caps := capturedVars(info, e); len(caps) > 0 {
+				names := make([]string, 0, len(caps))
+				for _, v := range caps {
+					names = append(names, v.Name())
+				}
+				report(e.Pos(), fmt.Sprintf("closure capturing %s allocates", strings.Join(names, ", ")))
+			}
+		case *ast.GoStmt:
+			if !coldSite(info, stack) {
+				report(e.Pos(), "go statement allocates a goroutine")
+			}
+		case *ast.UnaryExpr:
+			// &T{...}: the composite escapes to the heap.
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && !coldSite(info, stack) {
+					report(e.Pos(), "heap-escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			// Slice and map literals always allocate their backing store;
+			// struct value literals live on the stack and are fine.
+			t := info.TypeOf(e)
+			if t == nil || coldSite(info, stack) {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				if !isAddrOfLit(stack) {
+					report(e.Pos(), "slice/map literal allocates its backing store")
+				}
+			}
+		case *ast.CallExpr:
+			if coldSite(info, stack) {
+				return
+			}
+			if what := allocatingConstruct(info, e); what != "" {
+				report(e.Pos(), what+" allocates")
+				return
+			}
+			if pos, param := boxesIntoVariadicAny(info, e); pos.IsValid() {
+				report(pos, "interface boxing into "+param)
+			}
+		}
+	})
+	return diags
+}
+
+// stackAllocatedLit reports whether a capturing closure provably stays on
+// the stack, mirroring what escape analysis decides for the common shapes:
+//
+//   - the function expression of an immediate call or a defer statement
+//     (the panic-recovery wrapper every solver installs);
+//   - the sole RHS of a := binding to a local variable that the body only
+//     ever uses in call position (`residualsAt := func() ... ; residualsAt()`).
+//
+// A literal passed as an argument, returned, stored into a field, or bound
+// to a variable that is itself passed on is NOT exempt: the callee (or the
+// later use) may retain it, and escape analysis is interprocedurally
+// conservative there — those closures are heap-allocated per call.
+func stackAllocatedLit(info *types.Info, body *ast.BlockStmt, lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == lit {
+			// Immediate invocation; a defer statement's call lands here too
+			// (the DeferStmt is the next ancestor up).
+			return true
+		}
+	case *ast.AssignStmt:
+		if p.Tok != token.DEFINE || len(p.Lhs) != 1 || len(p.Rhs) != 1 || p.Rhs[0] != lit {
+			return false
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			return false
+		}
+		onlyCalled := true
+		ast.Inspect(body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if ok {
+				if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && info.Uses[fid] == obj {
+					// A use in call position: fine. Skip the Fun subtree so
+					// the generic ident check below doesn't see it, but keep
+					// scanning the arguments.
+					for _, a := range call.Args {
+						ast.Inspect(a, func(y ast.Node) bool {
+							if yid, ok := y.(*ast.Ident); ok && info.Uses[yid] == obj {
+								onlyCalled = false
+							}
+							return onlyCalled
+						})
+					}
+					return false
+				}
+				return onlyCalled
+			}
+			if xid, ok := x.(*ast.Ident); ok && xid != id && info.Uses[xid] == obj {
+				onlyCalled = false
+			}
+			return onlyCalled
+		})
+		return onlyCalled
+	}
+	return false
+}
+
+// isAddrOfLit reports whether the innermost ancestor is &lit — already
+// reported as the heap-escape case, so the literal itself stays silent.
+func isAddrOfLit(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	ue, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	return ok && ue.Op == token.AND
+}
+
+// boxesIntoVariadicAny reports the first concrete (non-interface, non-nil)
+// argument passed to a ...any / ...interface{} parameter — each such
+// argument is boxed into an interface value, allocating unless the value
+// is pointer-shaped.
+func boxesIntoVariadicAny(info *types.Info, call *ast.CallExpr) (token.Pos, string) {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return token.NoPos, ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() == 0 {
+		return token.NoPos, ""
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return token.NoPos, ""
+	}
+	iface, ok := slice.Elem().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() != 0 {
+		return token.NoPos, ""
+	}
+	fixed := sig.Params().Len() - 1
+	if call.Ellipsis.IsValid() {
+		return token.NoPos, "" // passing an existing slice, no per-arg boxing
+	}
+	for i := fixed; i < len(call.Args); i++ {
+		arg := call.Args[i]
+		t := info.TypeOf(arg)
+		if t == nil || isNilIdent(info, arg) {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without allocating
+		}
+		return arg.Pos(), fmt.Sprintf("...%s parameter of %s", slice.Elem().String(), f.Name())
+	}
+	return token.NoPos, ""
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"sync"
+	"time"
+)
+
+// Interp is the shared interprocedural state of one analysis run: the
+// module call graph, the bottom-up summary store, and per-analyzer caches
+// of module-wide diagnostics. The per-package Pass protocol stays — an
+// interprocedural analyzer computes its findings once for the whole module
+// and each package's pass reports the slice positioned in that package.
+type Interp struct {
+	Graph     *CallGraph
+	Summaries Summaries
+	BuildTime time.Duration // call-graph + summary construction wall time
+
+	// fileOwner maps a filename to the package owning it, so module-wide
+	// findings can be routed to the pass of the right package.
+	fileOwner map[string]*Package
+
+	mu     sync.Mutex
+	cached map[string][]Diagnostic // analyzer name -> module-wide findings
+}
+
+// Interp returns the program's interprocedural state, building it on first
+// use. Safe for the framework's single-goroutine pass loop; the inner cache
+// is additionally locked so tests may share a Program.
+func (pr *Program) Interp() *Interp {
+	pr.interpOnce.Do(func() {
+		start := time.Now()
+		g := BuildCallGraph(pr)
+		sums := ComputeSummaries(g)
+		in := &Interp{
+			Graph:     g,
+			Summaries: sums,
+			fileOwner: map[string]*Package{},
+			cached:    map[string][]Diagnostic{},
+		}
+		for _, pkg := range pr.Packages {
+			for _, name := range pkg.FileNames {
+				in.fileOwner[name] = pkg
+			}
+		}
+		in.BuildTime = time.Since(start)
+		pr.interp = in
+	})
+	return pr.interp
+}
+
+// moduleDiags returns the cached module-wide diagnostics of one analyzer,
+// computing them on first use.
+func (in *Interp) moduleDiags(name string, compute func() []Diagnostic) []Diagnostic {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if d, ok := in.cached[name]; ok {
+		return d
+	}
+	d := sortDiagnostics(compute())
+	in.cached[name] = d
+	return d
+}
+
+// reportForPackage runs the module-wide computation (once) and reports the
+// findings that live in pass.Pkg's files.
+func reportForPackage(pass *Pass, compute func(*Interp) []Diagnostic) {
+	in := pass.Prog.Interp()
+	diags := in.moduleDiags(pass.Analyzer.Name, func() []Diagnostic { return compute(in) })
+	for _, d := range diags {
+		if in.fileOwner[d.Pos.Filename] == pass.Pkg {
+			pass.report(d)
+		}
+	}
+}

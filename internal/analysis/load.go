@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // LoadConfig describes a tree of packages to load.
@@ -43,6 +44,11 @@ type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package // sorted by import path
 	byPath   map[string]*Package
+
+	// Interprocedural state (call graph, summaries, module-wide finding
+	// caches), built lazily by Interp().
+	interpOnce sync.Once
+	interp     *Interp
 }
 
 // Package returns the loaded package with the given import path, or nil.

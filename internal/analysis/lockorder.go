@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces the mutex discipline a long-lived multi-tenant daemon
+// lives or dies by, across function boundaries:
+//
+//   - mutex copy: a value of a type (transitively) containing a
+//     sync.Mutex/RWMutex is copied by assignment, argument, or return;
+//   - double lock: a lock class is acquired while already held — directly,
+//     or by calling a function whose summary may acquire it;
+//   - inconsistent acquisition order: two lock classes are acquired in
+//     both orders somewhere in the module (the classic ABBA deadlock),
+//     detected on the module-wide acquired-while-holding graph;
+//   - lock held across a blocking call: a channel operation, select,
+//     time.Sleep, or WaitGroup/Cond wait — or a call to a function that
+//     may block — while a mutex is held.
+//
+// Lock classes are global: package-level mutexes ("pkg.mu") and struct
+// mutex fields keyed by owning type ("pkg.Registry.mu"). Function-local
+// mutexes cannot participate in cross-function deadlocks and are ignored.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "no mutex copies, double locks, ABBA acquisition orders, or locks held across blocking calls",
+	SkipTests: true,
+	Run:       runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	reportForPackage(pass, lockOrderModule)
+}
+
+// orderEdge is one observed "A held while acquiring B" fact.
+type orderEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       *Node
+}
+
+func lockOrderModule(in *Interp) []Diagnostic {
+	g := in.Graph
+	fset := g.Prog.Fset
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Check:    "lockorder",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+			Severity: SeverityError,
+		})
+	}
+
+	var edges []orderEdge
+	for _, n := range g.Nodes {
+		scanLockBody(in, n, report, &edges)
+		scanMutexCopies(g, n, report)
+	}
+	diags = append(diags, orderCycles(fset, edges)...)
+	return diags
+}
+
+// scanLockBody walks one body in statement order, tracking the held lock
+// set. Branch bodies are scanned with a copy of the held set (effects
+// inside a branch do not leak past it — path-insensitive but sound for the
+// guarded-critical-section idiom).
+func scanLockBody(in *Interp, n *Node, report func(token.Pos, string, ...any), edges *[]orderEdge) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	held := map[string]token.Pos{} // lock class -> acquisition site
+	var scanStmt func(s ast.Stmt, held map[string]token.Pos)
+
+	handleCall := func(call *ast.CallExpr, held map[string]token.Pos) {
+		if key, locks, _ := lockOpKey(info, call); key != "" {
+			if locks {
+				if at, dup := held[key]; dup {
+					report(call.Pos(), "double lock of %s (already held since line %d)",
+						key, in.Graph.Prog.Fset.Position(at).Line)
+				}
+				for _, prev := range heldKeys(held) {
+					*edges = append(*edges, orderEdge{from: prev, to: key, pos: call.Pos(), fn: n})
+				}
+				held[key] = call.Pos()
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		if len(held) == 0 {
+			return
+		}
+		// Interprocedural: a callee that may acquire a held class, or may
+		// block, while we hold a lock.
+		for _, callee := range calleeNodes(in.Graph, info, call) {
+			sum := in.Summaries[callee]
+			if sum == nil {
+				continue
+			}
+			for _, key := range heldKeys(held) {
+				if sum.Acquires[key] {
+					report(call.Pos(), "calling %s while holding %s (locked at line %d) may double-lock %s",
+						shortID(callee), key, in.Graph.Prog.Fset.Position(held[key]).Line, key)
+				}
+				for _, acq := range sum.AcquiredKeys() {
+					if acq != key {
+						*edges = append(*edges, orderEdge{from: key, to: acq, pos: call.Pos(), fn: n})
+					}
+				}
+			}
+			if sum.Blocks {
+				reportHeldAcross(report, call.Pos(), held, "call to "+shortID(callee)+" (may block)")
+			}
+		}
+		if blockingStdlibCall(info, call) {
+			reportHeldAcross(report, call.Pos(), held, "blocking call")
+		}
+	}
+
+	scanExprCalls := func(e ast.Expr, held map[string]token.Pos) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok {
+				handleCall(call, held)
+			}
+			return true
+		})
+	}
+
+	scanStmt = func(s ast.Stmt, held map[string]token.Pos) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.ExprStmt:
+			scanExprCalls(st.X, held)
+		case *ast.SendStmt:
+			reportHeldAcross(report, st.Pos(), held, "channel send")
+			scanExprCalls(st.Chan, held)
+			scanExprCalls(st.Value, held)
+		case *ast.AssignStmt:
+			for _, r := range st.Rhs {
+				if ue, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					reportHeldAcross(report, ue.Pos(), held, "channel receive")
+				}
+				scanExprCalls(r, held)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end —
+			// balanced, but still held for the remaining scan, which is
+			// exactly the semantics we want. Other deferred calls run
+			// after the body; skip them.
+			if key, locks, _ := lockOpKey(info, st.Call); key != "" && !locks {
+				// Mark as deferred-released: the class stays held for the
+				// rest of the scan (correct), and is balanced at exit.
+				_ = key
+			}
+		case *ast.GoStmt:
+			// The spawned body runs elsewhere; its own scan covers it.
+		case *ast.BlockStmt:
+			for _, inner := range st.List {
+				scanStmt(inner, held)
+			}
+		case *ast.IfStmt:
+			scanExprCalls(st.Cond, held)
+			scanStmt(st.Body, copyHeld(held))
+			if st.Else != nil {
+				scanStmt(st.Else, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			scanExprCalls(st.Cond, held)
+			scanStmt(st.Body, copyHeld(held))
+		case *ast.RangeStmt:
+			scanExprCalls(st.X, held)
+			scanStmt(st.Body, copyHeld(held))
+		case *ast.SwitchStmt:
+			scanExprCalls(st.Tag, held)
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					h := copyHeld(held)
+					for _, b := range cc.Body {
+						scanStmt(b, h)
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					h := copyHeld(held)
+					for _, b := range cc.Body {
+						scanStmt(b, h)
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(st) {
+				reportHeldAcross(report, st.Pos(), held, "select")
+			}
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					h := copyHeld(held)
+					for _, b := range cc.Body {
+						scanStmt(b, h)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				scanExprCalls(r, held)
+			}
+		case *ast.LabeledStmt:
+			scanStmt(st.Stmt, held)
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							scanExprCalls(v, held)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, s := range body.List {
+		scanStmt(s, held)
+	}
+}
+
+// heldKeys returns the held lock classes in sorted order, so edge and
+// diagnostic emission is deterministic (and maporder-clean).
+func heldKeys(held map[string]token.Pos) []string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func reportHeldAcross(report func(token.Pos, string, ...any), pos token.Pos, held map[string]token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	report(pos, "%s while holding %s; shrink the critical section", what, strings.Join(keys, ", "))
+}
+
+// calleeNodes resolves a call expression to its possible module callees
+// (static target, interface implementations, or closure literal).
+func calleeNodes(g *CallGraph, info *types.Info, call *ast.CallExpr) []*Node {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if n := g.NodeOfLit(lit); n != nil {
+			return []*Node{n}
+		}
+		return nil
+	}
+	if f := calleeFunc(info, call); f != nil {
+		if n := g.NodeOf(f); n != nil {
+			return []*Node{n}
+		}
+	}
+	return nil
+}
+
+// scanMutexCopies flags by-value copies of lock-bearing types: assignments
+// from a dereference or value, non-pointer parameters, and returns.
+func scanMutexCopies(g *CallGraph, n *Node, report func(token.Pos, string, ...any)) {
+	if n.Decl == nil {
+		return
+	}
+	info := n.Pkg.Info
+	// Non-pointer receiver or parameter of a lock-bearing type.
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				report(f.Type.Pos(), "%s passes %s by value, copying its %s; use a pointer", what, t.String(), path)
+			}
+		}
+	}
+	check(n.Decl.Recv, "receiver")
+	check(n.Decl.Type.Params, "parameter")
+
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			// Assigning to blank discards the value: no lock is duplicated.
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			t := info.TypeOf(rhs)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			// Only dereferences and variable reads copy an existing lock;
+			// composite literals construct a fresh (unlocked) value.
+			switch ast.Unparen(rhs).(type) {
+			case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+			default:
+				continue
+			}
+			if path := lockPath(t, nil); path != "" {
+				report(as.Lhs[i].Pos(), "assignment copies %s including its %s; use a pointer", t.String(), path)
+			}
+		}
+		return true
+	})
+}
+
+// lockPath returns a dotted path to a sync.Mutex/RWMutex inside t ("" when
+// none). seen guards recursive types.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Cond") {
+			return "sync." + obj.Name()
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if p := lockPath(f.Type(), seen); p != "" {
+			return f.Name() + "." + p
+		}
+	}
+	return ""
+}
+
+// orderCycles finds 2-cycles (A<B and B<A) in the module-wide
+// acquired-while-holding graph and reports each inverted pair once, at
+// both witnessing sites.
+func orderCycles(fset *token.FileSet, edges []orderEdge) []Diagnostic {
+	type pair struct{ a, b string }
+	first := map[pair]orderEdge{}
+	for _, e := range edges {
+		k := pair{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+		}
+	}
+	var diags []Diagnostic
+	reported := map[pair]bool{}
+	keys := make([]pair, 0, len(first))
+	for k := range first {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		inv := pair{k.b, k.a}
+		if k.a >= k.b || reported[k] || reported[inv] {
+			continue
+		}
+		if rev, ok := first[inv]; ok {
+			e := first[k]
+			reported[k], reported[inv] = true, true
+			msg := fmt.Sprintf("inconsistent lock order: %s → %s here but %s → %s in %s at line %d; pick one global order",
+				k.a, k.b, inv.a, inv.b, shortID(rev.fn), fset.Position(rev.pos).Line)
+			diags = append(diags, Diagnostic{
+				Check: "lockorder", Pos: fset.Position(e.pos), Message: msg, Severity: SeverityError,
+			})
+			diags = append(diags, Diagnostic{
+				Check: "lockorder", Pos: fset.Position(rev.pos),
+				Message: fmt.Sprintf("inconsistent lock order: %s → %s here but %s → %s in %s at line %d; pick one global order",
+					inv.a, inv.b, k.a, k.b, shortID(e.fn), fset.Position(e.pos).Line),
+				Severity: SeverityError,
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NonDet tracks determinism taint from wall-clock reads (time.Now/Since/
+// Until), the global random generators (math/rand package-level functions,
+// crypto/rand), os.Getpid, and map iteration order into the replay-critical
+// sinks: journaled records and digests, and committed allocation decisions.
+// The run journal exists so that a crashed run replays to the identical
+// state digest; any wall-clock or iteration-order dependence in what gets
+// journaled breaks replay silently, long after the code merges.
+//
+// The engine is the shared two-color taint tracker (see taint.go): clock
+// taint is never laundered, order taint is cleared by sorting — the same
+// sort-keys idiom maporder enforces syntactically. Calls into module
+// functions use the interprocedural summaries, so nondeterminism returned
+// through helpers is caught too.
+//
+// Explicitly timestamped fields are expected to carry wall-clock values —
+// journal records have WallStart-style fields for humans, excluded from
+// digests. Those assignments are exempt by field-name convention
+// (Wall*, *Time, *At, Duration*, Elapsed*).
+var NonDet = &Analyzer{
+	Name:      "nondet",
+	Doc:       "no wall-clock, global-rand, or map-order taint may reach journal digests or committed decisions",
+	SkipTests: true,
+	Run:       runNonDet,
+}
+
+func runNonDet(pass *Pass) {
+	reportForPackage(pass, nonDetModule)
+}
+
+func nonDetModule(in *Interp) []Diagnostic {
+	g := in.Graph
+	fset := g.Prog.Fset
+	var diags []Diagnostic
+	for _, n := range g.Nodes {
+		if n.Body() == nil {
+			continue
+		}
+		tt := newTaintTracker(g, n, in.Summaries)
+		tt.propagate()
+		diags = append(diags, scanNondetSinks(tt, fset)...)
+	}
+	return diags
+}
+
+// scanNondetSinks walks the node's body and reports tainted expressions
+// flowing into the sinks.
+func scanNondetSinks(tt *taintTracker, fset *token.FileSet) []Diagnostic {
+	n := tt.n
+	body := n.Body()
+	info := tt.info
+	var diags []Diagnostic
+	report := func(pos token.Pos, m taintMask, what, src string) {
+		if src == "" {
+			src = "a nondeterministic source"
+		}
+		diags = append(diags, Diagnostic{
+			Check: "nondet",
+			Pos:   fset.Position(pos),
+			Message: fmt.Sprintf("%s value (from %s) flows into %s; derive it from slot state or a seeded generator",
+				m.label(), src, what),
+			Severity: SeverityError,
+		})
+	}
+
+	walkStack(body, func(x ast.Node, stack []ast.Node) {
+		if enclosedByNestedLit(body, stack) {
+			return
+		}
+		switch e := x.(type) {
+		case *ast.CallExpr:
+			sink := digestSinkName(info, e)
+			if sink == "" {
+				break
+			}
+			for _, arg := range e.Args {
+				if m := tt.exprTainted(arg); m != 0 {
+					report(arg.Pos(), m, sink, describeSource(tt, arg))
+				}
+			}
+		case *ast.AssignStmt:
+			if len(e.Lhs) != len(e.Rhs) {
+				break
+			}
+			for i, lhs := range e.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				recv := info.TypeOf(sel.X)
+				if recv == nil || !isDecisionType(recv) {
+					continue
+				}
+				if timestampField(sel.Sel.Name) {
+					continue
+				}
+				if m := tt.exprTainted(e.Rhs[i]); m != 0 {
+					report(e.Rhs[i].Pos(), m,
+						fmt.Sprintf("committed decision field %s.%s", typeShortName(recv), sel.Sel.Name),
+						describeSource(tt, e.Rhs[i]))
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(e)
+			if t == nil || !isDecisionType(t) {
+				break
+			}
+			for _, el := range e.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || timestampField(key.Name) {
+					continue
+				}
+				if m := tt.exprTainted(kv.Value); m != 0 {
+					report(kv.Value.Pos(), m,
+						fmt.Sprintf("committed decision field %s.%s", typeShortName(t), key.Name),
+						describeSource(tt, kv.Value))
+				}
+			}
+		}
+	})
+	return diags
+}
+
+// digestSinkName names the sink when call is a journal digest entry point:
+// any function or method named Digest*/Append* declared in a package named
+// "journal", or any function named Digest*/DigestBytes anywhere in the
+// module.
+func digestSinkName(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil {
+		return ""
+	}
+	name := f.Name()
+	inJournal := f.Pkg() != nil && f.Pkg().Name() == "journal"
+	switch {
+	case strings.HasPrefix(name, "Digest"):
+		return "journal digest " + name
+	case inJournal && (strings.HasPrefix(name, "Append") || strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Record")):
+		return "journal entry point journal." + name
+	}
+	return ""
+}
+
+// isDecisionType recognizes the committed-allocation record types: any
+// named struct whose name contains "Decision" or "SlotRecord"/"StateRecord"
+// (the journaled records replay is reconstructed from).
+func isDecisionType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Decision") ||
+		name == "SlotRecord" || name == "StateRecord"
+}
+
+// timestampField reports whether a field is by convention a human-facing
+// wall-clock timestamp, excluded from digests and replay comparison.
+func timestampField(name string) bool {
+	return strings.HasPrefix(name, "Wall") ||
+		strings.HasSuffix(name, "Time") ||
+		strings.HasSuffix(name, "At") ||
+		strings.HasPrefix(name, "Duration") ||
+		strings.Contains(name, "Ns") || strings.Contains(name, "NS") ||
+		strings.HasPrefix(name, "Elapsed")
+}
+
+func typeShortName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

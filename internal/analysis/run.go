@@ -13,11 +13,6 @@ type RunConfig struct {
 
 	// Checks restricts the analyzers by name; empty means the full registry.
 	Checks []string
-
-	// ReportUnused additionally reports suppressions that matched nothing.
-	// Only meaningful with the full check set: a suppression for an analyzer
-	// that did not run always looks unused.
-	ReportUnused bool
 }
 
 // PackageResult carries the outcome and cost of analyzing one package.
@@ -30,12 +25,23 @@ type PackageResult struct {
 
 // Result is the outcome of one Run.
 type Result struct {
-	Packages     []PackageResult
-	LoadDuration time.Duration // parse + type-check time for the whole module
-	Diagnostics  []Diagnostic  // all surviving diagnostics, sorted
+	Packages          []PackageResult
+	LoadDuration      time.Duration // parse + type-check time for the whole module
+	CallGraphDuration time.Duration // call graph + summary construction (interprocedural runs only)
+	// Analyzers records per-analyzer wall time summed over all packages.
+	// For the interprocedural analyzers the first package pays the
+	// module-wide computation; CallGraphDuration separates the shared
+	// graph/summary build from the per-analyzer scans.
+	Analyzers   map[string]time.Duration
+	Diagnostics []Diagnostic // all surviving diagnostics, merged and sorted
 }
 
 // Run loads the module containing cfg.Dir and analyzes every package.
+//
+// Unused suppression directives are always reported (as warnings) when the
+// full check set runs; with a restricted -checks list they are skipped,
+// because a suppression for an analyzer that did not run always looks
+// unused.
 func Run(cfg RunConfig) (*Result, error) {
 	root, module, err := FindModuleRoot(cfg.Dir)
 	if err != nil {
@@ -50,18 +56,28 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{LoadDuration: time.Since(loadStart)}
+	res := &Result{
+		LoadDuration: time.Since(loadStart),
+		Analyzers:    make(map[string]time.Duration, len(checks)),
+	}
+	if needsInterp(checks) {
+		// Build the call graph and summaries eagerly so the cost lands in
+		// CallGraphDuration rather than inside whichever interprocedural
+		// analyzer happens to run first.
+		res.CallGraphDuration = pr.Interp().BuildTime
+	}
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	fullSet := len(cfg.Checks) == 0
 	for _, pkg := range pr.Packages {
 		start := time.Now()
-		diags := AnalyzePackage(pr, pkg, checks)
+		diags := analyzePackageTimed(pr, pkg, checks, res.Analyzers)
 		dirs, problems := ParseDirectives(pr.Fset, pkg, known)
 		diags = Suppress(diags, dirs)
 		diags = append(diags, problems...)
-		if cfg.ReportUnused {
+		if fullSet {
 			diags = append(diags, UnusedDirectives(dirs)...)
 		}
 		diags = sortDiagnostics(diags)
@@ -73,7 +89,22 @@ func Run(cfg RunConfig) (*Result, error) {
 		})
 		res.Diagnostics = append(res.Diagnostics, diags...)
 	}
+	// Per-package slices are already sorted; the merged view must be too,
+	// independent of package visit order.
+	res.Diagnostics = sortDiagnostics(res.Diagnostics)
 	return res, nil
+}
+
+// needsInterp reports whether any selected analyzer requires the module
+// call graph.
+func needsInterp(checks []*Analyzer) bool {
+	for _, a := range checks {
+		switch a {
+		case HotAlloc, LockOrder, GoroLeak, NonDet:
+			return true
+		}
+	}
+	return false
 }
 
 // selectChecks resolves names against the registry (all when empty).
@@ -95,15 +126,24 @@ func selectChecks(names []string) ([]*Analyzer, error) {
 // AnalyzePackage runs the given analyzers over one package and returns the
 // raw (pre-suppression) diagnostics, sorted and deduplicated.
 func AnalyzePackage(pr *Program, pkg *Package, checks []*Analyzer) []Diagnostic {
+	return analyzePackageTimed(pr, pkg, checks, nil)
+}
+
+func analyzePackageTimed(pr *Program, pkg *Package, checks []*Analyzer, timings map[string]time.Duration) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range checks {
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pr.Fset,
 			Pkg:      pkg,
+			Prog:     pr,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
 		}
+		start := time.Now()
 		a.Run(pass)
+		if timings != nil {
+			timings[a.Name] += time.Since(start)
+		}
 	}
 	return sortDiagnostics(diags)
 }

@@ -1,0 +1,557 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Summary is the per-function effect abstraction the interprocedural
+// analyzers consume: a small monotone lattice (booleans and lock-key sets,
+// ordered by implication/inclusion) computed bottom-up over the call graph's
+// SCC condensation. Within a component the fixed point is the member union,
+// so one forward pass over the callee-first component order suffices.
+type Summary struct {
+	// Allocates: the body contains an allocation-inducing construct
+	// (make/new/append, heap composite literal, capturing closure, fmt
+	// call, boxing) or calls something that does.
+	Allocates bool
+
+	// Blocks: the body can park the goroutine — channel send/receive,
+	// select without default, time.Sleep, WaitGroup.Wait, Cond.Wait — or
+	// calls something that can. Mutex Lock is deliberately excluded:
+	// lock-vs-lock interaction is lockorder's domain, and counting Lock
+	// as blocking would flag every nested critical section twice.
+	Blocks bool
+
+	// ReadsNondet: the body observes a nondeterministic source — wall
+	// clock (time.Now/Since/Until), the global math/rand generator, or
+	// map iteration order — or calls something that does. Seeded
+	// *rand.Rand methods are NOT sources: rand.New(rand.NewSource(seed))
+	// is the repo's deterministic workload idiom.
+	ReadsNondet bool
+
+	// ReturnsNondet: a returned value is data-derived from one of those
+	// sources (the taint, not just the read). This is what propagates
+	// through `x := f()` at call sites of the nondet analyzer.
+	ReturnsNondet bool
+
+	// Spawns: the body starts a goroutine, or calls something that does.
+	Spawns bool
+
+	// LoopsForever: the body contains an unconditional for-loop with no
+	// lexical exit (no return, no break of that loop), or
+	// unconditionally calls something that does. A goroutine whose body
+	// LoopsForever can never terminate — goroleak's core predicate.
+	LoopsForever bool
+
+	// Acquires and Releases are the global lock classes (package-level
+	// mutexes and struct mutex fields, keyed like "pkg.Type.mu") the
+	// function may lock/unlock, directly or transitively. Function-local
+	// mutexes stay out: they cannot participate in cross-function
+	// deadlocks.
+	Acquires map[string]bool
+	Releases map[string]bool
+}
+
+// AcquiredKeys returns the acquire set in sorted order.
+func (s *Summary) AcquiredKeys() []string {
+	keys := make([]string, 0, len(s.Acquires))
+	for k := range s.Acquires {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Summaries maps every call-graph node to its computed summary.
+type Summaries map[*Node]*Summary
+
+// ComputeSummaries runs the bottom-up pass over g's SCC condensation.
+func ComputeSummaries(g *CallGraph) Summaries {
+	sums := make(Summaries, len(g.Nodes))
+	// Direct (intraprocedural) effects first.
+	for _, n := range g.Nodes {
+		sums[n] = directEffects(n)
+	}
+	// Then one pass over the callee-first SCC order: each component's
+	// fixed point is the union of member effects plus finalized callee
+	// summaries from earlier components.
+	for _, comp := range g.SCCs {
+		agg := &Summary{Acquires: map[string]bool{}, Releases: map[string]bool{}}
+		for _, n := range comp {
+			agg.or(sums[n])
+			for _, e := range n.Calls {
+				callee := sums[e.Callee]
+				if e.Callee.scc != n.scc {
+					agg.orCallee(callee, e.Kind)
+				}
+			}
+			for _, gs := range n.Spawns {
+				agg.Spawns = true
+				_ = gs
+			}
+		}
+		for _, n := range comp {
+			// Preserve per-node ReturnsNondet and LoopsForever: they are
+			// properties of the node's own control flow, refined below.
+			rn, lf := sums[n].ReturnsNondet, sums[n].LoopsForever
+			*sums[n] = *agg
+			sums[n].Acquires = agg.Acquires
+			sums[n].Releases = agg.Releases
+			sums[n].ReturnsNondet = rn
+			sums[n].LoopsForever = lf
+		}
+		// LoopsForever propagates only through unconditional call sites
+		// of component members; approximate with: any member whose body
+		// calls a LoopsForever callee anywhere. (Conservative: a guarded
+		// call to a forever-loop still usually means the goroutine owns
+		// it.)
+		for _, n := range comp {
+			for _, e := range n.Calls {
+				if e.Kind == EdgeGo {
+					continue // spawning a forever-loop hands it to a new goroutine
+				}
+				if sums[e.Callee].LoopsForever {
+					sums[n].LoopsForever = true
+				}
+			}
+		}
+		// ReturnsNondet needs the callee bits that were just finalized:
+		// re-run the cheap return-taint scan with them available.
+		for _, n := range comp {
+			if !sums[n].ReturnsNondet && returnsTainted(g, n, sums) {
+				sums[n].ReturnsNondet = true
+			}
+		}
+	}
+	return sums
+}
+
+// or unions o into s (booleans and lock sets).
+func (s *Summary) or(o *Summary) {
+	s.Allocates = s.Allocates || o.Allocates
+	s.Blocks = s.Blocks || o.Blocks
+	s.ReadsNondet = s.ReadsNondet || o.ReadsNondet
+	s.Spawns = s.Spawns || o.Spawns
+	for k := range o.Acquires {
+		s.Acquires[k] = true
+	}
+	for k := range o.Releases {
+		s.Releases[k] = true
+	}
+}
+
+// orCallee unions a callee summary through a call edge. Closure edges
+// propagate everything (creating a literal means it may run); go edges
+// propagate allocation (the spawn itself allocates) but not blocking (the
+// parked goroutine is not the caller).
+func (s *Summary) orCallee(o *Summary, kind EdgeKind) {
+	switch kind {
+	case EdgeGo:
+		s.Allocates = true
+		s.ReadsNondet = s.ReadsNondet || o.ReadsNondet
+	default:
+		s.or(o)
+	}
+}
+
+// directEffects computes the intraprocedural summary of one node: only the
+// statements of its own body (nested literals are their own nodes).
+func directEffects(n *Node) *Summary {
+	s := &Summary{Acquires: map[string]bool{}, Releases: map[string]bool{}}
+	body := n.Body()
+	if body == nil {
+		return s
+	}
+	info := n.Pkg.Info
+	walkStack(body, func(x ast.Node, stack []ast.Node) {
+		if enclosedByNestedLit(body, stack) {
+			return
+		}
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			if e != n.Lit && len(capturedVars(info, e)) > 0 {
+				s.Allocates = true
+			}
+		case *ast.SendStmt:
+			s.Blocks = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				s.Blocks = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(e) {
+				s.Blocks = true
+			}
+		case *ast.RangeStmt:
+			t := info.TypeOf(e.X)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Chan:
+					s.Blocks = true
+				case *types.Map:
+					s.ReadsNondet = true
+				}
+			}
+		case *ast.GoStmt:
+			s.Spawns = true
+			s.Allocates = true
+		case *ast.ForStmt:
+			if e.Cond == nil && !loopHasExit(e) {
+				s.LoopsForever = true
+			}
+		case *ast.CallExpr:
+			if allocatingConstruct(info, e) != "" {
+				s.Allocates = true
+			}
+			if blockingStdlibCall(info, e) {
+				s.Blocks = true
+			}
+			if nondetSourceCall(info, e) != "" {
+				s.ReadsNondet = true
+			}
+			if key, locks, _ := lockOpKey(info, e); key != "" {
+				if locks {
+					s.Acquires[key] = true
+				} else {
+					s.Releases[key] = true
+				}
+			}
+		}
+	})
+	return s
+}
+
+// capturedVars returns the free variables of a literal: identifiers used
+// inside it that resolve to objects declared outside it but not at package
+// level. A capture-free literal is a static function value and does not
+// allocate.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level variable, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// loopHasExit reports whether an unconditional for-loop lexically contains
+// an exit: a return statement, a break that targets it, or a goto (assumed
+// to leave). Channel operations do not count as exits on their own:
+// receiving from a closed channel succeeds forever, so `for { select {
+// ... } }` without a return/break is still a forever-loop.
+func loopHasExit(loop *ast.ForStmt) bool {
+	return stmtsHaveExit(loop.Body.List, true)
+}
+
+// stmtsHaveExit walks a statement list structurally (never descending into
+// expressions, so nested function literals stay out). breakable reports
+// whether a plain `break` at this level exits the loop under test.
+func stmtsHaveExit(stmts []ast.Stmt, breakable bool) bool {
+	for _, s := range stmts {
+		if stmtHasExit(s, breakable) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtHasExit(s ast.Stmt, breakable bool) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.GOTO:
+			return true // may jump out; assume it does
+		case token.BREAK:
+			return breakable || st.Label != nil // labeled break targets an outer loop
+		}
+	case *ast.LabeledStmt:
+		return stmtHasExit(st.Stmt, breakable)
+	case *ast.BlockStmt:
+		return stmtsHaveExit(st.List, breakable)
+	case *ast.IfStmt:
+		if stmtsHaveExit(st.Body.List, breakable) {
+			return true
+		}
+		if st.Else != nil {
+			return stmtHasExit(st.Else, breakable)
+		}
+	case *ast.ForStmt:
+		return stmtsHaveExit(st.Body.List, false)
+	case *ast.RangeStmt:
+		return stmtsHaveExit(st.Body.List, false)
+	case *ast.SwitchStmt:
+		return stmtsHaveExit(st.Body.List, false)
+	case *ast.TypeSwitchStmt:
+		return stmtsHaveExit(st.Body.List, false)
+	case *ast.SelectStmt:
+		return stmtsHaveExit(st.Body.List, false)
+	case *ast.CaseClause:
+		return stmtsHaveExit(st.Body, breakable)
+	case *ast.CommClause:
+		return stmtsHaveExit(st.Body, breakable)
+	}
+	return false
+}
+
+// allocatingConstruct classifies a call/expression that forces a heap
+// allocation, returning a short label ("" when none): the make/new/append
+// builtins, fmt calls (boxing plus formatting buffers), and
+// string<->[]byte conversions.
+func allocatingConstruct(info *types.Info, call *ast.CallExpr) string {
+	for _, b := range [...]string{"make", "new", "append"} {
+		if isBuiltin(info, call, b) {
+			return b
+		}
+	}
+	if f := calleeFunc(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		return "fmt." + f.Name()
+	}
+	// Conversion string([]byte) / []byte(string) copies.
+	if len(call.Args) == 1 {
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			to := tv.Type
+			from := info.TypeOf(call.Args[0])
+			if from != nil && isStringByteConv(to, from) {
+				return "string/[]byte conversion"
+			}
+		}
+	}
+	return ""
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return (isStr(to) && isBytes(from)) || (isBytes(to) && isStr(from))
+}
+
+// blockingStdlibCall recognizes the stdlib calls that park a goroutine.
+func blockingStdlibCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		return f.Name() == "Sleep"
+	case "sync":
+		if recv := recvNamed(f); recv != "" {
+			return (recv == "WaitGroup" && f.Name() == "Wait") ||
+				(recv == "Cond" && f.Name() == "Wait")
+		}
+	}
+	return false
+}
+
+// nondetSourceCall classifies a call whose result varies run to run,
+// returning a short source label ("" when deterministic). Methods on a
+// seeded *rand.Rand are excluded — only the global generator and the wall
+// clock qualify.
+func nondetSourceCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			return "time." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors of explicitly seeded generators are the
+			// deterministic path, not a source.
+			return ""
+		}
+		if recvNamed(f) == "" { // package-level = global generator
+			return "math/rand." + f.Name()
+		}
+	case "crypto/rand":
+		return "crypto/rand." + f.Name()
+	case "os":
+		if f.Name() == "Getpid" {
+			return "os.Getpid"
+		}
+	}
+	return ""
+}
+
+// recvNamed returns the name of a method's receiver type, "" for plain
+// functions.
+func recvNamed(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// lockOpKey classifies a Lock/RLock/Unlock/RUnlock call on a sync.Mutex or
+// sync.RWMutex and returns the global lock-class key, whether the op
+// acquires, and the receiver expression. The key is "" for non-lock calls
+// AND for function-local mutexes (which cannot deadlock across functions).
+func lockOpKey(info *types.Info, call *ast.CallExpr) (key string, locks bool, recv ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, nil
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false, nil
+	}
+	r := recvNamed(f)
+	if r != "Mutex" && r != "RWMutex" {
+		return "", false, nil
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, nil
+	}
+	return globalLockKey(info, sel.X), locks, sel.X
+}
+
+// globalLockKey names the lock class of a mutex expression: "pkg.var" for a
+// package-level mutex, "pkg.Type.field" for a struct field (whatever the
+// receiver variable), "" for locals.
+func globalLockKey(info *types.Info, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe && v.Pkg() != nil {
+			return lastSegment(v.Pkg().Path()) + "." + v.Name()
+		}
+		return "" // function-local mutex
+	case *ast.SelectorExpr:
+		v, ok := info.Uses[x.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			// pkg.mu package-level selector
+			if ok && v.Pkg() != nil && v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				return lastSegment(v.Pkg().Path()) + "." + v.Name()
+			}
+			return ""
+		}
+		// Field: key by the owning named struct type.
+		base := info.TypeOf(x.X)
+		if base == nil {
+			return ""
+		}
+		if p, ok := base.(*types.Pointer); ok {
+			base = p.Elem()
+		}
+		if n, ok := base.(*types.Named); ok && n.Obj().Pkg() != nil {
+			return lastSegment(n.Obj().Pkg().Path()) + "." + n.Obj().Name() + "." + v.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+// returnsTainted reports whether any return expression of n is data-derived
+// from a nondeterminism source, using the function-local taint engine. g
+// and sums may be nil during the direct pass (callee bits unknown yet).
+func returnsTainted(g *CallGraph, n *Node, sums Summaries) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	var results *ast.FieldList
+	if n.Decl != nil {
+		results = n.Decl.Type.Results
+	} else {
+		results = n.Lit.Type.Results
+	}
+	if results == nil || len(results.List) == 0 {
+		return false
+	}
+	tt := newTaintTracker(g, n, sums)
+	tt.propagate()
+	tainted := false
+	// Named results carry taint through bare returns.
+	for _, f := range results.List {
+		for _, name := range f.Names {
+			if v, ok := n.Pkg.Info.Defs[name].(*types.Var); ok && tt.varTainted(v) {
+				tainted = true
+			}
+		}
+	}
+	if tainted {
+		return true
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if tainted {
+			return false
+		}
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.Lit {
+			return false
+		}
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if tt.exprTainted(r) != 0 {
+				tainted = true
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// nodePackagePath returns a short label for diagnostics ("lp", "core").
+func nodePackagePath(n *Node) string { return lastSegment(n.Pkg.Path) }

@@ -113,8 +113,11 @@ func Suppress(diags []Diagnostic, dirs []*Directive) []Diagnostic {
 	return kept
 }
 
-// UnusedDirectives reports every directive that suppressed nothing, for the
-// -unused mode: stale suppressions hide the next real finding at that site.
+// UnusedDirectives reports every directive that suppressed nothing: stale
+// suppressions hide the next real finding at that site. The reports are
+// warnings — advisory by default, failures under -strict-suppress — and,
+// unlike directive syntax problems, they can themselves be suppressed only
+// by deleting the stale directive.
 func UnusedDirectives(dirs []*Directive) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range dirs {
@@ -123,7 +126,7 @@ func UnusedDirectives(dirs []*Directive) []Diagnostic {
 				Check:    "sorallint",
 				Pos:      d.Pos,
 				Message:  fmt.Sprintf("unused suppression for %s (reason: %s); remove it", d.Check, d.Reason),
-				Severity: SeverityDirective,
+				Severity: SeverityWarning,
 			})
 		}
 	}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Function-local taint engine shared by the summary pass (ReturnsNondet)
+// and the nondet analyzer. Two taint colors are tracked, because they are
+// laundered differently:
+//
+//   - taintClock: the value derives from the wall clock or the global
+//     random generator. No amount of post-processing makes it
+//     deterministic.
+//   - taintOrder: the value derives from map iteration order. Sorting
+//     normalizes it, so the sort-keys idiom (collect, sort.Strings,
+//     iterate) clears this color — the same idiom maporder recognizes.
+//
+// The engine is flow-insensitive (a fixpoint over the body's assignments)
+// and field-sensitive one level deep: `sr.Duration = span.End()` taints the
+// (sr, Duration) pair and — conservatively — the whole of sr when sr itself
+// is passed on.
+type taintMask uint8
+
+const (
+	taintClock taintMask = 1 << iota
+	taintOrder
+)
+
+func (m taintMask) label() string {
+	switch {
+	case m&taintClock != 0:
+		return "wall-clock/random"
+	case m&taintOrder != 0:
+		return "map-iteration-order"
+	}
+	return "deterministic"
+}
+
+type fieldKey struct {
+	v     *types.Var
+	field string
+}
+
+type taintTracker struct {
+	n      *Node
+	info   *types.Info
+	graph  *CallGraph // nil during the direct summary pass
+	sums   Summaries  // nil during the direct summary pass
+	vars   map[*types.Var]taintMask
+	fields map[fieldKey]taintMask
+	// laundered holds variables that are the argument of a sort.*/slices.*
+	// call somewhere in the body: the sort-keys idiom. Such a variable can
+	// never hold the order color — collected up front so the fixpoint stays
+	// monotone (clearing taint mid-fixpoint would oscillate against the
+	// map-range that re-adds it).
+	laundered map[*types.Var]bool
+	// sources records the first source expression that tainted each
+	// variable, for diagnostics ("tainted by time.Now at ...").
+	sources map[*types.Var]string
+}
+
+func newTaintTracker(g *CallGraph, n *Node, sums Summaries) *taintTracker {
+	return &taintTracker{
+		n:         n,
+		info:      n.Pkg.Info,
+		graph:     g,
+		sums:      sums,
+		vars:      map[*types.Var]taintMask{},
+		fields:    map[fieldKey]taintMask{},
+		laundered: map[*types.Var]bool{},
+		sources:   map[*types.Var]string{},
+	}
+}
+
+// propagate runs the assignment fixpoint over the node's own body. The
+// laundered set is collected first so the fixpoint is monotone: masks only
+// ever grow, and a laundered variable simply never accepts the order color.
+func (tt *taintTracker) propagate() {
+	body := tt.n.Body()
+	if body == nil {
+		return
+	}
+	walkStack(body, func(x ast.Node, stack []ast.Node) {
+		if enclosedByNestedLit(body, stack) {
+			return
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			tt.collectSortLaunder(call)
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		walkStack(body, func(x ast.Node, stack []ast.Node) {
+			if enclosedByNestedLit(body, stack) {
+				return
+			}
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if tt.applyAssign(s) {
+					changed = true
+				}
+			case *ast.DeclStmt:
+				if gd, ok := s.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && tt.applyValueSpec(vs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tt.applyRange(s) {
+					changed = true
+				}
+			}
+		})
+	}
+}
+
+// applyAssign taints left-hand sides from their right-hand sides.
+func (tt *taintTracker) applyAssign(s *ast.AssignStmt) bool {
+	changed := false
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		for i, lhs := range s.Lhs {
+			m := tt.exprTainted(s.Rhs[i])
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				// op= keeps the existing taint and adds the rhs's.
+				m |= tt.lhsTaint(lhs)
+			}
+			if tt.setLhs(lhs, m, describeSource(tt, s.Rhs[i])) {
+				changed = true
+			}
+		}
+	case len(s.Rhs) == 1:
+		// Tuple assignment from one call/comma-ok: everything gets the
+		// rhs mask.
+		m := tt.exprTainted(s.Rhs[0])
+		for _, lhs := range s.Lhs {
+			if tt.setLhs(lhs, m, describeSource(tt, s.Rhs[0])) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (tt *taintTracker) applyValueSpec(vs *ast.ValueSpec) bool {
+	changed := false
+	for i, name := range vs.Names {
+		var m taintMask
+		var src string
+		if len(vs.Values) == len(vs.Names) {
+			m = tt.exprTainted(vs.Values[i])
+			src = describeSource(tt, vs.Values[i])
+		} else if len(vs.Values) == 1 {
+			m = tt.exprTainted(vs.Values[0])
+			src = describeSource(tt, vs.Values[0])
+		}
+		if m == 0 {
+			continue
+		}
+		if v, ok := tt.info.Defs[name].(*types.Var); ok && tt.addVar(v, m, src) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// applyRange taints the key/value variables of a map range with the order
+// color, and propagates element taint when ranging over a tainted
+// container.
+func (tt *taintTracker) applyRange(rs *ast.RangeStmt) bool {
+	t := tt.info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	m := tt.exprTainted(rs.X)
+	if _, isMap := t.Underlying().(*types.Map); isMap {
+		m |= taintOrder
+	}
+	if m == 0 {
+		return false
+	}
+	changed := false
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if e == nil {
+			continue
+		}
+		if tt.setLhs(e, m, "map iteration order") {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// collectSortLaunder records variables sorted by a sort.*/slices.* call:
+// the sort-keys idiom turns map-order-dependent data deterministic, so the
+// sorted variable is exempt from the order color for the whole function.
+func (tt *taintTracker) collectSortLaunder(call *ast.CallExpr) {
+	f := calleeFunc(tt.info, call)
+	if f == nil || f.Pkg() == nil || (f.Pkg().Path() != "sort" && f.Pkg().Path() != "slices") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	if v := lhsRootVar(tt.info, call.Args[0]); v != nil {
+		tt.laundered[v] = true
+	}
+}
+
+// setLhs assigns taint to an assignable expression.
+func (tt *taintTracker) setLhs(lhs ast.Expr, m taintMask, src string) bool {
+	if m == 0 {
+		return false
+	}
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return false
+		}
+		if v := objVar(tt.info, x); v != nil {
+			return tt.addVar(v, m, src)
+		}
+	case *ast.SelectorExpr:
+		if timestampField(x.Sel.Name) {
+			// Timing fields carry wall-clock values by contract and are
+			// excluded from digests; writing one does not taint the struct.
+			return false
+		}
+		base := lhsRootVar(tt.info, x.X)
+		if base == nil {
+			return false
+		}
+		if tt.laundered[base] {
+			m &^= taintOrder
+		}
+		if m == 0 {
+			return false
+		}
+		k := fieldKey{base, x.Sel.Name}
+		if tt.fields[k]&m == m {
+			return false
+		}
+		tt.fields[k] |= m
+		if _, ok := tt.sources[base]; !ok {
+			tt.sources[base] = src
+		}
+		return true
+	case *ast.IndexExpr, *ast.StarExpr:
+		if v := lhsRootVar(tt.info, x); v != nil {
+			return tt.addVar(v, m, src)
+		}
+	}
+	return false
+}
+
+func (tt *taintTracker) addVar(v *types.Var, m taintMask, src string) bool {
+	if tt.laundered[v] {
+		m &^= taintOrder
+	}
+	if m == 0 || tt.vars[v]&m == m {
+		return false
+	}
+	tt.vars[v] |= m
+	if _, ok := tt.sources[v]; !ok {
+		tt.sources[v] = src
+	}
+	return true
+}
+
+func (tt *taintTracker) lhsTaint(lhs ast.Expr) taintMask {
+	return tt.exprTainted(lhs)
+}
+
+// varTainted reports whether the variable or any of its fields is tainted.
+func (tt *taintTracker) varTainted(v *types.Var) bool { return tt.varMask(v) != 0 }
+
+func (tt *taintTracker) varMask(v *types.Var) taintMask {
+	m := tt.vars[v]
+	for k, fm := range tt.fields {
+		if k.v == v {
+			m |= fm
+		}
+	}
+	return m
+}
+
+// sourceOf returns the recorded source description for a variable.
+func (tt *taintTracker) sourceOf(v *types.Var) string {
+	if s, ok := tt.sources[v]; ok && s != "" {
+		return s
+	}
+	return "a nondeterministic source"
+}
+
+// exprTainted computes the taint mask of an expression: the union over
+// source calls, tainted variable uses, and calls to module functions whose
+// summary returns nondeterminism.
+func (tt *taintTracker) exprTainted(e ast.Expr) taintMask {
+	var m taintMask
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch n := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.KeyValueExpr:
+			// A timing field in a composite literal (Duration:
+			// time.Since(start)) carries wall-clock by contract and does
+			// not taint the composite, mirroring the assignment rule.
+			if key, ok := n.Key.(*ast.Ident); ok && timestampField(key.Name) {
+				return false
+			}
+		case *ast.CallExpr:
+			if src := nondetSourceCall(tt.info, n); src != "" {
+				m |= taintClock
+			}
+			if tt.sums != nil {
+				if f := calleeFunc(tt.info, n); f != nil {
+					if node := tt.interpNode(f); node != nil {
+						// A module callee with a summary: the summary is the
+						// whole answer for this call's result, so skip the
+						// argument subtree — unioning tainted argument
+						// idents here would poison every helper that takes
+						// a `start time.Time` for duration bookkeeping.
+						if s := tt.sums[node]; s != nil && s.ReturnsNondet {
+							m |= taintClock | taintOrder
+						}
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if v := objVar(tt.info, n); v != nil {
+				m |= tt.vars[v]
+			}
+		case *ast.SelectorExpr:
+			if base := lhsRootVar(tt.info, n.X); base != nil {
+				m |= tt.fields[fieldKey{base, n.Sel.Name}]
+				m |= tt.vars[base]
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// interpNode resolves a function object to its graph node (nil during the
+// direct summary pass, where no graph is attached).
+func (tt *taintTracker) interpNode(f *types.Func) *Node {
+	if tt.graph == nil {
+		return nil
+	}
+	return tt.graph.NodeOf(f)
+}
+
+// describeSource labels the first nondeterminism source syntactically
+// present in e, for diagnostics.
+func describeSource(tt *taintTracker, e ast.Expr) string {
+	src := ""
+	ast.Inspect(e, func(x ast.Node) bool {
+		if src != "" {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if s := nondetSourceCall(tt.info, call); s != "" {
+				src = s
+				return false
+			}
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			if v := objVar(tt.info, id); v != nil && tt.vars[v] != 0 {
+				src = tt.sourceOf(v)
+				return false
+			}
+		}
+		return true
+	})
+	return src
+}
+
+// objVar resolves an identifier to its variable object (use or def).
+func objVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package a is the call-graph unit-test fixture: static calls, interface
+// dispatch, method values, closures, go statements, and a mutual-recursion
+// SCC with distinguishable bottom-up effects.
+package a
+
+import "time"
+
+// Runner is a module-declared interface: calls through it fan out to every
+// implementation in the module.
+type Runner interface {
+	Run() int
+}
+
+type Fast struct{ n int }
+
+func (f *Fast) Run() int { return f.n }
+
+type Slow struct{ n int }
+
+func (s *Slow) Run() int {
+	time.Sleep(time.Millisecond)
+	return s.n
+}
+
+// Dispatch calls through the interface.
+func Dispatch(r Runner) int {
+	return r.Run()
+}
+
+// MethodValue binds a method and calls the bound value.
+func MethodValue(f *Fast) int {
+	g := f.Run
+	return g()
+}
+
+// Even and Odd are mutually recursive: one SCC, and Odd's allocation must
+// surface in Even's summary.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	_ = make([]int, 1)
+	return Even(n - 1)
+}
+
+// Spawn starts a declared function and a literal.
+func Spawn(ch chan int) {
+	go worker(ch)
+	go func() {
+		ch <- 1
+	}()
+}
+
+func worker(ch chan int) {
+	ch <- 2
+}
+
+// MakeCounter returns a closure: an EdgeClosure from creator to literal.
+func MakeCounter() func() int {
+	n := 0
+	return func() int {
+		n++
+		return n
+	}
+}

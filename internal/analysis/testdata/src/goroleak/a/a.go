@@ -1,0 +1,59 @@
+// Package a exercises goroleak: a spawned goroutine that loops forever
+// needs an exit discipline — a context/Done channel, a WaitGroup, or an
+// owned channel to range over.
+package a
+
+import "context"
+
+func spin() {
+	for {
+	}
+}
+
+func Leak() {
+	go spin() // want `goroleak: goroutine running a.spin loops forever with no exit discipline`
+}
+
+func LeakLit() {
+	go func() { // want `goroleak: goroutine running a.LeakLit.func1@\d+ loops forever with no exit discipline`
+		for {
+		}
+	}()
+}
+
+// WithContext selects on ctx.Done: disciplined, no finding.
+func WithContext(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Drain ranges over a channel it is handed: exits when the channel closes,
+// no finding.
+func Drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Bounded loops finitely: no finding.
+func Bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}
+
+func Daemon() {
+	//sorallint:ignore goroleak process-lifetime daemon by design; it dies with the program
+	go spin()
+}

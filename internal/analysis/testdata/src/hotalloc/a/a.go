@@ -1,0 +1,80 @@
+// Package a exercises hotalloc: allocation constructs reachable from a
+// //soral:hotpath root are findings; cold sites (growth guards, failure
+// paths, //soral:coldpath functions) and stack-allocated closures are not.
+package a
+
+import "fmt"
+
+var sink []float64
+
+//soral:hotpath
+func Step(ws []float64, n int) []float64 {
+	ws = ensure(ws, n)
+	kernel(ws)
+	record(n)
+	if err := validate(n); err != nil {
+		return nil
+	}
+	return ws
+}
+
+// kernel is one hop from the root.
+func kernel(ws []float64) {
+	inner(ws)
+	// A closure bound to a local that is only ever called stays on the
+	// stack: no finding.
+	again := func() { inner(ws) }
+	again()
+	x := 0.0
+	visit(func() { x += ws[0] }) // want `hotalloc: closure capturing x, ws allocates in a.kernel on the hot path`
+	_ = x
+}
+
+// inner is two call hops from the root: findings must still surface, with
+// the chain in the message.
+func inner(ws []float64) {
+	tmp := make([]float64, len(ws)) // want `hotalloc: make allocates in a.inner on the hot path \(hot root a.Step via a.kernel\)`
+	copy(tmp, ws)
+	sink = append(sink, tmp...) // want `hotalloc: append allocates in a.inner on the hot path`
+}
+
+// visit runs the callback; the allocation is the closure at the call site,
+// not here.
+func visit(f func()) { f() }
+
+// ensure grows the workspace under a len guard — the amortized-growth
+// idiom is cold, no finding.
+func ensure(ws []float64, n int) []float64 {
+	if len(ws) < n {
+		ws = make([]float64, n)
+	}
+	return ws
+}
+
+// record is deliberate, measured overhead: exempt by annotation.
+//
+//soral:coldpath
+func record(n int) {
+	sink = append(sink, float64(n))
+}
+
+// validate allocates only on its failure exit: cold, no finding.
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative size %d", n)
+	}
+	return nil
+}
+
+// Offline is never reached from a hot root: no finding.
+func Offline() {
+	sink = append(sink, 1)
+}
+
+type header struct{ n int }
+
+//soral:hotpath
+func Accepted() *header {
+	//sorallint:ignore hotalloc the documented one-header-per-call constant
+	return &header{n: 1}
+}

@@ -1,0 +1,101 @@
+// Package a exercises lockorder: double locks, ABBA order cycles, mutex
+// copies, and locks held across blocking operations.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu  sync.Mutex
+	mu2 sync.Mutex
+	n   int
+}
+
+func (s *S) Double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `lockorder: double lock of a.S.mu \(already held since line \d+\)`
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) Balanced() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// AB and BA acquire the two classes in opposite orders: an ABBA cycle,
+// reported at both witnessing sites.
+func (s *S) AB() {
+	s.mu.Lock()
+	s.mu2.Lock() // want `lockorder: inconsistent lock order: a.S.mu → a.S.mu2 here but a.S.mu2 → a.S.mu in a.\(S\).BA at line \d+`
+	s.n++
+	s.mu2.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) BA() {
+	s.mu2.Lock()
+	s.mu.Lock() // want `lockorder: inconsistent lock order: a.S.mu2 → a.S.mu here but a.S.mu → a.S.mu2 in a.\(S\).AB at line \d+`
+	s.n++
+	s.mu.Unlock()
+	s.mu2.Unlock()
+}
+
+// lockedHelper acquires a.S.mu itself; calling it with the lock held is an
+// interprocedural double-lock, caught via the callee summary.
+func (s *S) lockedHelper() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *S) Reentrant() {
+	s.mu.Lock()
+	s.lockedHelper() // want `lockorder: calling a.\(S\).lockedHelper while holding a.S.mu \(locked at line \d+\) may double-lock a.S.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) HoldAcrossSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `lockorder: blocking call while holding a.S.mu; shrink the critical section`
+	s.mu.Unlock()
+}
+
+func (s *S) SendHeld(ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want `lockorder: channel send while holding a.S.mu; shrink the critical section`
+	s.mu.Unlock()
+}
+
+// SendUnheld releases before sending: no finding.
+func (s *S) SendUnheld(ch chan int) {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	ch <- v
+}
+
+func CopyParam(s S) int { // want `lockorder: parameter passes a.S by value, copying its mu.sync.Mutex; use a pointer`
+	return s.n
+}
+
+func CopyAssign(s *S) {
+	t := *s // want `lockorder: assignment copies a.S including its mu.sync.Mutex; use a pointer`
+	_ = t
+}
+
+// UseByPointer takes the pointer: no finding.
+func UseByPointer(s *S) int {
+	return s.n
+}
+
+func (s *S) Justified(done chan struct{}) {
+	s.mu.Lock()
+	//sorallint:ignore lockorder handshake channel is buffered and never contended in this protocol
+	done <- struct{}{}
+	s.mu.Unlock()
+}

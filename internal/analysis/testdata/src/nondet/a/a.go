@@ -1,0 +1,74 @@
+// Package a exercises nondet: wall-clock, global-rand, and map-order taint
+// must not reach journal digests or committed decisions. Timestamp-named
+// fields, sorted iteration, and seeded generators are exempt.
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"journal"
+)
+
+// Decision is a committed-allocation record: a nondet sink by name.
+type Decision struct {
+	Slot      int
+	Value     float64
+	WallStart time.Time
+}
+
+func Commit(buf []byte) []byte {
+	v := float64(time.Now().UnixNano())
+	return journal.AppendRecord(buf, v) // want `nondet: wall-clock/random value \(from time.Now\) flows into journal entry point journal.AppendRecord`
+}
+
+// nowValue launders the clock through a helper; the bottom-up summary
+// still carries the taint back to the caller.
+func nowValue() float64 { return float64(time.Now().UnixNano()) }
+
+func CommitVia(buf []byte) []byte {
+	v := nowValue()
+	return journal.AppendRecord(buf, v) // want `nondet: wall-clock/random value \(from .*\) flows into journal entry point journal.AppendRecord`
+}
+
+func Decide(seq int) Decision {
+	return Decision{
+		Slot:      seq,
+		Value:     rand.Float64(), // want `nondet: wall-clock/random value \(from math/rand.Float64\) flows into committed decision field Decision.Value`
+		WallStart: time.Now(),     // timestamp field by convention: exempt
+	}
+}
+
+// Weights folds map values into the digest in iteration order: every run
+// digests a different sequence.
+func Weights(m map[string]float64, d *journal.Digest) {
+	for _, v := range m {
+		d.DigestField(v) // want `nondet: map-iteration-order value \(from map iteration order\) flows into journal digest DigestField`
+	}
+}
+
+// SortedWeights uses the sort-keys idiom: the order taint is laundered, no
+// finding.
+func SortedWeights(m map[string]float64, d *journal.Digest) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d.DigestField(m[k])
+	}
+}
+
+// Seeded derives the value from a seeded generator: deterministic, no
+// finding.
+func Seeded(seq int, d *journal.Digest) {
+	rng := rand.New(rand.NewSource(int64(seq)))
+	d.DigestField(rng.Float64())
+}
+
+func Stamped(buf []byte) []byte {
+	//sorallint:ignore nondet wall time IS the payload of this record, excluded from replay comparison
+	return journal.AppendRecord(buf, float64(time.Now().UnixNano()))
+}

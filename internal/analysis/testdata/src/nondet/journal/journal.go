@@ -1,0 +1,14 @@
+// Package journal is the fixture's stand-in for the run journal: its
+// Digest*/Append* entry points are nondet sinks.
+package journal
+
+// Digest accumulates a replay-checked state digest.
+type Digest struct{ sum uint64 }
+
+// DigestField folds one value into the digest.
+func (d *Digest) DigestField(v float64) { d.sum += uint64(v * 1e9) }
+
+// AppendRecord appends one journaled value.
+func AppendRecord(buf []byte, v float64) []byte {
+	return append(buf, byte(uint64(v)))
+}

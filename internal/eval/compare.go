@@ -49,6 +49,7 @@ type benchFile struct {
 	TotalSolverIterations int64            `json:"total_solver_iterations"`
 	SolverIterations      map[string]int64 `json:"solver_iterations"`
 	LintPackages          map[string]int64 `json:"lint_packages"`
+	LintAnalyzers         map[string]int64 `json:"lint_analyzers"`
 	LintLoadNs            int64            `json:"lint_load_ns"`
 
 	// Machine-envelope metadata (every schema).
@@ -142,6 +143,9 @@ func LoadBenchEnv(r io.Reader) ([]BenchEntry, BenchEnv, error) {
 	}
 	for k, v := range f.LintPackages {
 		e.Metrics["lint_packages."+k] = float64(v)
+	}
+	for k, v := range f.LintAnalyzers {
+		e.Metrics["lint_analyzers."+k] = float64(v)
 	}
 	if f.LintLoadNs != 0 {
 		e.Metrics["lint_load_ns"] = float64(f.LintLoadNs)

@@ -142,6 +142,8 @@ func NewBlockTriChol(m *BlockTriDiag, maxShift float64) (*BlockTriChol, error) {
 // Refactorize factorizes M into the receiver, reusing its buffers when the
 // block structure matches the previous call. On error the factor contents
 // are undefined and must not be used for solves.
+//
+//soral:hotpath
 func (f *BlockTriChol) Refactorize(m *BlockTriDiag, maxShift float64) error {
 	return f.RefactorizeWorkers(m, maxShift, 1)
 }
@@ -245,6 +247,8 @@ func blockSchurUpdate(s, ft *Dense, lo, hi int) {
 }
 
 // Solve solves M·x = b, writing into x (which may alias b).
+//
+//soral:hotpath
 func (f *BlockTriChol) Solve(x, b []float64) {
 	off := f.offsets
 	n := off[len(off)-1]

@@ -195,6 +195,8 @@ var ErrEmptyProblem = errors.New("lp: empty problem")
 // standard-form LP with the given normal-equation backend. Runtime panics
 // (e.g. a dimension mismatch in internal/linalg) are converted into typed
 // resilience.SolveError values instead of propagating.
+//
+//soral:hotpath
 func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -216,17 +218,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 	b := std.B
 
 	if m == 0 {
-		// No constraints: min cᵀx over x ≥ 0 is 0 at x = 0 unless some
-		// cost is negative, in which case the problem is unbounded.
-		sol = &Solution{X: make([]float64, n), Y: nil, S: linalg.Clone(c)}
-		for _, ci := range c {
-			if ci < 0 {
-				sol.Status = Unbounded
-				return sol, nil
-			}
-		}
-		sol.Status = Optimal
-		return sol, nil
+		return solveUnconstrained(n, c), nil
 	}
 
 	// Every vector of the solve lives in a workspace; with a caller-supplied
@@ -303,6 +295,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		}
 	}
 
+	//sorallint:ignore hotalloc the documented per-call constant: one Solution header per solve, pinned by TestSolveStandardWorkspaceZeroAlloc
 	sol = &Solution{X: x, Y: y, S: s}
 	maxIter := opts.Fault.Budget(opts.MaxIter)
 	for iter := 0; iter < maxIter; iter++ {
@@ -353,6 +346,7 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		}
 		ferr := error(nil)
 		if opts.Fault.FactorizationShouldFail(iter) {
+			//sorallint:ignore hotalloc fault-injection branch, taken only when a chaos schedule forces a failure
 			ferr = fmt.Errorf("forced factorization failure: %w", resilience.ErrInjected)
 		} else {
 			sp := opts.Obs.StartSpan("lp.factorize")
@@ -446,6 +440,27 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 		sol.Residuals = residualsAt()
 	}
 	return sol, nil
+}
+
+// solveUnconstrained handles the degenerate m = 0 problem: min cᵀx over
+// x ≥ 0 is 0 at x = 0 unless some cost is negative, in which case the
+// problem is unbounded.
+//
+// Marked //soral:coldpath: a constraint-free problem never reaches the
+// iteration machinery, so its one-off Solution allocation is off the hot
+// lane by construction.
+//
+//soral:coldpath
+func solveUnconstrained(n int, c []float64) *Solution {
+	sol := &Solution{X: make([]float64, n), Y: nil, S: linalg.Clone(c)}
+	for _, ci := range c {
+		if ci < 0 {
+			sol.Status = Unbounded
+			return sol
+		}
+	}
+	sol.Status = Optimal
+	return sol
 }
 
 // solveNewton solves one Newton system of the predictor–corrector scheme:

@@ -33,6 +33,12 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 // ensure sizes every Mehrotra buffer for an m-row, n-column standard form,
 // reusing the existing allocations whenever they are already big enough.
+//
+// Marked //soral:coldpath: this IS the workspace pattern hotalloc points at —
+// the makes below run only while the buffers grow toward the high-water
+// mark (w.n < n / w.m < m), never on a warm same-shape solve.
+//
+//soral:coldpath
 func (w *Workspace) ensure(m, n int) {
 	if w.n < n {
 		w.x = make([]float64, n)

@@ -103,6 +103,8 @@ func bucketUpper(i int) float64 {
 }
 
 // Record adds one observation. It allocates nothing and takes no lock.
+//
+//soral:hotpath
 func (h *Hist) Record(v float64) {
 	if v < 0 || math.IsNaN(v) {
 		v = 0

@@ -19,6 +19,13 @@ type BufferSink struct {
 func NewBufferSink() *BufferSink { return &BufferSink{} }
 
 // Emit implements Sink.
+//
+// Marked //soral:coldpath: attaching a trace sink is the deliberate,
+// measured flight-recorder overhead — a solve without one never dispatches
+// here (the nil-scope fast path allocates nothing, pinned by
+// TestNilScopeZeroAllocs), and an unbounded event buffer grows by design.
+//
+//soral:coldpath
 func (s *BufferSink) Emit(e Event) {
 	s.mu.Lock()
 	s.buf = append(s.buf, e)

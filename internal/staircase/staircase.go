@@ -128,6 +128,8 @@ func NewBackend(std *lp.Standard, rowBlock []int, numBlocks int) (*Backend, erro
 // written only by the goroutine owning block b, in the same ascending
 // (column, i, j) order as a serial pass — the assembled matrix is
 // bit-identical for every worker count (DESIGN.md §8).
+//
+//soral:hotpath
 func (be *Backend) Factorize(d []float64) error {
 	cols := be.a.Cols() // build the lazy column view before fanning out
 	if linalg.EffectiveWorkers(be.workers, len(be.sizes)) == 1 {
@@ -202,6 +204,8 @@ func (be *Backend) assembleBlocks(d []float64, cols [][]lp.Entry, blo, bhi int) 
 }
 
 // Solve implements lp.NormalSolver.
+//
+//soral:hotpath
 func (be *Backend) Solve(x, b []float64) {
 	// Permute into block order, solve, permute back.
 	for r := range b {
