@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-self race obs-race obs-serve kernels-race chaos latency check bench bench-compare
+.PHONY: build test vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -69,12 +69,21 @@ chaos:
 latency:
 	$(GO) run -race ./cmd/soralbench -exp latency -q
 
+# The warm-start experiment enforces the incremental re-solve contracts end
+# to end: WarmStart-off runs bit-identical to the baseline, warm steady-state
+# slots ≥5× faster at p50 with strictly fewer IPM iterations, and the
+# digest-keyed decision cache engaging on repeated inputs. It runs under the
+# race detector because the warm path threads SolveState through the same
+# solver goroutines the latency experiment exercises. See DESIGN.md §13.
+warmstart:
+	$(GO) run -race ./cmd/soralbench -exp warmstart -q
+
 # The gate used before merging: static checks (vet plus the sorallint
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
 # paths), plus the focused telemetry and parallel-kernel race passes and the
 # crash/recovery chaos schedules.
-check: vet lint lint-self race obs-race obs-serve kernels-race chaos latency
+check: vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -88,3 +97,4 @@ bench-compare:
 	$(GO) run ./cmd/soralbench -compare results/BENCH_chaos.json results/BENCH_chaos.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_latency.json results/BENCH_latency.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_lint.json results/BENCH_lint.json
+	$(GO) run ./cmd/soralbench -compare results/BENCH_warmstart.json results/BENCH_warmstart.json

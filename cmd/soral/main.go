@@ -82,6 +82,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write an expvar-style metrics dump to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
+		warm       = flag.Bool("warm", false, "warm-start each slot's solve from the previous decision (incremental re-solve)")
 
 		journalOut = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
 		fsyncSpec  = flag.String("fsync", "commit", "journal durability policy: none|commit|every|N (fsync per N records)")
@@ -233,6 +234,7 @@ func main() {
 		Window:       cfg.Window,
 		PredictError: cfg.PredictError,
 		PredictSeed:  cfg.Seed + 101,
+		WarmStart:    *warm,
 	}
 
 	var run *eval.Run

@@ -16,7 +16,7 @@
 // parse error.
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2 vshape all,
-// plus four that are not part of all: lint (per-package sorallint wall time,
+// plus five that are not part of all: lint (per-package sorallint wall time,
 // for tracking the cost of the static-analysis gate alongside the solver
 // benchmarks; must run from inside the module source tree), kernels
 // (serial-vs-parallel timings of the structured linear-algebra kernels with a
@@ -25,7 +25,10 @@
 // writes, transient solver faults — each asserting the recovered run is
 // bit-identical to the uninterrupted one; written as BENCH_chaos.json), and
 // latency (per-phase p50/p99/p999 of the online pipeline from the
-// log-bucketed latency histograms, written as BENCH_latency.json).
+// log-bucketed latency histograms, written as BENCH_latency.json), and
+// warmstart (cold-vs-warm steady-state slot latency and solver-iteration
+// counts of the warm-started incremental re-solve layer, with run-to-run
+// determinism verdicts; written as BENCH_warmstart.json).
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
@@ -55,7 +58,7 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|latency|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|latency|warmstart|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -196,6 +199,12 @@ func main() {
 		latencyRep = rep
 		return tbl, err
 	}
+	var warmstartRep *eval.WarmstartReport
+	exps["warmstart"] = func() (*eval.Table, error) {
+		tbl, rep, err := eval.Warmstart(log)
+		warmstartRep = rep
+		return tbl, err
+	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
 
 	var selected []string
@@ -265,6 +274,12 @@ func main() {
 				// And latency: per-phase tail quantiles from the log-bucketed
 				// histograms the core spans feed.
 				if err := writeLatencyJSON(*jsonDir, latencyRep); err != nil {
+					fatal(err)
+				}
+			case "warmstart":
+				// And warmstart: per-entry steady-state quantiles, iteration
+				// means, and determinism verdicts for the warm-start layer.
+				if err := writeWarmstartJSON(*jsonDir, warmstartRep); err != nil {
 					fatal(err)
 				}
 			default:
@@ -508,6 +523,17 @@ func writeChaosJSON(dir string, rep *eval.ChaosReport) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_chaos.json"), append(raw, '\n'), 0o644)
+}
+
+func writeWarmstartJSON(dir string, rep *eval.WarmstartReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_warmstart.json"), append(raw, '\n'), 0o644)
 }
 
 func writeLatencyJSON(dir string, rep *eval.LatencyReport) error {

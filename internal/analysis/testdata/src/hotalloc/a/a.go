@@ -78,3 +78,37 @@ func Accepted() *header {
 	//sorallint:ignore hotalloc the documented one-header-per-call constant
 	return &header{n: 1}
 }
+
+// state mirrors the warm-start solve state: scratch buffers grown once to
+// the instance size, then reused every slot.
+type state struct {
+	scratch []float64
+}
+
+// WarmPoint is the warm-path steady-state idiom: the cap-guarded regrow is
+// cold (it runs only until the high-water mark), the reslice-and-fill body
+// is allocation-free. No findings.
+//
+//soral:hotpath
+func (st *state) WarmPoint(prev []float64) []float64 {
+	if cap(st.scratch) < len(prev) {
+		st.scratch = make([]float64, len(prev))
+	}
+	w := st.scratch[:len(prev)]
+	for i := range w {
+		w[i] = prev[i] * 1.01
+	}
+	return w
+}
+
+// WarmPointRegressed is the regression WarmPoint guards against: dropping
+// the cap guard turns the per-slot derivation into a per-call allocation.
+//
+//soral:hotpath
+func (st *state) WarmPointRegressed(prev []float64) []float64 {
+	w := make([]float64, len(prev)) // want `hotalloc: make allocates in a\.\(state\)\.WarmPointRegressed on the hot path`
+	for i := range w {
+		w[i] = prev[i] * 1.01
+	}
+	return w
+}

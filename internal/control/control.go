@@ -41,6 +41,14 @@ type Config struct {
 	// Health, when non-nil, is threaded into the core solves so /healthz
 	// reflects the online pipeline's degradation state.
 	Health *resilience.Health
+
+	// StairCache, when non-nil, reuses the staircase backend's structural
+	// work (partition, column ownership, factorization skeleton) across
+	// same-shaped window solves (see staircase.Cache). Checkout semantics
+	// keep LCP-M's concurrent prefix solves safe, and reuse is bit-identical
+	// to a fresh build. Nil rebuilds every window, the pre-warm-start
+	// behavior.
+	StairCache *staircase.Cache
 }
 
 func (c *Config) denseLimit() int {
@@ -92,7 +100,7 @@ func (c *Config) solveLayout(l *model.Layout) ([]*model.Decision, float64, error
 	if l.W <= c.denseLimit() {
 		sol, _, err = lp.SolveResilient(l.Prob, lpo)
 	} else {
-		sol, err = staircase.Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lpo)
+		sol, err = staircase.SolveCached(c.StairCache, l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lpo)
 		if err != nil || sol.Status != lp.Optimal {
 			sol, _, err = lp.SolveResilient(l.Prob, lpo)
 		}

@@ -333,6 +333,16 @@ func strictlyFeasible(g *lp.SparseMatrix, h, x []float64) bool {
 	return true
 }
 
+// ComfortablyFeasible reports whether x is strictly feasible for G·x ≤ h
+// with the same relative slack margin Solve demands of a caller-supplied
+// warm start. Callers constructing warm points (core's slot-to-slot carry,
+// DESIGN.md §13) use it to decide between handing the point to Solve and
+// falling back to a structured cold start — a point rejected here would be
+// silently replaced by a phase-I solve anyway.
+func ComfortablyFeasible(g *lp.SparseMatrix, h, x []float64) bool {
+	return comfortablyFeasible(g, h, x)
+}
+
 // comfortablyFeasible additionally demands a relative slack margin, so a
 // warm start sitting numerically on the boundary (slack ~ 1e-300) does not
 // blow up the barrier Hessian.

@@ -50,6 +50,21 @@ type Options struct {
 	// the whole solve, and carry-forward degradation remains the last
 	// resort. Nil supervises nothing.
 	Supervisor *resilience.Supervisor
+
+	// WarmStart enables the incremental re-solve layer (DESIGN.md §13):
+	// P2-skeleton reuse with numeric-only refresh, a warm interior point
+	// carried from the previous slot's committed decision (with safeguarded
+	// fallback to the cold start), and a digest-keyed decision cache. Off
+	// (the default) the pipeline is bit-identical to a build without the
+	// flag. Decisions stay a pure function of (previous decision, inputs,
+	// config) either way; only latency changes.
+	WarmStart bool
+
+	// State is the warm-start layer's per-run state. Online manages one
+	// automatically when WarmStart is on; set it only when driving
+	// SolveP2Resilient directly across slots yourself. Not safe for
+	// concurrent solves.
+	State *SolveState
 }
 
 // DefaultOptions uses the paper's ε = ε′ = 10⁻² and moderate solver
@@ -81,6 +96,11 @@ type Online struct {
 	// cloud) and accumulates the run's regret and competitive-ratio
 	// estimates; lazily created at the first commit that records anywhere.
 	tracker *attr.Tracker
+
+	// state is the warm-start layer's per-run state (nil unless
+	// Opts.WarmStart); Restore replaces it with a fresh one, which is the
+	// "discard deterministically" half of the resume contract.
+	state *SolveState
 }
 
 // NewOnline prepares a run over the given inputs starting from the all-zero
@@ -92,7 +112,14 @@ func NewOnline(n *model.Network, in *model.Inputs, opts Options) (*Online, error
 	if err := opts.Params.Validate(); err != nil {
 		return nil, err
 	}
-	return &Online{Net: n, In: in, Opts: opts, prev: model.NewZeroDecision(n)}, nil
+	o := &Online{Net: n, In: in, Opts: opts, prev: model.NewZeroDecision(n)}
+	if opts.WarmStart {
+		o.state = opts.State
+		if o.state == nil {
+			o.state = NewSolveState()
+		}
+	}
+	return o, nil
 }
 
 // Prev returns the decision of the previous slot (the algorithm's state).
@@ -116,6 +143,14 @@ func (o *Online) Restore(t int, prev *model.Decision) error {
 	}
 	o.t = t
 	o.prev = prev
+	// The warm-start state is an accelerator over run history, not part of
+	// the restartable state, and the journal does not checkpoint it. Discard
+	// it deterministically: the resumed run re-solves its first slots cold
+	// (and rebuilds the skeleton/cache as it goes), producing bit-identical
+	// decisions either way.
+	if o.state != nil {
+		o.state = NewSolveState()
+	}
 	return nil
 }
 
@@ -139,9 +174,29 @@ func (o *Online) Step() (*model.Decision, error) {
 	}
 	slotScope := o.Opts.Obs.Slot(o.t)
 	span := slotScope.StartSpan("core.slot")
+	var cacheKey string
+	if o.state != nil {
+		cacheKey = o.state.cacheKey(o.In, o.t, o.prev)
+		if dec, digest, ok := o.state.lookup(cacheKey); ok {
+			// Digest-keyed cache hit: an earlier slot already solved this
+			// exact (inputs, previous decision) pair, so the committed
+			// decision is bit-identical to what a fresh solve would return.
+			slotScope.Count(obs.MetricWarmCacheHits, 1)
+			slotScope.SetGauge(obs.MetricWarmCacheSize, float64(o.state.size()))
+			sr := SlotReport{Slot: o.t, Rung: RungCache, Warm: true}
+			sr.Duration = span.End()
+			o.report.Slots = append(o.report.Slots, sr)
+			o.recordCommit(dec, sr)
+			o.state.prevDigest = digest
+			o.prev = dec
+			o.t++
+			return dec, nil
+		}
+	}
 	itersBefore := slotScope.CounterValue(obs.MetricSolverIters)
 	stepOpts := o.Opts
 	stepOpts.Obs = slotScope
+	stepOpts.State = o.state
 	if stepOpts.Solver.Work == nil {
 		if o.work == nil {
 			o.work = convex.NewWorkspace()
@@ -196,10 +251,22 @@ func (o *Online) Step() (*model.Decision, error) {
 		sr.Rung = tactic
 		sr.Err = err
 	}
+	if o.state != nil {
+		sr.Warm = o.state.lastWarm
+		sr.SolveIters = o.state.lastSolveIters
+	}
 	sr.Duration = span.End()
 	sr.Iterations = int(slotScope.CounterValue(obs.MetricSolverIters) - itersBefore)
 	o.report.Slots = append(o.report.Slots, sr)
 	o.recordCommit(dec, sr)
+	if o.state != nil {
+		digest := journal.Digest(dec.X, dec.Y, dec.Z)
+		if sr.Status == SlotOK {
+			o.state.store(cacheKey, dec, digest)
+		}
+		o.state.prevDigest = digest
+		slotScope.SetGauge(obs.MetricWarmCacheSize, float64(o.state.size()))
+	}
 	o.prev = dec
 	o.t++
 	return dec, nil
@@ -231,6 +298,16 @@ func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 		return
 	}
 	decisionDigest := journal.Digest(dec.X, dec.Y, dec.Z)
+	ja := JournalAttr(sa)
+	if sr.Warm && sr.SolveIters > 0 {
+		// The per-slot cold-vs-warm iteration delta replay reconciles: the
+		// warm solve's own count and the run's most recent cold reference
+		// (absent when no cold solve preceded, e.g. right after a resume).
+		ja.WarmIters = sr.SolveIters
+		if o.state != nil {
+			ja.ColdRefIters = o.state.lastColdIters
+		}
+	}
 	o.Opts.Journal.Slot(journal.SlotRecord{
 		Slot:           sr.Slot,
 		InputsDigest:   journal.Digest(o.In.Workload[sr.Slot], o.In.PriceT2[sr.Slot]),
@@ -241,7 +318,8 @@ func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 		Rung:           sr.Rung,
 		DurNS:          sr.Duration.Nanoseconds(),
 		Iters:          sr.Iterations,
-		Attr:           JournalAttr(sa),
+		Warm:           sr.Warm,
+		Attr:           ja,
 	})
 	// Checkpoint the restartable state right behind the slot it commits, so
 	// a crashed run resumes from here instead of re-solving its prefix

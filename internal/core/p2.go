@@ -19,7 +19,32 @@ type P2 struct {
 	XOff, YOff, ZOff, SOff int
 
 	Prob *convex.Problem
+
+	// Structural-skeleton bookkeeping for the warm-start layer (DESIGN.md
+	// §13): where the λ_t- and prev-dependent numbers live inside the built
+	// problem, so Patch can refresh them in place when the next slot's
+	// constraint topology matches. Everything else — sparsity, group
+	// membership, coefficients, capacity rows — is slot-invariant.
+	groups []groupRef // source of Obj.Groups[k].Prev, aligned with Groups
+	idx3c  []int      // row index of (3c) per tier-1 cloud j
+	act3d  []bool     // whether cloud i's (3d) covering row was active
+	idx3d  []int      // row index per active (3d) row, ascending cloud order
+	act3e  []bool     // whether pair p's (3e) covering row was active
+	idx3e  []int      // row index per active (3e) row, ascending pair order
 }
+
+// groupRef names the model quantity an entropic group's Prev anchor is the
+// previous-decision sum of.
+type groupRef struct {
+	kind int8 // groupT2 | groupNet | groupT1
+	idx  int  // tier-2 cloud, pair, or tier-1 cloud index respectively
+}
+
+const (
+	groupT2 int8 = iota
+	groupNet
+	groupT1
+)
 
 // BuildP2 constructs P2(t) (equations 3a–3f) for the given slot from the
 // previous slot's decision. Besides the paper's covering constraints (3d)
@@ -79,6 +104,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 			Eps:     params.EpsT2,
 			Prev:    prevSum,
 		})
+		p2.groups = append(p2.groups, groupRef{kind: groupT2, idx: i})
 	}
 	for p := 0; p < np; p++ {
 		//sorallint:ignore floatcmp a zero reconfiguration price disables the penalty group; the skip is exact by contract
@@ -91,6 +117,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 			Eps:     params.EpsNet,
 			Prev:    prev.Y[p],
 		})
+		p2.groups = append(p2.groups, groupRef{kind: groupNet, idx: p})
 	}
 	if n.Tier1 {
 		for j := 0; j < n.NumTier1; j++ {
@@ -111,6 +138,7 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 				Eps:     params.epsT1(),
 				Prev:    prevSum,
 			})
+			p2.groups = append(p2.groups, groupRef{kind: groupT1, idx: j})
 		}
 	}
 
@@ -139,9 +167,11 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 		for _, p := range n.PairsOfJ(j) {
 			es = append(es, lp.Entry{Index: p2.SOff + p, Val: -1})
 		}
+		p2.idx3c = append(p2.idx3c, len(rows))
 		add(es, -lam[j])
 	}
 	// (3d): Σ_{k≠i} Σ_{p∈P(k)} x ≥ [Σ_j λ_j − C_i]⁺ for every tier-2 cloud i.
+	p2.act3d = make([]bool, n.NumTier2)
 	for i := 0; i < n.NumTier2; i++ {
 		need := totalLam - n.CapT2[i]
 		if need <= 0 {
@@ -159,9 +189,12 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 		if len(es) == 0 {
 			return nil, fmt.Errorf("core: slot %d infeasible — cloud %d cannot be covered by others", t, i)
 		}
+		p2.act3d[i] = true
+		p2.idx3d = append(p2.idx3d, len(rows))
 		add(es, -need)
 	}
 	// (3e): Σ_{k∈I_j, k≠i} y_kj ≥ [λ_j − B_ij]⁺ for every pair (i,j).
+	p2.act3e = make([]bool, np)
 	for p, pr := range n.Pairs {
 		need := lam[pr.J] - n.CapNet[p]
 		if need <= 0 {
@@ -177,6 +210,8 @@ func BuildP2(n *model.Network, in *model.Inputs, t int, prev *model.Decision, pa
 		if len(es) == 0 {
 			return nil, fmt.Errorf("core: slot %d infeasible — pair %d cannot be covered by alternatives", t, p)
 		}
+		p2.act3e[p] = true
+		p2.idx3e = append(p2.idx3e, len(rows))
 		add(es, -need)
 	}
 	// Capacity safeguards (inactive at the optimum per Lemma 1).
@@ -227,6 +262,86 @@ func (p2 *P2) Extract(v []float64) *model.Decision {
 		}
 	}
 	return d
+}
+
+// Patch refreshes a built P2 in place for a new slot, rewriting exactly the
+// numbers BuildP2 derives from (t, prev) — the operating-price entries of
+// the linear objective, the Prev anchors of the entropic groups, and the
+// right-hand sides of the demand rows (3c) and the conditional covering
+// rows (3d)/(3e) — while reusing every structural artifact (row sparsity,
+// group membership, capacity safeguards). It returns false when the new
+// slot's covering-row activity pattern differs from the built one or t is
+// out of range; the caller must then rebuild with BuildP2. A successful
+// Patch leaves the problem bit-identical to a fresh BuildP2 for the same
+// (n, in, t, prev, params), which is what keeps warm-started runs
+// deterministic and resumable (DESIGN.md §13).
+func (p2 *P2) Patch(in *model.Inputs, t int, prev *model.Decision, params Params) bool {
+	if t < 0 || t >= in.T || p2.act3d == nil {
+		return false
+	}
+	n := p2.Net
+	lam := in.Workload[t]
+	var totalLam float64
+	for _, l := range lam {
+		totalLam += l
+	}
+	// The activity pattern must repeat exactly — presence of a covering row
+	// changes the constraint set, not just its numbers.
+	for i := 0; i < n.NumTier2; i++ {
+		if (totalLam-n.CapT2[i] > 0) != p2.act3d[i] {
+			return false
+		}
+	}
+	for p, pr := range n.Pairs {
+		if (lam[pr.J]-n.CapNet[p] > 0) != p2.act3e[p] {
+			return false
+		}
+	}
+
+	obj := p2.Prob.Obj.(*convex.Entropic)
+	for p, pr := range n.Pairs {
+		obj.Linear[p2.XOff+p] = in.PriceT2[t][pr.I]
+		if n.Tier1 {
+			obj.Linear[p2.ZOff+p] = in.PriceT1[t][pr.J]
+		}
+	}
+	for k, ref := range p2.groups {
+		switch ref.kind {
+		case groupT2:
+			prevSum := 0.0
+			for _, p := range n.PairsOfI(ref.idx) {
+				prevSum += prev.X[p]
+			}
+			obj.Groups[k].Prev = prevSum
+		case groupNet:
+			obj.Groups[k].Prev = prev.Y[ref.idx]
+		case groupT1:
+			prevSum := 0.0
+			for _, p := range n.PairsOfJ(ref.idx) {
+				prevSum += prev.Z[p]
+			}
+			obj.Groups[k].Prev = prevSum
+		}
+	}
+	h := p2.Prob.H
+	for j, r := range p2.idx3c {
+		h[r] = -lam[j]
+	}
+	k := 0
+	for i := 0; i < n.NumTier2; i++ {
+		if p2.act3d[i] {
+			h[p2.idx3d[k]] = -(totalLam - n.CapT2[i])
+			k++
+		}
+	}
+	k = 0
+	for p, pr := range n.Pairs {
+		if p2.act3e[p] {
+			h[p2.idx3e[k]] = -(lam[pr.J] - n.CapNet[p])
+			k++
+		}
+	}
+	return true
 }
 
 // warmStart builds a strictly feasible interior point for P2 from the

@@ -56,6 +56,16 @@ type SlotReport struct {
 	// consumed, a delta of the obs.MetricSolverIters counter; zero when no
 	// obs scope was attached.
 	Iterations int
+	// Warm marks a slot committed by the warm-start layer: the carried
+	// previous-decision point was accepted by the primary rung, or the
+	// decision cache short-circuited the solve (Rung == RungCache). Always
+	// false when Options.WarmStart is off.
+	Warm bool
+	// SolveIters counts the Newton iterations of the attempt that produced
+	// the committed decision, tracked by the SolveState independently of any
+	// obs scope. Zero when Options.WarmStart is off, on cache hits (no solve
+	// ran), and on degraded slots.
+	SolveIters int
 }
 
 // Report is the per-run resilience record of an online run: one entry per

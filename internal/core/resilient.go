@@ -6,6 +6,7 @@ import (
 	"soral/internal/convex"
 	"soral/internal/lp"
 	"soral/internal/model"
+	"soral/internal/obs"
 	"soral/internal/resilience"
 )
 
@@ -47,6 +48,11 @@ const (
 	DegradeSpread  = "spread"
 )
 
+// RungCache marks a slot short-circuited by the warm-start decision cache:
+// no solve ran, the committed decision is the cached (bit-identical) result
+// of an earlier slot with the same inputs and previous decision.
+const RungCache = "cache"
+
 // feasTol is the absolute slot-feasibility tolerance a ladder rung's
 // decision must meet to be accepted.
 const feasTol = 1e-4
@@ -54,7 +60,11 @@ const feasTol = 1e-4
 // SolveP2Resilient solves the regularized subproblem for one slot through a
 // fallback ladder:
 //
-//  1. warm — the barrier solve from the structured warm start;
+//  1. warm — the barrier solve from the structured warm start; with a
+//     SolveState attached (Options.WarmStart), this rung first tries the
+//     carried previous-decision point at a late-path barrier weight and
+//     falls back to the structured start inside the same rung on any
+//     failure, so the ladder below never sees a warm-start artifact;
 //  2. restart-center — discard the warm start and restart the barrier from
 //     the phase-I strictly feasible point (the fresh centering path pulls
 //     through the analytic center, stepping around whatever corner of the
@@ -67,16 +77,42 @@ const feasTol = 1e-4
 // errors are returned directly with a nil report: a malformed instance must
 // not be retried.
 func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Decision, opts Options) (*model.Decision, *resilience.LadderReport, error) {
+	st := opts.State
+	if st != nil {
+		st.lastWarm, st.lastSolveIters = false, 0
+	}
 	asm := opts.Obs.StartSpan("core.assemble")
-	p2, err := BuildP2(n, in, t, prev, opts.Params)
-	if err != nil {
-		asm.End()
-		return nil, nil, err
+	var p2 *P2
+	if st != nil && st.p2 != nil && st.p2.Patch(in, t, prev, opts.Params) {
+		// Same constraint topology as the cached skeleton: numerics were
+		// refreshed in place, bit-identical to a fresh build.
+		p2 = st.p2
+		opts.Obs.Count(obs.MetricWarmSkeletonHits, 1)
+	} else {
+		var err error
+		p2, err = BuildP2(n, in, t, prev, opts.Params)
+		if err != nil {
+			asm.End()
+			return nil, nil, err
+		}
+		if st != nil {
+			st.p2 = p2
+		}
 	}
 	x0 := p2.warmStart(in, t)
+	var warmX0 []float64
+	if st != nil && t > 0 {
+		// Slot 0 has only the all-zero decision to carry — the structured
+		// start is strictly better there, so the carry engages from slot 1
+		// (and from the first slot after a Restore, whose prev is real).
+		warmX0 = st.warmPoint(p2, in, t, prev)
+		if warmX0 == nil {
+			opts.Obs.Count(obs.MetricWarmMisses, 1)
+		}
+	}
 	asm.End()
 
-	attempt := func(solverOpts convex.Options, start []float64) (*model.Decision, error) {
+	attempt := func(solverOpts convex.Options, start []float64) (*model.Decision, int, error) {
 		if solverOpts.Obs == nil {
 			solverOpts.Obs = opts.Obs
 		}
@@ -86,10 +122,10 @@ func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Dec
 			res, serr = convex.Solve(p2.Prob, start, solverOpts)
 		})
 		if serr != nil {
-			return nil, serr
+			return nil, 0, serr
 		}
 		if !res.Converged {
-			return nil, &resilience.SolveError{
+			return nil, 0, &resilience.SolveError{
 				Stage: "convex.barrier", Class: resilience.ClassIterationLimit,
 				Iters: res.NewtonIters,
 				Err:   fmt.Errorf("barrier stopped before reaching tol %g", solverOpts.Tol),
@@ -97,25 +133,71 @@ func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Dec
 		}
 		dec := p2.Extract(res.X)
 		if ok, v := dec.FeasibleAt(n, in.Workload[t], feasTol); !ok {
-			return nil, &resilience.SolveError{
+			return nil, 0, &resilience.SolveError{
 				Stage: "core.p2", Class: resilience.ClassInfeasible,
 				Iters: res.NewtonIters,
 				Err:   fmt.Errorf("extracted decision violates slot %d constraints by %g", t, v),
 			}
 		}
-		return dec, nil
+		return dec, res.NewtonIters, nil
+	}
+	// record notes the committing attempt's iteration count in the solve
+	// state (nil-safe): the journal's warm-vs-cold delta and the decision
+	// cache's bookkeeping both read it after the ladder returns.
+	record := func(iters int, warm bool) {
+		if st == nil {
+			return
+		}
+		st.lastWarm = warm
+		st.lastSolveIters = iters
+		if !warm {
+			st.lastColdIters = iters
+		}
 	}
 
 	rungs := []resilience.Rung[*model.Decision]{
 		{Name: RungWarm, Run: func() (*model.Decision, error) {
-			return attempt(opts.Solver, x0)
+			if warmX0 != nil {
+				wopts := warmOptions(len(p2.Prob.H), opts.Solver)
+				dec, iters, werr := attempt(wopts, warmX0)
+				if werr == nil {
+					// Fixed-point snap: a solve that landed within solver
+					// jitter of the previous decision commits it bitwise, so
+					// stationary stretches produce repeating digests the
+					// decision cache can short-circuit.
+					if snapToPrev(dec, prev) {
+						if ok, _ := prev.FeasibleAt(n, in.Workload[t], feasTol); ok {
+							dec = prev.Clone()
+						}
+					}
+					record(iters, true)
+					opts.Obs.Count(obs.MetricWarmHits, 1)
+					return dec, nil
+				}
+				if resilience.IsCanceled(werr) {
+					return nil, werr
+				}
+				// Safeguarded fallback: the carried point stalled — retry
+				// the structured cold start inside the same rung, so the
+				// ladder above is untouched by warm-start failures.
+				opts.Obs.Count(obs.MetricWarmFallbacks, 1)
+			}
+			dec, iters, err := attempt(opts.Solver, x0)
+			if err == nil {
+				record(iters, false)
+			}
+			return dec, err
 		}},
 	}
 	if !opts.Resilience.DisableLadder {
 		if x0 != nil {
 			rungs = append(rungs, resilience.Rung[*model.Decision]{
 				Name: RungRestartCenter, Run: func() (*model.Decision, error) {
-					return attempt(opts.Solver, nil)
+					dec, iters, err := attempt(opts.Solver, nil)
+					if err == nil {
+						record(iters, false)
+					}
+					return dec, err
 				}})
 		}
 		loose := opts.Solver
@@ -130,7 +212,11 @@ func SolveP2Resilient(n *model.Network, in *model.Inputs, t int, prev *model.Dec
 		}
 		rungs = append(rungs, resilience.Rung[*model.Decision]{
 			Name: RungLooseTol, Run: func() (*model.Decision, error) {
-				return attempt(loose, nil)
+				dec, iters, err := attempt(loose, nil)
+				if err == nil {
+					record(iters, false)
+				}
+				return dec, err
 			}})
 	}
 	return resilience.ClimbObs(fmt.Sprintf("core.p2[t=%d]", t), opts.Obs, rungs)

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math"
+
+	"soral/internal/convex"
+	"soral/internal/model"
+	"soral/internal/obs/journal"
+)
+
+// decisionCacheCap bounds the digest-keyed decision cache. Eviction is FIFO
+// in insertion order, so the cache contents — and therefore the run's
+// latency profile, though never its decisions — are deterministic.
+const decisionCacheCap = 64
+
+// SolveState is the per-run incremental re-solve state of the warm-start
+// layer (DESIGN.md §13). It carries three kinds of reuse across slots:
+//
+//   - the structural skeleton of P2 (rows, sparsity, group membership),
+//     refreshed numerically via P2.Patch instead of rebuilt;
+//   - a warm interior point derived from the previously committed decision,
+//     handed to the barrier solve in place of the structured cold start;
+//   - a digest-keyed decision cache short-circuiting slots whose
+//     (inputs, previous decision) pair already committed — the key reuses
+//     the journal's SHA-256 digests, so a hit is bit-identical to re-solving.
+//
+// Everything in it is an accelerator, never an input: the committed decision
+// of every slot remains a pure function of (previous decision, slot inputs,
+// config), which is why Online.Restore can simply discard the state and a
+// resumed run still reproduces an uninterrupted one bit-for-bit.
+//
+// A SolveState must not be shared by concurrent solves.
+type SolveState struct {
+	p2 *P2 // cached subproblem skeleton (nil until the first build)
+
+	x0 []float64 // warm-point buffer, reused across slots
+
+	// Capacity-headroom scratch for warmPoint's shift-and-repair passes,
+	// reused across slots so the warm path stays allocation-free.
+	headX, headY, headZ []float64
+
+	// prevDigest is the decision digest of the previously committed slot
+	// ("" until the first commit; computed lazily from prev on first use).
+	prevDigest string
+
+	cache map[string]cacheEntry
+	order []string // insertion order, for deterministic FIFO eviction
+
+	// lastColdIters is the Newton-iteration count of the run's most recent
+	// cold (structured-start) solve: the per-slot reference the journal's
+	// warm-vs-cold iteration delta is measured against.
+	lastColdIters int
+
+	// Per-slot scratch, reset at the top of every SolveP2Resilient call:
+	// whether the committing attempt started from the carried warm point,
+	// and how many Newton iterations it took.
+	lastWarm       bool
+	lastSolveIters int
+}
+
+type cacheEntry struct {
+	dec    *model.Decision
+	digest string
+}
+
+// NewSolveState returns an empty warm-start state. Online creates one per
+// run when Options.WarmStart is on; create one directly only when driving
+// SolveP2Resilient yourself.
+func NewSolveState() *SolveState {
+	return &SolveState{cache: make(map[string]cacheEntry, decisionCacheCap)}
+}
+
+// cacheKey derives the decision-cache key for slot t: the journal input
+// digest (workload row, operating-price row) joined with the previous
+// decision's digest. Keying on both is what makes a hit bit-identical to a
+// re-solve — P2(t) depends on exactly that pair.
+func (st *SolveState) cacheKey(in *model.Inputs, t int, prev *model.Decision) string {
+	if st.prevDigest == "" {
+		st.prevDigest = journal.Digest(prev.X, prev.Y, prev.Z)
+	}
+	return journal.Digest(in.Workload[t], in.PriceT2[t]) + "|" + st.prevDigest
+}
+
+// lookup returns the cached decision for key, if any. The returned decision
+// is shared (it was committed once already) and must be treated as
+// immutable — committed decisions never are mutated.
+func (st *SolveState) lookup(key string) (*model.Decision, string, bool) {
+	e, ok := st.cache[key]
+	return e.dec, e.digest, ok
+}
+
+// store caches a cleanly committed decision under key, evicting the oldest
+// entry once the cache is full.
+func (st *SolveState) store(key string, dec *model.Decision, digest string) {
+	if _, ok := st.cache[key]; ok {
+		return
+	}
+	if len(st.order) >= decisionCacheCap {
+		delete(st.cache, st.order[0])
+		st.order = st.order[1:]
+	}
+	st.cache[key] = cacheEntry{dec: dec, digest: digest}
+	st.order = append(st.order, key)
+}
+
+// size returns the decision cache's population (the warmstart.cache_size
+// gauge).
+func (st *SolveState) size() int { return len(st.cache) }
+
+// warmCapMargin is the relative interior margin the warm point keeps from
+// every capacity. The previous optimum routinely sits ON a capacity boundary
+// (the cheapest tier-2 cloud saturates), and a boundary point cannot seed a
+// barrier solve — so saturated resources are shifted this fraction inside.
+const warmCapMargin = 1e-6
+
+// warmPoint derives a strictly feasible interior point for P2(t) from the
+// previously committed decision: the previous routing shape, rescaled per
+// tier-1 cloud to cover the realized demand λ_t with the same safety margins
+// the structured cold start uses, then shifted off any saturated capacity
+// and repaired back to demand coverage out of the remaining headroom.
+// Returns nil — a warm miss, meaning cold start, never failure — when the
+// repair runs out of headroom or the point still lands outside the
+// comfortable interior, or when P2 carries no entropic groups (then the
+// subproblem is independent of prev and there is nothing worth carrying).
+// A pure function of (p2, in, t, prev): no solve history leaks into it, so
+// warm decisions survive the resume contract of DESIGN.md §10.
+//
+//soral:hotpath
+func (st *SolveState) warmPoint(p2 *P2, in *model.Inputs, t int, prev *model.Decision) []float64 {
+	if len(p2.groups) == 0 {
+		return nil
+	}
+	n := p2.Net
+	if cap(st.x0) < p2.NumVars {
+		st.x0 = make([]float64, p2.NumVars)
+	}
+	v := st.x0[:p2.NumVars]
+	for i := range v {
+		v[i] = 0
+	}
+	lam := in.Workload[t]
+	for j := 0; j < n.NumTier1; j++ {
+		pairs := n.PairsOfJ(j)
+		if len(pairs) == 0 {
+			continue // no SLA pairs to route this cloud's demand over
+		}
+		share := lam[j] / float64(len(pairs))
+		// Strictly positive per-pair mass proportional to the previous
+		// slot's effective service level, then rescaled so the cloud's total
+		// matches the structured start's demand margin exactly.
+		var sum float64
+		for _, p := range pairs {
+			m := math.Min(prev.X[p], prev.Y[p])
+			if n.Tier1 {
+				m = math.Min(m, prev.Z[p])
+			}
+			if m < 0 {
+				m = 0
+			}
+			v[p2.SOff+p] = m + 1e-6 + 1e-6*share
+			sum += v[p2.SOff+p]
+		}
+		target := lam[j] + float64(len(pairs))*1e-6 + 1e-6*lam[j]
+		if !(sum > 0) || !(target > 0) {
+			return nil
+		}
+		scale := target / sum
+		for _, p := range pairs {
+			s := v[p2.SOff+p] * scale
+			v[p2.SOff+p] = s
+			hi := s * 1.01
+			v[p2.XOff+p] = math.Max(prev.X[p], hi)
+			v[p2.YOff+p] = math.Max(prev.Y[p], hi)
+			if n.Tier1 {
+				v[p2.ZOff+p] = math.Max(prev.Z[p], hi)
+			}
+		}
+	}
+
+	// Shift off saturated capacities: shrink every over-the-margin resource
+	// to warmCapMargin inside its cap, pulling s below x/1.01 where needed,
+	// and track each resource's remaining headroom for the repair pass.
+	if cap(st.headX) < n.NumTier2 {
+		st.headX = make([]float64, n.NumTier2)
+	}
+	headX := st.headX[:n.NumTier2]
+	for i := 0; i < n.NumTier2; i++ {
+		pairs := n.PairsOfI(i)
+		var sum float64
+		for _, p := range pairs {
+			sum += v[p2.XOff+p]
+		}
+		lim := n.CapT2[i] * (1 - warmCapMargin)
+		if sum > lim {
+			sig := lim / sum
+			for _, p := range pairs {
+				x := v[p2.XOff+p] * sig
+				v[p2.XOff+p] = x
+				if s := x / 1.01; v[p2.SOff+p] > s {
+					v[p2.SOff+p] = s
+				}
+			}
+			sum = lim
+		}
+		headX[i] = lim - sum
+	}
+	if cap(st.headY) < n.NumPairs() {
+		st.headY = make([]float64, n.NumPairs())
+	}
+	headY := st.headY[:n.NumPairs()]
+	for p := 0; p < n.NumPairs(); p++ {
+		lim := n.CapNet[p] * (1 - warmCapMargin)
+		if v[p2.YOff+p] > lim {
+			v[p2.YOff+p] = lim
+			if s := lim / 1.01; v[p2.SOff+p] > s {
+				v[p2.SOff+p] = s
+			}
+		}
+		headY[p] = lim - v[p2.YOff+p]
+	}
+	var headZ []float64
+	if n.Tier1 {
+		if cap(st.headZ) < n.NumTier1 {
+			st.headZ = make([]float64, n.NumTier1)
+		}
+		headZ = st.headZ[:n.NumTier1]
+		for j := 0; j < n.NumTier1; j++ {
+			pairs := n.PairsOfJ(j)
+			var sum float64
+			for _, p := range pairs {
+				sum += v[p2.ZOff+p]
+			}
+			lim := n.CapT1[j] * (1 - warmCapMargin)
+			if sum > lim {
+				sig := lim / sum
+				for _, p := range pairs {
+					z := v[p2.ZOff+p] * sig
+					v[p2.ZOff+p] = z
+					if s := z / 1.01; v[p2.SOff+p] > s {
+						v[p2.SOff+p] = s
+					}
+				}
+				sum = lim
+			}
+			headZ[j] = lim - sum
+		}
+	}
+
+	// Repair demand coverage: the shrink may have opened a deficit on (3c).
+	// Raise s — and x/y/z with it — on pairs that still have capacity
+	// headroom, consuming the trackers deterministically in pair order. A
+	// deficit the headroom cannot absorb is a warm miss.
+	for j := 0; j < n.NumTier1; j++ {
+		pairs := n.PairsOfJ(j)
+		if len(pairs) == 0 {
+			continue
+		}
+		target := lam[j] + float64(len(pairs))*1e-6 + 1e-6*lam[j]
+		var sum float64
+		for _, p := range pairs {
+			sum += v[p2.SOff+p]
+		}
+		deficit := target - sum
+		if deficit <= 0 {
+			continue
+		}
+		for _, p := range pairs {
+			i := n.Pairs[p].I
+			s := v[p2.SOff+p]
+			give := (v[p2.XOff+p] + headX[i]) / 1.01
+			if g := (v[p2.YOff+p] + headY[p]) / 1.01; g < give {
+				give = g
+			}
+			if n.Tier1 {
+				if g := (v[p2.ZOff+p] + headZ[j]) / 1.01; g < give {
+					give = g
+				}
+			}
+			give -= s // largest admissible s-raise on this pair
+			if give <= 0 {
+				continue
+			}
+			if give > deficit {
+				give = deficit
+			}
+			s += give
+			v[p2.SOff+p] = s
+			hi := s * 1.01
+			if v[p2.XOff+p] < hi {
+				headX[i] -= hi - v[p2.XOff+p]
+				v[p2.XOff+p] = hi
+			}
+			if v[p2.YOff+p] < hi {
+				headY[p] -= hi - v[p2.YOff+p]
+				v[p2.YOff+p] = hi
+			}
+			if n.Tier1 && v[p2.ZOff+p] < hi {
+				headZ[j] -= hi - v[p2.ZOff+p]
+				v[p2.ZOff+p] = hi
+			}
+			deficit -= give
+			if deficit <= 0 {
+				break
+			}
+		}
+		if deficit > 0 {
+			return nil
+		}
+	}
+
+	// The solver's own strict-interior margin over every row is the
+	// authoritative gate; failing it means cold start, not failure.
+	if !convex.ComfortablyFeasible(p2.Prob.G, p2.Prob.H, v) {
+		return nil
+	}
+	return v
+}
+
+// warmSnapEps is the relative componentwise tolerance of the fixed-point
+// snap: a warm solve landing this close to the previous decision commits the
+// previous decision bitwise. Stationary instances converge to a fixed point
+// up to solver jitter (~1e-14 at unit scale, measured) but never bit-exactly,
+// so without the snap the digest-keyed decision cache could never see a
+// repeated (inputs, previous-decision) pair. 1e-9 sits far above the jitter
+// and far below any economically meaningful reallocation.
+const warmSnapEps = 1e-9
+
+// snapToPrev reports whether dec is within solver jitter of prev on every
+// coordinate. A pure function of the two decisions, so snapped runs replay
+// and resume deterministically.
+func snapToPrev(dec, prev *model.Decision) bool {
+	for p := range dec.X {
+		if math.Abs(dec.X[p]-prev.X[p]) > warmSnapEps*(1+math.Abs(prev.X[p])) {
+			return false
+		}
+		if math.Abs(dec.Y[p]-prev.Y[p]) > warmSnapEps*(1+math.Abs(prev.Y[p])) {
+			return false
+		}
+	}
+	for p := range dec.Z {
+		if math.Abs(dec.Z[p]-prev.Z[p]) > warmSnapEps*(1+math.Abs(prev.Z[p])) {
+			return false
+		}
+	}
+	return true
+}
+
+// warmGap is the absolute duality-gap target for warm-carried solves. The
+// cold path's 1e-7 gap forces the barrier out to weights where centering a
+// point that drifted with the workload is pathologically stiff (the Newton
+// budget saturates); the carried point is already within the demand drift of
+// the new optimum, so a 1e-5 gap — still two orders below the certification
+// tolerance — keeps the whole solve inside two cheap centerings. Warm
+// decisions therefore agree with cold to the certification tolerance rather
+// than to ulps, which is why WarmStart lives in the replay/resume config.
+const warmGap = 1e-5
+
+// warmOptions derives the warm-rung solver options: the warm duality gap
+// (never tighter than the configured tolerance) and the matching late-path
+// initial barrier weight. A pure function of the base options and the
+// constraint count, never of solve history, so warm runs replay and resume
+// deterministically.
+func warmOptions(m int, solver convex.Options) convex.Options {
+	w := solver
+	if w.Tol <= 0 {
+		w.Tol = 1e-7
+	}
+	if w.Tol < warmGap {
+		w.Tol = warmGap
+	}
+	mu := w.Mu
+	if mu <= 1 {
+		mu = 20
+	}
+	// Start a couple of growth stages from the termination weight m/Tol
+	// instead of walking the whole central path up from TInit=1.
+	w.TInit = 1.1 * float64(m) / (w.Tol * mu)
+	return w
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"soral/internal/model"
+	"soral/internal/obs/journal"
+)
+
+// TestWarmColdCostAgreementProperty is the warm-start quality contract: over
+// randomized instances, the warm-started run's per-slot costs agree with the
+// cold run's to the certification tolerance, and every warm decision is
+// feasible. Warm decisions are allowed to differ from cold beyond ulps (the
+// warm rung solves to warmGap, not the cold tolerance), so the comparison is
+// on cost, not coordinates — within-group splits are not unique.
+func TestWarmColdCostAgreementProperty(t *testing.T) {
+	const (
+		instances = 13
+		T         = 5 // 4 consecutive-slot pairs each → 52 pairs total
+		relTol    = 1e-4
+	)
+	pairs := 0
+	for trial := 0; trial < instances; trial++ {
+		rng := rand.New(rand.NewSource(900 + int64(trial)))
+		n := model.RandomNetwork(rng, 3, 4, 2, 5)
+		in := model.RandomInputs(rng, n, T)
+
+		coldOpts := DefaultOptions()
+		coldSeq, coldRep, err := RunOnlineReport(n, in, coldOpts)
+		if err != nil {
+			t.Fatalf("trial %d: cold run: %v", trial, err)
+		}
+		warmOpts := DefaultOptions()
+		warmOpts.WarmStart = true
+		warmSeq, warmRep, err := RunOnlineReport(n, in, warmOpts)
+		if err != nil {
+			t.Fatalf("trial %d: warm run: %v", trial, err)
+		}
+		if !coldRep.Clean() || !warmRep.Clean() {
+			t.Fatalf("trial %d: unclean run (cold %v, warm %v)", trial, coldRep.Clean(), warmRep.Clean())
+		}
+
+		acct := &model.Accountant{Net: n, In: in}
+		coldCum := acct.SequenceCost(coldSeq, nil).Total()
+		warmCum := acct.SequenceCost(warmSeq, nil).Total()
+		if d := math.Abs(warmCum - coldCum); d > relTol*(1+math.Abs(coldCum)) {
+			t.Errorf("trial %d: cumulative cost diverged: warm %v vs cold %v (Δ %v)",
+				trial, warmCum, coldCum, d)
+		}
+		prevC, prevW := model.NewZeroDecision(n), model.NewZeroDecision(n)
+		for tt := 0; tt < T; tt++ {
+			cc := acct.SlotCost(tt, prevC, coldSeq[tt]).Total()
+			wc := acct.SlotCost(tt, prevW, warmSeq[tt]).Total()
+			if d := math.Abs(wc - cc); d > relTol*(1+math.Abs(cc)) {
+				t.Errorf("trial %d slot %d: warm cost %v vs cold %v (Δ %v)", trial, tt, wc, cc, d)
+			}
+			if ok, v := warmSeq[tt].FeasibleAt(n, in.Workload[tt], 1e-4); !ok {
+				t.Errorf("trial %d slot %d: warm decision infeasible by %v", trial, tt, v)
+			}
+			prevC, prevW = coldSeq[tt], warmSeq[tt]
+			if tt > 0 {
+				pairs++
+			}
+		}
+	}
+	if pairs < 50 {
+		t.Fatalf("property exercised only %d consecutive-slot pairs, want ≥ 50", pairs)
+	}
+}
+
+// TestWarmStartRunsDeterministic pins both halves of the determinism
+// contract at the core level: with WarmStart off, two runs commit
+// bit-identical decisions (the off path is untouched by the layer), and with
+// WarmStart on, two runs also agree bit-for-bit with each other (warm
+// acceleration is deterministic, even though it may differ from cold).
+func TestWarmStartRunsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(901))
+	n := model.RandomNetwork(rng, 3, 4, 2, 8)
+	in := model.RandomInputs(rng, n, 6)
+	for _, warm := range []bool{false, true} {
+		var ref []string
+		for rep := 0; rep < 2; rep++ {
+			opts := DefaultOptions()
+			opts.WarmStart = warm
+			seq, _, err := RunOnlineReport(n, in, opts)
+			if err != nil {
+				t.Fatalf("warm=%v rep %d: %v", warm, rep, err)
+			}
+			digests := make([]string, len(seq))
+			for tt, d := range seq {
+				digests[tt] = journal.Digest(d.X, d.Y, d.Z)
+			}
+			if rep == 0 {
+				ref = digests
+				continue
+			}
+			for tt := range digests {
+				if digests[tt] != ref[tt] {
+					t.Fatalf("warm=%v: slot %d digest differs across identical runs", warm, tt)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmReportMarksWarmSlots checks the per-slot bookkeeping the journal,
+// /runs records, and the warmstart benchmark all consume: slot 0 is always
+// cold (only the all-zero decision to carry), later clean slots of a
+// warm-started run commit warm with their solve iteration counts recorded.
+func TestWarmReportMarksWarmSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(902))
+	n := model.RandomNetwork(rng, 3, 4, 2, 8)
+	in := model.RandomInputs(rng, n, 5)
+	opts := DefaultOptions()
+	opts.WarmStart = true
+	_, rep, err := RunOnlineReport(n, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slots[0].Warm {
+		t.Errorf("slot 0 reported warm; it has no previous decision to carry")
+	}
+	warmSlots := 0
+	for _, sr := range rep.Slots[1:] {
+		if sr.Warm {
+			warmSlots++
+			if sr.SolveIters <= 0 {
+				t.Errorf("slot %d warm but SolveIters = %d", sr.Slot, sr.SolveIters)
+			}
+		}
+	}
+	if warmSlots == 0 {
+		t.Fatalf("no slot of a warm-started run committed warm: %+v", rep.Slots)
+	}
+}
+
+// TestWarmPointZeroAlloc pins the steady-state allocation contract of the
+// warm path: once the SolveState buffers have grown to the instance size,
+// deriving the carried interior point allocates nothing.
+func TestWarmPointZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(903))
+	n := model.RandomNetwork(rng, 3, 4, 2, 8)
+	in := model.RandomInputs(rng, n, 3)
+	opts := DefaultOptions()
+	prev, _, err := SolveP2Resilient(n, in, 0, model.NewZeroDecision(n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildP2(n, in, 1, prev, opts.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewSolveState()
+	if st.warmPoint(p2, in, 1, prev) == nil {
+		t.Fatal("no warm point for a clean previous decision")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if st.warmPoint(p2, in, 1, prev) == nil {
+			t.Fatal("warm point disappeared on reuse")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state warmPoint allocated %.0f times per call, want 0", allocs)
+	}
+}
+
+// TestWarmSnapToPrev pins the fixed-point snap threshold: solver jitter
+// snaps, economically meaningful movement does not.
+func TestWarmSnapToPrev(t *testing.T) {
+	prev := &model.Decision{X: []float64{10, 0.5}, Y: []float64{10, 0.5}}
+	jitter := &model.Decision{X: []float64{10 + 1e-12, 0.5}, Y: []float64{10, 0.5 - 1e-12}}
+	moved := &model.Decision{X: []float64{10.001, 0.5}, Y: []float64{10, 0.5}}
+	if !snapToPrev(prev, prev) {
+		t.Error("identical decision did not snap")
+	}
+	if !snapToPrev(jitter, prev) {
+		t.Error("jitter-level difference did not snap")
+	}
+	if snapToPrev(moved, prev) {
+		t.Error("real movement snapped to the previous decision")
+	}
+}
+
+// TestWarmDecisionCacheHitsOnStationaryPair drives SolveState's cache
+// through Online on a stationary two-tier instance. Under reconfiguration
+// smoothing the decision approaches the stationary optimum geometrically
+// (that is the algorithm working as designed), so the horizon is long enough
+// for the trajectory to land within the fixed-point snap; from there the
+// digest-keyed cache short-circuits every remaining slot bit-identically.
+func TestWarmDecisionCacheHitsOnStationaryPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(904))
+	n := model.RandomNetwork(rng, 3, 4, 2, 8)
+	in := model.RandomInputs(rng, n, 60)
+	for tt := 1; tt < in.T; tt++ {
+		copy(in.Workload[tt], in.Workload[0])
+		copy(in.PriceT2[tt], in.PriceT2[0])
+	}
+	opts := DefaultOptions()
+	opts.WarmStart = true
+	seq, rep, err := RunOnlineReport(n, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheSlots := 0
+	for _, sr := range rep.Slots {
+		if sr.Rung == RungCache {
+			cacheSlots++
+		}
+	}
+	if cacheSlots == 0 {
+		t.Fatalf("stationary instance produced no cache hits: %+v", rep.Slots)
+	}
+	last := journal.Digest(seq[in.T-1].X, seq[in.T-1].Y, seq[in.T-1].Z)
+	prev := journal.Digest(seq[in.T-2].X, seq[in.T-2].Y, seq[in.T-2].Z)
+	if last != prev {
+		t.Errorf("cached stationary decisions not bit-identical across slots")
+	}
+}

@@ -383,6 +383,41 @@ func ChaosCtx(ctx context.Context, log Logger) (*Table, *ChaosReport, error) {
 		}},
 	)
 
+	// Warm-start crash schedule: with the warm-start layer on, the SolveState
+	// (P2 skeleton, carried iterate, decision cache) lives only in memory — a
+	// kill that lands between SolveState reuse and commit must resume from
+	// the journal alone, re-solve the lost slot with a fresh SolveState, and
+	// still land digest-for-digest on the uninterrupted warm run.
+	warmCfg := chaosSpec()
+	warmCfg.WarmStart = true
+	warmCfg = warmCfg.canonical()
+	log.printf("chaos: recording %d-slot warm reference run...", warmCfg.Spec.T)
+	warmRef, err := chaosRecord(ctx, warmCfg, filepath.Join(dir, "warm-ref.jsonl"))
+	if err != nil {
+		return nil, nil, err
+	}
+	warmDigests, err := chaosDigests(warmRef)
+	if err != nil {
+		return nil, nil, err
+	}
+	cw := &chaosRun{dir: dir, cfg: warmCfg, ref: warmRef, digests: warmDigests}
+	warmLines := bytes.SplitAfter(warmRef, []byte("\n"))
+	if n := len(warmLines) - 1; n != 2+2*warmCfg.Spec.T {
+		return nil, nil, fmt.Errorf("eval: chaos warm reference journal has %d lines, want %d", n, 2+2*warmCfg.Spec.T)
+	}
+	wk := pick(1, warmCfg.Spec.T-2)
+	// Truncating after slot wk's slot record but before its state checkpoint
+	// forces the resume to catch that slot up: the reference run solved it
+	// with a live SolveState, the catch-up re-solves it with a cold one, and
+	// the digest verification inside ResumeWith proves they agree.
+	warmName := fmt.Sprintf("warm/kill-before-commit-%d", wk)
+	warmImage := bytes.Join(warmLines[:stateLine(wk)], nil)
+	schedules = append(schedules, schedule{warmName, "kill", func() (ChaosResult, error) {
+		r, err := cw.crashResume(ctx, warmName, warmImage)
+		r.Kind = "kill"
+		return r, err
+	}})
+
 	tbl := &Table{
 		Title:  fmt.Sprintf("Chaos harness — crash/recovery bit-identity (seed %#x, T=%d)", chaosSeed, cfg.Spec.T),
 		Header: []string{"schedule", "kind", "resumed_from", "caught_up", "retries", "ms", "bit-identical"},

@@ -58,20 +58,22 @@ type benchFile struct {
 	Workers    int `json:"workers"`
 
 	// Report fields shared by BENCH_kernels.json (Kernel non-empty),
-	// BENCH_chaos.json (Schedule non-empty), and BENCH_latency.json (Phase
-	// non-empty).
+	// BENCH_chaos.json (Schedule non-empty), BENCH_latency.json (Phase
+	// non-empty), and BENCH_warmstart.json (Entry non-empty).
 	Results []struct {
 		Kernel       string  `json:"kernel"`
 		N            int     `json:"n"`
 		Workers      int     `json:"workers"`
 		Schedule     string  `json:"schedule"`
 		Phase        string  `json:"phase"`
+		Entry        string  `json:"entry"`
 		NsPerOp      int64   `json:"ns_per_op"`
 		Speedup      float64 `json:"speedup"`
 		BitIdentical bool    `json:"bit_identical"`
 		P50Ns        int64   `json:"p50_ns"`
 		P99Ns        int64   `json:"p99_ns"`
 		P999Ns       int64   `json:"p999_ns"`
+		MeanIters    float64 `json:"mean_iters"`
 	} `json:"results"`
 }
 
@@ -99,6 +101,21 @@ func LoadBenchEnv(r io.Reader) ([]BenchEntry, BenchEnv, error) {
 		out := make([]BenchEntry, 0, len(f.Results))
 		for _, c := range f.Results {
 			c := c
+			if c.Entry != "" {
+				// A warm-start entry: steady-state quantiles and the mean
+				// iteration count regress like timings (higher is worse);
+				// the determinism verdict gates unconditionally.
+				out = append(out, BenchEntry{
+					Name: "warmstart/" + c.Entry,
+					Metrics: map[string]float64{
+						"p50_ns":     float64(c.P50Ns),
+						"p99_ns":     float64(c.P99Ns),
+						"mean_iters": c.MeanIters,
+					},
+					BitIdentical: &c.BitIdentical,
+				})
+				continue
+			}
 			if c.Phase != "" {
 				// A latency phase: quantiles are the metrics; the sample
 				// count is coverage, not a regression axis, and stays out.
@@ -209,6 +226,17 @@ type BenchDiff struct {
 	// OnlyOld and OnlyNew list entry names present in one snapshot only
 	// (renames and coverage changes; reported, never a regression).
 	OnlyOld, OnlyNew []string
+	// Added summarizes OnlyNew by entry family (the name's first
+	// "/"-segment), so coverage that did not exist in the old baseline —
+	// e.g. a whole new warmstart/* benchmark — shows up in the summary as
+	// "added" instead of silently pairing with nothing.
+	Added []AddedFamily
+}
+
+// AddedFamily is one family of entries present only in the new snapshot.
+type AddedFamily struct {
+	Family string
+	N      int
 }
 
 // Regressed reports whether the comparison should fail the build: any
@@ -313,6 +341,22 @@ func Compare(oldE, newE []BenchEntry, opts CompareOptions) *BenchDiff {
 	sort.Strings(d.OnlyOld)
 	sort.Strings(d.OnlyNew)
 	sort.Strings(d.BitBreaks)
+	addedN := map[string]int{}
+	for _, name := range d.OnlyNew {
+		fam := name
+		if i := strings.Index(name, "/"); i >= 0 {
+			fam = name[:i]
+		}
+		addedN[fam]++
+	}
+	addedFams := make([]string, 0, len(addedN))
+	for fam := range addedN {
+		addedFams = append(addedFams, fam)
+	}
+	sort.Strings(addedFams)
+	for _, fam := range addedFams {
+		d.Added = append(d.Added, AddedFamily{Family: fam, N: addedN[fam]})
+	}
 
 	families := make([]string, 0, len(byFamily))
 	for m := range byFamily {
@@ -400,6 +444,9 @@ func (d *BenchDiff) WriteText(w io.Writer) error {
 	}
 	if len(d.OnlyOld) > 0 {
 		fmt.Fprintf(&b, "  only in old: %s\n", strings.Join(d.OnlyOld, ", "))
+	}
+	for _, a := range d.Added {
+		fmt.Fprintf(&b, "  added: %s (%d entries)\n", a.Family, a.N)
 	}
 	if len(d.OnlyNew) > 0 {
 		fmt.Fprintf(&b, "  only in new: %s\n", strings.Join(d.OnlyNew, ", "))

@@ -199,3 +199,20 @@ func TestLoadBenchBothSchemas(t *testing.T) {
 		t.Fatal("schema-less JSON accepted")
 	}
 }
+
+func TestCompareAddedFamiliesSummarized(t *testing.T) {
+	old := []BenchEntry{{Name: "kernels/cholesky", Metrics: map[string]float64{"ns_per_op": 1}}}
+	newE := []BenchEntry{
+		{Name: "kernels/cholesky", Metrics: map[string]float64{"ns_per_op": 1}},
+		{Name: "warmstart/cold", Metrics: map[string]float64{"p50_ns": 3e6}},
+		{Name: "warmstart/warm", Metrics: map[string]float64{"p50_ns": 4e5}},
+		{Name: "warmstart/cache", Metrics: map[string]float64{"p50_ns": 700}},
+	}
+	diff := Compare(old, newE, CompareOptions{})
+	if diff.Regressed() {
+		t.Fatal("new-only coverage regressed the comparison")
+	}
+	if len(diff.Added) != 1 || diff.Added[0].Family != "warmstart" || diff.Added[0].N != 3 {
+		t.Fatalf("Added = %+v, want one warmstart family of 3 entries", diff.Added)
+	}
+}

@@ -82,6 +82,13 @@ func ResumeWith(ctx context.Context, j *journal.Journal, w *journal.Writer, opts
 		return nil, fmt.Errorf("eval: rebuilding scenario: %w", err)
 	}
 	suite := NewSuite(scen, cfg.Eps).WithJournal(nil)
+	if cfg.WarmStart {
+		// A warm-recorded run resumes warm: the SolveState itself died with
+		// the process (core.Restore discards it deterministically), but the
+		// catch-up re-solves and the resumed tail must walk the same warm
+		// rungs the uninterrupted run would have.
+		suite.WithWarmStart(true)
+	}
 	coreOpts := suite.Cfg.CoreOpts
 	coreOpts.Solver.Ctx = ctx
 	if opts.Workers != 0 {

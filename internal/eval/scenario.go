@@ -47,6 +47,11 @@ type ScenarioSpec struct {
 	// comparable after normalization. Zero selects the default 0.01.
 	ElecScale float64
 
+	// ConstPrice freezes the operating prices at their hour-0 values, so a
+	// constant demand trace yields bit-identical consecutive slots — the
+	// steady-state regime the warm-start decision cache short-circuits.
+	ConstPrice bool `json:"const_price,omitempty"`
+
 	// CustomTrace, when non-nil, replaces the synthetic generator: the
 	// series (e.g. a real request log aggregated to hours through
 	// workload.LoadCSV) is normalized to PeakLoad and replicated across the
@@ -166,6 +171,11 @@ func Build(spec ScenarioSpec) (*Scenario, error) {
 			row[i] = elecRaw[t][i] * spec.ElecScale
 		}
 		priceT2[t] = row
+	}
+	if spec.ConstPrice {
+		for t := 1; t < spec.T; t++ {
+			priceT2[t] = priceT2[0]
+		}
 	}
 
 	// Reconfiguration prices: weight × mean operating price (§V-B, b_i = d_ij).

@@ -13,6 +13,7 @@ import (
 	"soral/internal/obs/journal"
 	"soral/internal/predict"
 	"soral/internal/resilience"
+	"soral/internal/staircase"
 )
 
 // Run is the outcome of one algorithm on one scenario.
@@ -108,6 +109,22 @@ func NewSuite(s *Scenario, eps float64) *Suite {
 func (s *Suite) WithObs(sc *obs.Scope) *Suite {
 	s.Obs = sc
 	s.Cfg.Obs = sc
+	return s
+}
+
+// WithWarmStart toggles the warm-started incremental re-solve layer
+// (DESIGN.md §13): the online pipeline carries a core.SolveState across
+// slots, and window solves reuse the staircase backend through a cache.
+// Off — the default — is bit-identical to the pre-warm-start pipeline.
+func (s *Suite) WithWarmStart(on bool) *Suite {
+	s.Cfg.CoreOpts.WarmStart = on
+	if on {
+		if s.Cfg.StairCache == nil {
+			s.Cfg.StairCache = staircase.NewCache()
+		}
+	} else {
+		s.Cfg.StairCache = nil
+	}
 	return s
 }
 

@@ -1,0 +1,245 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"soral/internal/linalg"
+	"soral/internal/obs"
+	"soral/internal/obs/journal"
+)
+
+// WarmstartEntry is one configuration's steady-state measurement in the
+// warm-start benchmark: per-slot wall-time quantiles and solver-iteration
+// means over the post-warmup slots, plus the warm bookkeeping.
+type WarmstartEntry struct {
+	// Entry names the configuration: "cold" (WarmStart off — the baseline),
+	// "warm" (WarmStart on, same instance), "cache" (WarmStart on over a
+	// stationary instance where the decision cache can engage).
+	Entry string `json:"entry"`
+	// Samples counts the steady-state slots aggregated into the quantiles
+	// (slots past warmstartSteadyAfter, summed over repeats).
+	Samples int `json:"samples"`
+	// P50Ns and P99Ns are the steady-state per-slot wall-time quantiles.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// MeanIters is the mean solver iteration count per steady-state slot.
+	MeanIters float64 `json:"mean_iters"`
+	// WarmSlots counts steady-state slots committed warm (carried iterate
+	// accepted, or decision-cache hit), summed over repeats.
+	WarmSlots int `json:"warm_slots"`
+	// CacheHits is the decision-cache hit count summed over repeats.
+	CacheHits int64 `json:"cache_hits"`
+	// BitIdentical reports that every repeat reproduced the first repeat's
+	// per-slot decision digests exactly (the determinism contract; -compare
+	// fails unconditionally when this flips true → false).
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// WarmstartReport is the BENCH_warmstart.json schema: the machine envelope,
+// the headline cold-vs-warm verdicts, and one record per configuration.
+type WarmstartReport struct {
+	Cores      int `json:"cores"`
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	Slots      int `json:"slots"` // horizon length per run
+	// SpeedupP50 is cold steady-state p50 over warm steady-state p50.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	// WarmFewerIters reports that every steady-state slot the warm run
+	// committed warm took strictly fewer solver iterations than the cold
+	// run's same slot.
+	WarmFewerIters bool             `json:"warm_fewer_iters"`
+	Results        []WarmstartEntry `json:"results"`
+}
+
+// warmstartSpec is the default multi-tier instance the warm-start acceptance
+// criteria are stated against — the same mid-sized scenario the latency
+// experiment measures, so the two benchmarks share a baseline.
+func warmstartSpec() RunConfig {
+	return RunConfig{
+		Spec:      ScenarioSpec{NumTier2: 3, NumTier1: 6, K: 2, T: 24, Trace: TraceWikipedia, Seed: 7, ReconfWeight: 10},
+		Algorithm: "online",
+	}
+}
+
+// warmstartCacheSpec is the stationary variant: a constant demand trace and
+// frozen prices make consecutive slots bit-identical, the regime where the
+// digest-keyed decision cache can short-circuit whole solves.
+func warmstartCacheSpec() RunConfig {
+	cfg := warmstartSpec()
+	trace := make([]float64, cfg.Spec.T)
+	for i := range trace {
+		trace[i] = 1
+	}
+	cfg.Spec.CustomTrace = trace
+	cfg.Spec.ConstPrice = true
+	return cfg
+}
+
+// warmstartSteadyAfter is the last warmup slot: the acceptance criteria are
+// stated over steady state, slots strictly past slot 3 (the first slots pay
+// skeleton construction and have no converged iterate to carry).
+const warmstartSteadyAfter = 3
+
+// warmstartRepeats re-runs each configuration so the steady-state quantiles
+// aggregate a few dozen samples and the determinism check sees real repeats.
+const warmstartRepeats = 5
+
+// warmMeasure is one configuration's raw measurement.
+type warmMeasure struct {
+	entry WarmstartEntry
+	durs  []int64 // steady-state per-slot wall times, all repeats
+	// slotIters and slotWarm are the first repeat's per-slot solver
+	// iteration counts and warm flags, indexed by slot.
+	slotIters []int
+	slotWarm  []bool
+}
+
+func warmstartRun(cfg RunConfig, entry string, warm bool, log Logger) (*warmMeasure, error) {
+	cfg = cfg.canonical()
+	cfg.WarmStart = warm
+	scen, err := Build(cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("eval: warmstart scenario: %w", err)
+	}
+	m := &warmMeasure{entry: WarmstartEntry{Entry: entry, BitIdentical: true}}
+	var refDigests []string
+	var iterSum int64
+	for r := 0; r < warmstartRepeats; r++ {
+		log.printf("warmstart %s run %d/%d (T=%d)...", entry, r+1, warmstartRepeats, scen.In.T)
+		// A private registry per repeat isolates the counters (cache hits,
+		// per-slot iteration deltas) from the process default scope and from
+		// the other repeats.
+		reg := obs.NewRegistry()
+		scope := obs.NewScope(reg, nil)
+		suite := NewSuite(scen, cfg.Eps).WithObs(scope).WithJournal(nil).WithHealth(nil)
+		run, err := suite.RunConfigured(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: warmstart %s run %d: %w", entry, r, err)
+		}
+		if run.Report == nil || len(run.Report.Slots) != scen.In.T {
+			return nil, fmt.Errorf("eval: warmstart %s run %d: missing per-slot report", entry, r)
+		}
+		digests := make([]string, len(run.Decisions))
+		for t, d := range run.Decisions {
+			digests[t] = journal.Digest(d.X, d.Y, d.Z)
+		}
+		if r == 0 {
+			refDigests = digests
+			m.slotIters = make([]int, scen.In.T)
+			m.slotWarm = make([]bool, scen.In.T)
+			for _, sr := range run.Report.Slots {
+				m.slotIters[sr.Slot] = sr.Iterations
+				m.slotWarm[sr.Slot] = sr.Warm
+			}
+		} else if !digestsEqual(digests, refDigests) {
+			m.entry.BitIdentical = false
+		}
+		for _, sr := range run.Report.Slots {
+			if sr.Slot <= warmstartSteadyAfter {
+				continue
+			}
+			m.durs = append(m.durs, sr.Duration.Nanoseconds())
+			iterSum += int64(sr.Iterations)
+			if sr.Warm {
+				m.entry.WarmSlots++
+			}
+		}
+		m.entry.CacheHits += scope.CounterValue(obs.MetricWarmCacheHits)
+	}
+	m.entry.Samples = len(m.durs)
+	m.entry.P50Ns = quantileNs(m.durs, 0.50)
+	m.entry.P99Ns = quantileNs(m.durs, 0.99)
+	if m.entry.Samples > 0 {
+		m.entry.MeanIters = float64(iterSum) / float64(m.entry.Samples)
+	}
+	return m, nil
+}
+
+// quantileNs returns the q-quantile of the samples (nearest-rank, on a
+// sorted copy); 0 when there are none.
+func quantileNs(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Warmstart benchmarks the warm-started incremental re-solve layer against
+// the cold baseline on the default multi-tier instance and enforces the
+// acceptance criteria: ≥5× lower steady-state p50 slot latency, strictly
+// fewer solver iterations on every warm steady-state slot, and per-entry
+// run-to-run determinism. The report is written as BENCH_warmstart.json by
+// cmd/soralbench -exp warmstart -json and diffed by -compare.
+func Warmstart(log Logger) (*Table, *WarmstartReport, error) {
+	cfg := warmstartSpec()
+	cold, err := warmstartRun(cfg, "cold", false, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	warm, err := warmstartRun(cfg, "warm", true, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	cache, err := warmstartRun(warmstartCacheSpec(), "cache", true, log)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &WarmstartReport{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    linalg.ResolveWorkers(0),
+		Slots:      cfg.Spec.T,
+		Results:    []WarmstartEntry{cold.entry, warm.entry, cache.entry},
+	}
+	if warm.entry.P50Ns > 0 {
+		rep.SpeedupP50 = float64(cold.entry.P50Ns) / float64(warm.entry.P50Ns)
+	}
+	rep.WarmFewerIters = warm.entry.WarmSlots > 0
+	for t := warmstartSteadyAfter + 1; t < len(warm.slotIters); t++ {
+		if warm.slotWarm[t] && warm.slotIters[t] >= cold.slotIters[t] {
+			rep.WarmFewerIters = false
+		}
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Warm-started re-solve — steady-state slot latency (slots > %d, %d repeats, p50 speedup %.1f×)",
+			warmstartSteadyAfter, warmstartRepeats, rep.SpeedupP50),
+		Header: []string{"entry", "samples", "p50(ms)", "p99(ms)", "iters/slot", "warm", "cache-hits", "bit-identical"},
+	}
+	for _, e := range rep.Results {
+		tbl.Rows = append(tbl.Rows, []string{
+			e.Entry, fmt.Sprintf("%d", e.Samples),
+			fmt.Sprintf("%.3f", float64(e.P50Ns)/1e6),
+			fmt.Sprintf("%.3f", float64(e.P99Ns)/1e6),
+			fmt.Sprintf("%.1f", e.MeanIters),
+			fmt.Sprintf("%d", e.WarmSlots),
+			fmt.Sprintf("%d", e.CacheHits),
+			fmt.Sprintf("%v", e.BitIdentical),
+		})
+	}
+
+	for _, e := range rep.Results {
+		if !e.BitIdentical {
+			return tbl, rep, fmt.Errorf("eval: warmstart entry %q broke run-to-run bit-identity", e.Entry)
+		}
+	}
+	if warm.entry.WarmSlots == 0 {
+		return tbl, rep, fmt.Errorf("eval: warmstart: no steady-state slot committed warm")
+	}
+	if !rep.WarmFewerIters {
+		return tbl, rep, fmt.Errorf("eval: warmstart: a warm slot took no fewer solver iterations than cold")
+	}
+	if rep.SpeedupP50 < 5 {
+		return tbl, rep, fmt.Errorf("eval: warmstart: steady-state p50 speedup %.2f× < 5×", rep.SpeedupP50)
+	}
+	return tbl, rep, nil
+}

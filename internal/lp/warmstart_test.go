@@ -1,0 +1,140 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"soral/internal/obs"
+)
+
+// TestLPWarmStartFewerItersOnPerturbedResolve is the LP half of the
+// warm-start contract: after an optimal solve has stashed its iterate, a
+// same-shape re-solve of a slightly perturbed instance from the carried
+// point takes strictly fewer predictor–corrector iterations than solving
+// the perturbed instance cold.
+func TestLPWarmStartFewerItersOnPerturbedResolve(t *testing.T) {
+	std, err := chainProblem(40).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	normal := NewDenseNormal(std.A)
+	warmOpts := Options{Work: ws, WarmStart: true}
+	first, err := SolveStandard(std, normal, warmOpts)
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("priming solve: %v %v", first, err)
+	}
+
+	// Perturb the right-hand side by 0.1%: the online loop's slot-to-slot
+	// regime, same structure with drifted numbers.
+	pert := &Standard{A: std.A, B: append([]float64(nil), std.B...), C: std.C}
+	for i := range pert.B {
+		pert.B[i] *= 1.001
+	}
+	cold, err := SolveStandard(pert, NewDenseNormal(pert.A), Options{Work: NewWorkspace()})
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold perturbed solve: %v %v", cold, err)
+	}
+	warm, err := SolveStandard(pert, normal, warmOpts)
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm perturbed solve: %v %v", warm, err)
+	}
+	if warm.Iters >= cold.Iters {
+		t.Errorf("warm re-solve took %d iterations, cold took %d; want strictly fewer",
+			warm.Iters, cold.Iters)
+	}
+	if d := math.Abs(warm.Obj - cold.Obj); d > 1e-5*(1+math.Abs(cold.Obj)) {
+		t.Errorf("warm objective %v diverged from cold %v", warm.Obj, cold.Obj)
+	}
+}
+
+// TestLPWarmStartShapeChangeMisses: a solve of a different shape must ignore
+// the stashed iterate (a miss, not a crash) and still solve cleanly.
+func TestLPWarmStartShapeChangeMisses(t *testing.T) {
+	small, err := chainProblem(20).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := chainProblem(40).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	opts := Options{Work: ws, WarmStart: true, Obs: scope}
+	if sol, err := SolveStandard(small, NewDenseNormal(small.A), opts); err != nil || sol.Status != Optimal {
+		t.Fatalf("small solve: %v %v", sol, err)
+	}
+	if sol, err := SolveStandard(big, NewDenseNormal(big.A), opts); err != nil || sol.Status != Optimal {
+		t.Fatalf("big solve after shape change: %v %v", sol, err)
+	}
+	if hits := scope.CounterValue(obs.MetricWarmLPMisses); hits != 2 {
+		t.Errorf("warmstart.lp.misses = %d, want 2 (the empty stash, then the shape change)", hits)
+	}
+}
+
+// TestLPWarmStartFallbackOnCorruptStash pins the safeguard: a warm attempt
+// that fails for any numerical reason falls back to the cold start inside
+// the same call, so the flag can never make a solvable problem fail. The
+// stash is corrupted directly (white-box) because a genuinely poisonous
+// carried iterate is hard to construct from the outside — which is the
+// point of keeping the fallback.
+func TestLPWarmStartFallbackOnCorruptStash(t *testing.T) {
+	std, err := chainProblem(40).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	normal := NewDenseNormal(std.A)
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	opts := Options{Work: ws, WarmStart: true, Obs: scope}
+	if sol, err := SolveStandard(std, normal, opts); err != nil || sol.Status != Optimal {
+		t.Fatalf("priming solve: %v %v", sol, err)
+	}
+	for i := range ws.prevX[:len(std.C)] {
+		ws.prevX[i] = math.NaN()
+	}
+	sol, err := SolveStandard(std, normal, opts)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve with corrupt stash did not recover: %v %v", sol, err)
+	}
+	if fb := scope.CounterValue(obs.MetricWarmLPFallbacks); fb != 1 {
+		t.Errorf("warmstart.lp.fallbacks = %d, want 1", fb)
+	}
+}
+
+// TestLPWarmStartOffBitIdentical: without the flag, a workspace-carrying
+// solve is bit-identical to the pre-warm-start solver — same iterates, same
+// iteration count, same solution, regardless of what an earlier warm run
+// stashed.
+func TestLPWarmStartOffBitIdentical(t *testing.T) {
+	std, err := chainProblem(30).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveStandard(std, NewDenseNormal(std.A), Options{})
+	if err != nil || ref.Status != Optimal {
+		t.Fatalf("reference solve: %v %v", ref, err)
+	}
+	ws := NewWorkspace()
+	normal := NewDenseNormal(std.A)
+	// Prime a stash with WarmStart on, then solve with it off: the stash
+	// must be ignored entirely.
+	if sol, err := SolveStandard(std, normal, Options{Work: ws, WarmStart: true}); err != nil || sol.Status != Optimal {
+		t.Fatalf("priming solve: %v %v", sol, err)
+	}
+	got, err := SolveStandard(std, normal, Options{Work: ws})
+	if err != nil || got.Status != Optimal {
+		t.Fatalf("flag-off solve: %v %v", got, err)
+	}
+	if got.Iters != ref.Iters {
+		t.Errorf("flag-off iterations %d != reference %d", got.Iters, ref.Iters)
+	}
+	for i := range ref.X {
+		if got.X[i] != ref.X[i] {
+			t.Fatalf("flag-off solution differs from reference at %d: %v vs %v", i, got.X[i], ref.X[i])
+		}
+	}
+}

@@ -26,6 +26,16 @@ type Workspace struct {
 	y, tmpM, ac, rb, rhsM, dy []float64
 
 	normal *DenseNormal
+
+	// Previous optimal iterate, stashed after an Optimal solve when
+	// Options.WarmStart is on. The next same-shape solve starts from a
+	// re-centered copy instead of the cold Mehrotra point (DESIGN.md §13).
+	// prevM/prevN record the shape the iterate belongs to; a solve of a
+	// different shape ignores it (and overwrites it on success).
+	prevX, prevS []float64
+	prevY        []float64
+	prevM, prevN int
+	havePrev     bool
 }
 
 // NewWorkspace returns an empty workspace; buffers are sized on first use.
@@ -63,6 +73,35 @@ func (w *Workspace) ensure(m, n int) {
 		w.dy = make([]float64, m)
 	}
 	w.m, w.n = m, n
+}
+
+// warmReady reports whether the workspace holds a previous optimal iterate
+// matching an m-row, n-column standard form.
+func (w *Workspace) warmReady(m, n int) bool {
+	return w.havePrev && w.prevM == m && w.prevN == n
+}
+
+// stashWarm copies the current (optimal) iterate into the prev buffers so
+// the next same-shape solve can warm-start from it.
+//
+// Marked //soral:coldpath: the makes below are growth guards — they run only
+// while the prev buffers grow toward the high-water mark, never on a warm
+// same-shape solve.
+//
+//soral:coldpath
+func (w *Workspace) stashWarm(m, n int) {
+	if len(w.prevX) < n {
+		w.prevX = make([]float64, n)
+		w.prevS = make([]float64, n)
+	}
+	if len(w.prevY) < m {
+		w.prevY = make([]float64, m)
+	}
+	copy(w.prevX[:n], w.x[:n])
+	copy(w.prevS[:n], w.s[:n])
+	copy(w.prevY[:m], w.y[:m])
+	w.prevM, w.prevN = m, n
+	w.havePrev = true
 }
 
 // normalFor returns the workspace's dense normal-equation backend for A,

@@ -91,6 +91,11 @@ type SlotRecord struct {
 	// run carried no obs scope or the record was written post-hoc).
 	DurNS int64 `json:"dur_ns,omitempty"`
 	Iters int   `json:"iters,omitempty"`
+	// Warm marks a slot committed by the warm-start machinery (a carried
+	// primal iterate or a decision-cache hit); false/omitted for cold solves,
+	// so journals recorded with WarmStart off stay byte-identical to journals
+	// from before the field existed.
+	Warm bool `json:"warm,omitempty"`
 	// Attr is the slot's cost attribution (nil in journals recorded before
 	// the field existed — a compatible soral-journal/2 extension; the crc
 	// field stays the last JSON key).
@@ -127,6 +132,14 @@ type CostAttr struct {
 	// its running sum floors the offline optimum, making regret and
 	// competitive-ratio estimates recomputable from the journal alone.
 	OperLB float64 `json:"oper_lb,omitempty"`
+	// WarmIters is the Newton-iteration count of the warm-carried solve that
+	// committed this slot, and ColdRefIters the count of the run's most
+	// recent cold solve before it — together the per-slot cold-vs-warm
+	// iteration delta `soral -replay` reconciles (warm must be strictly
+	// fewer). Both absent on cold slots and on warm slots with no cold
+	// reference yet (e.g. the first slot after a resume).
+	WarmIters    int `json:"warm_iters,omitempty"`
+	ColdRefIters int `json:"cold_ref_iters,omitempty"`
 }
 
 // StateRecord checkpoints the online algorithm's restartable state right

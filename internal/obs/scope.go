@@ -18,6 +18,35 @@ const (
 	// kernels (normal-equation assembly, blocked Cholesky, block-tridiagonal
 	// factorization) may fan out to. 1 means fully serial.
 	MetricWorkers = "solver.workers"
+
+	// Warm-start counters (DESIGN.md §13). The online loop bumps them per
+	// slot when core.Options.WarmStart is on; they stay absent from /metrics
+	// on cold runs, keeping the exposition byte-identical to pre-warm builds.
+	//
+	// MetricWarmHits counts slots committed from a carried-over warm point.
+	MetricWarmHits = "warmstart.hits"
+	// MetricWarmMisses counts warm-enabled slots with no usable warm point
+	// (first slot, post-restore slot, or a point outside the strict interior).
+	MetricWarmMisses = "warmstart.misses"
+	// MetricWarmFallbacks counts warm attempts that stalled and fell back to
+	// the structured cold start inside the same ladder rung.
+	MetricWarmFallbacks = "warmstart.fallbacks"
+	// MetricWarmCacheHits counts slots short-circuited by the digest-keyed
+	// decision cache, and MetricWarmCacheSize gauges its current population.
+	MetricWarmCacheHits = "warmstart.cache_hits"
+	MetricWarmCacheSize = "warmstart.cache_size"
+	// MetricWarmSkeletonHits counts slots whose P2 assembly reused the cached
+	// structural skeleton (rows and sparsity) with a numeric-only refresh.
+	MetricWarmSkeletonHits = "warmstart.skeleton_hits"
+
+	// Mehrotra-level warm-start counters (lp.Options.WarmStart): iterate
+	// carry-over across consecutive same-shape standard-form solves.
+	MetricWarmLPHits      = "warmstart.lp.hits"
+	MetricWarmLPMisses    = "warmstart.lp.misses"
+	MetricWarmLPFallbacks = "warmstart.lp.fallbacks"
+	// MetricWarmStairHits counts staircase backends reused from a
+	// staircase.Cache instead of being rebuilt from scratch.
+	MetricWarmStairHits = "warmstart.stair_hits"
 )
 
 // Scope is a nil-safe handle onto the telemetry core. The nil *Scope is the

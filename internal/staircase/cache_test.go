@@ -1,0 +1,81 @@
+package staircase
+
+import (
+	"math/rand"
+	"testing"
+
+	"soral/internal/lp"
+	"soral/internal/model"
+	"soral/internal/obs"
+)
+
+// TestSolveCachedBitIdentical pins the backend cache's core contract: a
+// reused backend (structural skeleton carried over, numerics rebound) yields
+// a solution bit-identical to an uncached solve, across repeated same-shape
+// solves with drifting numerics — the receding-horizon controller's regime.
+func TestSolveCachedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	n := model.RandomNetwork(rng, 2, 3, 2, 10)
+	cache := NewCache()
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	opts := lp.Options{Obs: scope}
+	for round := 0; round < 3; round++ {
+		in := model.RandomInputs(rng, n, 4)
+		l, err := model.BuildP1(n, in, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{})
+		if err != nil || want.Status != lp.Optimal {
+			t.Fatalf("round %d: uncached: %v %v", round, want, err)
+		}
+		got, err := SolveCached(cache, l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, opts)
+		if err != nil || got.Status != lp.Optimal {
+			t.Fatalf("round %d: cached: %v %v", round, got, err)
+		}
+		if got.Obj != want.Obj {
+			t.Fatalf("round %d: cached objective %v != uncached %v", round, got.Obj, want.Obj)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("round %d: cached solution differs at %d: %v vs %v",
+					round, i, got.X[i], want.X[i])
+			}
+		}
+	}
+	// Same network and horizon every round → same structure: every solve
+	// after the first must have reused the backend.
+	if hits := scope.CounterValue(obs.MetricWarmStairHits); hits != 2 {
+		t.Errorf("warmstart.stair_hits = %d, want 2", hits)
+	}
+}
+
+// TestSolveCachedShapeChangeRebuilds: a different horizon changes the
+// structural signature, so the cache must rebuild instead of reusing, and
+// still solve correctly. The cache holds one backend and a mismatched get
+// leaves it in place, so the final return to the first shape reuses the
+// original backend — the single-slot checkout semantics, pinned here.
+func TestSolveCachedShapeChangeRebuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	n := model.RandomNetwork(rng, 2, 2, 1, 10)
+	cache := NewCache()
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	for _, T := range []int{3, 5, 3} {
+		in := model.RandomInputs(rng, n, T)
+		l, err := model.BuildP1(n, in, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := SolveCached(cache, l.Prob, l.SlotOfCons, l.SlotOfVar, l.W, lp.Options{Obs: scope})
+		if err != nil || sol.Status != lp.Optimal {
+			t.Fatalf("T=%d: %v %v", T, sol, err)
+		}
+	}
+	// 3 → 5 → 3: the T=5 solve misses (and its backend is dropped — the
+	// T=3 backend still occupies the slot); the return to T=3 hits it.
+	if hits := scope.CounterValue(obs.MetricWarmStairHits); hits != 1 {
+		t.Errorf("warmstart.stair_hits = %d, want 1 (only the return to the first shape)", hits)
+	}
+}
