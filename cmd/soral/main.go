@@ -405,6 +405,10 @@ func replay(ctx context.Context, path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "replay:           %s, %d recorded slots\n", res.Algorithm, res.Slots)
+	for _, m := range res.Advisories {
+		fmt.Fprintf(os.Stderr, "replay: slot %d %s advisory: got %s, expected %s\n",
+			m.Slot, m.Field, m.Got, m.Want)
+	}
 	if res.Clean() {
 		fmt.Fprintf(os.Stderr, "replay:           bit-identical\n")
 		return

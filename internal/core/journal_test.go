@@ -50,7 +50,7 @@ func TestOnlineJournalsEverySlot(t *testing.T) {
 		if rec.Slot != ts {
 			t.Fatalf("record %d has slot %d", ts, rec.Slot)
 		}
-		if want := journal.Digest(in.Workload[ts], in.PriceT2[ts]); rec.InputsDigest != want {
+		if want := InputsDigest(in, ts); rec.InputsDigest != want {
 			t.Fatalf("slot %d inputs digest = %s, want %s", ts, rec.InputsDigest, want)
 		}
 		d := seq[ts]

@@ -310,7 +310,7 @@ func (o *Online) recordCommit(dec *model.Decision, sr SlotReport) {
 	}
 	o.Opts.Journal.Slot(journal.SlotRecord{
 		Slot:           sr.Slot,
-		InputsDigest:   journal.Digest(o.In.Workload[sr.Slot], o.In.PriceT2[sr.Slot]),
+		InputsDigest:   InputsDigest(o.In, sr.Slot),
 		DecisionDigest: decisionDigest,
 		AllocCost:      sa.Breakdown.Allocation(),
 		ReconfCost:     sa.Breakdown.Reconfiguration(),
@@ -339,6 +339,19 @@ func (o *Online) PrimeAttribution(slots int, cumCost, cumLowerBound float64) {
 		o.tracker = attr.NewTracker(o.Net, o.In)
 	}
 	o.tracker.Prime(slots, cumCost, cumLowerBound)
+}
+
+// InputsDigest fingerprints every realized input P2(t) reads: the workload
+// row, the tier-2 operating-price row, and — on tier-1 networks — the tier-1
+// operating-price row. It is the journal's per-slot inputs digest and the
+// first half of the warm-start decision-cache key; both need the full set,
+// since two slots differing only in tier-1 prices solve to different
+// decisions. Tier-2-only networks hash exactly the two rows they always did.
+func InputsDigest(in *model.Inputs, t int) string {
+	if in.PriceT1 != nil {
+		return journal.Digest(in.Workload[t], in.PriceT2[t], in.PriceT1[t])
+	}
+	return journal.Digest(in.Workload[t], in.PriceT2[t])
 }
 
 // JournalAttr converts a slot attribution into its journal record form.

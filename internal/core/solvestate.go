@@ -71,14 +71,15 @@ func NewSolveState() *SolveState {
 }
 
 // cacheKey derives the decision-cache key for slot t: the journal input
-// digest (workload row, operating-price row) joined with the previous
-// decision's digest. Keying on both is what makes a hit bit-identical to a
-// re-solve — P2(t) depends on exactly that pair.
+// digest (workload row plus every operating-price row — tier-1 included on
+// tier-1 networks) joined with the previous decision's digest. Keying on the
+// full pair is what makes a hit bit-identical to a re-solve — P2(t) depends
+// on exactly those inputs and nothing else.
 func (st *SolveState) cacheKey(in *model.Inputs, t int, prev *model.Decision) string {
 	if st.prevDigest == "" {
 		st.prevDigest = journal.Digest(prev.X, prev.Y, prev.Z)
 	}
-	return journal.Digest(in.Workload[t], in.PriceT2[t]) + "|" + st.prevDigest
+	return InputsDigest(in, t) + "|" + st.prevDigest
 }
 
 // lookup returns the cached decision for key, if any. The returned decision

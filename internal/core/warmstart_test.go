@@ -183,6 +183,81 @@ func TestWarmSnapToPrev(t *testing.T) {
 	}
 }
 
+// TestWarmCacheKeyCoversTier1Prices pins the decision-cache key contract on
+// tier-1 networks: P2's objective reads PriceT1 (the z-column costs), so two
+// slots identical in workload, tier-2 prices, and previous decision but with
+// different tier-1 prices must never share a key — a collision would commit
+// a decision optimized for the wrong tier-1 prices and poison every
+// downstream slot through prev. Tier-2-only inputs must keep the legacy
+// two-row digest, so existing journals and cache keys are unchanged there.
+func TestWarmCacheKeyCoversTier1Prices(t *testing.T) {
+	n := oneByOne(t, 5, 5, 1)
+	if err := n.EnableTier1([]float64{10}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	in := inputsFor([]float64{4, 4}, []float64{1, 1})
+	in.PriceT1 = [][]float64{{1}, {3}}
+	prev := model.NewZeroDecision(n)
+	st := NewSolveState()
+	if k0, k1 := st.cacheKey(in, 0, prev), st.cacheKey(in, 1, prev); k0 == k1 {
+		t.Fatalf("cache key ignores tier-1 prices: slots 0 and 1 collide on %s", k0)
+	}
+	flat := inputsFor([]float64{4}, []float64{1})
+	if got, want := InputsDigest(flat, 0), journal.Digest(flat.Workload[0], flat.PriceT2[0]); got != want {
+		t.Fatalf("tier-2-only inputs digest changed: %s, want legacy %s", got, want)
+	}
+}
+
+// TestWarmCacheMissesOnTier1PriceChange is the end-to-end half of the same
+// contract: a stationary tier-1 instance long enough for the fixed-point
+// snap to make the cache hit, with a sharp tier-1 price change on the final
+// slot. The final slot repeats the cached (workload, tier-2 prices, prev)
+// triple exactly, so a key that omits PriceT1 would short-circuit it through
+// the cache; the slot must instead re-solve.
+func TestWarmCacheMissesOnTier1PriceChange(t *testing.T) {
+	// A light reconfiguration weight lets the smoothed trajectory reach the
+	// fixed-point snap well inside the horizon, so the cache actually primes.
+	rng := rand.New(rand.NewSource(905))
+	n := model.RandomNetwork(rng, 3, 4, 2, 0.5)
+	capT1 := make([]float64, n.NumTier1)
+	reconfT1 := make([]float64, n.NumTier1)
+	for j := range capT1 {
+		capT1[j] = 50
+		reconfT1[j] = 0.5
+	}
+	if err := n.EnableTier1(capT1, reconfT1); err != nil {
+		t.Fatal(err)
+	}
+	in := model.RandomInputs(rng, n, 60)
+	for tt := 1; tt < in.T; tt++ {
+		copy(in.Workload[tt], in.Workload[0])
+		copy(in.PriceT2[tt], in.PriceT2[0])
+		copy(in.PriceT1[tt], in.PriceT1[0])
+	}
+	last := in.T - 1
+	for j := range in.PriceT1[last] {
+		in.PriceT1[last][j] *= 4
+	}
+	opts := DefaultOptions()
+	opts.WarmStart = true
+	_, rep, err := RunOnlineReport(n, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, sr := range rep.Slots[:last] {
+		if sr.Rung == RungCache {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("stationary tier-1 prefix produced no cache hits; the final-slot check would be vacuous: %+v", rep.Slots)
+	}
+	if rep.Slots[last].Rung == RungCache {
+		t.Fatalf("final slot hit the decision cache although its tier-1 prices differ from every cached slot")
+	}
+}
+
 // TestWarmDecisionCacheHitsOnStationaryPair drives SolveState's cache
 // through Online on a stationary two-tier instance. Under reconfiguration
 // smoothing the decision approaches the stationary optimum geometrically

@@ -215,6 +215,16 @@ var ErrEmptyProblem = errors.New("lp: empty problem")
 //
 //soral:hotpath
 func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solution, err error) {
+	// mehrotraIterate converts its own panics; this thin recover covers the
+	// surrounding plumbing (workspace sizing, warm-stash bookkeeping, the
+	// unconstrained screen) so every SolveStandard panic still surfaces as a
+	// typed error, as it did before the warm-start split.
+	defer func() {
+		if r := recover(); r != nil {
+			sol = &Solution{Status: NumericalFailure}
+			err = resilience.FromPanic("lp.mehrotra", r)
+		}
+	}()
 	opts, err = opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -258,10 +268,22 @@ func SolveStandard(std *Standard, normal NormalSolver, opts Options) (sol *Solut
 	}
 	sol, err = mehrotraIterate(std, normal, opts, ws, false)
 	if err != nil {
+		if opts.WarmStart && ws.warmReady(m, n) {
+			ws.clearWarm()
+		}
 		return sol, err
 	}
-	if opts.WarmStart && sol.Status == Optimal {
-		ws.stashWarm(m, n)
+	if opts.WarmStart {
+		if sol.Status == Optimal {
+			ws.stashWarm(m, n)
+		} else if ws.warmReady(m, n) {
+			// The cold solve could not replace the same-shape stash, so the
+			// stashed iterate is suspect (it just fed — or would feed — a
+			// doomed warm attempt). Drop it: later solves of this shape go
+			// straight to the cold start instead of re-running the failed
+			// warm attempt first.
+			ws.clearWarm()
+		}
 	}
 	return sol, nil
 }

@@ -105,6 +105,51 @@ func TestLPWarmStartFallbackOnCorruptStash(t *testing.T) {
 	}
 }
 
+// TestLPWarmStartStashClearedAfterFailedFallback pins the stash-invalidation
+// rule: when a warm attempt fails and the cold retry also ends non-Optimal
+// (so nothing re-stashes), the stale iterate must be dropped — otherwise
+// every later same-shape solve would re-run the doomed warm attempt before
+// falling back, roughly doubling work on persistently hard instances.
+func TestLPWarmStartStashClearedAfterFailedFallback(t *testing.T) {
+	std, err := chainProblem(40).ToStandard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	normal := NewDenseNormal(std.A)
+	reg := obs.NewRegistry()
+	scope := obs.NewScope(reg, nil)
+	if sol, err := SolveStandard(std, normal, Options{Work: ws, WarmStart: true, Obs: scope}); err != nil || sol.Status != Optimal {
+		t.Fatalf("priming solve: %v %v", sol, err)
+	}
+	for i := range ws.prevX[:len(std.C)] {
+		ws.prevX[i] = math.NaN()
+	}
+	// Starve the cold retry's iteration budget so it cannot re-stash.
+	sol, err := SolveStandard(std, normal, Options{Work: ws, WarmStart: true, Obs: scope, MaxIter: 1})
+	if err != nil || sol.Status != IterationLimit {
+		t.Fatalf("starved solve: %v %v", sol, err)
+	}
+	if fb := scope.CounterValue(obs.MetricWarmLPFallbacks); fb != 1 {
+		t.Fatalf("warmstart.lp.fallbacks = %d, want 1", fb)
+	}
+	if ws.havePrev {
+		t.Fatal("corrupt stash survived a fallback whose cold retry did not re-stash")
+	}
+	// The next full-budget solve must go straight to the cold start (a miss,
+	// not a second doomed warm attempt) and re-stash on success.
+	sol, err = SolveStandard(std, normal, Options{Work: ws, WarmStart: true, Obs: scope})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("follow-up solve: %v %v", sol, err)
+	}
+	if fb := scope.CounterValue(obs.MetricWarmLPFallbacks); fb != 1 {
+		t.Errorf("stale stash re-ran the doomed warm attempt (fallbacks = %d, want still 1)", fb)
+	}
+	if !ws.havePrev {
+		t.Error("clean follow-up solve did not re-stash its iterate")
+	}
+}
+
 // TestLPWarmStartOffBitIdentical: without the flag, a workspace-carrying
 // solve is bit-identical to the pre-warm-start solver — same iterates, same
 // iteration count, same solution, regardless of what an earlier warm run

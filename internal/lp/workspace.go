@@ -104,6 +104,12 @@ func (w *Workspace) stashWarm(m, n int) {
 	w.havePrev = true
 }
 
+// clearWarm drops the stashed iterate. Called after a cold solve fails to
+// re-stash: the stale iterate already drove (or would drive) a doomed warm
+// attempt on this shape, and keeping it would re-run that attempt before
+// every later fallback, roughly doubling work on persistently hard instances.
+func (w *Workspace) clearWarm() { w.havePrev = false }
+
 // normalFor returns the workspace's dense normal-equation backend for A,
 // reusing the assembled matrix and Cholesky factor buffers when the row
 // dimension matches the previous problem.
