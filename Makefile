@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart check bench bench-compare
+.PHONY: build test vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart watch check bench bench-compare
 
 build:
 	$(GO) build ./...
@@ -78,12 +78,23 @@ latency:
 warmstart:
 	$(GO) run -race ./cmd/soralbench -exp warmstart -q
 
+# The watchdog experiment drives the self-monitoring stack end to end under
+# the race detector: seeded fault traces (a latency spike for the SLO
+# burn-rate detector, an adversarial thrashing trace for the
+# competitive-ratio detector) must fire and journal reproducibly while the
+# tsdb record path stays allocation-free and the sampler tick inside 1% of
+# the slot p50. The race detector matters because the store's seqlock-style
+# Series ring is written by the sampler goroutine while queries read it, and
+# the engine's Status is served concurrently with Eval. See DESIGN.md §14.
+watch:
+	$(GO) run -race ./cmd/soralbench -exp watch -q
+
 # The gate used before merging: static checks (vet plus the sorallint
 # invariants) and the full suite under the race detector (the ADMM consensus
 # loop and the fault-injection trip counter are the concurrency-sensitive
 # paths), plus the focused telemetry and parallel-kernel race passes and the
 # crash/recovery chaos schedules.
-check: vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart
+check: vet lint lint-self race obs-race obs-serve kernels-race chaos latency warmstart watch
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
@@ -98,3 +109,4 @@ bench-compare:
 	$(GO) run ./cmd/soralbench -compare results/BENCH_latency.json results/BENCH_latency.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_lint.json results/BENCH_lint.json
 	$(GO) run ./cmd/soralbench -compare results/BENCH_warmstart.json results/BENCH_warmstart.json
+	$(GO) run ./cmd/soralbench -compare results/BENCH_watch.json results/BENCH_watch.json

@@ -12,6 +12,8 @@
 //	soral -replay run.jsonl                  # verify it replays bit-identically
 //	soral -resume run.jsonl                  # recover a crashed run and finish it
 //	soral -serve 127.0.0.1:9090              # live /metrics /healthz /runs
+//	soral -serve 127.0.0.1:9090 -watch -slo 5ms   # ... plus /alerts /timeseries
+//	soral -metrics m.jsonl -metrics-interval 1s   # periodic snapshot dumps
 //	soral -trace-event trace.json            # Chrome trace-event JSON (Perfetto)
 //
 // A config file looks like:
@@ -28,18 +30,24 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"time"
 
 	"soral/internal/core"
 	"soral/internal/eval"
 	"soral/internal/model"
 	"soral/internal/obs"
+	"soral/internal/obs/attr"
 	"soral/internal/obs/journal"
+	"soral/internal/obs/tsdb"
+	"soral/internal/obs/watch"
 	"soral/internal/resilience"
 	"soral/internal/workload"
 )
@@ -83,6 +91,10 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile (with phase labels) to this file")
 		verbose    = flag.Bool("v", false, "print a one-line resilience summary (ok/recovered/degraded, solver iterations)")
 		warm       = flag.Bool("warm", false, "warm-start each slot's solve from the previous decision (incremental re-solve)")
+
+		watchFlag = flag.Bool("watch", false, "run the self-monitoring watchdog: sample telemetry into an in-process time-series store and evaluate alert rules each tick")
+		sloFlag   = flag.Duration("slo", 0, "per-slot latency objective for the watchdog's SLO burn-rate alert (implies -watch)")
+		metricsIv = flag.Duration("metrics-interval", 0, "append a registry snapshot (JSONL) to the -metrics file at this interval instead of one final text dump")
 
 		journalOut = flag.String("journal", "", "write a flight-recorder journal (JSONL) to this file")
 		fsyncSpec  = flag.String("fsync", "commit", "journal durability policy: none|commit|every|N (fsync per N records)")
@@ -134,13 +146,17 @@ func main() {
 		cfg.Eps = *eps
 	}
 
-	// Telemetry registry: needed for file dumps, the verbose summary, and the
-	// /metrics endpoint.
+	// Telemetry registry: needed for file dumps, the verbose summary, the
+	// /metrics endpoint, and the watchdog.
 	serving := *serveAddr != ""
+	watching := *watchFlag || *sloFlag > 0
+	if *metricsIv > 0 && *metricsOut == "" {
+		fatal(errors.New("-metrics-interval needs -metrics <file>"))
+	}
 	var reg *obs.Registry
 	var traceSink *obs.JSONLSink
 	var eventBuf *obs.BufferSink
-	if *traceOut != "" || *traceEvent != "" || *metricsOut != "" || *verbose || serving {
+	if *traceOut != "" || *traceEvent != "" || *metricsOut != "" || *verbose || serving || watching {
 		reg = obs.NewRegistry()
 		var sink obs.Sink
 		if *traceOut != "" {
@@ -163,7 +179,7 @@ func main() {
 	}
 
 	var health *resilience.Health
-	if serving {
+	if serving || watching {
 		health = resilience.NewHealth()
 		eval.SetDefaultHealth(health)
 	}
@@ -199,21 +215,93 @@ func main() {
 		})
 	}
 
+	// Watchdog: a sampler goroutine copies the registry into an in-process
+	// time-series store every second and evaluates the alert rules against
+	// each fresh column. Critical alerts flip /healthz to 503 via Health.Fail;
+	// every transition goes to stderr and (when journaling) the journal.
+	var db *tsdb.DB
+	var eng *watch.Engine
+	if watching {
+		db = tsdb.New(tsdb.Options{})
+		eng = watch.New().Metrics(reg).Journal(jw)
+		if *sloFlag > 0 {
+			eng.AddRule(watch.SLOBurnRate(reg.LatencyHist("latency.core.slot.seconds"),
+				watch.SLOConfig{Objective: *sloFlag}))
+		}
+		approach, exceeded := watch.CompetitiveRatioRules(reg, attr.Certificate(cfg.Eps), 0, 3)
+		collapse, blowup := watch.WarmStartRules(reg, watch.WarmConfig{})
+		eng.AddRule(approach, exceeded, collapse, blowup, watch.DegradationBurst(health, 0))
+		if feed != nil {
+			eng.AddRule(watch.FeedDropRate(feed, 0, 0))
+		}
+		eng.OnAlert(func(a watch.Alert) {
+			fmt.Fprintln(os.Stderr, "watch:", a)
+			if a.Severity == watch.SeverityCritical && a.State == watch.StateFiring {
+				health.Fail("watch", errors.New(a.String()))
+			}
+		})
+		sampler := &tsdb.Sampler{DB: db, Reg: reg, Runtime: true, AfterSample: eng.Eval}
+		go sampler.Run(ctx, 0)
+	}
+
 	var srv *obs.Server
 	if serving {
-		var err error
-		srv, err = obs.Serve(ctx, *serveAddr, obs.ServeOptions{
+		opts := obs.ServeOptions{
 			Registry: reg,
 			Health: func() (bool, any) {
 				s := health.Snapshot()
 				return s.Healthy(), s
 			},
 			Runs: feed,
-		})
+		}
+		if eng != nil {
+			e := eng
+			opts.Timeseries = db
+			opts.Alerts = func() any { return e.Status() }
+		}
+		var err error
+		srv, err = obs.Serve(ctx, *serveAddr, opts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "serving:          http://%s/metrics /healthz /runs\n", srv.Addr())
+		endpoints := "/metrics /healthz /runs"
+		if eng != nil {
+			endpoints += " /alerts /timeseries"
+		}
+		fmt.Fprintf(os.Stderr, "serving:          http://%s %s\n", srv.Addr(), endpoints)
+	}
+
+	// Periodic metrics snapshots: with -metrics-interval the -metrics file is
+	// a JSONL history (one SnapshotLine per interval plus a final one at
+	// exit) that tsdb.Ingest can load post-hoc, instead of a single
+	// end-of-run text dump.
+	var metricsFile *os.File
+	var metricsMu sync.Mutex
+	if *metricsIv > 0 {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		metricsFile = f
+		go func() {
+			tick := time.NewTicker(*metricsIv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-tick.C:
+					metricsMu.Lock()
+					err := tsdb.WriteSnapshot(metricsFile, now, reg)
+					metricsMu.Unlock()
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "soral: metrics snapshot:", err)
+						return
+					}
+				}
+			}
+		}()
 	}
 
 	if *cpuProfile != "" {
@@ -347,16 +435,26 @@ func main() {
 			ok, rec, deg, iters)
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := reg.WriteText(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if metricsFile != nil {
+			// Interval mode: one last snapshot line captures the end state.
+			metricsMu.Lock()
+			err := tsdb.WriteSnapshot(metricsFile, time.Now(), reg)
+			metricsMu.Unlock()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := reg.WriteText(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
 		}
 		fmt.Fprintf(os.Stderr, "metrics:          %s\n", *metricsOut)
 	}

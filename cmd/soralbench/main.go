@@ -25,10 +25,14 @@
 // writes, transient solver faults — each asserting the recovered run is
 // bit-identical to the uninterrupted one; written as BENCH_chaos.json), and
 // latency (per-phase p50/p99/p999 of the online pipeline from the
-// log-bucketed latency histograms, written as BENCH_latency.json), and
+// log-bucketed latency histograms, written as BENCH_latency.json),
 // warmstart (cold-vs-warm steady-state slot latency and solver-iteration
 // counts of the warm-started incremental re-solve layer, with run-to-run
-// determinism verdicts; written as BENCH_warmstart.json).
+// determinism verdicts; written as BENCH_warmstart.json), and watch (the
+// self-monitoring watchdog against seeded fault traces — a latency spike
+// firing the SLO burn-rate alert and an adversarial trace firing the
+// competitive-ratio alert — plus the tsdb record/tick overhead budget;
+// written as BENCH_watch.json).
 // Scales: small (seconds), medium (minutes), paper (the full 18×48×500-hour
 // setting; the offline baselines then take tens of minutes each).
 package main
@@ -52,13 +56,15 @@ import (
 	"soral/internal/linalg"
 	"soral/internal/obs"
 	"soral/internal/obs/journal"
+	"soral/internal/obs/tsdb"
+	"soral/internal/obs/watch"
 	"soral/internal/resilience"
 	"soral/internal/workload"
 )
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|latency|warmstart|all")
+		expFlag   = flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig7|fig8|fig9|fig10|table1|table2|vshape|lint|kernels|chaos|latency|warmstart|watch|all")
 		scaleFlag = flag.String("scale", "small", "scenario scale: small|medium|paper")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		seriesOut = flag.String("series", "", "write the raw demand traces as CSV to this file (with -exp fig4)")
@@ -75,6 +81,8 @@ func main() {
 		compareRun = flag.Bool("compare", false, "diff two BENCH_<name>.json snapshots (old new); exit 1 on regression")
 		threshold  = flag.Float64("threshold", 0, "relative worsening τ that fails -compare (default 0.20)")
 		serveAddr  = flag.String("serve", "", "serve /metrics, /healthz, and /runs on this address while experiments run")
+		watchFlag  = flag.Bool("watch", false, "with -serve: run the self-monitoring watchdog and add /alerts and /timeseries")
+		sloFlag    = flag.Duration("slo", 0, "per-slot latency objective for the watchdog's SLO burn-rate alert (implies -watch)")
 	)
 	flag.Parse()
 
@@ -127,19 +135,44 @@ func main() {
 		jw.Begin(journal.Header{Algorithm: "bench", GoMaxProcs: runtime.GOMAXPROCS(0), Workers: runtime.GOMAXPROCS(0)})
 		eval.SetDefaultJournal(jw)
 		defer jw.End(journal.Footer{})
-		var err error
-		srv, err = obs.Serve(ctx, *serveAddr, obs.ServeOptions{
+		opts := obs.ServeOptions{
 			Registry: reg,
 			Health: func() (bool, any) {
 				s := health.Snapshot()
 				return s.Healthy(), s
 			},
 			Runs: feed,
-		})
+		}
+		endpoints := "/metrics /healthz /runs"
+		if *watchFlag || *sloFlag > 0 {
+			// Watchdog over the shared bench registry. No competitive-ratio
+			// rules here: experiments sweep ε, so there is no single
+			// certificate for the process-wide ratio gauge.
+			db := tsdb.New(tsdb.Options{})
+			eng := watch.New().Metrics(reg).Journal(jw)
+			if *sloFlag > 0 {
+				eng.AddRule(watch.SLOBurnRate(reg.LatencyHist("latency.core.slot.seconds"),
+					watch.SLOConfig{Objective: *sloFlag}))
+			}
+			collapse, blowup := watch.WarmStartRules(reg, watch.WarmConfig{})
+			eng.AddRule(collapse, blowup,
+				watch.DegradationBurst(health, 0),
+				watch.FeedDropRate(feed, 0, 0))
+			eng.OnAlert(func(a watch.Alert) {
+				fmt.Fprintf(os.Stderr, "# watch: %s\n", a)
+			})
+			sampler := &tsdb.Sampler{DB: db, Reg: reg, Runtime: true, AfterSample: eng.Eval}
+			go sampler.Run(ctx, 0)
+			opts.Timeseries = db
+			opts.Alerts = func() any { return eng.Status() }
+			endpoints += " /alerts /timeseries"
+		}
+		var err error
+		srv, err = obs.Serve(ctx, *serveAddr, opts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "# serving http://%s/metrics /healthz /runs\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "# serving http://%s %s\n", srv.Addr(), endpoints)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -203,6 +236,12 @@ func main() {
 	exps["warmstart"] = func() (*eval.Table, error) {
 		tbl, rep, err := eval.Warmstart(log)
 		warmstartRep = rep
+		return tbl, err
+	}
+	var watchRep *eval.WatchReport
+	exps["watch"] = func() (*eval.Table, error) {
+		tbl, rep, err := eval.Watch(log)
+		watchRep = rep
 		return tbl, err
 	}
 	order := []string{"table1", "table2", "fig4", "vshape", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
@@ -280,6 +319,12 @@ func main() {
 				// And warmstart: per-entry steady-state quantiles, iteration
 				// means, and determinism verdicts for the warm-start layer.
 				if err := writeWarmstartJSON(*jsonDir, warmstartRep); err != nil {
+					fatal(err)
+				}
+			case "watch":
+				// And watch: seeded-fault alert verdicts and the monitoring
+				// overhead budget, with bit-identity flags -compare gates on.
+				if err := writeWatchJSON(*jsonDir, watchRep); err != nil {
 					fatal(err)
 				}
 			default:
@@ -534,6 +579,17 @@ func writeWarmstartJSON(dir string, rep *eval.WarmstartReport) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_warmstart.json"), append(raw, '\n'), 0o644)
+}
+
+func writeWatchJSON(dir string, rep *eval.WatchReport) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_watch.json"), append(raw, '\n'), 0o644)
 }
 
 func writeLatencyJSON(dir string, rep *eval.LatencyReport) error {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"soral/internal/model"
+	"soral/internal/obs/attr"
 )
 
 // Params are the regularization parameters of the online algorithm.
@@ -93,4 +94,19 @@ func BEps(n *model.Network, eps float64) float64 {
 // r = 1 + |I|·(C(ε) + B(ε′)).
 func CompetitiveRatio(n *model.Network, p Params) float64 {
 	return 1 + float64(n.NumTier2)*(CEps(n, p.EpsT2)+BEps(n, p.EpsNet))
+}
+
+// Certificate returns the watchdog's competitive-ratio alert threshold for
+// these parameters: attr.Certificate (the normalized 1 + 2/ε bound) at the
+// tightest ε in play, so the alert arms against whichever regularizer the
+// guarantee binds through first.
+func (p Params) Certificate() float64 {
+	eps := p.EpsT2
+	if p.EpsNet < eps {
+		eps = p.EpsNet
+	}
+	if e1 := p.epsT1(); e1 > 0 && e1 < eps {
+		eps = e1
+	}
+	return attr.Certificate(eps)
 }

@@ -59,7 +59,8 @@ type benchFile struct {
 
 	// Report fields shared by BENCH_kernels.json (Kernel non-empty),
 	// BENCH_chaos.json (Schedule non-empty), BENCH_latency.json (Phase
-	// non-empty), and BENCH_warmstart.json (Entry non-empty).
+	// non-empty), BENCH_warmstart.json (Entry non-empty), and
+	// BENCH_watch.json (Watch non-empty).
 	Results []struct {
 		Kernel       string  `json:"kernel"`
 		N            int     `json:"n"`
@@ -67,6 +68,7 @@ type benchFile struct {
 		Schedule     string  `json:"schedule"`
 		Phase        string  `json:"phase"`
 		Entry        string  `json:"entry"`
+		Watch        string  `json:"watch"`
 		NsPerOp      int64   `json:"ns_per_op"`
 		Speedup      float64 `json:"speedup"`
 		BitIdentical bool    `json:"bit_identical"`
@@ -74,6 +76,14 @@ type benchFile struct {
 		P99Ns        int64   `json:"p99_ns"`
 		P999Ns       int64   `json:"p999_ns"`
 		MeanIters    float64 `json:"mean_iters"`
+
+		// BENCH_watch.json scenario metrics.
+		FiredTick     int     `json:"fired_tick"`
+		Alerts        int     `json:"alerts"`
+		Ratio         float64 `json:"ratio"`
+		RecordNsPerOp float64 `json:"record_ns_per_op"`
+		TickNs        int64   `json:"tick_ns"`
+		OverheadFrac  float64 `json:"overhead_frac"`
 	} `json:"results"`
 }
 
@@ -112,6 +122,41 @@ func LoadBenchEnv(r io.Reader) ([]BenchEntry, BenchEnv, error) {
 						"p99_ns":     float64(c.P99Ns),
 						"mean_iters": c.MeanIters,
 					},
+					BitIdentical: &c.BitIdentical,
+				})
+				continue
+			}
+			if c.Watch != "" {
+				// A watchdog scenario: detection latency, alert volume, and
+				// monitoring cost all regress upward; the bit-identity verdict
+				// (reproducible alert trail, allocation-free record path)
+				// gates unconditionally. Zero-valued metrics are omitted —
+				// each scenario populates its own subset.
+				m := map[string]float64{}
+				if c.FiredTick != 0 {
+					m["fired_tick"] = float64(c.FiredTick)
+				}
+				if c.Alerts != 0 {
+					m["alerts"] = float64(c.Alerts)
+				}
+				//sorallint:ignore floatcmp omitted-field detection: the JSON decoder leaves absent metrics exactly 0.0, no arithmetic involved
+				if c.Ratio != 0 {
+					m["ratio"] = c.Ratio
+				}
+				//sorallint:ignore floatcmp omitted-field detection, exact decoder zero
+				if c.RecordNsPerOp != 0 {
+					m["record_ns_per_op"] = c.RecordNsPerOp
+				}
+				if c.TickNs != 0 {
+					m["tick_ns"] = float64(c.TickNs)
+				}
+				//sorallint:ignore floatcmp omitted-field detection, exact decoder zero
+				if c.OverheadFrac != 0 {
+					m["overhead_frac"] = c.OverheadFrac
+				}
+				out = append(out, BenchEntry{
+					Name:         "watch/" + c.Watch,
+					Metrics:      m,
 					BitIdentical: &c.BitIdentical,
 				})
 				continue

@@ -271,6 +271,18 @@ func Replay(ctx context.Context, j *journal.Journal) (*ReplayResult, error) {
 			}
 		}
 	}
+	// Watchdog alert records are run-history telemetry — which detector saw
+	// what, when — not a pure function of the config, so a re-run cannot
+	// reproduce them. Reconcile them as advisories: each recorded transition
+	// is surfaced with its value/threshold pair so an operator auditing the
+	// journal sees the alert trail alongside the replay verdict.
+	for _, a := range j.Alerts {
+		res.Advisories = append(res.Advisories, SlotMismatch{
+			Slot: -1, Field: "alert",
+			Got:  fmt.Sprintf("[%s] %s %s: value %.6g vs threshold %.6g", a.Severity, a.Rule, a.State, a.Value, a.Threshold),
+			Want: "recorded watchdog transition (informational)",
+		})
+	}
 	// A sealed journal's footer objective must reconcile with the sum of its
 	// per-slot records (only meaningful when the journal holds the full
 	// horizon; a compacted or torn prefix legitimately sums to less).

@@ -14,10 +14,27 @@
 package attr
 
 import (
+	"math"
 	"sync"
 
 	"soral/internal/model"
 )
+
+// Certificate returns the normalized competitive-ratio certificate 1 + 2/ε:
+// the capacity-normalized form of Theorem 1's guarantee (unit caps make
+// C(ε) and B(ε′) collapse to (1+ε)·ln(1+1/ε) ≤ 1/ε each, hence the 2/ε).
+// It is the watchdog's alert threshold on the live Tracker ratio: the exact
+// bound core.CompetitiveRatio scales with capacities and horizon and sits
+// far above any realized trajectory, so crossing this normalized certificate
+// is the earliest certifiable signal that the run has left the regime the
+// regularization argument protects. Nonpositive ε yields +Inf (the bound
+// diverges as ε → 0⁺), disabling the alert rather than firing it spuriously.
+func Certificate(eps float64) float64 {
+	if eps <= 0 {
+		return math.Inf(1)
+	}
+	return 1 + 2/eps
+}
 
 // SlotAttribution is the full cost decomposition of one committed slot.
 type SlotAttribution struct {

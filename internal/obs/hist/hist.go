@@ -216,6 +216,24 @@ func (h *Hist) Quantile(q float64) float64 {
 	return v
 }
 
+// CountAtOrBelow counts observations whose bucket upper bound is ≤ v — the
+// "good events" numerator of an SLO burn rate with objective v. Like every
+// bucket read it is edge-quantized: an observation counts as good exactly
+// when its whole bucket's upper bound clears the objective, so the estimate
+// errs conservatively (toward "bad") by at most one bucket's relative width
+// (~12.5%). Allocation-free and lock-free, so the watchdog can call it every
+// sample tick.
+func (h *Hist) CountAtOrBelow(v float64) int64 {
+	var cum int64
+	for i := 0; i < NumBuckets; i++ {
+		if bucketUpper(i) > v {
+			break
+		}
+		cum += int64(h.counts[i].Load())
+	}
+	return cum
+}
+
 // Digest hashes everything that merges exactly — per-bucket counts, total
 // count, min, and max — into a "sha256:…" string. The float Sum is excluded
 // by design: float addition is not associative, so the sum of a merge can

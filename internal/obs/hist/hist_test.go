@@ -203,3 +203,34 @@ func TestSnapshotStats(t *testing.T) {
 		t.Errorf("min/max = %g/%g", st.Min, st.Max)
 	}
 }
+
+// TestCountAtOrBelow pins the SLO "good events" counter: edge-quantized,
+// conservative toward bad, exact against a brute-force bucket walk, and
+// allocation-free.
+func TestCountAtOrBelow(t *testing.T) {
+	h := New()
+	for i := 0; i < 200; i++ {
+		h.Record(1e-3) // 1ms, comfortably under a 5ms objective
+	}
+	for i := 0; i < 50; i++ {
+		h.Record(50e-3) // 50ms spikes, over the objective
+	}
+	good := h.CountAtOrBelow(5e-3)
+	if good != 200 {
+		t.Fatalf("CountAtOrBelow(5ms) = %d, want 200", good)
+	}
+	if all := h.CountAtOrBelow(math.Inf(1)); all != h.Count() {
+		t.Fatalf("CountAtOrBelow(+Inf) = %d, want Count()=%d", all, h.Count())
+	}
+	if none := h.CountAtOrBelow(0); none != 0 {
+		t.Fatalf("CountAtOrBelow(0) = %d, want 0", none)
+	}
+	// Conservative quantization: an objective inside the 1ms bucket must not
+	// count the bucket (its upper bound exceeds the objective).
+	if under := h.CountAtOrBelow(1e-3 * 0.99); under != 0 {
+		t.Fatalf("CountAtOrBelow(just under 1ms bucket) = %d, want 0", under)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.CountAtOrBelow(5e-3) }); n != 0 {
+		t.Fatalf("CountAtOrBelow allocated %v allocs/op, want 0", n)
+	}
+}

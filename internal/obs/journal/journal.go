@@ -25,6 +25,11 @@ const (
 	// KindFooter closes a journal: one per finished run, always the last
 	// line. A journal without a footer records a run that died mid-flight.
 	KindFooter = "footer"
+	// KindAlert records a watchdog rule transition (firing or resolved) —
+	// the post-mortem trail of the self-monitoring layer. Alert records may
+	// appear anywhere between header and footer and do not participate in
+	// the footer's slot reconciliation.
+	KindAlert = "alert"
 )
 
 // Version is the journal schema version written into every header. Readers
@@ -38,6 +43,16 @@ const (
 	StatusOK        = "ok"
 	StatusRecovered = "recovered"
 	StatusDegraded  = "degraded"
+)
+
+// Alert states and severities (the taxonomy of obs/watch, pinned here so the
+// reader can validate records without importing the rule engine).
+const (
+	AlertFiring   = "firing"
+	AlertResolved = "resolved"
+
+	SeverityWarn     = "warn"
+	SeverityCritical = "critical"
 )
 
 // Header is the run preamble: everything needed to attribute and replay the
@@ -163,6 +178,30 @@ type StateRecord struct {
 	CRC string `json:"crc,omitempty"`
 }
 
+// AlertRecord journals one watchdog rule transition: a rule started firing
+// or resolved. Records are advisory — `soral -replay` surfaces them without
+// failing the replay — but CRC'd and validated like every other kind, so the
+// alert trail is as tamper-evident as the decision trail.
+type AlertRecord struct {
+	Kind string `json:"kind"` // always KindAlert
+	// Rule names the detector (e.g. "slo-burn-rate", "competitive-ratio").
+	Rule string `json:"rule"`
+	// Severity is warn|critical; critical alerts are the class cmd/soral
+	// escalates to Health.Fail.
+	Severity string `json:"severity"`
+	// State is firing|resolved.
+	State string `json:"state"`
+	// Value is the observed quantity that crossed (or re-crossed) Threshold.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Reason is the rule's human-readable explanation of the transition.
+	Reason string `json:"reason,omitempty"`
+	// TimeNS is the record's wall-clock emission time in Unix nanoseconds.
+	TimeNS int64 `json:"t_ns"`
+	// CRC is the record checksum; see Header.CRC.
+	CRC string `json:"crc,omitempty"`
+}
+
 // Footer is the run postamble: totals a reader can reconcile against the
 // slot lines.
 type Footer struct {
@@ -189,6 +228,9 @@ type Journal struct {
 	// LastState is the most recent state checkpoint (nil when the journal
 	// carries none, e.g. version-1 files or post-hoc recordings).
 	LastState *StateRecord
+	// Alerts collects the watchdog's journaled rule transitions, in emission
+	// order (empty for runs recorded without -watch).
+	Alerts []AlertRecord
 	// Footer is nil when the run died before writing one.
 	Footer *Footer
 }

@@ -270,6 +270,28 @@ func (st *scanState) add(raw []byte, line int) error {
 			return fmt.Errorf("state checkpoint for slot %d does not match the committed decision", rec.Slot)
 		}
 		j.LastState = &rec
+	case KindAlert:
+		if !st.seenHeader {
+			return fmt.Errorf("alert record before the header")
+		}
+		var rec AlertRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("bad alert record: %w", err)
+		}
+		if rec.Rule == "" {
+			return fmt.Errorf("alert record names no rule")
+		}
+		switch rec.State {
+		case AlertFiring, AlertResolved:
+		default:
+			return fmt.Errorf("unknown alert state %q", rec.State)
+		}
+		switch rec.Severity {
+		case SeverityWarn, SeverityCritical:
+		default:
+			return fmt.Errorf("unknown alert severity %q", rec.Severity)
+		}
+		j.Alerts = append(j.Alerts, rec)
 	case KindFooter:
 		if !st.seenHeader {
 			return fmt.Errorf("footer before the header")

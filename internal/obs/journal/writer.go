@@ -86,6 +86,21 @@ type Writer struct {
 	slots     int
 	recovered int
 	degraded  int
+
+	// droppedAlerts counts Alert calls landing outside a Begin/End window
+	// (watchdog transitions with no run to attribute them to).
+	droppedAlerts int
+}
+
+// DroppedAlerts reports how many alert records were dropped because they
+// arrived outside a Begin/End window.
+func (w *Writer) DroppedAlerts() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.droppedAlerts
 }
 
 // NewWriter wraps w in a journal writer. A nil w journals to the feed (or
@@ -289,6 +304,32 @@ func (w *Writer) State(r StateRecord) {
 	r.CRC = ""
 	//sorallint:ignore lockorder Syncer fan-out includes (*Writer).Sync, but a writer is never its own syncer (file-backed syncers only)
 	w.write(r, true)
+}
+
+// Alert appends one watchdog alert record. The writer stamps Kind and
+// TimeNS; the caller supplies the rule identity, severity, state, and the
+// value/threshold pair. Alerts are not commit points (the durable decision
+// trail does not depend on them), so they ride the ambient sync policy.
+//
+// Unlike the run-data record kinds, an Alert outside a Begin/End window is
+// dropped (counted in DroppedAlerts), not an error: the watchdog samples on
+// its own clock and legitimately observes transitions before a run opens or
+// after it ends, when there is no run to attribute them to.
+func (w *Writer) Alert(r AlertRecord) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.opened || w.closed {
+		w.droppedAlerts++
+		return
+	}
+	r.Kind = KindAlert
+	r.TimeNS = w.now().UnixNano()
+	r.CRC = ""
+	//sorallint:ignore lockorder Syncer fan-out includes (*Writer).Sync, but a writer is never its own syncer (file-backed syncers only)
+	w.write(r, false)
 }
 
 // End writes the run footer and closes the journal. The writer stamps Kind

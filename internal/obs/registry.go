@@ -214,6 +214,51 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// EachCounter calls fn for every counter under the registry's read lock.
+// With EachGauge, EachLatency, and EachHistogramQuantile it forms the
+// sampling path: a tsdb sampler tick reads every metric without building
+// the Snapshot maps or sorting any reservoir, so sampling cadence is not
+// bounded by scrape cost. fn must not call back into the registry.
+func (r *Registry) EachCounter(fn func(name string, v int64)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.counters {
+		fn(k, v.Load())
+	}
+}
+
+// EachGauge calls fn for every gauge under the registry's read lock.
+func (r *Registry) EachGauge(fn func(name string, v float64)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.gauges {
+		fn(k, math.Float64frombits(v.Load()))
+	}
+}
+
+// EachLatency calls fn for every log-bucketed latency histogram under the
+// registry's read lock. The handle's readers (Count, Quantile,
+// CountAtOrBelow) are lock-free, so fn can summarize in place.
+func (r *Registry) EachLatency(fn func(name string, h *hist.Hist)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.lats {
+		fn(k, v)
+	}
+}
+
+// EachHistogramQuantile calls fn with the q-quantile of every bounded
+// histogram. Unlike Snapshot, which fully sorts each reservoir, the single
+// quantile is selected in linear time against a reusable scratch buffer, so
+// the per-tick cost stays flat however often the sampler fires.
+func (r *Registry) EachHistogramQuantile(q float64, fn func(name string, v float64)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, v := range r.hists {
+		fn(k, v.quantileOnly(q))
+	}
+}
+
 // WriteText dumps the registry as sorted, expvar-style text: one metric per
 // line, grouped by kind, stable across runs with equal values.
 func (r *Registry) WriteText(w io.Writer) error {
@@ -261,6 +306,9 @@ type histogram struct {
 	min, max float64
 	ring     []float64
 	next     int
+	// scratch backs quantileOnly's selection so the sampling path stops
+	// allocating once the reservoir reaches steady state.
+	scratch []float64
 }
 
 func (h *histogram) observe(v float64) {
@@ -295,6 +343,72 @@ func (h *histogram) stats() HistogramStats {
 	st.P95 = quantile(vals, 0.95)
 	st.P99 = quantile(vals, 0.99)
 	return st
+}
+
+// quantileOnly returns the nearest-rank q-quantile of the reservoir via
+// linear-time selection on a reused scratch buffer (0 when empty).
+func (h *histogram) quantileOnly(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.ring)
+	if n == 0 {
+		return 0
+	}
+	if cap(h.scratch) < n {
+		h.scratch = make([]float64, n)
+	}
+	s := h.scratch[:n]
+	copy(s, h.ring)
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	quickselect(s, idx)
+	return s[idx]
+}
+
+// quickselect partially orders s so s[k] holds its sorted-position value,
+// using median-of-three Hoare partitioning (expected linear time).
+func quickselect(s []float64, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		// Median-of-three pivot guards against sorted and constant runs.
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
 }
 
 // quantile returns the nearest-rank q-quantile of a sorted sample.

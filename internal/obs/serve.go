@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"soral/internal/obs/journal"
@@ -24,7 +25,22 @@ type ServeOptions struct {
 	// Runs backs /runs: the journal feed streamed as newline-delimited JSON,
 	// retained lines first, then live records as slots commit.
 	Runs *journal.Feed
+	// HeartbeatEvery paces the /runs idle heartbeat: when no record arrives
+	// for this long, the stream emits a `# heartbeat t_ns=<now>` comment line
+	// so subscribers can tell a quiet run from a stalled connection. Zero
+	// selects the 5s default; negative disables heartbeats.
+	HeartbeatEvery time.Duration
+	// Timeseries backs /timeseries?metric=&since=: range queries over the
+	// in-process store (an obs/tsdb.DB). Without the metric parameter the
+	// endpoint lists the stored series names.
+	Timeseries TimeseriesSource
+	// Alerts backs /alerts: a snapshot function returning the JSON body
+	// (e.g. a watch.Engine's Status, current firing alerts plus history).
+	Alerts func() any
 }
+
+// defaultHeartbeat is the /runs idle heartbeat period when unset.
+const defaultHeartbeat = 5 * time.Second
 
 // Server is a running exposition server. Shut it down by canceling the
 // Serve context or calling Shutdown.
@@ -93,6 +109,16 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) (*Server, error)
 			}
 		}
 		flusher.Flush()
+		every := opts.HeartbeatEvery
+		if every == 0 {
+			every = defaultHeartbeat
+		}
+		var beat <-chan time.Time
+		if every > 0 {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			beat = t.C
+		}
 		for {
 			select {
 			case line, open := <-live:
@@ -103,12 +129,58 @@ func Serve(ctx context.Context, addr string, opts ServeOptions) (*Server, error)
 					return
 				}
 				flusher.Flush()
+			case now := <-beat:
+				// A quiet run still proves the stream is alive: comment
+				// lines (leading '#') are skipped by NDJSON consumers.
+				if _, err := fmt.Fprintf(w, "# heartbeat t_ns=%d\n", now.UnixNano()); err != nil {
+					return
+				}
+				flusher.Flush()
 			case <-r.Context().Done():
 				return
 			case <-ctx.Done():
 				return
 			}
 		}
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Alerts == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(opts.Alerts())
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Timeseries == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			_ = json.NewEncoder(w).Encode(struct {
+				Metrics []string `json:"metrics"`
+			}{opts.Timeseries.MetricNames()})
+			return
+		}
+		var since int64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "since must be Unix nanoseconds", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		pts := opts.Timeseries.QuerySince(metric, since)
+		if pts == nil {
+			pts = []TSPoint{}
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Metric string    `json:"metric"`
+			Points []TSPoint `json:"points"`
+		}{metric, pts})
 	})
 
 	s := &Server{

@@ -1,0 +1,20 @@
+package obs
+
+// TSPoint is one sampled observation of a metric: a Unix-nanosecond
+// timestamp and a value. It lives here (not in obs/tsdb) so the HTTP layer
+// can serve range queries through the TimeseriesSource interface without
+// importing the store that implements it.
+type TSPoint struct {
+	TNS int64   `json:"t_ns"`
+	V   float64 `json:"v"`
+}
+
+// TimeseriesSource is what /timeseries serves: a set of named series with
+// range queries. obs/tsdb.DB is the in-process implementation.
+type TimeseriesSource interface {
+	// MetricNames lists the stored series, sorted.
+	MetricNames() []string
+	// QuerySince returns the retained points of one series with TNS >=
+	// sinceNS, oldest first (nil when the series is unknown or empty).
+	QuerySince(metric string, sinceNS int64) []TSPoint
+}

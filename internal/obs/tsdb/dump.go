@@ -1,0 +1,92 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"soral/internal/obs"
+)
+
+// SnapshotLine is one JSONL record of a periodic registry dump: what
+// `soral -metrics-interval` appends to the metrics file so a batch run's
+// history can be ingested into a store post-hoc. Latency histograms are
+// dumped as the same derived summaries the live sampler stores.
+type SnapshotLine struct {
+	TNS      int64                     `json:"t_ns"`
+	Counters map[string]int64          `json:"counters,omitempty"`
+	Gauges   map[string]float64        `json:"gauges,omitempty"`
+	Lats     map[string]LatencySummary `json:"latencies,omitempty"`
+}
+
+// LatencySummary is the dumped form of one latency histogram.
+type LatencySummary struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteSnapshot appends one snapshot line for the registry's current state.
+func WriteSnapshot(w io.Writer, now time.Time, reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot()
+	line := SnapshotLine{TNS: now.UnixNano()}
+	if len(snap.Counters) > 0 {
+		line.Counters = snap.Counters
+	}
+	if len(snap.Gauges) > 0 {
+		line.Gauges = snap.Gauges
+	}
+	if len(snap.Latencies) > 0 {
+		line.Lats = make(map[string]LatencySummary, len(snap.Latencies))
+		for name, st := range snap.Latencies {
+			line.Lats[name] = LatencySummary{Count: st.Count, P50: st.P50, P99: st.P99}
+		}
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Ingest loads a snapshot dump (JSONL of SnapshotLine) into the store,
+// mapping each dumped metric to the same series names the live sampler
+// writes. Returns the number of snapshot lines loaded.
+func (db *DB) Ingest(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lines := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line SnapshotLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return lines, fmt.Errorf("tsdb: ingest line %d: %w", lines+1, err)
+		}
+		for name, v := range line.Counters {
+			db.Series(name).Record(line.TNS, float64(v))
+		}
+		for name, v := range line.Gauges {
+			db.Series(name).Record(line.TNS, v)
+		}
+		for name, st := range line.Lats {
+			db.Series(name+".p50").Record(line.TNS, st.P50)
+			db.Series(name+".p99").Record(line.TNS, st.P99)
+			db.Series(name+".count").Record(line.TNS, float64(st.Count))
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return lines, fmt.Errorf("tsdb: ingest: %w", err)
+	}
+	return lines, nil
+}

@@ -59,6 +59,16 @@ func (s *Supervisor) Retries() int { return int(s.retries.Load()) }
 // BudgetExhausted reports whether the run-wide restart budget has tripped.
 func (s *Supervisor) BudgetExhausted() bool { return s.tripped.Load() }
 
+// Budget reports the run-wide restart budget: units spent so far and the cap
+// (total 0 = unlimited). The watchdog's budget-burn rule reads it to alert
+// while budget remains, before BudgetExhausted flips. Nil-safe.
+func (s *Supervisor) Budget() (spent, total int) {
+	if s == nil {
+		return 0, 0
+	}
+	return int(s.spent.Load()), s.opts.RestartBudget
+}
+
 func (s *Supervisor) maxRetries() int {
 	if s.opts.MaxRetries == 0 {
 		return 2
